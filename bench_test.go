@@ -1,0 +1,478 @@
+// Benchmarks regenerating the measurable side of every experiment in
+// EXPERIMENTS.md. Each benchmark corresponds to one experiment id from
+// DESIGN.md's index:
+//
+//	E4.1  BenchmarkPublishOrganization        publish org + service + assoc
+//	E4.2  BenchmarkAddService                  add a service to an org
+//	E4.3  BenchmarkEditServiceDescription      update with constraint text
+//	E4.4  BenchmarkDeleteService               remove with cascade
+//	E4.6  BenchmarkDiscovery/*                 constrained discovery per policy
+//	F3.2  BenchmarkCollectorSweep/*            NodeStatus sweep vs fleet size
+//	H1    BenchmarkMTCWorkload/*               full MTC run per policy
+//	H2    BenchmarkCollectorPeriodSweep/*      imbalance vs collection period
+//	T3.9  BenchmarkAccessRegistryExecute       the XML API round trip
+//	—     BenchmarkConstraintParse, BenchmarkSQLQuery, BenchmarkFilterQuery,
+//	      BenchmarkSOAPRoundTrip, BenchmarkEbMSRoundTrip,
+//	      BenchmarkFederatedFind, BenchmarkCPACompose   substrate costs
+//
+// Run with: go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/accessregistry"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/cpa"
+	"repro/internal/ebms"
+	"repro/internal/federation"
+	"repro/internal/hostsim"
+	"repro/internal/jaxr"
+	"repro/internal/lbexp"
+	"repro/internal/lcm"
+	"repro/internal/mtc"
+	"repro/internal/nodestate"
+	"repro/internal/nodestatus"
+	"repro/internal/qm"
+	"repro/internal/registry"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+	"repro/internal/soap"
+	"repro/internal/store"
+)
+
+var benchEpoch = time.Date(2011, 4, 22, 11, 0, 0, 0, time.UTC)
+
+func benchRegistry(b *testing.B, policy core.Policy) (*registry.Registry, lcm.Context) {
+	b.Helper()
+	reg, err := registry.New(registry.Config{Clock: simclock.NewManual(benchEpoch), Policy: policy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reg, reg.AdminContext()
+}
+
+// BenchmarkPublishOrganization measures experiment E4.1's operation: one
+// organization + service (2 bindings) + OffersService association.
+func BenchmarkPublishOrganization(b *testing.B) {
+	reg, ctx := benchRegistry(b, core.PolicyFilter)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		org := rim.NewOrganization(fmt.Sprintf("Org-%d", i))
+		svc := rim.NewService(fmt.Sprintf("Svc-%d", i), "Service to monitor node status")
+		svc.AddBinding(fmt.Sprintf("http://h%d.sdsu.edu:8080/svc", i))
+		svc.AddBinding(fmt.Sprintf("http://h%db.sdsu.edu:8080/svc", i))
+		assoc := rim.NewAssociation(rim.AssocOffersService, org.ID, svc.ID)
+		if err := reg.LCM.SubmitObjects(ctx, org, svc, assoc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAddService measures E4.2: adding one service to an existing
+// organization.
+func BenchmarkAddService(b *testing.B) {
+	reg, ctx := benchRegistry(b, core.PolicyFilter)
+	org := rim.NewOrganization("SDSU")
+	if err := reg.LCM.SubmitObjects(ctx, org); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := rim.NewService(fmt.Sprintf("Adder-%d", i), "")
+		svc.AddBinding(fmt.Sprintf("http://h%d.sdsu.edu/x", i))
+		assoc := rim.NewAssociation(rim.AssocOffersService, org.ID, svc.ID)
+		if err := reg.LCM.SubmitObjects(ctx, svc, assoc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEditServiceDescription measures E4.3: updating a service's
+// description to a constraint block.
+func BenchmarkEditServiceDescription(b *testing.B) {
+	reg, ctx := benchRegistry(b, core.PolicyFilter)
+	svc := rim.NewService("Adder", "plain")
+	svc.AddBinding("http://thermo.sdsu.edu/x")
+	if err := reg.LCM.SubmitObjects(ctx, svc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		up := svc.Clone()
+		up.Description = rim.NewIString(fmt.Sprintf("<constraint><cpuLoad>load ls %d.0</cpuLoad></constraint>", i%9+1))
+		if err := reg.LCM.UpdateObjects(ctx, up); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeleteService measures E4.4/E4.5: removing a service with its
+// association cascade.
+func BenchmarkDeleteService(b *testing.B) {
+	reg, ctx := benchRegistry(b, core.PolicyFilter)
+	org := rim.NewOrganization("SDSU")
+	if err := reg.LCM.SubmitObjects(ctx, org); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		svc := rim.NewService(fmt.Sprintf("Del-%d", i), "")
+		svc.AddBinding(fmt.Sprintf("http://h%d.sdsu.edu/x", i))
+		assoc := rim.NewAssociation(rim.AssocOffersService, org.ID, svc.ID)
+		if err := reg.LCM.SubmitObjects(ctx, svc, assoc); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := reg.LCM.RemoveObjects(ctx, svc.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiscovery measures E4.6: resolving a service to its arranged
+// access URIs under each policy and several deployment sizes. This is the
+// per-lookup cost the load-balancing scheme adds to the registry's hot
+// path.
+func BenchmarkDiscovery(b *testing.B) {
+	for _, policy := range []core.Policy{core.PolicyStock, core.PolicyFilter, core.PolicyRankFirst, core.PolicyLeastLoaded} {
+		for _, hosts := range []int{2, 8, 32} {
+			b.Run(fmt.Sprintf("%s/hosts=%d", policy, hosts), func(b *testing.B) {
+				reg, ctx := benchRegistry(b, policy)
+				svc := rim.NewService("Adder", `<constraint><cpuLoad>load ls 1.0</cpuLoad><memory>memory gr 1GB</memory></constraint>`)
+				for i := 0; i < hosts; i++ {
+					host := fmt.Sprintf("h%02d.sdsu.edu", i)
+					svc.AddBinding("http://" + host + ":8080/x")
+					reg.Store.NodeState().Upsert(store.NodeState{
+						Host: host, Load: float64(i%4) * 0.7, MemoryB: 4 << 30, SwapB: 1 << 30,
+						Updated: benchEpoch,
+					})
+				}
+				if err := reg.LCM.SubmitObjects(ctx, svc); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					uris, _, err := reg.QM.GetServiceBindings(svc.ID)
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = uris
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCollectorSweep measures F3.2: one NodeStatus collection sweep
+// against fleets of different sizes (local invoker, the localCall path).
+func BenchmarkCollectorSweep(b *testing.B) {
+	for _, hosts := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			clk := simclock.NewManual(benchEpoch)
+			cluster := hostsim.NewCluster()
+			var uris []string
+			for i := 0; i < hosts; i++ {
+				name := fmt.Sprintf("h%03d.sdsu.edu", i)
+				cluster.Add(hostsim.NewHost(hostsim.Config{Name: name, Cores: 2, TotalMemB: 4 << 30}, benchEpoch))
+				uris = append(uris, "http://"+name+":8080/NodeStatus/NodeStatusService")
+			}
+			table := store.NewNodeStateTable()
+			col := nodestate.New(table, nodestatus.LocalInvoker{Cluster: cluster, Clock: clk}, clk,
+				func() []string { return uris })
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				col.CollectOnce()
+			}
+		})
+	}
+}
+
+// BenchmarkCollectorSweepHTTP measures the same sweep over real sockets.
+func BenchmarkCollectorSweepHTTP(b *testing.B) {
+	clk := simclock.NewManual(benchEpoch)
+	host := hostsim.NewHost(hostsim.Config{Name: "h.sdsu.edu", Cores: 2, TotalMemB: 4 << 30}, benchEpoch)
+	srv := httptest.NewServer(nodestatus.NewHandler(host, clk))
+	defer srv.Close()
+	table := store.NewNodeStateTable()
+	col := nodestate.New(table, nodestatus.HTTPInvoker{Client: srv.Client()}, clk,
+		func() []string { return []string{srv.URL} })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col.CollectOnce()
+	}
+}
+
+// BenchmarkMTCWorkload regenerates H1 at benchmark scale: one full MTC
+// workload per iteration under each policy pairing. Throughput shape, not
+// absolute numbers, is the result: the balanced variants finish the same
+// task count with lower simulated latency.
+func BenchmarkMTCWorkload(b *testing.B) {
+	combos := []lbexp.Combo{
+		{Name: "stock-first", Registry: core.PolicyStock, Client: mtc.ClientFirst},
+		{Name: "stock-roundrobin", Registry: core.PolicyStock, Client: mtc.ClientRoundRobin},
+		{Name: "lb-leastloaded-fb", Registry: core.PolicyLeastLoaded, Client: mtc.ClientFirst, Fallback: true},
+	}
+	for _, combo := range combos {
+		b.Run(combo.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			var lastFairness float64
+			for i := 0; i < b.N; i++ {
+				cfg := lbexp.Config{
+					Hosts: 4, Heterogeneous: true,
+					RegistryPolicy: combo.Registry, ClientPolicy: combo.Client,
+					FallbackAll: combo.Fallback,
+					Workload: mtc.Workload{
+						Tasks: 100, MeanInterarrival: 2 * time.Second,
+						TaskCPU: 10, TaskMemB: 32 << 20, Seed: int64(i + 1),
+					},
+				}
+				rep, err := lbexp.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastFairness = rep.MeanFairness()
+			}
+			b.ReportMetric(lastFairness, "fairness")
+		})
+	}
+}
+
+// BenchmarkCollectorPeriodSweep regenerates H2's shape: imbalance under
+// different collection periods, reported as a custom metric.
+func BenchmarkCollectorPeriodSweep(b *testing.B) {
+	for _, period := range []time.Duration{5 * time.Second, 25 * time.Second, 2 * time.Minute} {
+		b.Run(period.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var fairness float64
+			for i := 0; i < b.N; i++ {
+				cfg := lbexp.Config{
+					Hosts: 4, Heterogeneous: true,
+					RegistryPolicy:   core.PolicyLeastLoaded,
+					FallbackAll:      true,
+					CollectionPeriod: period,
+					Workload: mtc.Workload{
+						Tasks: 100, MeanInterarrival: 2 * time.Second,
+						TaskCPU: 10, TaskMemB: 32 << 20, Seed: int64(i + 1),
+					},
+				}
+				rep, err := lbexp.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fairness = rep.MeanFairness()
+			}
+			b.ReportMetric(fairness, "fairness")
+		})
+	}
+}
+
+// BenchmarkAccessRegistryExecute measures the Table 3.9 API round trip:
+// parse action XML, publish, delete.
+func BenchmarkAccessRegistryExecute(b *testing.B) {
+	reg, err := registry.New(registry.Config{Clock: simclock.NewManual(benchEpoch), Policy: core.PolicyFilter})
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn := jaxr.ConnectLocal(reg)
+	creds, _, err := conn.Register("bench", "pw", rim.PersonName{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := conn.Login(creds); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xmlDoc := fmt.Sprintf(`<root>
+		  <action type="publish"><organization><name>BenchOrg-%d</name>
+		    <service><name>BenchSvc-%d</name>
+		      <accessuri>http://thermo.sdsu.edu:8080/x</accessuri></service>
+		  </organization></action>
+		  <action type="modify"><organization type="delete"><name>BenchOrg-%d</name></organization></action>
+		</root>`, i, i, i)
+		ar, err := accessregistry.NewFromReaders(nil, strings.NewReader(xmlDoc),
+			accessregistry.WithConnection(conn))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ar.Execute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConstraintParse measures the §3.2 parser on the thesis's block.
+func BenchmarkConstraintParse(b *testing.B) {
+	desc := `Adder <constraint><cpuLoad>load ls 1.0</cpuLoad><memory>memory gr 3GB</memory>` +
+		`<swapmemory>swapmemory gr 5MB</swapmemory><starttime>1000</starttime><endtime>1200</endtime></constraint>`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := constraint.FromDescription(desc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSQLQuery measures the AdhocQuery SQL path over a populated
+// registry.
+func BenchmarkSQLQuery(b *testing.B) {
+	reg, ctx := benchRegistry(b, core.PolicyStock)
+	for i := 0; i < 500; i++ {
+		svc := rim.NewService(fmt.Sprintf("Svc-%03d", i), "d")
+		svc.AddBinding(fmt.Sprintf("http://h%03d.sdsu.edu/x", i))
+		if err := reg.LCM.SubmitObjects(ctx, svc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := reg.QM.SubmitAdhocQuery(qm.AdhocQueryRequest{
+			Query: "SELECT s.id, s.name FROM Service s WHERE s.name LIKE 'Svc-1%' ORDER BY s.name LIMIT 20",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.TotalResultsCount == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+// BenchmarkFilterQuery measures the XML FilterQuery path on the same data.
+func BenchmarkFilterQuery(b *testing.B) {
+	reg, ctx := benchRegistry(b, core.PolicyStock)
+	for i := 0; i < 500; i++ {
+		if err := reg.LCM.SubmitObjects(ctx, rim.NewOrganization(fmt.Sprintf("Org-%03d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	query := `<FilterQuery target="Organization"><Clause leftArgument="name" comparator="LIKE" rightArgument="Org-1%"/></FilterQuery>`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := reg.QM.SubmitAdhocQuery(qm.AdhocQueryRequest{Syntax: qm.SyntaxFilter, Query: query})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.TotalResultsCount == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+// BenchmarkSOAPRoundTrip measures one full SOAP request/response over HTTP
+// (the messaging layer of Fig. 1.1).
+func BenchmarkSOAPRoundTrip(b *testing.B) {
+	reg, ctx := benchRegistry(b, core.PolicyStock)
+	svc := rim.NewService("Ping", "")
+	svc.AddBinding("http://thermo.sdsu.edu/x")
+	if err := reg.LCM.SubmitObjects(ctx, svc); err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	type regReq struct {
+		XMLName struct{}                   `xml:"RegistryRequest"`
+		Get     *registry.GetObjectRequest `xml:"GetObjectRequest"`
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var resp registry.GetObjectResponse
+		if err := soap.Post(client, srv.URL+"/soap/registry", &regReq{Get: &registry.GetObjectRequest{ID: svc.ID}}, &resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEbMSRoundTrip measures one reliable message exchange over HTTP
+// (send + receive + duplicate bookkeeping + acknowledgment).
+func BenchmarkEbMSRoundTrip(b *testing.B) {
+	r := ebms.NewReceiver(nil, simclock.Real{})
+	srv := httptest.NewServer(r.HTTPHandler())
+	defer srv.Close()
+	s := ebms.NewReliableSender(ebms.HTTPTransport{Client: srv.Client()}, simclock.Real{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := ebms.NewMessage("urn:a", "urn:b", "urn:svc", "Ping", "x", benchEpoch)
+		if _, err := s.Send(srv.URL, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFederatedFind measures a two-member federated search (one
+// local member, one remote over HTTP).
+func BenchmarkFederatedFind(b *testing.B) {
+	regA, ctxA := benchRegistry(b, core.PolicyStock)
+	regB, ctxB := benchRegistry(b, core.PolicyStock)
+	for i := 0; i < 100; i++ {
+		if err := regA.LCM.SubmitObjects(ctxA, rim.NewOrganization(fmt.Sprintf("FedOrg-A-%02d", i))); err != nil {
+			b.Fatal(err)
+		}
+		if err := regB.LCM.SubmitObjects(ctxB, rim.NewOrganization(fmt.Sprintf("FedOrg-B-%02d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(regB.Handler())
+	defer srv.Close()
+	fed, err := federation.New(
+		federation.Member{Name: "a", Conn: jaxr.ConnectLocal(regA)},
+		federation.Member{Name: "b", Conn: jaxr.Connect(srv.URL, srv.Client())},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := fed.Find("Organization", "FedOrg-%")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 200 {
+			b.Fatalf("results = %d", len(results))
+		}
+	}
+}
+
+// BenchmarkCPACompose measures agreement formation from two profiles.
+func BenchmarkCPACompose(b *testing.B) {
+	a := &cpa.CPP{
+		PartyID: "urn:duns:1", PartyName: "A",
+		Roles:       []cpa.Role{{ProcessName: "PurchaseOrder", Name: "Buyer"}},
+		Transports:  []cpa.Transport{{Protocol: "HTTPS", Endpoint: "https://a/msh"}},
+		Reliability: cpa.Reliability{Retries: 3, RetryInterval: time.Second, DuplicateElimination: true},
+	}
+	c := &cpa.CPP{
+		PartyID: "urn:duns:2", PartyName: "B",
+		Roles:       []cpa.Role{{ProcessName: "PurchaseOrder", Name: "Seller"}},
+		Transports:  []cpa.Transport{{Protocol: "HTTPS", Endpoint: "https://b/msh"}},
+		Reliability: cpa.Reliability{Retries: 5, RetryInterval: 2 * time.Second, DuplicateElimination: true},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cpa.Compose(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

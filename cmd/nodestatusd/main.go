@@ -1,0 +1,107 @@
+// Command nodestatusd runs the NodeStatus Web Service for one (simulated)
+// host — the per-host agent the administrator deploys in thesis Fig. 3.7.
+// The underlying host is a hostsim machine whose load can be made to move
+// with a background churn workload, so a live registry polling this daemon
+// sees realistic load dynamics.
+//
+// Usage:
+//
+//	nodestatusd -name thermo.sdsu.edu -addr :9101 -cores 2 -mem 4096 \
+//	    -swap 2048 -ambient 0.3 -churn 0.2
+//
+// The registry should be given the access URI
+// http://<host>:<port>/NodeStatus/NodeStatusService as a binding of the
+// published NodeStatus service.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/hostsim"
+	"repro/internal/nodestatus"
+	"repro/internal/simclock"
+)
+
+func main() {
+	var (
+		name    = flag.String("name", "host.local", "reported hostname")
+		addr    = flag.String("addr", ":9101", "listen address")
+		cores   = flag.Int("cores", 2, "CPU cores")
+		memMB   = flag.Int64("mem", 4096, "physical memory in MB")
+		swapMB  = flag.Int64("swap", 2048, "swap in MB")
+		ambient = flag.Float64("ambient", 0, "constant background load")
+		churn   = flag.Float64("churn", 0, "background task arrival rate per second (0 = static)")
+		seed    = flag.Int64("seed", 1, "churn randomness seed")
+	)
+	flag.Parse()
+
+	clk := simclock.Real{}
+	host := hostsim.NewHost(hostsim.Config{
+		Name:        *name,
+		Cores:       *cores,
+		TotalMemB:   *memMB << 20,
+		TotalSwapB:  *swapMB << 20,
+		AmbientLoad: *ambient,
+	}, clk.Now())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *churn > 0 {
+		go runChurn(ctx, host, clk, *churn, *seed)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/NodeStatus/NodeStatusService", nodestatus.NewHandler(host, clk))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "ok load=%.2f queue=%d\n", host.LoadAvg(), host.RunQueue())
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("NodeStatus for %s listening on %s (cores=%d mem=%dMB churn=%.2f/s)",
+		*name, *addr, *cores, *memMB, *churn)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("nodestatusd: %v", err)
+	}
+}
+
+// runChurn submits short background tasks at the given Poisson rate so the
+// host's load average moves over time.
+func runChurn(ctx context.Context, host *hostsim.Host, clk simclock.Clock, rate float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 0
+	for {
+		gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		select {
+		case <-ctx.Done():
+			return
+		case <-clk.After(gap):
+		}
+		n++
+		task := hostsim.Task{
+			ID:         fmt.Sprintf("churn-%d", n),
+			CPUSeconds: 2 + 8*rng.Float64(),
+			MemB:       int64(8+rng.Intn(56)) << 20,
+		}
+		now := clk.Now()
+		host.AdvanceTo(now)
+		if err := host.Submit(task, now); err != nil {
+			log.Printf("churn task rejected: %v", err)
+		}
+	}
+}

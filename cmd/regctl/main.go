@@ -1,0 +1,108 @@
+// Command regctl is the thesis's AccessRegistry sample program (§3.4.5,
+// "java SampleProject action.xml connection.xml"): it connects to a
+// registry using connection.xml, runs the publish/modify/access actions of
+// an action document, and prints the same result lines the thesis shows —
+// "Organization id :- urn:uuid:..." for published organizations and the
+// access URIs for accessed services.
+//
+// Usage:
+//
+//	regctl <connection.xml> <action.xml>
+//	regctl -register <connection.xml>   (run the user registration wizard,
+//	                                     writing the keystore named in
+//	                                     connection.xml)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/accessregistry"
+	"repro/internal/auth"
+	"repro/internal/jaxr"
+	"repro/internal/rim"
+)
+
+func main() {
+	register := flag.Bool("register", false, "register the connection.xml user and write its keystore")
+	flag.Parse()
+
+	if *register {
+		if flag.NArg() != 1 {
+			log.Fatal("usage: regctl -register <connection.xml>")
+		}
+		if err := runRegister(flag.Arg(0)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if flag.NArg() != 2 {
+		log.Fatal("usage: regctl <connection.xml> <action.xml>")
+	}
+	reg, err := accessregistry.NewFromFiles(flag.Arg(0), flag.Arg(1),
+		accessregistry.WithLogWriter(os.Stderr))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := reg.Execute()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range res.PublishedOrgIDs {
+		fmt.Printf("Organization id :- %s\n", id)
+	}
+	for _, id := range res.ModifiedOrgIDs {
+		fmt.Printf("Organization id :- %s\n", id)
+	}
+	for _, uri := range res.AccessURIs {
+		fmt.Println(uri)
+	}
+}
+
+// runRegister performs the §3.4.2 wizard + §3.4.3 keystore generation:
+// register the alias with the remote registry, then import the returned
+// credentials into the keystore file named by connection.xml.
+func runRegister(connectionPath string) error {
+	cfg, err := accessregistry.ParseConnectionFile(connectionPath)
+	if err != nil {
+		return err
+	}
+	if cfg.Keystore == "" {
+		return fmt.Errorf("regctl: connection.xml has no <keystore> path to write")
+	}
+	conn := jaxr.Connect(cfg.URL, nil)
+	creds, userID, err := conn.Register(cfg.Alias, cfg.Password, rim.PersonName{})
+	if err != nil {
+		return err
+	}
+	ks := auth.NewKeystore()
+	if f, err := os.Open(cfg.Keystore); err == nil {
+		// Merge into an existing keystore, like the KeystoreMover.
+		if err := ks.Load(f, keystorePassword(cfg)); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+	}
+	ks.Import(creds)
+	f, err := os.Create(cfg.Keystore)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ks.Save(f, keystorePassword(cfg)); err != nil {
+		return err
+	}
+	fmt.Printf("registered %s (user id %s); keystore written to %s\n", cfg.Alias, userID, cfg.Keystore)
+	return nil
+}
+
+func keystorePassword(cfg *accessregistry.ConnectionConfig) string {
+	if cfg.Password != "" {
+		return cfg.Password
+	}
+	return auth.DefaultKeystorePassword
+}

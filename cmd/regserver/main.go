@@ -1,0 +1,106 @@
+// Command regserver runs the load-balancing ebXML registry server: the
+// SOAP and HTTP-GET bindings of thesis Fig. 2.1 plus the NodeStatus
+// collection loop of §3.2. State can be snapshotted to disk on shutdown
+// and restored on start.
+//
+// Usage:
+//
+//	regserver -addr :8080 -policy filter -period 25s -snapshot registry.json
+//
+// Policies: stock (no balancing), filter (thesis), rank-first,
+// least-loaded.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		policy   = flag.String("policy", "filter", "balancing policy: stock|filter|rank-first|least-loaded")
+		period   = flag.Duration("period", 25*time.Second, "NodeStatus collection period")
+		snapshot = flag.String("snapshot", "", "snapshot file to load on start and save on shutdown")
+		fresh    = flag.Duration("freshness", 0, "NodeState staleness cutoff (0 = none)")
+		fallback = flag.Bool("fallback", false, "serve load-ordered URIs when no host satisfies constraints")
+	)
+	flag.Parse()
+
+	p, err := parsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg, err := registry.New(registry.Config{
+		Policy:           p,
+		CollectionPeriod: *period,
+		Freshness:        *fresh,
+		FallbackAll:      *fallback,
+	})
+	if err != nil {
+		log.Fatalf("regserver: %v", err)
+	}
+
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			if err := reg.Store.Load(f); err != nil {
+				log.Fatalf("regserver: load snapshot: %v", err)
+			}
+			f.Close()
+			log.Printf("restored %d objects from %s", reg.Store.Len(), *snapshot)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go reg.RunCollector(ctx)
+
+	srv := &http.Server{Addr: *addr, Handler: reg.Handler()}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("ebXML registry listening on %s (policy=%s, collection period=%s)", *addr, p, *period)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("regserver: %v", err)
+	}
+
+	if *snapshot != "" {
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			log.Fatalf("regserver: create snapshot: %v", err)
+		}
+		if err := reg.Store.Save(f); err != nil {
+			log.Fatalf("regserver: save snapshot: %v", err)
+		}
+		f.Close()
+		log.Printf("saved %d objects to %s", reg.Store.Len(), *snapshot)
+	}
+}
+
+func parsePolicy(s string) (core.Policy, error) {
+	switch s {
+	case "stock":
+		return core.PolicyStock, nil
+	case "filter":
+		return core.PolicyFilter, nil
+	case "rank-first":
+		return core.PolicyRankFirst, nil
+	case "least-loaded":
+		return core.PolicyLeastLoaded, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}

@@ -1,0 +1,80 @@
+// Constraint-language tour: every clause of the thesis's §3.2 grammar —
+// cpuLoad / memory / swapmemory with the gt(gr)/geq/ls(lt)/leq/eq symbols
+// of Table 3.5, KB/MB/GB units, military-time service windows (including
+// windows that wrap midnight), and the §5.2 netdelay extension.
+//
+// Run with: go run ./examples/constraints
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/constraint"
+)
+
+func main() {
+	// The exact block from thesis §3.2.
+	block := `<constraint>
+	  <cpuLoad>load ls 1.0 </cpuLoad>
+	  <memory>memory gr 3GB</memory>
+	  <swapmemory>swapmemory gr 5MB </swapmemory>
+	  <starttime>1000</starttime>
+	  <endtime>1200</endtime>
+	</constraint>`
+
+	c, rest, err := constraint.FromDescription("Adder web service. " + block)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed: %s\n", c.XML())
+	fmt.Printf("remaining description: %q\n\n", rest)
+
+	samples := []struct {
+		name string
+		s    constraint.Sample
+	}{
+		{"idle, plenty of memory", constraint.Sample{Load: 0.2, MemoryB: 8 << 30, SwapB: 1 << 30}},
+		{"busy (load 2.5)", constraint.Sample{Load: 2.5, MemoryB: 8 << 30, SwapB: 1 << 30}},
+		{"memory-starved (2GB)", constraint.Sample{Load: 0.2, MemoryB: 2 << 30, SwapB: 1 << 30}},
+		{"swap-starved (1MB)", constraint.Sample{Load: 0.2, MemoryB: 8 << 30, SwapB: 1 << 20}},
+	}
+	fmt.Println("resource clauses against host samples:")
+	for _, x := range samples {
+		fmt.Printf("  %-25s -> satisfied=%v\n", x.name, c.SatisfiedBy(x.s))
+	}
+
+	fmt.Println("\nservice window 1000-1200 against request times:")
+	for _, hm := range [][2]int{{9, 59}, {10, 0}, {11, 30}, {12, 0}, {12, 1}} {
+		at := time.Date(2011, 4, 22, hm[0], hm[1], 0, 0, time.UTC)
+		fmt.Printf("  %02d:%02d -> open=%v\n", hm[0], hm[1], c.TimeSatisfied(at))
+	}
+
+	// A night window wrapping midnight.
+	night, err := constraint.ParseXML(`<constraint><starttime>2200</starttime><endtime>0600</endtime></constraint>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nnight window 2200-0600:")
+	for _, h := range []int{21, 23, 3, 6, 7} {
+		at := time.Date(2011, 4, 22, h, 0, 0, 0, time.UTC)
+		fmt.Printf("  %02d:00 -> open=%v\n", h, night.TimeSatisfied(at))
+	}
+
+	// The §5.2 future-work extension: network delay as a constraint.
+	nd, err := constraint.ParseXML(`<constraint><netdelay>netdelay ls 25</netdelay></constraint>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nnetdelay ls 25 (ms):")
+	for _, ms := range []float64{5, 24, 25, 80} {
+		fmt.Printf("  host at %3.0fms -> eligible=%v\n", ms, nd.SatisfiedBy(constraint.Sample{NetDelayMs: ms}))
+	}
+
+	// Malformed blocks are rejected, and the registry then behaves as if
+	// the service had no constraints (thesis ServiceConstraint).
+	if _, _, err := constraint.FromDescription(`<constraint><cpuLoad>frobnicate</cpuLoad></constraint>`); err != nil {
+		fmt.Printf("\nmalformed constraint rejected as expected: %v\n", err)
+	}
+}

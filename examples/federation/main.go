@@ -1,0 +1,117 @@
+// Federation example: two registries — a campus registry reached in
+// process and a partner registry reached over real HTTP — joined into one
+// federation (thesis Table 1.1 "Federation Support", the ebXML counterpart
+// of UDDI's registry affiliation in Fig. 1.12).
+//
+// The example publishes services into each registry, runs a federated
+// find and a federated SQL query across both, then selectively replicates
+// the campus registry's public services to the partner — with origin
+// (Home) stamping and idempotency on re-run.
+//
+// Run with: go run ./examples/federation
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/jaxr"
+	"repro/internal/registry"
+	"repro/internal/rim"
+)
+
+func main() {
+	// Campus registry, localCall mode.
+	campusReg, err := registry.New(registry.Config{Policy: core.PolicyFilter})
+	if err != nil {
+		log.Fatal(err)
+	}
+	campus := login(jaxr.ConnectLocal(campusReg), "campus-admin")
+
+	// Partner registry, SOAP over a loopback socket.
+	partnerReg, err := registry.New(registry.Config{Policy: core.PolicyFilter})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, partnerReg.Handler())
+	partner := login(jaxr.Connect("http://"+ln.Addr().String(), nil), "partner-admin")
+	fmt.Println("partner registry at http://" + ln.Addr().String())
+
+	// Publish distinct content into each member.
+	publish(campus, "PublicAdder", "http://thermo.sdsu.edu:8080/Adder/addService")
+	publish(campus, "PublicMatrixSolve", "http://exergy.sdsu.edu:8080/Matrix/solve")
+	publish(campus, "InternalPayroll", "http://hr.sdsu.edu:8080/Payroll/run")
+	publish(partner, "PartnerRenderer", "http://render.partner.example:8080/Render/frame")
+
+	fed, err := federation.New(
+		federation.Member{Name: "campus", Conn: campus},
+		federation.Member{Name: "partner", Conn: partner},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Federated find across both members.
+	results, err := fed.Find("Service", "%")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfederated find (all services):")
+	for _, r := range results {
+		fmt.Printf("  %-20s @ %s\n", r.Object.Base().Name.String(), r.Member)
+	}
+
+	// Federated SQL query.
+	cols, rows, err := fed.Query("SELECT s.name FROM Service s WHERE s.name LIKE 'P%' ORDER BY s.name", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfederated query (%v):\n", cols)
+	for _, r := range rows {
+		fmt.Printf("  %-20s @ %s\n", r.Cells[0], r.Member)
+	}
+
+	// Selective replication: only the Public% services cross the boundary.
+	report, err := fed.Replicate("campus", "partner", "Service", "Public%")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreplicated %d services to partner (skipped %d)\n", len(report.Copied), len(report.Skipped))
+	for _, o := range partnerReg.QM.FindObjects(rim.TypeService, "Public%") {
+		fmt.Printf("  partner now holds %s (home=%s)\n", o.Base().Name.String(), o.Base().Home)
+	}
+	// Idempotency: a second run copies nothing.
+	report, _ = fed.Replicate("campus", "partner", "Service", "Public%")
+	fmt.Printf("second replication: copied %d, skipped %d\n", len(report.Copied), len(report.Skipped))
+	if partnerReg.QM.FindObjects(rim.TypeService, "InternalPayroll") != nil {
+		log.Fatal("internal service leaked!")
+	}
+	fmt.Println("InternalPayroll stayed private, as intended")
+}
+
+func login(c *jaxr.Connection, alias string) *jaxr.Connection {
+	creds, _, err := c.Register(alias, "pw", rim.PersonName{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Login(creds); err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func publish(c *jaxr.Connection, name, uri string) {
+	svc := rim.NewService(name, "")
+	svc.AddBinding(uri)
+	if _, err := c.Submit(svc); err != nil {
+		log.Fatal(err)
+	}
+}

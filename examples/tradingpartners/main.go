@@ -1,0 +1,173 @@
+// Trading-partners example: the end-to-end ebXML business scenario of
+// thesis Figure 1.13, all six steps:
+//
+//  1. Company A reviews the registry's core library (the seeded
+//     classification schemes),
+//  2. builds an ebXML-compatible implementation (its CPP),
+//  3. submits its business profile to the registry,
+//  4. Company B discovers Company A's profile through the registry,
+//  5. B proposes a business arrangement — a CPA composed from both CPPs,
+//  6. and the parties conduct eBusiness over the reliable ebXML Messaging
+//     Service, with a deliberately lossy network to show retransmission
+//     and duplicate elimination at work.
+//
+// Run with: go run ./examples/tradingpartners
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/bpss"
+	"repro/internal/core"
+	"repro/internal/cpa"
+	"repro/internal/ebms"
+	"repro/internal/registry"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+	"repro/internal/taxonomy"
+)
+
+func main() {
+	reg, err := registry.New(registry.Config{Policy: core.PolicyFilter})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := reg.AdminContext()
+
+	// Step 1: review the core library.
+	nodes, err := taxonomy.NodesOf(reg.Store, taxonomy.SchemeNAICS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 1: registry core library holds %d NAICS sectors (among other schemes)\n", len(nodes))
+
+	// Step 2: each company prepares its profile.
+	profileA := &cpa.CPP{
+		PartyID: "urn:duns:100000001", PartyName: "Company A",
+		Roles:      []cpa.Role{{ProcessName: "PurchaseOrder", Name: "Buyer"}},
+		Transports: []cpa.Transport{{Protocol: "HTTP", Endpoint: "http://a.example/msh"}},
+		Reliability: cpa.Reliability{
+			Retries: 4, RetryInterval: time.Second, DuplicateElimination: true,
+		},
+	}
+	profileB := &cpa.CPP{
+		PartyID: "urn:duns:200000002", PartyName: "Company B",
+		Roles:      []cpa.Role{{ProcessName: "PurchaseOrder", Name: "Seller"}},
+		Transports: []cpa.Transport{{Protocol: "HTTP", Endpoint: "http://b.example/msh"}},
+		Reliability: cpa.Reliability{
+			Retries: 6, RetryInterval: 2 * time.Second, DuplicateElimination: true,
+		},
+	}
+	fmt.Println("step 2: both companies drafted CPPs (Buyer and Seller for PurchaseOrder)")
+
+	// Step 3: Company A submits its profile.
+	docA, _ := profileA.MarshalXMLDoc()
+	eoA := rim.NewExtrinsicObject("cpp-CompanyA", "text/xml")
+	if err := reg.SubmitRepositoryItem(ctx, eoA, docA); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("step 3: Company A's profile published to the registry as", eoA.ID)
+
+	// Step 4: Company B discovers it.
+	hits := reg.QM.FindObjects(rim.TypeExtrinsicObject, "cpp-Company%")
+	if len(hits) != 1 {
+		log.Fatalf("discovery found %d profiles", len(hits))
+	}
+	_, discovered, err := reg.GetRepositoryItem(hits[0].Base().ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parsedA, err := cpa.ParseCPP(discovered)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 4: Company B discovered %s's profile through the registry\n", parsedA.PartyName)
+
+	// Step 5: compose the agreement.
+	agreement, err := cpa.Compose(parsedA, profileB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 5: CPA %s agreed — %s as %s, %s as %s, retries=%d interval=%s\n",
+		agreement.ID[:17]+"...", agreement.PartyA, agreement.RoleA,
+		agreement.PartyB, agreement.RoleB,
+		agreement.Reliability.Retries, agreement.Reliability.RetryInterval)
+
+	// Step 6: business messages flow over ebMS across a lossy network.
+	received := 0
+	seller := ebms.NewReceiver(func(m *ebms.Message) error {
+		received++
+		fmt.Printf("        seller processed %s (%s)\n", m.Action, m.Payload)
+		return nil
+	}, simclock.Real{})
+	srv := httptest.NewServer(seller.HTTPHandler())
+	defer srv.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	lossy := &lossyTransport{inner: ebms.HTTPTransport{Client: srv.Client()}, dropRate: 0.5, rng: rng}
+	buyer := ebms.NewReliableSender(lossy, simclock.Real{})
+	buyer.Retries = agreement.Reliability.Retries
+	buyer.RetryInterval = time.Millisecond // wall-clock demo: fast retries
+
+	for i := 1; i <= 3; i++ {
+		m := ebms.NewMessage(agreement.PartyA, agreement.PartyB,
+			"urn:services:"+agreement.ProcessName, "NewOrder",
+			fmt.Sprintf("PO-%04d", i), time.Now())
+		m.CPAID = agreement.ID
+		if _, err := buyer.Send(srv.URL, m); err != nil {
+			log.Fatal(err)
+		}
+	}
+	processed, duplicates := seller.Stats()
+	fmt.Printf("step 6: 3 orders sent over a 50%%-loss network — %d attempts, "+
+		"%d processed once each, %d duplicates eliminated\n",
+		buyer.Attempts(), processed, duplicates)
+	if received != 3 {
+		log.Fatalf("seller processed %d orders, want 3", received)
+	}
+
+	// Bonus (ebBPSS): the business service interface can enforce the
+	// agreed process shape on the conversation.
+	conv, err := bpss.NewConversation(bpss.PurchaseOrder())
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(conv.Observe(bpss.Step{FromRole: "Buyer", Action: "NewOrder"}))
+	must(conv.Observe(bpss.Step{FromRole: "Seller", Action: "NewOrder.Response"}))
+	if err := conv.Observe(bpss.Step{FromRole: "Buyer", Action: "ShipNotice"}); err != nil {
+		fmt.Println("ebBPSS monitor rejected an out-of-role step:", err)
+	}
+	must(conv.Observe(bpss.Step{FromRole: "Seller", Action: "ShipNotice"}))
+	fmt.Println("ebBPSS: PurchaseOrder collaboration completed conformantly:", conv.Done())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// lossyTransport randomly drops sends to exercise retransmission.
+type lossyTransport struct {
+	inner    ebms.Transport
+	dropRate float64
+	rng      *rand.Rand
+}
+
+// Send implements ebms.Transport with random loss. Losses can strike
+// after the receiver processed the message (a lost acknowledgment), which
+// is exactly what duplicate elimination exists for.
+func (l *lossyTransport) Send(endpoint string, m *ebms.Message) (*ebms.Acknowledgment, error) {
+	ack, err := l.inner.Send(endpoint, m)
+	if err != nil {
+		return nil, err
+	}
+	if l.rng.Float64() < l.dropRate {
+		return nil, fmt.Errorf("network ate the acknowledgment")
+	}
+	return ack, nil
+}

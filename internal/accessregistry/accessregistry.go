@@ -1,0 +1,288 @@
+// Package accessregistry reproduces the thesis's AccessRegistry API
+// (§3.4.4.2): an XML-driven client that publishes, modifies, and accesses
+// registry contents without exposing the JAXR layer. The caller supplies
+// two XML documents — connection.xml (alias/password, registry URL,
+// keystore path) and an action document governed by RegistryAccess.dtd —
+// and calls Execute, which returns the thesis's nested result lists
+// (Fig. 3.51): organization ids for published objects, organization ids
+// for modified objects, and access URIs for accessed Web Services.
+package accessregistry
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Action type attribute values (Table 3.4).
+const (
+	ActionPublish = "publish"
+	ActionAccess  = "access"
+	ActionModify  = "modify"
+)
+
+// Element-level type attribute values.
+const (
+	OpAdd    = "add"
+	OpEdit   = "edit"
+	OpDelete = "delete"
+)
+
+// ConnectionConfig is the parsed connection.xml.
+type ConnectionConfig struct {
+	Alias    string
+	Password string
+	URL      string
+	Keystore string
+}
+
+type xmlConnection struct {
+	XMLName  struct{} `xml:"connection"`
+	User     xmlUser  `xml:"user"`
+	URL      string   `xml:"url"`
+	Keystore string   `xml:"keystore"`
+}
+
+type xmlUser struct {
+	Alias    string `xml:"alias"`
+	Password string `xml:"password"`
+}
+
+// ParseConnection reads a connection.xml document.
+func ParseConnection(r io.Reader) (*ConnectionConfig, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("accessregistry: read connection: %w", err)
+	}
+	var x xmlConnection
+	if err := xml.Unmarshal(data, &x); err != nil {
+		return nil, fmt.Errorf("accessregistry: parse connection.xml: %w", err)
+	}
+	cfg := &ConnectionConfig{
+		Alias:    strings.TrimSpace(x.User.Alias),
+		Password: strings.TrimSpace(x.User.Password),
+		URL:      strings.TrimSpace(x.URL),
+		Keystore: strings.TrimSpace(x.Keystore),
+	}
+	if cfg.Alias == "" {
+		return nil, fmt.Errorf("accessregistry: connection.xml missing user alias")
+	}
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("accessregistry: connection.xml missing registry url")
+	}
+	return cfg, nil
+}
+
+// ParseConnectionFile reads connection.xml from a path.
+func ParseConnectionFile(path string) (*ConnectionConfig, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseConnection(f)
+}
+
+// Document is a parsed action document (the root element of
+// RegistryAccess.dtd).
+type Document struct {
+	Actions []Action
+}
+
+// Action is one <action> element.
+type Action struct {
+	Type          string
+	Organizations []Organization
+}
+
+// Organization is one <organization> element.
+type Organization struct {
+	Type        string // "" or "delete" (Table 3.6: delete is the only org-level op)
+	Name        string
+	Description *Description
+	Address     *PostalAddress
+	Telephone   *Telephone
+	Services    []Service
+}
+
+// Description carries the description text — which may embed a
+// <constraint> block — and its modification op.
+type Description struct {
+	Type string // "", add, edit, delete
+	Text string // raw inner XML, preserving constraint markup
+}
+
+// PostalAddress mirrors the <postaladdress> children.
+type PostalAddress struct {
+	StreetNumber string `xml:"streetnumber"`
+	Street       string `xml:"street"`
+	City         string `xml:"city"`
+	State        string `xml:"state"`
+	Country      string `xml:"country"`
+	PostalCode   string `xml:"postalcode"`
+	Type         string `xml:"type"`
+}
+
+// Telephone mirrors the <telephone> children.
+type Telephone struct {
+	CountryCode string `xml:"countrycode"`
+	AreaCode    string `xml:"areacode"`
+	Number      string `xml:"number"`
+	Type        string `xml:"type"`
+}
+
+// Service is one <service> element.
+type Service struct {
+	Type        string // "", add, edit, delete
+	Name        string
+	Description *Description
+	AccessURIs  []AccessURI
+}
+
+// AccessURI is one <accessuri> element; its text may list several
+// whitespace-separated URLs, as the thesis's examples do.
+type AccessURI struct {
+	Type string
+	URIs []string
+}
+
+// --- XML decoding layer ---------------------------------------------------
+
+type xmlRoot struct {
+	XMLName struct{}    `xml:"root"`
+	Actions []xmlAction `xml:"action"`
+}
+
+type xmlAction struct {
+	Type string   `xml:"type,attr"`
+	Orgs []xmlOrg `xml:"organization"`
+}
+
+type xmlOrg struct {
+	Type        string         `xml:"type,attr"`
+	Name        string         `xml:"name"`
+	Description *xmlDesc       `xml:"description"`
+	Address     *PostalAddress `xml:"postaladdress"`
+	Telephone   *Telephone     `xml:"telephone"`
+	Services    []xmlService   `xml:"service"`
+}
+
+type xmlDesc struct {
+	Type  string `xml:"type,attr"`
+	Inner string `xml:",innerxml"`
+}
+
+type xmlService struct {
+	Type        string   `xml:"type,attr"`
+	Name        string   `xml:"name"`
+	Description *xmlDesc `xml:"description"`
+	AccessURIs  []xmlURI `xml:"accessuri"`
+}
+
+type xmlURI struct {
+	Type string `xml:"type,attr"`
+	Text string `xml:",chardata"`
+}
+
+// ParseActions reads an action document (PublishToRegistry.xml,
+// ModifyRegistry.xml, AccessRegistry.xml, ...), enforcing the
+// RegistryAccess.dtd structural rules (Table 3.3): at least one action, at
+// least one organization per action, mandatory organization and service
+// names, and known type attributes.
+func ParseActions(r io.Reader) (*Document, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("accessregistry: read actions: %w", err)
+	}
+	var x xmlRoot
+	if err := xml.Unmarshal(data, &x); err != nil {
+		return nil, fmt.Errorf("accessregistry: parse action xml: %w", err)
+	}
+	if len(x.Actions) == 0 {
+		return nil, fmt.Errorf("accessregistry: document has no <action> elements")
+	}
+	doc := &Document{}
+	for ai, xa := range x.Actions {
+		a := Action{Type: strings.TrimSpace(xa.Type)}
+		if a.Type == "" {
+			a.Type = ActionAccess // DTD default
+		}
+		switch a.Type {
+		case ActionPublish, ActionAccess, ActionModify:
+		default:
+			return nil, fmt.Errorf("accessregistry: action %d has unknown type %q", ai, xa.Type)
+		}
+		if len(xa.Orgs) == 0 {
+			return nil, fmt.Errorf("accessregistry: action %d has no <organization>", ai)
+		}
+		for _, xo := range xa.Orgs {
+			org, err := convertOrg(xo)
+			if err != nil {
+				return nil, err
+			}
+			a.Organizations = append(a.Organizations, org)
+		}
+		doc.Actions = append(doc.Actions, a)
+	}
+	return doc, nil
+}
+
+// ParseActionsFile reads an action document from a path.
+func ParseActionsFile(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseActions(f)
+}
+
+func convertOrg(xo xmlOrg) (Organization, error) {
+	org := Organization{
+		Type:      strings.TrimSpace(xo.Type),
+		Name:      strings.TrimSpace(xo.Name),
+		Address:   xo.Address,
+		Telephone: xo.Telephone,
+	}
+	if org.Name == "" {
+		return org, fmt.Errorf("accessregistry: organization without <name>")
+	}
+	if org.Type != "" && org.Type != OpDelete {
+		return org, fmt.Errorf("accessregistry: organization %q: type %q not supported (only delete)", org.Name, org.Type)
+	}
+	if xo.Description != nil {
+		org.Description = convertDesc(xo.Description)
+	}
+	for _, xs := range xo.Services {
+		s := Service{Type: strings.TrimSpace(xs.Type), Name: strings.TrimSpace(xs.Name)}
+		if s.Name == "" {
+			return org, fmt.Errorf("accessregistry: service without <name> in organization %q", org.Name)
+		}
+		switch s.Type {
+		case "", OpAdd, OpEdit, OpDelete:
+		default:
+			return org, fmt.Errorf("accessregistry: service %q: unknown type %q", s.Name, xs.Type)
+		}
+		if xs.Description != nil {
+			s.Description = convertDesc(xs.Description)
+		}
+		for _, xu := range xs.AccessURIs {
+			u := AccessURI{Type: strings.TrimSpace(xu.Type), URIs: strings.Fields(xu.Text)}
+			switch u.Type {
+			case "", OpAdd, OpDelete:
+			default:
+				return org, fmt.Errorf("accessregistry: accessuri in %q: unknown type %q", s.Name, xu.Type)
+			}
+			s.AccessURIs = append(s.AccessURIs, u)
+		}
+		org.Services = append(org.Services, s)
+	}
+	return org, nil
+}
+
+func convertDesc(xd *xmlDesc) *Description {
+	d := &Description{Type: strings.TrimSpace(xd.Type), Text: strings.TrimSpace(xd.Inner)}
+	return d
+}

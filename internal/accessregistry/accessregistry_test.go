@@ -1,0 +1,486 @@
+package accessregistry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jaxr"
+	"repro/internal/registry"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+	"repro/internal/store"
+)
+
+var t0 = time.Date(2011, 4, 22, 11, 0, 0, 0, time.UTC)
+
+// harness builds a local registry plus a logged-in AccessRegistry ready to
+// run a given action document.
+func harness(t *testing.T, actionXML string) (*registry.Registry, *Registry) {
+	t.Helper()
+	reg, err := registry.New(registry.Config{Clock: simclock.NewManual(t0), Policy: core.PolicyFilter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, withRegistry(t, reg, actionXML)
+}
+
+func withRegistry(t *testing.T, reg *registry.Registry, actionXML string) *Registry {
+	t.Helper()
+	conn := jaxr.ConnectLocal(reg)
+	creds, _, err := conn.Register("gold-"+t.Name(), "gold123", rim.PersonName{FirstName: "G"})
+	if err != nil {
+		// Alias may already exist when a test builds several registries.
+		t.Fatal(err)
+	}
+	if err := conn.Login(creds); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewFromReaders(nil, strings.NewReader(actionXML), WithConnection(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// publishXML is the thesis's §4.1 action.xml, verbatim in structure.
+const publishXML = `<root>
+ <action type="publish">
+  <organization>
+   <name>San Diego State University (SDSU)</name>
+   <description>
+    San Diego State University (SDSU), founded in 1897 as San Diego Normal School.
+   </description>
+   <postaladdress>
+    <streetnumber>5500</streetnumber>
+    <street>Campanile Drive</street>
+    <city>San Diego</city>
+    <postalcode>92182</postalcode>
+    <state>CA</state>
+    <country>US</country>
+   </postaladdress>
+   <telephone>
+    <countrycode>1</countrycode>
+    <areacode>619</areacode>
+    <number>5945200</number>
+    <type>OfficePhone</type>
+   </telephone>
+   <service>
+    <name>NodeStatus</name>
+    <description>Service to monitor node status</description>
+    <accessuri>
+     http://thermo.sdsu.edu:8080/NodeStatus/NodeStatusService
+     http://exergy.sdsu.edu:8080/NodeStatus/NodeStatusService
+    </accessuri>
+   </service>
+  </organization>
+ </action>
+</root>`
+
+func TestParseConnectionXML(t *testing.T) {
+	// The thesis's ConnectVolta.xml shape.
+	doc := `<?xml version="1.0" encoding="UTF-8"?>
+<connection>
+ <user><alias>gold</alias><password>gold123</password></user>
+ <url>https://volta.sdsu.edu:8443/omar/registry/soap</url>
+ <keystore>/home/sadhana/omar/3.1/jaxr-ebxml/security/keystore.jks</keystore>
+</connection>`
+	cfg, err := ParseConnection(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Alias != "gold" || cfg.Password != "gold123" || !strings.Contains(cfg.URL, "volta") || !strings.HasSuffix(cfg.Keystore, "keystore.jks") {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	// Missing pieces are rejected.
+	if _, err := ParseConnection(strings.NewReader(`<connection><url>http://x/</url></connection>`)); err == nil {
+		t.Fatal("aliasless connection accepted")
+	}
+	if _, err := ParseConnection(strings.NewReader(`<connection><user><alias>a</alias></user></connection>`)); err == nil {
+		t.Fatal("urlless connection accepted")
+	}
+	if _, err := ParseConnection(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestParseActionsStructureRules(t *testing.T) {
+	bad := []string{
+		`<root/>`,                               // no actions
+		`<root><action type="publish"/></root>`, // no organization
+		`<root><action type="frobnicate"><organization><name>x</name></organization></action></root>`,                                                                  // bad action type
+		`<root><action type="publish"><organization></organization></action></root>`,                                                                                   // nameless org
+		`<root><action type="publish"><organization type="edit"><name>x</name></organization></action></root>`,                                                         // bad org type
+		`<root><action type="modify"><organization><name>x</name><service type="rename"><name>s</name></service></organization></action></root>`,                       // bad service type
+		`<root><action type="modify"><organization><name>x</name><service><name>s</name><accessuri type="edit">u</accessuri></service></organization></action></root>`, // bad uri type
+		`<root><action type="publish"><organization><name>x</name><service></service></organization></action></root>`,                                                  // nameless service
+	}
+	for _, doc := range bad {
+		if _, err := ParseActions(strings.NewReader(doc)); err == nil {
+			t.Errorf("ParseActions accepted %s", doc)
+		}
+	}
+	// Default action type is "access" per the DTD.
+	doc, err := ParseActions(strings.NewReader(`<root><action><organization><name>x</name></organization></action></root>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Actions[0].Type != ActionAccess {
+		t.Fatalf("default type = %q", doc.Actions[0].Type)
+	}
+}
+
+func TestAccessURISplitsWhitespace(t *testing.T) {
+	doc, err := ParseActions(strings.NewReader(publishXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uris := doc.Actions[0].Organizations[0].Services[0].AccessURIs[0].URIs
+	if len(uris) != 2 || !strings.Contains(uris[0], "thermo") || !strings.Contains(uris[1], "exergy") {
+		t.Fatalf("uris = %v", uris)
+	}
+}
+
+// TestExecute reproduces Table 3.9 testExecute (PublishTest.java): publish
+// an organization with a service and verify through search.
+func TestExecute(t *testing.T) {
+	reg, r := harness(t, publishXML)
+	res, err := r.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PublishedOrgIDs) != 1 || !rim.IsUUIDURN(res.PublishedOrgIDs[0]) {
+		t.Fatalf("published = %v", res.PublishedOrgIDs)
+	}
+	// Fig. 4.1: the search result shows both organization and service.
+	orgs := reg.QM.FindObjects(rim.TypeOrganization, "San Diego State%")
+	if len(orgs) != 1 {
+		t.Fatalf("orgs = %d", len(orgs))
+	}
+	org := orgs[0].(*rim.Organization)
+	if org.Telephones[0].Number != "5945200" || org.Addresses[0].PostalCode != "92182" {
+		t.Fatalf("org details = %+v", org)
+	}
+	svcs := reg.QM.OfferedServices(org.ID)
+	if len(svcs) != 1 || svcs[0].Name.String() != "NodeStatus" || len(svcs[0].Bindings) != 2 {
+		t.Fatalf("services = %+v", svcs)
+	}
+	// The outer result list shape of Fig. 3.51.
+	lists := res.Lists()
+	if len(lists) != 3 || len(lists[0]) != 1 || len(lists[1]) != 0 || len(lists[2]) != 0 {
+		t.Fatalf("lists = %v", lists)
+	}
+}
+
+// modifyHarness publishes the Table 3.7 fixture and returns the registry.
+func modifyHarness(t *testing.T) (*registry.Registry, *jaxr.Connection) {
+	t.Helper()
+	reg, r := harness(t, `<root>
+ <action type="publish">
+  <organization>
+   <name>DemoOrg_ModifyService</name>
+   <service><name>DemoSrv_AddDescription</name>
+    <accessuri>http://exergy.sdsu.edu:8080/Adder/addService</accessuri></service>
+   <service><name>DemoSrv_EditDescription2</name>
+    <description>old description</description>
+    <accessuri>http://exergy.sdsu.edu:8080/Adder/addService</accessuri></service>
+   <service><name>DemoSrv_AddAccessUri</name>
+    <accessuri>http://exergy.sdsu.edu:8080/Adder/addService</accessuri></service>
+   <service><name>DemoSrv_DeleteAccessUri</name>
+    <accessuri>
+      http://exergy.sdsu.edu:8080/Adder/addService
+      http://romulus.sdsu.edu:8080/Adder/addService
+    </accessuri></service>
+   <service><name>DemoSrv_DeleteService</name></service>
+  </organization>
+ </action>
+</root>`)
+	if _, err := r.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	return reg, r.conn
+}
+
+func runModify(t *testing.T, reg *registry.Registry, conn *jaxr.Connection, actionXML string) *Results {
+	t.Helper()
+	r, err := NewFromReaders(nil, strings.NewReader(actionXML), WithConnection(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestExecute_AddAccessURI reproduces Table 3.9 testExecute_AddAccessURI.
+func TestExecute_AddAccessURI(t *testing.T) {
+	reg, conn := modifyHarness(t)
+	res := runModify(t, reg, conn, `<root><action type="modify"><organization>
+	  <name>DemoOrg_ModifyService</name>
+	  <service><name>DemoSrv_AddAccessUri</name>
+	    <accessuri type="add">http://romulus.sdsu.edu:8080/Adder/addService</accessuri>
+	  </service></organization></action></root>`)
+	if !hasLog(res, "ServiceBinding is added") {
+		t.Fatalf("log = %v", res.Log)
+	}
+	svc, err := reg.QM.GetServiceByName("DemoSrv_AddAccessUri")
+	if err != nil || len(svc.Bindings) != 2 {
+		t.Fatalf("bindings = %d, %v", len(svc.Bindings), err)
+	}
+}
+
+// TestExecute_DeleteAccessURI reproduces Table 3.9 testExecute_DeleteAccessURI.
+func TestExecute_DeleteAccessURI(t *testing.T) {
+	reg, conn := modifyHarness(t)
+	res := runModify(t, reg, conn, `<root><action type="modify"><organization>
+	  <name>DemoOrg_ModifyService</name>
+	  <service><name>DemoSrv_DeleteAccessUri</name>
+	    <accessuri type="delete">http://exergy.sdsu.edu:8080/Adder/addService</accessuri>
+	  </service></organization></action></root>`)
+	if !hasLog(res, "ServiceBinding is deleted") {
+		t.Fatalf("log = %v", res.Log)
+	}
+	svc, _ := reg.QM.GetServiceByName("DemoSrv_DeleteAccessUri")
+	if len(svc.Bindings) != 1 || !strings.Contains(svc.Bindings[0].AccessURI, "romulus") {
+		t.Fatalf("bindings = %+v", svc.Bindings)
+	}
+}
+
+// TestExecute_DuplicateAccessURI reproduces Table 3.9
+// testExecute_DuplicateAccessURI: adding an existing URI is a no-op.
+func TestExecute_DuplicateAccessURI(t *testing.T) {
+	reg, conn := modifyHarness(t)
+	res := runModify(t, reg, conn, `<root><action type="modify"><organization>
+	  <name>DemoOrg_ModifyService</name>
+	  <service><name>DemoSrv_AddAccessUri</name>
+	    <accessuri type="add">http://exergy.sdsu.edu:8080/Adder/addService</accessuri>
+	  </service></organization></action></root>`)
+	if hasLog(res, "ServiceBinding is added") {
+		t.Fatalf("duplicate binding added: %v", res.Log)
+	}
+	svc, _ := reg.QM.GetServiceByName("DemoSrv_AddAccessUri")
+	if len(svc.Bindings) != 1 {
+		t.Fatalf("bindings = %d", len(svc.Bindings))
+	}
+}
+
+// TestExecute_AddService reproduces Table 3.9 testExecute_AddService.
+func TestExecute_AddService(t *testing.T) {
+	reg, conn := modifyHarness(t)
+	res := runModify(t, reg, conn, `<root><action type="modify"><organization>
+	  <name>DemoOrg_ModifyService</name>
+	  <service type="add"><name>Adder_AddNew</name>
+	    <accessuri>http://thermo.sdsu.edu:8080/Adder/addService</accessuri>
+	  </service></organization></action></root>`)
+	if !hasLog(res, "Service is Added") {
+		t.Fatalf("log = %v", res.Log)
+	}
+	org, _ := reg.QM.GetOrganizationByName("DemoOrg_ModifyService")
+	if len(reg.QM.OfferedServices(org.ID)) != 6 {
+		t.Fatalf("offered = %d", len(reg.QM.OfferedServices(org.ID)))
+	}
+}
+
+// TestExecute_AddServiceDescription reproduces Table 3.9
+// testExecute_AddServiceDescription, including a constraint block.
+func TestExecute_AddServiceDescription(t *testing.T) {
+	reg, conn := modifyHarness(t)
+	res := runModify(t, reg, conn, `<root><action type="modify"><organization>
+	  <name>DemoOrg_ModifyService</name>
+	  <service><name>DemoSrv_AddDescription</name>
+	    <description type="add"><constraint>
+	      <cpuLoad>load ls 1.0</cpuLoad>
+	      <memory>memory geq 5MB</memory>
+	      <swapmemory>swapmemory geq 1GB</swapmemory>
+	      <starttime>0700</starttime>
+	      <endtime>2200</endtime>
+	    </constraint></description>
+	  </service></organization></action></root>`)
+	if !hasLog(res, "ServiceDescription Added") {
+		t.Fatalf("log = %v", res.Log)
+	}
+	svc, _ := reg.QM.GetServiceByName("DemoSrv_AddDescription")
+	if !strings.Contains(svc.Description.String(), "load ls 1.0") {
+		t.Fatalf("description = %q", svc.Description.String())
+	}
+}
+
+// TestExecute_EditServiceDescription covers §4.3's edit flow (Fig. 4.3:
+// description replaced by "load ls 1.0" constraint).
+func TestExecute_EditServiceDescription(t *testing.T) {
+	reg, conn := modifyHarness(t)
+	runModify(t, reg, conn, `<root><action type="modify"><organization>
+	  <name>DemoOrg_ModifyService</name>
+	  <service type="edit"><name>DemoSrv_EditDescription2</name>
+	    <description type="edit"><constraint><cpuLoad>load ls 1.0</cpuLoad></constraint></description>
+	  </service></organization></action></root>`)
+	svc, _ := reg.QM.GetServiceByName("DemoSrv_EditDescription2")
+	d := svc.Description.String()
+	if strings.Contains(d, "old description") || !strings.Contains(d, "load ls 1.0") {
+		t.Fatalf("description = %q", d)
+	}
+}
+
+// TestExecute_DeleteService reproduces Table 3.9 testExecute_DeleteService.
+func TestExecute_DeleteService(t *testing.T) {
+	reg, conn := modifyHarness(t)
+	res := runModify(t, reg, conn, `<root><action type="modify"><organization>
+	  <name>DemoOrg_ModifyService</name>
+	  <service type="delete"><name>DemoSrv_DeleteService</name></service>
+	</organization></action></root>`)
+	if !hasLog(res, "Service is Deleted") {
+		t.Fatalf("log = %v", res.Log)
+	}
+	if _, err := reg.QM.GetServiceByName("DemoSrv_DeleteService"); err == nil {
+		t.Fatal("service survived")
+	}
+	// The organization survives (Fig. 4.4).
+	if _, err := reg.QM.GetOrganizationByName("DemoOrg_ModifyService"); err != nil {
+		t.Fatal("organization vanished")
+	}
+}
+
+// TestExecute_DeleteOrg reproduces Table 3.9 testExecute_DeleteOrg: the
+// organization and all its services disappear (Fig. 4.5).
+func TestExecute_DeleteOrg(t *testing.T) {
+	reg, conn := modifyHarness(t)
+	res := runModify(t, reg, conn, `<root><action type="modify">
+	  <organization type="delete"><name>DemoOrg_ModifyService</name></organization>
+	</action></root>`)
+	if !hasLog(res, "Organization is deleted") {
+		t.Fatalf("log = %v", res.Log)
+	}
+	if _, err := reg.QM.GetOrganizationByName("DemoOrg_ModifyService"); err == nil {
+		t.Fatal("organization survived")
+	}
+	if _, err := reg.QM.GetServiceByName("DemoSrv_AddDescription"); err == nil {
+		t.Fatal("offered service survived the cascade")
+	}
+}
+
+// TestExecute_Access reproduces Table 3.9 AccessTest.testExecute: fetch
+// the access URIs of a service through the API.
+func TestExecute_Access(t *testing.T) {
+	reg, conn := modifyHarness(t)
+	res := runModify(t, reg, conn, `<root><action type="access"><organization>
+	  <name>DemoOrg_ModifyService</name>
+	  <service><name>DemoSrv_DeleteAccessUri</name></service>
+	</organization></action></root>`)
+	if len(res.AccessURIs) != 2 {
+		t.Fatalf("uris = %v", res.AccessURIs)
+	}
+	_ = reg
+}
+
+// TestAccessAppliesLoadBalancing: the URIs returned by an access action
+// are the balancer-arranged ones (the end-to-end path of Fig. 3.3).
+func TestAccessAppliesLoadBalancing(t *testing.T) {
+	reg, conn := modifyHarness(t)
+	// Constrain DemoSrv_DeleteAccessUri and give the two hosts opposite
+	// load states.
+	runModify(t, reg, conn, `<root><action type="modify"><organization>
+	  <name>DemoOrg_ModifyService</name>
+	  <service><name>DemoSrv_DeleteAccessUri</name>
+	    <description type="edit"><constraint><cpuLoad>load ls 1.0</cpuLoad></constraint></description>
+	  </service></organization></action></root>`)
+	reg.Store.NodeState().Upsert(store.NodeState{Host: "exergy.sdsu.edu", Load: 4.0, MemoryB: 1 << 30, SwapB: 1 << 30, Updated: t0})
+	reg.Store.NodeState().Upsert(store.NodeState{Host: "romulus.sdsu.edu", Load: 0.1, MemoryB: 1 << 30, SwapB: 1 << 30, Updated: t0})
+
+	res := runModify(t, reg, conn, `<root><action type="access"><organization>
+	  <name>DemoOrg_ModifyService</name>
+	  <service><name>DemoSrv_DeleteAccessUri</name></service>
+	</organization></action></root>`)
+	if len(res.AccessURIs) != 1 || !strings.Contains(res.AccessURIs[0], "romulus") {
+		t.Fatalf("balanced uris = %v", res.AccessURIs)
+	}
+}
+
+func TestAccessRequiresParentOrganization(t *testing.T) {
+	reg, conn := modifyHarness(t)
+	// Service exists but belongs to a different organization.
+	other, err := NewFromReaders(nil, strings.NewReader(`<root>
+	  <action type="publish"><organization><name>OtherOrg</name></organization></action>
+	  <action type="access"><organization><name>OtherOrg</name>
+	    <service><name>DemoSrv_AddAccessUri</name></service>
+	  </organization></action></root>`), WithConnection(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Execute(); err == nil || !strings.Contains(err.Error(), "does not belong") {
+		t.Fatalf("cross-org access: %v", err)
+	}
+	// Access without any service element is an error.
+	r3, _ := NewFromReaders(nil, strings.NewReader(`<root><action type="access">
+	  <organization><name>DemoOrg_ModifyService</name></organization></action></root>`), WithConnection(conn))
+	if _, err := r3.Execute(); err == nil {
+		t.Fatal("serviceless access accepted")
+	}
+	_ = reg
+}
+
+func TestModifyUnpublishedOrganizationFails(t *testing.T) {
+	_, r := harness(t, `<root><action type="modify">
+	  <organization><name>NeverPublished</name>
+	    <description type="add">text</description>
+	  </organization></action></root>`)
+	if _, err := r.Execute(); err == nil || !strings.Contains(err.Error(), "must be published first") {
+		t.Fatalf("modify unpublished: %v", err)
+	}
+}
+
+func TestModifyUnpublishedServiceFails(t *testing.T) {
+	reg, conn := modifyHarness(t)
+	r, _ := NewFromReaders(nil, strings.NewReader(`<root><action type="modify"><organization>
+	  <name>DemoOrg_ModifyService</name>
+	  <service><name>GhostService</name>
+	    <accessuri type="add">http://x.example/</accessuri>
+	  </service></organization></action></root>`), WithConnection(conn))
+	if _, err := r.Execute(); err == nil || !strings.Contains(err.Error(), "not published") {
+		t.Fatalf("modify ghost service: %v", err)
+	}
+	_ = reg
+}
+
+// TestMixedActionsSingleDocument reproduces §3.4.5: publish, modify and
+// access combined in one document, with results sorted into the three
+// lists.
+func TestMixedActionsSingleDocument(t *testing.T) {
+	_, r := harness(t, `<root>
+	  <action type="publish"><organization><name>MixedOrg</name>
+	    <service><name>MixedSvc</name>
+	      <accessuri>http://thermo.sdsu.edu:8080/Mixed/svc</accessuri></service>
+	  </organization></action>
+	  <action type="modify"><organization><name>MixedOrg</name>
+	    <description type="add">added later</description>
+	  </organization></action>
+	  <action type="access"><organization><name>MixedOrg</name>
+	    <service><name>MixedSvc</name></service>
+	  </organization></action>
+	</root>`)
+	res, err := r.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists := res.Lists()
+	if len(lists[0]) != 1 || len(lists[1]) != 1 || len(lists[2]) != 1 {
+		t.Fatalf("lists = %v", lists)
+	}
+	if lists[0][0] != lists[1][0] {
+		t.Fatal("published and modified ids should refer to the same organization")
+	}
+	if !strings.Contains(lists[2][0], "thermo") {
+		t.Fatalf("access uri = %q", lists[2][0])
+	}
+}
+
+func hasLog(res *Results, substr string) bool {
+	for _, l := range res.Log {
+		if strings.Contains(l, substr) {
+			return true
+		}
+	}
+	return false
+}

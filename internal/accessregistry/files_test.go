@@ -1,0 +1,123 @@
+package accessregistry
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/auth"
+	"repro/internal/core"
+	"repro/internal/jaxr"
+	"repro/internal/registry"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+)
+
+// TestNewFromFilesEndToEnd exercises the thesis's actual invocation shape:
+// a connection.xml pointing at a live registry URL and a keystore file on
+// disk, plus an action.xml — the "java SampleProject action.xml
+// connection.xml" flow of §3.4.5, over real HTTP.
+func TestNewFromFilesEndToEnd(t *testing.T) {
+	reg, err := registry.New(registry.Config{Clock: simclock.NewManual(t0), Policy: core.PolicyFilter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	// Registration wizard: obtain credentials from the live registry and
+	// import them into a keystore file (§3.4.2–3.4.3).
+	wizard := jaxr.Connect(srv.URL, srv.Client())
+	creds, _, err := wizard.Register("gold", "gold123", rim.PersonName{FirstName: "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ksPath := filepath.Join(dir, "keystore.jks")
+	ks := auth.NewKeystore()
+	ks.Import(creds)
+	f, err := os.Create(ksPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ks.Save(f, "gold123"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	connPath := filepath.Join(dir, "connection.xml")
+	connXML := fmt.Sprintf(`<?xml version="1.0" encoding="UTF-8"?>
+<connection>
+ <user><alias>gold</alias><password>gold123</password></user>
+ <url>%s</url>
+ <keystore>%s</keystore>
+</connection>`, srv.URL, ksPath)
+	if err := os.WriteFile(connPath, []byte(connXML), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	actionPath := filepath.Join(dir, "PublishToRegistry.xml")
+	if err := os.WriteFile(actionPath, []byte(publishXML), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewFromFiles(connPath, actionPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PublishedOrgIDs) != 1 {
+		t.Fatalf("published = %v", res.PublishedOrgIDs)
+	}
+	// The organization really landed in the remote registry.
+	if _, err := reg.QM.GetOrganizationByName("San Diego State University (SDSU)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewFromFilesErrors(t *testing.T) {
+	dir := t.TempDir()
+	conn := filepath.Join(dir, "connection.xml")
+	action := filepath.Join(dir, "action.xml")
+	os.WriteFile(action, []byte(publishXML), 0o600)
+
+	// Missing connection file.
+	if _, err := NewFromFiles(conn, action); err == nil {
+		t.Fatal("missing connection accepted")
+	}
+	// Connection without keystore cannot dial.
+	os.WriteFile(conn, []byte(`<connection><user><alias>a</alias></user><url>http://127.0.0.1:1</url></connection>`), 0o600)
+	if _, err := NewFromFiles(conn, action); err == nil {
+		t.Fatal("keystore-less dial accepted")
+	}
+	// Keystore path that does not exist.
+	os.WriteFile(conn, []byte(`<connection><user><alias>a</alias></user><url>http://127.0.0.1:1</url><keystore>/nope/ks</keystore></connection>`), 0o600)
+	if _, err := NewFromFiles(conn, action); err == nil {
+		t.Fatal("ghost keystore accepted")
+	}
+	// Keystore exists but password (from connection.xml) is wrong.
+	ksPath := filepath.Join(dir, "ks")
+	ks := auth.NewKeystore()
+	c, _ := auth.GenerateCredentials("a", t0)
+	ks.Import(c)
+	f, _ := os.Create(ksPath)
+	ks.Save(f, "correct")
+	f.Close()
+	os.WriteFile(conn, []byte(fmt.Sprintf(
+		`<connection><user><alias>a</alias><password>wrong</password></user><url>http://127.0.0.1:1</url><keystore>%s</keystore></connection>`, ksPath)), 0o600)
+	if _, err := NewFromFiles(conn, action); err == nil {
+		t.Fatal("wrong keystore password accepted")
+	}
+	// Missing action file.
+	os.Remove(action)
+	goodConn := filepath.Join(dir, "good.xml")
+	os.WriteFile(goodConn, []byte(`<connection><user><alias>a</alias></user><url>http://x/</url></connection>`), 0o600)
+	if _, err := NewFromFiles(goodConn, action); err == nil {
+		t.Fatal("missing action file accepted")
+	}
+}

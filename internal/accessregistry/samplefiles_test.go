@@ -1,0 +1,116 @@
+package accessregistry
+
+// TestSampleFilesWalkthrough replays the thesis's full §3.4.5 session from
+// the shipped SampleFiles: publish Table 3.7's organizations and services
+// from PublishToRegistry.xml, apply every Table 3.8 modification from
+// ModifyRegistry.xml, and fetch URIs with AccessRegistry.xml — asserting
+// the exact program output the thesis prints ("Service is Deleted",
+// "Organization is deleted", the final URI list).
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample(name string) string {
+	return filepath.Join("testdata", "SampleFiles", name)
+}
+
+func TestSampleConnectionFilesParse(t *testing.T) {
+	for _, f := range []string{"ConnectLocal.xml", "ConnectVolta.xml"} {
+		cfg, err := ParseConnectionFile(sample(f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if cfg.Alias != "gold" || cfg.Password != "gold123" || cfg.URL == "" || cfg.Keystore == "" {
+			t.Fatalf("%s: cfg = %+v", f, cfg)
+		}
+	}
+}
+
+func TestSampleFilesWalkthrough(t *testing.T) {
+	reg, boot := harness(t, `<root><action type="publish"><organization><name>Bootstrap</name></organization></action></root>`)
+	conn := boot
+	run := func(t *testing.T, file string) *Results {
+		t.Helper()
+		doc, err := ParseActionsFile(sample(file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := New(nil, doc, WithConnection(conn.conn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// 1. Publish (Table 3.7): three organization ids come back, like the
+	// thesis's three "Organization id :- urn:uuid:..." lines.
+	pub := run(t, "PublishToRegistry.xml")
+	if len(pub.PublishedOrgIDs) != 3 {
+		t.Fatalf("published = %v", pub.PublishedOrgIDs)
+	}
+
+	// 2. Modify (Table 3.8).
+	mod := run(t, "ModifyRegistry.xml")
+	for _, wantLog := range []string{
+		"Organization is deleted", // DemoOrg_DeleteOrganization
+		"Organization Modified",   // DemoOrg_AddDescription
+		"ServiceDescription Added",
+		"ServiceBinding is added",
+		"ServiceBinding is deleted",
+		"Service is Deleted",
+	} {
+		if !hasLog(mod, wantLog) {
+			t.Errorf("missing log line %q in %v", wantLog, mod.Log)
+		}
+	}
+	// Expected results column of Table 3.8:
+	if _, err := reg.QM.GetOrganizationByName("DemoOrg_DeleteOrganization"); err == nil {
+		t.Error("row 1: organization survived")
+	}
+	if _, err := reg.QM.GetServiceByName("DemoService_Delete"); err == nil {
+		t.Error("row 1: offered service survived the cascade")
+	}
+	org, err := reg.QM.GetOrganizationByName("DemoOrg_AddDescription")
+	if err != nil || org.Description.String() == "" {
+		t.Errorf("row 2: description missing: %v", err)
+	}
+	addDesc, _ := reg.QM.GetServiceByName("DemoSrv_AddDescription")
+	if addDesc == nil || !strings.Contains(addDesc.Description.String(), "load gt 0.01") {
+		t.Error("row 3: service description missing")
+	}
+	editDesc, _ := reg.QM.GetServiceByName("DemoSrv_EditDescription2")
+	if editDesc == nil || strings.Contains(editDesc.Description.String(), "original") ||
+		!strings.Contains(editDesc.Description.String(), "load ls 1.0") {
+		t.Error("row 4: description not replaced")
+	}
+	addURI, _ := reg.QM.GetServiceByName("DemoSrv_AddAccessUri")
+	if addURI == nil || len(addURI.Bindings) != 2 {
+		t.Error("row 5: access uri not added")
+	}
+	delURI, _ := reg.QM.GetServiceByName("DemoSrv_DeleteAccessUri")
+	if delURI == nil || len(delURI.Bindings) != 1 || !strings.Contains(delURI.Bindings[0].AccessURI, "romulus") {
+		t.Error("row 6: access uri not deleted")
+	}
+	if _, err := reg.QM.GetServiceByName("DemoSrv_DeleteService"); err == nil {
+		t.Error("row 7: service survived")
+	}
+
+	// 3. Access: the §3.4.5 output — romulus for AddAccessUri (added)
+	// plus exergy for it, and romulus for DeleteAccessUri (exergy was
+	// deleted from it).
+	acc := run(t, "AccessRegistry.xml")
+	if len(acc.AccessURIs) != 3 {
+		t.Fatalf("uris = %v", acc.AccessURIs)
+	}
+	joined := strings.Join(acc.AccessURIs, " ")
+	if !strings.Contains(joined, "romulus") || !strings.Contains(joined, "exergy") {
+		t.Fatalf("uris = %v", acc.AccessURIs)
+	}
+}

@@ -1,0 +1,80 @@
+// Package audit maintains the registry's audit trail: every
+// LifeCycleManager action appends AuditableEvent objects recording who did
+// what to which objects and when (thesis Fig. 1.18; Table 1.1 "Audit
+// trail: Yes"). Events are themselves registry objects, stored in the same
+// store and queryable through the same catalogs.
+package audit
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/rim"
+	"repro/internal/simclock"
+	"repro/internal/store"
+)
+
+// Trail records events into a store.
+type Trail struct {
+	store *store.Store
+	clock simclock.Clock
+}
+
+// New creates a trail writing to s, timestamped by clock (nil = real).
+func New(s *store.Store, clock simclock.Clock) *Trail {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Trail{store: s, clock: clock}
+}
+
+// Record appends one event covering the affected object ids and returns
+// it. Recording is best-effort: a store failure panics because an
+// unauditable registry violates the spec's mandatory-audit requirement.
+func (t *Trail) Record(kind rim.EventType, userID string, affected ...string) *rim.AuditableEvent {
+	e := rim.NewAuditableEvent(kind, userID, t.clock.Now(), affected...)
+	if err := t.store.Put(e); err != nil {
+		panic("audit: cannot record event: " + err.Error())
+	}
+	return e
+}
+
+// EventsFor returns the events whose AffectedIDs include objectID, oldest
+// first.
+func (t *Trail) EventsFor(objectID string) []*rim.AuditableEvent {
+	return t.filter(func(e *rim.AuditableEvent) bool {
+		for _, id := range e.AffectedIDs {
+			if id == objectID {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// EventsBy returns the events performed by the given user, oldest first.
+func (t *Trail) EventsBy(userID string) []*rim.AuditableEvent {
+	return t.filter(func(e *rim.AuditableEvent) bool { return e.UserID == userID })
+}
+
+// EventsSince returns events at or after the cutoff, oldest first — the
+// feed the subscription bus consumes.
+func (t *Trail) EventsSince(cutoff time.Time) []*rim.AuditableEvent {
+	return t.filter(func(e *rim.AuditableEvent) bool { return !e.Timestamp.Before(cutoff) })
+}
+
+func (t *Trail) filter(keep func(*rim.AuditableEvent) bool) []*rim.AuditableEvent {
+	var out []*rim.AuditableEvent
+	for _, o := range t.store.ByType(rim.TypeAuditableEvent) {
+		if e, ok := o.(*rim.AuditableEvent); ok && keep(e) {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Timestamp.Equal(out[j].Timestamp) {
+			return out[i].Timestamp.Before(out[j].Timestamp)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

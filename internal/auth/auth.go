@@ -1,0 +1,306 @@
+// Package auth implements the registry's authentication substrate: the user
+// registration wizard of thesis §3.4.2 (alias + password producing a
+// self-signed X.509 certificate and private key), the client keystore of
+// §3.4.3, and the certificate-based session authentication the registry
+// performs before any LifeCycleManager request ("unauthenticated clients
+// cannot access the LifeCycleManager interface", §2.2.3).
+//
+// Credentials are real ECDSA P-256 keys and self-signed X.509 certificates
+// from the standard library. Authentication is challenge/response: the
+// registry issues a nonce, the client signs it with its private key, and
+// the registry verifies the signature against the certificate recorded at
+// registration — the same trust shape as the thesis's SSL client-cert
+// login, without needing TLS termination inside the tests.
+package auth
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"repro/internal/rim"
+	"repro/internal/simclock"
+)
+
+// Errors returned by the registrar.
+var (
+	ErrDuplicateAlias = errors.New("auth: alias already registered")
+	ErrUnknownAlias   = errors.New("auth: unknown alias")
+	ErrBadCredentials = errors.New("auth: credentials rejected")
+	ErrBadSession     = errors.New("auth: invalid or expired session")
+)
+
+// Credentials bundle a user's certificate and private key — the contents
+// of the .p12 file the registration wizard produces (Fig. 3.14).
+type Credentials struct {
+	Alias   string
+	CertPEM []byte
+	KeyPEM  []byte
+}
+
+// Certificate parses the credential's certificate.
+func (c *Credentials) Certificate() (*x509.Certificate, error) {
+	block, _ := pem.Decode(c.CertPEM)
+	if block == nil {
+		return nil, fmt.Errorf("auth: no PEM certificate block")
+	}
+	return x509.ParseCertificate(block.Bytes)
+}
+
+// PrivateKey parses the credential's private key.
+func (c *Credentials) PrivateKey() (*ecdsa.PrivateKey, error) {
+	block, _ := pem.Decode(c.KeyPEM)
+	if block == nil {
+		return nil, fmt.Errorf("auth: no PEM key block")
+	}
+	return x509.ParseECPrivateKey(block.Bytes)
+}
+
+// Fingerprint returns the SHA-256 fingerprint of the certificate DER.
+func (c *Credentials) Fingerprint() (string, error) {
+	block, _ := pem.Decode(c.CertPEM)
+	if block == nil {
+		return "", fmt.Errorf("auth: no PEM certificate block")
+	}
+	sum := sha256.Sum256(block.Bytes)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// GenerateCredentials creates a fresh ECDSA key pair and self-signed
+// certificate for alias, valid from now for ten years (the wizard's
+// "registry can generate one for the user" path, Fig. 3.11).
+func GenerateCredentials(alias string, now time.Time) (*Credentials, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("auth: generate key: %w", err)
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return nil, fmt.Errorf("auth: serial: %w", err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: alias, Organization: []string{"ebXML Registry Users"}},
+		NotBefore:             now.Add(-time.Hour),
+		NotAfter:              now.AddDate(10, 0, 0),
+		KeyUsage:              x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("auth: create certificate: %w", err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, fmt.Errorf("auth: marshal key: %w", err)
+	}
+	return &Credentials{
+		Alias:   alias,
+		CertPEM: pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der}),
+		KeyPEM:  pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER}),
+	}, nil
+}
+
+// SignChallenge signs a registry nonce with the credential's private key,
+// producing the proof the client presents at login.
+func (c *Credentials) SignChallenge(nonce []byte) ([]byte, error) {
+	key, err := c.PrivateKey()
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(nonce)
+	return ecdsa.SignASN1(rand.Reader, key, sum[:])
+}
+
+// registeredUser is the registrar's record for one alias.
+type registeredUser struct {
+	userID      string
+	fingerprint string
+	cert        *x509.Certificate
+	passwordH   [32]byte
+}
+
+// session is a live authenticated session.
+type session struct {
+	userID  string
+	alias   string
+	expires time.Time
+}
+
+// Registrar manages user registration, challenge issuance, and sessions.
+type Registrar struct {
+	clock      simclock.Clock
+	sessionTTL time.Duration
+
+	mu       sync.Mutex
+	users    map[string]*registeredUser // by alias
+	nonces   map[string][]byte          // outstanding challenges by alias
+	sessions map[string]*session        // by token
+}
+
+// NewRegistrar creates a registrar with the given clock (nil = real) and a
+// 30-minute session TTL.
+func NewRegistrar(clock simclock.Clock) *Registrar {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Registrar{
+		clock:      clock,
+		sessionTTL: 30 * time.Minute,
+		users:      make(map[string]*registeredUser),
+		nonces:     make(map[string][]byte),
+		sessions:   make(map[string]*session),
+	}
+}
+
+// Register runs the wizard: it creates credentials for alias/password and
+// a rim.User object the caller should persist. The password is stored only
+// as a salted hash, used for keystore re-issue.
+func (r *Registrar) Register(alias, password string, name rim.PersonName) (*Credentials, *rim.User, error) {
+	if alias == "" {
+		return nil, nil, fmt.Errorf("auth: empty alias")
+	}
+	creds, err := GenerateCredentials(alias, r.clock.Now())
+	if err != nil {
+		return nil, nil, err
+	}
+	cert, err := creds.Certificate()
+	if err != nil {
+		return nil, nil, err
+	}
+	fp, err := creds.Fingerprint()
+	if err != nil {
+		return nil, nil, err
+	}
+	user := rim.NewUser(alias, name)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.users[alias]; dup {
+		return nil, nil, fmt.Errorf("%w: %s", ErrDuplicateAlias, alias)
+	}
+	r.users[alias] = &registeredUser{
+		userID:      user.ID,
+		fingerprint: fp,
+		cert:        cert,
+		passwordH:   hashPassword(alias, password),
+	}
+	return creds, user, nil
+}
+
+func hashPassword(alias, password string) [32]byte {
+	return sha256.Sum256([]byte("ebxmlrr:" + alias + ":" + password))
+}
+
+// CheckPassword verifies the password chosen at registration.
+func (r *Registrar) CheckPassword(alias, password string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u, ok := r.users[alias]
+	return ok && u.passwordH == hashPassword(alias, password)
+}
+
+// Challenge issues a login nonce for alias.
+func (r *Registrar) Challenge(alias string) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.users[alias]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownAlias, alias)
+	}
+	nonce := make([]byte, 32)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("auth: nonce: %w", err)
+	}
+	r.nonces[alias] = nonce
+	return nonce, nil
+}
+
+// Login verifies the signature over the previously issued nonce and, on
+// success, opens a session and returns its token plus the user id.
+func (r *Registrar) Login(alias string, signature []byte) (token, userID string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u, ok := r.users[alias]
+	if !ok {
+		return "", "", fmt.Errorf("%w: %s", ErrUnknownAlias, alias)
+	}
+	nonce, ok := r.nonces[alias]
+	if !ok {
+		return "", "", fmt.Errorf("%w: no outstanding challenge", ErrBadCredentials)
+	}
+	delete(r.nonces, alias) // single use
+	pub, ok := u.cert.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return "", "", fmt.Errorf("%w: unsupported key type", ErrBadCredentials)
+	}
+	sum := sha256.Sum256(nonce)
+	if !ecdsa.VerifyASN1(pub, sum[:], signature) {
+		return "", "", fmt.Errorf("%w: signature verification failed", ErrBadCredentials)
+	}
+	tok := make([]byte, 24)
+	if _, err := rand.Read(tok); err != nil {
+		return "", "", fmt.Errorf("auth: token: %w", err)
+	}
+	token = base64.RawURLEncoding.EncodeToString(tok)
+	r.sessions[token] = &session{
+		userID:  u.userID,
+		alias:   alias,
+		expires: r.clock.Now().Add(r.sessionTTL),
+	}
+	return token, u.userID, nil
+}
+
+// Validate resolves a session token to the user id, enforcing expiry.
+func (r *Registrar) Validate(token string) (userID string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[token]
+	if !ok {
+		return "", ErrBadSession
+	}
+	if r.clock.Now().After(s.expires) {
+		delete(r.sessions, token)
+		return "", fmt.Errorf("%w: expired", ErrBadSession)
+	}
+	return s.userID, nil
+}
+
+// Logout discards a session.
+func (r *Registrar) Logout(token string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.sessions, token)
+}
+
+// UserID returns the registered user id for alias.
+func (r *Registrar) UserID(alias string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u, ok := r.users[alias]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownAlias, alias)
+	}
+	return u.userID, nil
+}
+
+// Aliases returns the registered aliases (sorted order is not guaranteed).
+func (r *Registrar) Aliases() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.users))
+	for a := range r.users {
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package auth
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/rim"
+	"repro/internal/simclock"
+)
+
+var t0 = time.Date(2011, 4, 22, 10, 0, 0, 0, time.UTC)
+
+func TestGenerateCredentials(t *testing.T) {
+	c, err := GenerateCredentials("gold", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := c.Certificate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Subject.CommonName != "gold" {
+		t.Fatalf("CN = %q", cert.Subject.CommonName)
+	}
+	if _, err := c.PrivateKey(); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := c.Fingerprint()
+	if err != nil || len(fp) != 64 {
+		t.Fatalf("fingerprint = %q, %v", fp, err)
+	}
+}
+
+func TestRegisterAndChallengeLogin(t *testing.T) {
+	clk := simclock.NewManual(t0)
+	r := NewRegistrar(clk)
+	creds, user, err := r.Register("gold", "gold123", rim.PersonName{FirstName: "G"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if user.Alias != "gold" || !rim.IsUUIDURN(user.ID) {
+		t.Fatalf("user = %+v", user)
+	}
+	if !r.CheckPassword("gold", "gold123") || r.CheckPassword("gold", "wrong") {
+		t.Fatal("password check broken")
+	}
+
+	nonce, err := r.Challenge("gold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := creds.SignChallenge(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	token, uid, err := r.Login("gold", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uid != user.ID {
+		t.Fatalf("login uid = %s", uid)
+	}
+	got, err := r.Validate(token)
+	if err != nil || got != user.ID {
+		t.Fatalf("validate: %q, %v", got, err)
+	}
+	r.Logout(token)
+	if _, err := r.Validate(token); !errors.Is(err, ErrBadSession) {
+		t.Fatalf("after logout: %v", err)
+	}
+}
+
+func TestLoginRejectsForgedSignature(t *testing.T) {
+	r := NewRegistrar(simclock.NewManual(t0))
+	_, _, err := r.Register("gold", "pw", rim.PersonName{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different key signs the challenge.
+	evil, _ := GenerateCredentials("gold", t0)
+	nonce, _ := r.Challenge("gold")
+	sig, _ := evil.SignChallenge(nonce)
+	if _, _, err := r.Login("gold", sig); !errors.Is(err, ErrBadCredentials) {
+		t.Fatalf("forged login: %v", err)
+	}
+}
+
+func TestChallengeSingleUse(t *testing.T) {
+	r := NewRegistrar(simclock.NewManual(t0))
+	creds, _, _ := r.Register("gold", "pw", rim.PersonName{})
+	nonce, _ := r.Challenge("gold")
+	sig, _ := creds.SignChallenge(nonce)
+	if _, _, err := r.Login("gold", sig); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the same signature must fail: the nonce is consumed.
+	if _, _, err := r.Login("gold", sig); !errors.Is(err, ErrBadCredentials) {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+func TestSessionExpiry(t *testing.T) {
+	clk := simclock.NewManual(t0)
+	r := NewRegistrar(clk)
+	creds, _, _ := r.Register("gold", "pw", rim.PersonName{})
+	nonce, _ := r.Challenge("gold")
+	sig, _ := creds.SignChallenge(nonce)
+	token, _, err := r.Login("gold", sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(31 * time.Minute)
+	if _, err := r.Validate(token); !errors.Is(err, ErrBadSession) {
+		t.Fatalf("expired session: %v", err)
+	}
+}
+
+func TestDuplicateAliasAndUnknowns(t *testing.T) {
+	r := NewRegistrar(simclock.NewManual(t0))
+	if _, _, err := r.Register("", "pw", rim.PersonName{}); err == nil {
+		t.Fatal("empty alias accepted")
+	}
+	if _, _, err := r.Register("gold", "pw", rim.PersonName{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Register("gold", "pw2", rim.PersonName{}); !errors.Is(err, ErrDuplicateAlias) {
+		t.Fatalf("dup: %v", err)
+	}
+	if _, err := r.Challenge("ghost"); !errors.Is(err, ErrUnknownAlias) {
+		t.Fatalf("ghost challenge: %v", err)
+	}
+	if _, _, err := r.Login("ghost", nil); !errors.Is(err, ErrUnknownAlias) {
+		t.Fatalf("ghost login: %v", err)
+	}
+	if _, err := r.UserID("ghost"); !errors.Is(err, ErrUnknownAlias) {
+		t.Fatalf("ghost userid: %v", err)
+	}
+	if uid, err := r.UserID("gold"); err != nil || uid == "" {
+		t.Fatalf("userid: %q, %v", uid, err)
+	}
+	if len(r.Aliases()) != 1 {
+		t.Fatalf("aliases = %v", r.Aliases())
+	}
+}
+
+func TestLoginWithoutChallenge(t *testing.T) {
+	r := NewRegistrar(simclock.NewManual(t0))
+	r.Register("gold", "pw", rim.PersonName{})
+	if _, _, err := r.Login("gold", []byte("sig")); !errors.Is(err, ErrBadCredentials) {
+		t.Fatalf("no-challenge login: %v", err)
+	}
+}
+
+func TestKeystoreRoundTrip(t *testing.T) {
+	ks := NewKeystore()
+	c1, _ := GenerateCredentials("gold", t0)
+	c2, _ := GenerateCredentials("registryOperator", t0)
+	ks.Import(c1)
+	ks.Import(c2)
+	if got := ks.Aliases(); len(got) != 2 || got[0] != "gold" {
+		t.Fatalf("aliases = %v", got)
+	}
+
+	var buf bytes.Buffer
+	if err := ks.Save(&buf, DefaultKeystorePassword); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewKeystore()
+	if err := restored.Load(bytes.NewReader(buf.Bytes()), DefaultKeystorePassword); err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Get("gold")
+	if err != nil || !bytes.Equal(got.CertPEM, c1.CertPEM) {
+		t.Fatalf("restored creds mismatch: %v", err)
+	}
+	// The restored credentials must still sign correctly.
+	if _, err := got.SignChallenge([]byte("nonce")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeystoreWrongPassword(t *testing.T) {
+	ks := NewKeystore()
+	c, _ := GenerateCredentials("gold", t0)
+	ks.Import(c)
+	var buf bytes.Buffer
+	if err := ks.Save(&buf, "right"); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewKeystore().Load(bytes.NewReader(buf.Bytes()), "wrong"); err == nil {
+		t.Fatal("wrong password accepted")
+	}
+	if err := NewKeystore().Load(bytes.NewReader([]byte("garbage")), "x"); err == nil {
+		t.Fatal("garbage keystore accepted")
+	}
+}
+
+func TestKeystoreGetIsolationAndDelete(t *testing.T) {
+	ks := NewKeystore()
+	c, _ := GenerateCredentials("gold", t0)
+	ks.Import(c)
+	if _, err := ks.Get("ghost"); err == nil {
+		t.Fatal("ghost alias found")
+	}
+	if !ks.Delete("gold") || ks.Delete("gold") {
+		t.Fatal("delete semantics wrong")
+	}
+}

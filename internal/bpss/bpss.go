@@ -1,0 +1,181 @@
+// Package bpss implements a compact ebXML Business Process Specification
+// Schema (thesis §1.3: "ebBPSS provides a framework by which business
+// systems may be configured to support execution of business
+// collaborations consisting of business transactions"). A
+// BinaryCollaboration names two roles and an ordered list of business
+// transactions; each transaction is a requesting-document / optional
+// responding-document exchange initiated by one of the roles.
+//
+// Beyond the document model, the package provides a Conversation monitor:
+// given a collaboration definition, it checks a live sequence of ebMS
+// messages for conformance — correct initiating role, correct action
+// order, and completion — which is how a "business service interface"
+// enforces the agreed process at run time (Fig. 1.15 step 4).
+package bpss
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// Transaction is one request(/response) exchange within a collaboration.
+type Transaction struct {
+	// Name doubles as the ebMS Action for the requesting document.
+	Name string `xml:"name,attr"`
+	// InitiatingRole is the role that sends the request ("RoleA" side
+	// uses the collaboration's first role name, etc.).
+	InitiatingRole string `xml:"initiatingRole,attr"`
+	// RequestDocument names the business document flowing forward.
+	RequestDocument string `xml:"requestDocument,attr"`
+	// ResponseDocument, when non-empty, requires a response from the
+	// other role before the next transaction may begin.
+	ResponseDocument string `xml:"responseDocument,attr,omitempty"`
+}
+
+// BinaryCollaboration is a two-party business process definition.
+type BinaryCollaboration struct {
+	XMLName      struct{}      `xml:"BinaryCollaboration"`
+	Name         string        `xml:"name,attr"`
+	RoleA        string        `xml:"roleA,attr"`
+	RoleB        string        `xml:"roleB,attr"`
+	Transactions []Transaction `xml:"BusinessTransaction"`
+}
+
+// Validate checks structural invariants.
+func (c *BinaryCollaboration) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("bpss: collaboration without name")
+	}
+	if c.RoleA == "" || c.RoleB == "" || c.RoleA == c.RoleB {
+		return fmt.Errorf("bpss: collaboration %s needs two distinct roles", c.Name)
+	}
+	if len(c.Transactions) == 0 {
+		return fmt.Errorf("bpss: collaboration %s has no transactions", c.Name)
+	}
+	seen := make(map[string]bool)
+	for _, tx := range c.Transactions {
+		if tx.Name == "" || tx.RequestDocument == "" {
+			return fmt.Errorf("bpss: collaboration %s has an incomplete transaction", c.Name)
+		}
+		if tx.InitiatingRole != c.RoleA && tx.InitiatingRole != c.RoleB {
+			return fmt.Errorf("bpss: transaction %s initiated by unknown role %q", tx.Name, tx.InitiatingRole)
+		}
+		if seen[tx.Name] {
+			return fmt.Errorf("bpss: duplicate transaction %s", tx.Name)
+		}
+		seen[tx.Name] = true
+	}
+	return nil
+}
+
+// MarshalXMLDoc serializes the definition for registry storage.
+func (c *BinaryCollaboration) MarshalXMLDoc() ([]byte, error) {
+	return xml.MarshalIndent(c, "", " ")
+}
+
+// Parse decodes and validates a stored definition.
+func Parse(doc []byte) (*BinaryCollaboration, error) {
+	var c BinaryCollaboration
+	if err := xml.Unmarshal(doc, &c); err != nil {
+		return nil, fmt.Errorf("bpss: malformed definition: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// PurchaseOrder is the canonical demo collaboration: the Buyer orders, the
+// Seller acknowledges, the Seller ships a notice.
+func PurchaseOrder() *BinaryCollaboration {
+	return &BinaryCollaboration{
+		Name:  "PurchaseOrder",
+		RoleA: "Buyer",
+		RoleB: "Seller",
+		Transactions: []Transaction{
+			{Name: "NewOrder", InitiatingRole: "Buyer", RequestDocument: "Order", ResponseDocument: "OrderAck"},
+			{Name: "ShipNotice", InitiatingRole: "Seller", RequestDocument: "ASN"},
+		},
+	}
+}
+
+// Step is one observed message within a conversation.
+type Step struct {
+	// FromRole is the role that sent the message.
+	FromRole string
+	// Action is the ebMS Action — a transaction name, or a transaction
+	// name suffixed ".Response" for the responding document.
+	Action string
+}
+
+// Conversation tracks one execution of a collaboration and rejects
+// non-conforming steps.
+type Conversation struct {
+	def *BinaryCollaboration
+	// next indexes the transaction expected to start (or be responded
+	// to) next.
+	next int
+	// awaitingResponse is true when the current transaction's response
+	// document is still outstanding.
+	awaitingResponse bool
+}
+
+// NewConversation starts a conformance monitor for def.
+func NewConversation(def *BinaryCollaboration) (*Conversation, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	return &Conversation{def: def}, nil
+}
+
+// other returns the role opposite r.
+func (c *Conversation) other(r string) string {
+	if r == c.def.RoleA {
+		return c.def.RoleB
+	}
+	return c.def.RoleA
+}
+
+// Observe checks one step against the process definition, advancing the
+// conversation on success.
+func (c *Conversation) Observe(s Step) error {
+	if c.Done() {
+		return fmt.Errorf("bpss: conversation already complete, unexpected %q", s.Action)
+	}
+	tx := c.def.Transactions[c.next]
+	if c.awaitingResponse {
+		want := tx.Name + ".Response"
+		if s.Action != want {
+			return fmt.Errorf("bpss: expected %q, got %q", want, s.Action)
+		}
+		if s.FromRole != c.other(tx.InitiatingRole) {
+			return fmt.Errorf("bpss: response to %s must come from %s, not %s",
+				tx.Name, c.other(tx.InitiatingRole), s.FromRole)
+		}
+		c.awaitingResponse = false
+		c.next++
+		return nil
+	}
+	if s.Action != tx.Name {
+		return fmt.Errorf("bpss: expected transaction %q, got %q", tx.Name, s.Action)
+	}
+	if s.FromRole != tx.InitiatingRole {
+		return fmt.Errorf("bpss: %s must be initiated by %s, not %s", tx.Name, tx.InitiatingRole, s.FromRole)
+	}
+	if tx.ResponseDocument != "" {
+		c.awaitingResponse = true
+	} else {
+		c.next++
+	}
+	return nil
+}
+
+// Done reports whether every transaction has completed.
+func (c *Conversation) Done() bool {
+	return c.next >= len(c.def.Transactions) && !c.awaitingResponse
+}
+
+// Progress reports (completed transactions, total).
+func (c *Conversation) Progress() (completed, total int) {
+	return c.next, len(c.def.Transactions)
+}

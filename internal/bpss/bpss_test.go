@@ -1,0 +1,131 @@
+package bpss
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := PurchaseOrder().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*BinaryCollaboration{
+		{RoleA: "A", RoleB: "B", Transactions: []Transaction{{Name: "t", InitiatingRole: "A", RequestDocument: "d"}}},            // no name
+		{Name: "P", RoleA: "A", RoleB: "A", Transactions: []Transaction{{Name: "t", InitiatingRole: "A", RequestDocument: "d"}}}, // same roles
+		{Name: "P", RoleA: "A", RoleB: "B"}, // no transactions
+		{Name: "P", RoleA: "A", RoleB: "B", Transactions: []Transaction{{InitiatingRole: "A", RequestDocument: "d"}}},            // unnamed tx
+		{Name: "P", RoleA: "A", RoleB: "B", Transactions: []Transaction{{Name: "t", InitiatingRole: "C", RequestDocument: "d"}}}, // unknown role
+		{Name: "P", RoleA: "A", RoleB: "B", Transactions: []Transaction{
+			{Name: "t", InitiatingRole: "A", RequestDocument: "d"},
+			{Name: "t", InitiatingRole: "B", RequestDocument: "d"},
+		}}, // duplicate tx
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad collaboration %d accepted", i)
+		}
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	doc, err := PurchaseOrder().MarshalXMLDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "PurchaseOrder" || len(back.Transactions) != 2 || back.Transactions[0].ResponseDocument != "OrderAck" {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if _, err := Parse([]byte("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+	if _, err := Parse([]byte("<BinaryCollaboration/>")); err == nil {
+		t.Fatal("empty definition accepted")
+	}
+}
+
+func TestConversationHappyPath(t *testing.T) {
+	conv, err := NewConversation(PurchaseOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []Step{
+		{FromRole: "Buyer", Action: "NewOrder"},
+		{FromRole: "Seller", Action: "NewOrder.Response"},
+		{FromRole: "Seller", Action: "ShipNotice"},
+	}
+	for i, s := range steps {
+		if conv.Done() {
+			t.Fatalf("done early at step %d", i)
+		}
+		if err := conv.Observe(s); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if !conv.Done() {
+		t.Fatal("conversation not complete")
+	}
+	if done, total := conv.Progress(); done != 2 || total != 2 {
+		t.Fatalf("progress = %d/%d", done, total)
+	}
+	if err := conv.Observe(Step{FromRole: "Buyer", Action: "NewOrder"}); err == nil {
+		t.Fatal("step after completion accepted")
+	}
+}
+
+func TestConversationRejectsViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		steps []Step
+		want  string
+	}{
+		{"wrong first action", []Step{{FromRole: "Buyer", Action: "ShipNotice"}}, "expected transaction"},
+		{"wrong initiator", []Step{{FromRole: "Seller", Action: "NewOrder"}}, "must be initiated by"},
+		{"skipped response", []Step{
+			{FromRole: "Buyer", Action: "NewOrder"},
+			{FromRole: "Seller", Action: "ShipNotice"},
+		}, "expected \"NewOrder.Response\""},
+		{"response from wrong role", []Step{
+			{FromRole: "Buyer", Action: "NewOrder"},
+			{FromRole: "Buyer", Action: "NewOrder.Response"},
+		}, "must come from"},
+	}
+	for _, c := range cases {
+		conv, _ := NewConversation(PurchaseOrder())
+		var err error
+		for _, s := range c.steps {
+			if err = conv.Observe(s); err != nil {
+				break
+			}
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestNewConversationValidates(t *testing.T) {
+	if _, err := NewConversation(&BinaryCollaboration{}); err == nil {
+		t.Fatal("invalid definition accepted")
+	}
+}
+
+func TestResponselessOnlyProcess(t *testing.T) {
+	def := &BinaryCollaboration{
+		Name: "Ping", RoleA: "Sender", RoleB: "Receiver",
+		Transactions: []Transaction{{Name: "Ping", InitiatingRole: "Sender", RequestDocument: "Ping"}},
+	}
+	conv, err := NewConversation(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conv.Observe(Step{FromRole: "Sender", Action: "Ping"}); err != nil {
+		t.Fatal(err)
+	}
+	if !conv.Done() {
+		t.Fatal("single-transaction process not done")
+	}
+}

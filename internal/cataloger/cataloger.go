@@ -1,0 +1,227 @@
+// Package cataloger implements the registry's content validation and
+// automatic cataloging features (thesis Table 1.1 "Advanced Features /
+// Information Management" and §2.2.3): when repository content is
+// published, a content-specific cataloger extracts metadata from the
+// artifact into slots on its ExtrinsicObject so the content becomes
+// discoverable, and a validator rejects artifacts that violate the
+// content type's rules — freebXML does both automatically for WSDL.
+//
+// Shipped catalogers: WSDL (extracts service, port type, binding and
+// namespace metadata; validates basic WS-I-profile-style structure) and
+// XML (well-formedness only). The registry picks a cataloger by MIME type
+// and content sniffing; unknown types are stored opaque.
+package cataloger
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/rim"
+)
+
+// Slot names written by the shipped catalogers.
+const (
+	SlotWSDLTargetNamespace = "urn:ebxml:cataloger:wsdl:targetNamespace"
+	SlotWSDLServices        = "urn:ebxml:cataloger:wsdl:services"
+	SlotWSDLPortTypes       = "urn:ebxml:cataloger:wsdl:portTypes"
+	SlotWSDLBindings        = "urn:ebxml:cataloger:wsdl:bindings"
+	SlotWSDLSOAPAddresses   = "urn:ebxml:cataloger:wsdl:soapAddresses"
+	SlotXMLRootElement      = "urn:ebxml:cataloger:xml:rootElement"
+)
+
+// Cataloger validates an artifact and decorates its metadata object.
+type Cataloger interface {
+	// Name identifies the cataloger in errors and audit logs.
+	Name() string
+	// Accepts reports whether this cataloger handles the artifact.
+	Accepts(mimeType string, content []byte) bool
+	// Catalog validates content and, on success, writes extracted
+	// metadata into eo's slots.
+	Catalog(eo *rim.ExtrinsicObject, content []byte) error
+}
+
+// Registry is an ordered cataloger chain; the first Accepts-ing cataloger
+// wins.
+type Registry struct {
+	catalogers []Cataloger
+}
+
+// NewRegistry returns a chain with the shipped catalogers (WSDL, then
+// generic XML).
+func NewRegistry() *Registry {
+	return &Registry{catalogers: []Cataloger{WSDL{}, XML{}}}
+}
+
+// Register appends a custom cataloger ("extensible via custom validation
+// services", Table 1.1).
+func (r *Registry) Register(c Cataloger) { r.catalogers = append(r.catalogers, c) }
+
+// Catalog runs the first accepting cataloger; content nobody accepts is
+// stored opaque without error.
+func (r *Registry) Catalog(eo *rim.ExtrinsicObject, content []byte) error {
+	for _, c := range r.catalogers {
+		if c.Accepts(eo.MimeType, content) {
+			if err := c.Catalog(eo, content); err != nil {
+				return fmt.Errorf("cataloger %s: %w", c.Name(), err)
+			}
+			return nil
+		}
+	}
+	eo.IsOpaque = true
+	return nil
+}
+
+// --- WSDL -------------------------------------------------------------------
+
+// WSDL catalogs WSDL 1.1 documents.
+type WSDL struct{}
+
+// Name implements Cataloger.
+func (WSDL) Name() string { return "wsdl" }
+
+// Accepts implements Cataloger: by MIME type or by sniffing a
+// <definitions> root.
+func (WSDL) Accepts(mimeType string, content []byte) bool {
+	if strings.Contains(mimeType, "wsdl") {
+		return true
+	}
+	if !strings.Contains(mimeType, "xml") && mimeType != "" {
+		return false
+	}
+	head := string(content)
+	if len(head) > 512 {
+		head = head[:512]
+	}
+	return strings.Contains(head, "definitions")
+}
+
+// wsdlDoc captures the parts of a WSDL 1.1 document we validate/extract.
+type wsdlDoc struct {
+	XMLName         xml.Name      `xml:"definitions"`
+	TargetNamespace string        `xml:"targetNamespace,attr"`
+	PortTypes       []wsdlNamed   `xml:"portType"`
+	Bindings        []wsdlNamed   `xml:"binding"`
+	Services        []wsdlService `xml:"service"`
+	Messages        []wsdlNamed   `xml:"message"`
+}
+
+type wsdlNamed struct {
+	Name string `xml:"name,attr"`
+}
+
+type wsdlService struct {
+	Name  string     `xml:"name,attr"`
+	Ports []wsdlPort `xml:"port"`
+}
+
+type wsdlPort struct {
+	Name    string      `xml:"name,attr"`
+	Binding string      `xml:"binding,attr"`
+	Address soapAddress `xml:"address"`
+}
+
+type soapAddress struct {
+	Location string `xml:"location,attr"`
+}
+
+// Catalog implements Cataloger: validates the document shape and extracts
+// names into slots.
+func (WSDL) Catalog(eo *rim.ExtrinsicObject, content []byte) error {
+	var doc wsdlDoc
+	if err := xml.Unmarshal(content, &doc); err != nil {
+		return fmt.Errorf("not well-formed wsdl: %w", err)
+	}
+	if doc.XMLName.Local != "definitions" {
+		return fmt.Errorf("root element is <%s>, want <definitions>", doc.XMLName.Local)
+	}
+	if doc.TargetNamespace == "" {
+		return fmt.Errorf("missing targetNamespace")
+	}
+	if len(doc.Services) == 0 {
+		return fmt.Errorf("wsdl defines no <service>")
+	}
+	for _, svc := range doc.Services {
+		if svc.Name == "" {
+			return fmt.Errorf("unnamed <service>")
+		}
+		if len(svc.Ports) == 0 {
+			return fmt.Errorf("service %s has no <port>", svc.Name)
+		}
+	}
+
+	eo.SetSlot(SlotWSDLTargetNamespace, doc.TargetNamespace)
+	eo.SetSlot(SlotWSDLServices, names(len(doc.Services), func(i int) string { return doc.Services[i].Name })...)
+	if len(doc.PortTypes) > 0 {
+		eo.SetSlot(SlotWSDLPortTypes, names(len(doc.PortTypes), func(i int) string { return doc.PortTypes[i].Name })...)
+	}
+	if len(doc.Bindings) > 0 {
+		eo.SetSlot(SlotWSDLBindings, names(len(doc.Bindings), func(i int) string { return doc.Bindings[i].Name })...)
+	}
+	var addrs []string
+	for _, svc := range doc.Services {
+		for _, p := range svc.Ports {
+			if p.Address.Location != "" {
+				addrs = append(addrs, p.Address.Location)
+			}
+		}
+	}
+	if len(addrs) > 0 {
+		eo.SetSlot(SlotWSDLSOAPAddresses, addrs...)
+	}
+	return nil
+}
+
+func names(n int, get func(int) string) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = get(i)
+	}
+	return out
+}
+
+// --- generic XML -------------------------------------------------------------
+
+// XML validates well-formedness and records the root element for any
+// XML-typed content.
+type XML struct{}
+
+// Name implements Cataloger.
+func (XML) Name() string { return "xml" }
+
+// Accepts implements Cataloger.
+func (XML) Accepts(mimeType string, content []byte) bool {
+	return strings.Contains(mimeType, "xml")
+}
+
+// Catalog implements Cataloger.
+func (XML) Catalog(eo *rim.ExtrinsicObject, content []byte) error {
+	dec := xml.NewDecoder(strings.NewReader(string(content)))
+	var root string
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return fmt.Errorf("not well-formed xml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if depth == 0 && root == "" {
+				root = t.Name.Local
+			}
+			depth++
+		case xml.EndElement:
+			depth--
+		}
+	}
+	if root == "" {
+		return fmt.Errorf("xml document has no root element")
+	}
+	eo.SetSlot(SlotXMLRootElement, root)
+	return nil
+}

@@ -1,0 +1,142 @@
+package cataloger
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rim"
+)
+
+// sampleWSDL is a minimal but structurally complete WSDL 1.1 document for
+// the thesis's Adder service.
+const sampleWSDL = `<?xml version="1.0"?>
+<definitions name="Adder"
+    targetNamespace="http://sdsu.edu/adder"
+    xmlns="http://schemas.xmlsoap.org/wsdl/"
+    xmlns:soap="http://schemas.xmlsoap.org/wsdl/soap/">
+  <message name="addRequest"/>
+  <message name="addResponse"/>
+  <portType name="AdderPortType">
+    <operation name="add"/>
+  </portType>
+  <binding name="AdderSoapBinding" type="tns:AdderPortType"/>
+  <service name="addService">
+    <port name="AdderPort" binding="tns:AdderSoapBinding">
+      <soap:address location="http://thermo.sdsu.edu:8080/Adder/addService"/>
+    </port>
+  </service>
+</definitions>`
+
+func TestWSDLCatalogExtractsMetadata(t *testing.T) {
+	eo := rim.NewExtrinsicObject("adder.wsdl", "text/xml")
+	if err := NewRegistry().Catalog(eo, []byte(sampleWSDL)); err != nil {
+		t.Fatal(err)
+	}
+	if eo.IsOpaque {
+		t.Fatal("wsdl stored opaque")
+	}
+	checks := map[string]string{
+		SlotWSDLTargetNamespace: "http://sdsu.edu/adder",
+		SlotWSDLServices:        "addService",
+		SlotWSDLPortTypes:       "AdderPortType",
+		SlotWSDLBindings:        "AdderSoapBinding",
+		SlotWSDLSOAPAddresses:   "http://thermo.sdsu.edu:8080/Adder/addService",
+	}
+	for slot, want := range checks {
+		if got, ok := eo.SlotValue(slot); !ok || got != want {
+			t.Errorf("slot %s = %q, %v; want %q", slot, got, ok, want)
+		}
+	}
+}
+
+func TestWSDLValidationRejects(t *testing.T) {
+	bad := map[string]string{
+		"malformed":    `<definitions><unclosed>`,
+		"wrong root":   `<notwsdl/>`,
+		"no namespace": `<definitions><service name="s"><port name="p"/></service></definitions>`,
+		"no services":  `<definitions targetNamespace="urn:x"/>`,
+		"unnamed svc":  `<definitions targetNamespace="urn:x"><service><port name="p"/></service></definitions>`,
+		"portless svc": `<definitions targetNamespace="urn:x"><service name="s"/></definitions>`,
+	}
+	for name, doc := range bad {
+		eo := rim.NewExtrinsicObject("bad.wsdl", "application/wsdl+xml")
+		if err := NewRegistry().Catalog(eo, []byte(doc)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestXMLCataloger(t *testing.T) {
+	eo := rim.NewExtrinsicObject("schema.xsd", "text/xml")
+	if err := NewRegistry().Catalog(eo, []byte(`<schema xmlns="http://www.w3.org/2001/XMLSchema"><element name="x"/></schema>`)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := eo.SlotValue(SlotXMLRootElement); got != "schema" {
+		t.Fatalf("root slot = %q", got)
+	}
+	// Broken XML is rejected.
+	eo2 := rim.NewExtrinsicObject("bad.xml", "text/xml")
+	if err := NewRegistry().Catalog(eo2, []byte(`<a><b></a>`)); err == nil {
+		t.Fatal("mismatched tags accepted")
+	}
+	eo3 := rim.NewExtrinsicObject("empty.xml", "text/xml")
+	if err := NewRegistry().Catalog(eo3, nil); err == nil {
+		t.Fatal("empty xml accepted")
+	}
+}
+
+func TestUnknownTypesStoredOpaque(t *testing.T) {
+	eo := rim.NewExtrinsicObject("logo.gif", "image/gif")
+	if err := NewRegistry().Catalog(eo, []byte{0x47, 0x49, 0x46}); err != nil {
+		t.Fatal(err)
+	}
+	if !eo.IsOpaque {
+		t.Fatal("binary content not marked opaque")
+	}
+}
+
+func TestWSDLSniffingWithoutMimeType(t *testing.T) {
+	eo := rim.NewExtrinsicObject("adder", "text/xml")
+	if err := NewRegistry().Catalog(eo, []byte(sampleWSDL)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := eo.SlotValue(SlotWSDLTargetNamespace); !ok {
+		t.Fatal("wsdl not sniffed from xml mime type")
+	}
+}
+
+type customCataloger struct{ called *bool }
+
+func (c customCataloger) Name() string { return "custom" }
+func (c customCataloger) Accepts(mimeType string, _ []byte) bool {
+	return mimeType == "application/x-custom"
+}
+func (c customCataloger) Catalog(eo *rim.ExtrinsicObject, _ []byte) error {
+	*c.called = true
+	eo.SetSlot("custom", "yes")
+	return nil
+}
+
+func TestCustomCatalogerExtensibility(t *testing.T) {
+	r := NewRegistry()
+	called := false
+	r.Register(customCataloger{called: &called})
+	eo := rim.NewExtrinsicObject("x", "application/x-custom")
+	if err := r.Catalog(eo, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("custom cataloger not invoked")
+	}
+	if v, _ := eo.SlotValue("custom"); v != "yes" {
+		t.Fatal("custom slot missing")
+	}
+}
+
+func TestErrorMentionsCatalogerName(t *testing.T) {
+	eo := rim.NewExtrinsicObject("bad.wsdl", "application/wsdl+xml")
+	err := NewRegistry().Catalog(eo, []byte(`<definitions targetNamespace="urn:x"/>`))
+	if err == nil || !strings.Contains(err.Error(), "wsdl") {
+		t.Fatalf("error = %v", err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package core implements the thesis's primary contribution: the modified
+// discovery path of freebXML's ServiceDAO / ServiceBindingDAO / LoadStatus
+// classes (Figs. 3.5–3.6). When a Web Service is looked up, the registry
+//
+//  1. asks ServiceConstraint whether the service's description carries a
+//     valid <constraint> block and whether its time-of-day window admits
+//     the current time, and if so
+//  2. asks LoadStatus which deployment hosts currently satisfy the
+//     resource constraints, by consulting the NodeState table the
+//     collector maintains, and
+//  3. arranges the service's bindings so that "hosts that currently
+//     provide optimal service conditions are given preference over the
+//     ones that don't" (§3.2) — or are excluded outright.
+//
+// The thesis describes both a strict filter ("access URIs of only those
+// hosts that satisfy these performance constraints are returned") and a
+// reordering ("we rearrange the access URI ... given preference"); the
+// Policy type exposes both behaviours plus a least-loaded refinement so
+// the experiment harness can ablate the choice (DESIGN.md, ablation 1).
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/constraint"
+	"repro/internal/rim"
+	"repro/internal/store"
+)
+
+// Policy selects how constrained bindings are arranged at discovery time.
+type Policy int
+
+// Arrangement policies.
+const (
+	// PolicyStock is the unmodified freebXML behaviour: bindings in
+	// stored order, constraints ignored. This is the baseline the thesis
+	// motivates against (§3.2: "increased load on one particular host").
+	PolicyStock Policy = iota
+	// PolicyFilter returns only the bindings whose hosts satisfy the
+	// constraints, in stored order — the thesis's primary description.
+	PolicyFilter
+	// PolicyRankFirst returns satisfying bindings first (stored order),
+	// then hosts with unknown state, then unsatisfying hosts — the
+	// thesis's "rearrange ... given preference" reading.
+	PolicyRankFirst
+	// PolicyLeastLoaded returns satisfying bindings ordered by ascending
+	// observed CPU load, then unknown-state hosts; unsatisfying hosts are
+	// dropped. This is the refinement ablated in EXPERIMENTS.md.
+	PolicyLeastLoaded
+)
+
+// String names the policy for reports.
+func (p Policy) String() string {
+	switch p {
+	case PolicyStock:
+		return "stock"
+	case PolicyFilter:
+		return "filter"
+	case PolicyRankFirst:
+		return "rank-first"
+	case PolicyLeastLoaded:
+		return "least-loaded"
+	default:
+		return "unknown-policy"
+	}
+}
+
+// TimeWindowMode selects what happens when the request time falls outside
+// a service's <starttime>/<endtime> window. The thesis's ServiceConstraint
+// "returns false ... if the time constraint is not satisfied", which makes
+// the discovery path fall through to stock behaviour; a stricter reading
+// makes the service unavailable. Both are implemented (ablation 4).
+type TimeWindowMode int
+
+// Time-window handling modes.
+const (
+	// TimeWindowSkipFiltering reproduces the thesis literally: outside
+	// the window, resource filtering is skipped and all bindings are
+	// returned in stored order.
+	TimeWindowSkipFiltering TimeWindowMode = iota
+	// TimeWindowExclude treats the service as unavailable outside its
+	// window: no bindings are returned.
+	TimeWindowExclude
+)
+
+// Balancer is the constraint-enforcement engine attached to the registry's
+// query path.
+type Balancer struct {
+	// Table is the NodeState table populated by the nodestate collector.
+	Table *store.NodeStateTable
+	// Policy selects the arrangement behaviour; the zero value is
+	// PolicyStock (no load balancing).
+	Policy Policy
+	// TimeMode selects out-of-window handling.
+	TimeMode TimeWindowMode
+	// Freshness, when positive, treats NodeState rows older than this as
+	// unknown (ablation 2). Zero disables the staleness cutoff.
+	Freshness time.Duration
+	// FallbackAll, when true, returns all bindings in ascending-load
+	// order if no host satisfies the constraints, instead of an empty
+	// list (ablation 3).
+	FallbackAll bool
+}
+
+// Verdict classifies one binding's host against the constraints.
+type Verdict int
+
+// Binding verdicts.
+const (
+	VerdictEligible Verdict = iota
+	VerdictIneligible
+	VerdictUnknown
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictEligible:
+		return "eligible"
+	case VerdictIneligible:
+		return "ineligible"
+	default:
+		return "unknown"
+	}
+}
+
+// BindingDecision records how one binding was classified.
+type BindingDecision struct {
+	AccessURI string
+	Host      string
+	Verdict   Verdict
+	Load      float64
+	HasRow    bool
+}
+
+// Decision reports what the balancer did for one discovery, for audit and
+// experiments.
+type Decision struct {
+	// Constraint is the parsed block, nil when the description has none.
+	Constraint *constraint.Constraint
+	// ConstraintErr is non-nil when a block was present but malformed;
+	// the thesis treats this as "no valid constraints" and serves stock
+	// order, but the error is surfaced for logging.
+	ConstraintErr error
+	// TimeWindowOK reports whether the window admitted the request time.
+	TimeWindowOK bool
+	// Filtered is true when resource filtering actually ran.
+	Filtered bool
+	// FellBack is true when no host was eligible and FallbackAll served
+	// the full load-ordered list.
+	FellBack bool
+	// Bindings classifies every binding considered.
+	Bindings []BindingDecision
+}
+
+// Eligible returns the number of eligible bindings in the decision.
+func (d Decision) Eligible() int { return d.count(VerdictEligible) }
+
+// Unknown returns the number of unknown-state bindings.
+func (d Decision) Unknown() int { return d.count(VerdictUnknown) }
+
+// Ineligible returns the number of constraint-failing bindings.
+func (d Decision) Ineligible() int { return d.count(VerdictIneligible) }
+
+func (d Decision) count(v Verdict) int {
+	n := 0
+	for _, b := range d.Bindings {
+		if b.Verdict == v {
+			n++
+		}
+	}
+	return n
+}
+
+// ArrangeService applies the balancer to a service's bindings at time now,
+// returning the bindings in the order the registry should present them.
+// The input service is not modified.
+func (b *Balancer) ArrangeService(svc *rim.Service, now time.Time) ([]*rim.ServiceBinding, Decision) {
+	uris := make([]string, 0, len(svc.Bindings))
+	byURI := make(map[string]*rim.ServiceBinding, len(svc.Bindings))
+	for _, bind := range svc.Bindings {
+		if bind.AccessURI == "" {
+			continue
+		}
+		uris = append(uris, bind.AccessURI)
+		byURI[bind.AccessURI] = bind
+	}
+	ordered, dec := b.ArrangeURIs(svc.Description.String(), uris, now)
+	out := make([]*rim.ServiceBinding, 0, len(ordered))
+	for _, u := range ordered {
+		out = append(out, byURI[u])
+	}
+	return out, dec
+}
+
+// ArrangeURIs is the URI-level core of the scheme: given a service
+// description (which may embed a constraint block) and the stored-order
+// access URIs, it returns the URIs to present, plus the full decision.
+func (b *Balancer) ArrangeURIs(description string, uris []string, now time.Time) ([]string, Decision) {
+	dec := Decision{TimeWindowOK: true}
+	stock := append([]string(nil), uris...)
+
+	if b.Policy == PolicyStock {
+		return stock, dec
+	}
+
+	// Step 1: ServiceConstraint — extract and validate the block.
+	c, _, err := constraint.FromDescription(description)
+	if err != nil {
+		// Invalid constraints behave like no constraints (§3.2:
+		// "ServiceConstraint returns false if no valid service
+		// constraints are specified").
+		dec.ConstraintErr = err
+		return stock, dec
+	}
+	if c.IsZero() {
+		return stock, dec
+	}
+	dec.Constraint = c
+
+	// Step 2: the time-of-day window is validated at request time.
+	if !c.TimeSatisfied(now) {
+		dec.TimeWindowOK = false
+		switch b.TimeMode {
+		case TimeWindowExclude:
+			return nil, dec
+		default:
+			return stock, dec
+		}
+	}
+	if !c.HasResourceClauses() {
+		// Window-only constraint and the window is open.
+		return stock, dec
+	}
+
+	// Step 3: LoadStatus — classify each host against NodeState.
+	dec.Filtered = true
+	var eligible, unknown, ineligible []string
+	loadOf := make(map[string]float64, len(uris))
+	for _, uri := range uris {
+		host := rim.HostOfURI(uri)
+		bd := BindingDecision{AccessURI: uri, Host: host}
+		row, ok := b.Table.Get(host)
+		fresh := ok && row.Failures == 0 &&
+			(b.Freshness <= 0 || now.Sub(row.Updated) <= b.Freshness)
+		if !fresh {
+			bd.Verdict = VerdictUnknown
+			bd.HasRow = ok
+			unknown = append(unknown, uri)
+		} else {
+			bd.HasRow = true
+			bd.Load = row.Load
+			loadOf[uri] = row.Load
+			sample := constraint.Sample{Load: row.Load, MemoryB: row.MemoryB, SwapB: row.SwapB, NetDelayMs: row.NetDelayMs}
+			if c.SatisfiedBy(sample) {
+				bd.Verdict = VerdictEligible
+				eligible = append(eligible, uri)
+			} else {
+				bd.Verdict = VerdictIneligible
+				ineligible = append(ineligible, uri)
+			}
+		}
+		dec.Bindings = append(dec.Bindings, bd)
+	}
+
+	// Step 4: arrange per policy.
+	var out []string
+	switch b.Policy {
+	case PolicyFilter:
+		out = eligible
+	case PolicyRankFirst:
+		out = append(append(append([]string{}, eligible...), unknown...), ineligible...)
+	case PolicyLeastLoaded:
+		byLoad := append([]string(nil), eligible...)
+		sort.SliceStable(byLoad, func(i, j int) bool { return loadOf[byLoad[i]] < loadOf[byLoad[j]] })
+		out = append(byLoad, unknown...)
+	default:
+		out = stock
+	}
+
+	if len(out) == 0 && b.FallbackAll {
+		dec.FellBack = true
+		out = append([]string(nil), uris...)
+		sort.SliceStable(out, func(i, j int) bool {
+			li, iOK := loadOrInf(loadOf, out[i])
+			lj, jOK := loadOrInf(loadOf, out[j])
+			if iOK != jOK {
+				return iOK // known loads before unknown
+			}
+			return li < lj
+		})
+	}
+	return out, dec
+}
+
+func loadOrInf(m map[string]float64, uri string) (float64, bool) {
+	l, ok := m[uri]
+	return l, ok
+}

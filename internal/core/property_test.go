@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/store"
+)
+
+// randomized fixtures for the arrangement-invariant properties.
+type arrangement struct {
+	uris  []string
+	table *store.NodeStateTable
+}
+
+func buildArrangement(loads []uint8, missing []bool) arrangement {
+	tab := store.NewNodeStateTable()
+	var uris []string
+	for i, l := range loads {
+		host := fmt.Sprintf("h%02d.sdsu.edu", i)
+		uris = append(uris, "http://"+host+":8080/svc")
+		if i < len(missing) && missing[i] {
+			continue // no NodeState row: unknown host
+		}
+		tab.Upsert(store.NodeState{
+			Host: host, Load: float64(l) / 16, MemoryB: 4 << 30, SwapB: 1 << 30, Updated: t0,
+		})
+	}
+	return arrangement{uris: uris, table: tab}
+}
+
+const propConstraint = `<constraint><cpuLoad>load ls 8.0</cpuLoad></constraint>`
+
+func isSubset(sub, super []string) bool {
+	set := make(map[string]bool, len(super))
+	for _, s := range super {
+		set[s] = true
+	}
+	for _, s := range sub {
+		if !set[s] {
+			return false
+		}
+	}
+	return true
+}
+
+func isPermutation(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := map[string]int{}
+	for _, s := range a {
+		count[s]++
+	}
+	for _, s := range b {
+		count[s]--
+	}
+	for _, c := range count {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: every policy returns a subset of the input URIs with no
+// duplicates; stock returns the identity; rank-first returns a
+// permutation.
+func TestArrangementInvariants(t *testing.T) {
+	f := func(loads []uint8, missing []bool) bool {
+		if len(loads) == 0 {
+			return true
+		}
+		if len(loads) > 24 {
+			loads = loads[:24]
+		}
+		a := buildArrangement(loads, missing)
+		for _, p := range []Policy{PolicyStock, PolicyFilter, PolicyRankFirst, PolicyLeastLoaded} {
+			b := &Balancer{Table: a.table, Policy: p}
+			out, _ := b.ArrangeURIs(propConstraint, a.uris, t0)
+			if !isSubset(out, a.uris) {
+				return false
+			}
+			seen := map[string]bool{}
+			for _, u := range out {
+				if seen[u] {
+					return false
+				}
+				seen[u] = true
+			}
+			switch p {
+			case PolicyStock:
+				if len(out) != len(a.uris) || (len(out) > 0 && out[0] != a.uris[0]) {
+					return false
+				}
+			case PolicyRankFirst:
+				if !isPermutation(out, a.uris) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PolicyFilter returns exactly the hosts whose rows satisfy the
+// constraint; PolicyLeastLoaded returns them sorted by non-decreasing
+// load (before any unknowns).
+func TestFilterExactnessAndLeastLoadedOrder(t *testing.T) {
+	f := func(loads []uint8) bool {
+		if len(loads) == 0 {
+			return true
+		}
+		if len(loads) > 24 {
+			loads = loads[:24]
+		}
+		a := buildArrangement(loads, nil)
+		want := map[string]bool{}
+		loadOf := map[string]float64{}
+		for i, l := range loads {
+			uri := a.uris[i]
+			loadOf[uri] = float64(l) / 16
+			if float64(l)/16 < 8.0 {
+				want[uri] = true
+			}
+		}
+		filter := &Balancer{Table: a.table, Policy: PolicyFilter}
+		out, dec := filter.ArrangeURIs(propConstraint, a.uris, t0)
+		if len(out) != len(want) || dec.Eligible() != len(want) {
+			return false
+		}
+		for _, u := range out {
+			if !want[u] {
+				return false
+			}
+		}
+		ll := &Balancer{Table: a.table, Policy: PolicyLeastLoaded}
+		out, _ = ll.ArrangeURIs(propConstraint, a.uris, t0)
+		for i := 1; i < len(out); i++ {
+			if loadOf[out[i-1]] > loadOf[out[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arrangement is deterministic — identical inputs yield
+// identical outputs.
+func TestArrangementDeterminism(t *testing.T) {
+	f := func(loads []uint8, policyPick uint8) bool {
+		if len(loads) == 0 {
+			return true
+		}
+		if len(loads) > 16 {
+			loads = loads[:16]
+		}
+		a := buildArrangement(loads, nil)
+		p := []Policy{PolicyStock, PolicyFilter, PolicyRankFirst, PolicyLeastLoaded}[int(policyPick)%4]
+		b := &Balancer{Table: a.table, Policy: p}
+		out1, _ := b.ArrangeURIs(propConstraint, a.uris, t0)
+		out2, _ := b.ArrangeURIs(propConstraint, a.uris, t0)
+		if len(out1) != len(out2) {
+			return false
+		}
+		for i := range out1 {
+			if out1[i] != out2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the decision's verdict counts always sum to the number of
+// URI-bearing bindings considered.
+func TestDecisionCountsSum(t *testing.T) {
+	f := func(loads []uint8, missing []bool) bool {
+		if len(loads) == 0 || len(loads) > 24 {
+			return true
+		}
+		a := buildArrangement(loads, missing)
+		b := &Balancer{Table: a.table, Policy: PolicyFilter}
+		_, dec := b.ArrangeURIs(propConstraint, a.uris, t0)
+		return dec.Eligible()+dec.Unknown()+dec.Ineligible() == len(a.uris)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FallbackAll guarantees a non-empty result whenever input is
+// non-empty.
+func TestFallbackNeverEmpty(t *testing.T) {
+	f := func(loads []uint8) bool {
+		if len(loads) == 0 || len(loads) > 16 {
+			return true
+		}
+		a := buildArrangement(loads, nil)
+		b := &Balancer{Table: a.table, Policy: PolicyFilter, FallbackAll: true}
+		// An unsatisfiable constraint forces the fallback path.
+		out, _ := b.ArrangeURIs(`<constraint><memory>memory gr 1024GB</memory></constraint>`, a.uris, t0)
+		return len(out) == len(a.uris)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

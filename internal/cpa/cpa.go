@@ -1,0 +1,245 @@
+// Package cpa implements the Collaboration-Protocol Profile and Agreement
+// layer of the ebXML framework (thesis §1.3, ebCPPA): a CPP describes one
+// party's capabilities — the business roles it can play, the transport
+// protocols and endpoints it exposes, and its messaging reliability
+// characteristics — and a CPA is "a mutually agreed upon business
+// arrangement" formed by intersecting two parties' CPPs (the step-3
+// negotiation of thesis Fig. 1.15).
+//
+// Agreement formation follows the CPPA composition rules in miniature: the
+// parties must offer complementary roles for a common business process,
+// share at least one transport protocol, and the CPA adopts the more
+// conservative of the two parties' reliability settings.
+package cpa
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/rim"
+)
+
+// Role names one side of a binary business collaboration.
+type Role struct {
+	// ProcessName identifies the business process specification, e.g.
+	// "PurchaseOrder".
+	ProcessName string `xml:"process,attr"`
+	// Name is the role within it, e.g. "Buyer" or "Seller".
+	Name string `xml:"name,attr"`
+}
+
+// Transport describes one way to reach the party.
+type Transport struct {
+	// Protocol is e.g. "HTTP", "HTTPS", or "SMTP".
+	Protocol string `xml:"protocol,attr"`
+	// Endpoint is the party's receiving URI for this protocol.
+	Endpoint string `xml:"endpoint,attr"`
+}
+
+// Reliability carries the ebMS delivery parameters the party supports.
+type Reliability struct {
+	Retries       int           `xml:"retries,attr"`
+	RetryInterval time.Duration `xml:"retryInterval,attr"`
+	// DuplicateElimination reports whether the party's MSH eliminates
+	// duplicates (required for once-and-only-once).
+	DuplicateElimination bool `xml:"duplicateElimination,attr"`
+}
+
+// CPP is one party's collaboration-protocol profile.
+type CPP struct {
+	XMLName     struct{}    `xml:"CollaborationProtocolProfile"`
+	PartyID     string      `xml:"partyId,attr"`
+	PartyName   string      `xml:"partyName,attr"`
+	Roles       []Role      `xml:"Role"`
+	Transports  []Transport `xml:"Transport"`
+	Reliability Reliability `xml:"Reliability"`
+}
+
+// Validate checks profile invariants.
+func (p *CPP) Validate() error {
+	if p.PartyID == "" {
+		return fmt.Errorf("cpa: profile without partyId")
+	}
+	if len(p.Roles) == 0 {
+		return fmt.Errorf("cpa: profile %s offers no roles", p.PartyID)
+	}
+	if len(p.Transports) == 0 {
+		return fmt.Errorf("cpa: profile %s has no transports", p.PartyID)
+	}
+	for _, tr := range p.Transports {
+		if tr.Protocol == "" || tr.Endpoint == "" {
+			return fmt.Errorf("cpa: profile %s has incomplete transport", p.PartyID)
+		}
+	}
+	return nil
+}
+
+// MarshalXMLDoc serializes the profile for registry storage.
+func (p *CPP) MarshalXMLDoc() ([]byte, error) {
+	return xml.MarshalIndent(p, "", " ")
+}
+
+// ParseCPP decodes a stored profile.
+func ParseCPP(doc []byte) (*CPP, error) {
+	var p CPP
+	if err := xml.Unmarshal(doc, &p); err != nil {
+		return nil, fmt.Errorf("cpa: malformed profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// CPA is the mutually agreed arrangement between two parties.
+type CPA struct {
+	XMLName struct{} `xml:"CollaborationProtocolAgreement"`
+	ID      string   `xml:"cpaId,attr"`
+	// ProcessName is the agreed business process.
+	ProcessName string `xml:"process,attr"`
+	// PartyA/PartyB with their agreed roles.
+	PartyA string `xml:"partyA,attr"`
+	PartyB string `xml:"partyB,attr"`
+	RoleA  string `xml:"roleA,attr"`
+	RoleB  string `xml:"roleB,attr"`
+	// Transport is the agreed common channel per direction.
+	TransportToA Transport `xml:"TransportToA"`
+	TransportToB Transport `xml:"TransportToB"`
+	// Reliability adopts the more conservative of the two parties'.
+	Reliability Reliability `xml:"Reliability"`
+}
+
+// counterpart maps each role to the role it collaborates with; binary
+// collaborations from the canonical BPSS catalog.
+var counterpart = map[string]string{
+	"Buyer":     "Seller",
+	"Seller":    "Buyer",
+	"Requester": "Responder",
+	"Responder": "Requester",
+	"Sender":    "Receiver",
+	"Receiver":  "Sender",
+}
+
+// Compose forms a CPA from two profiles, or explains why no agreement is
+// possible: the parties need complementary roles in a shared process and
+// at least one shared transport protocol.
+func Compose(a, b *CPP) (*CPA, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if a.PartyID == b.PartyID {
+		return nil, fmt.Errorf("cpa: %s cannot agree with itself", a.PartyID)
+	}
+
+	roleA, roleB, process, ok := matchRoles(a.Roles, b.Roles)
+	if !ok {
+		return nil, fmt.Errorf("cpa: %s and %s share no complementary roles", a.PartyID, b.PartyID)
+	}
+	toA, toB, ok := matchTransports(a.Transports, b.Transports)
+	if !ok {
+		return nil, fmt.Errorf("cpa: %s and %s share no transport protocol", a.PartyID, b.PartyID)
+	}
+
+	return &CPA{
+		ID:           rim.NewUUID(),
+		ProcessName:  process,
+		PartyA:       a.PartyID,
+		PartyB:       b.PartyID,
+		RoleA:        roleA,
+		RoleB:        roleB,
+		TransportToA: toA,
+		TransportToB: toB,
+		Reliability:  conservative(a.Reliability, b.Reliability),
+	}, nil
+}
+
+// matchRoles finds the first (by process, then role, deterministically)
+// pair of complementary roles within a common process.
+func matchRoles(as, bs []Role) (roleA, roleB, process string, ok bool) {
+	sortedA := append([]Role(nil), as...)
+	sort.Slice(sortedA, func(i, j int) bool {
+		if sortedA[i].ProcessName != sortedA[j].ProcessName {
+			return sortedA[i].ProcessName < sortedA[j].ProcessName
+		}
+		return sortedA[i].Name < sortedA[j].Name
+	})
+	for _, ra := range sortedA {
+		want := counterpart[ra.Name]
+		if want == "" {
+			continue
+		}
+		for _, rb := range bs {
+			if rb.ProcessName == ra.ProcessName && rb.Name == want {
+				return ra.Name, rb.Name, ra.ProcessName, true
+			}
+		}
+	}
+	return "", "", "", false
+}
+
+// matchTransports picks a shared protocol (preferring HTTPS over HTTP over
+// anything else) and returns each party's endpoint for it.
+func matchTransports(as, bs []Transport) (toA, toB Transport, ok bool) {
+	pref := func(p string) int {
+		switch p {
+		case "HTTPS":
+			return 0
+		case "HTTP":
+			return 1
+		default:
+			return 2
+		}
+	}
+	best := -1
+	for _, ta := range as {
+		for _, tb := range bs {
+			if ta.Protocol != tb.Protocol {
+				continue
+			}
+			if best == -1 || pref(ta.Protocol) < best {
+				best = pref(ta.Protocol)
+				toA, toB, ok = ta, tb, true
+			}
+		}
+	}
+	return toA, toB, ok
+}
+
+// conservative merges reliability settings: most retries, longest
+// interval, and duplicate elimination only if both sides support it.
+func conservative(a, b Reliability) Reliability {
+	out := Reliability{
+		Retries:              a.Retries,
+		RetryInterval:        a.RetryInterval,
+		DuplicateElimination: a.DuplicateElimination && b.DuplicateElimination,
+	}
+	if b.Retries > out.Retries {
+		out.Retries = b.Retries
+	}
+	if b.RetryInterval > out.RetryInterval {
+		out.RetryInterval = b.RetryInterval
+	}
+	return out
+}
+
+// MarshalXMLDoc serializes the agreement for registry storage.
+func (c *CPA) MarshalXMLDoc() ([]byte, error) {
+	return xml.MarshalIndent(c, "", " ")
+}
+
+// ParseCPA decodes a stored agreement.
+func ParseCPA(doc []byte) (*CPA, error) {
+	var c CPA
+	if err := xml.Unmarshal(doc, &c); err != nil {
+		return nil, fmt.Errorf("cpa: malformed agreement: %w", err)
+	}
+	if c.ID == "" || c.PartyA == "" || c.PartyB == "" {
+		return nil, fmt.Errorf("cpa: agreement missing identities")
+	}
+	return &c, nil
+}

@@ -1,0 +1,212 @@
+package cpa
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+)
+
+func companyA() *CPP {
+	return &CPP{
+		PartyID:   "urn:duns:123456789",
+		PartyName: "Company A",
+		Roles: []Role{
+			{ProcessName: "PurchaseOrder", Name: "Buyer"},
+			{ProcessName: "Catalog", Name: "Requester"},
+		},
+		Transports: []Transport{
+			{Protocol: "HTTP", Endpoint: "http://a.example/msh"},
+			{Protocol: "HTTPS", Endpoint: "https://a.example/msh"},
+		},
+		Reliability: Reliability{Retries: 3, RetryInterval: 2 * time.Second, DuplicateElimination: true},
+	}
+}
+
+func companyB() *CPP {
+	return &CPP{
+		PartyID:   "urn:duns:987654321",
+		PartyName: "Company B",
+		Roles: []Role{
+			{ProcessName: "PurchaseOrder", Name: "Seller"},
+		},
+		Transports: []Transport{
+			{Protocol: "HTTPS", Endpoint: "https://b.example/msh"},
+			{Protocol: "SMTP", Endpoint: "mailto:orders@b.example"},
+		},
+		Reliability: Reliability{Retries: 5, RetryInterval: time.Second, DuplicateElimination: true},
+	}
+}
+
+func TestComposeFormsAgreement(t *testing.T) {
+	agreement, err := Compose(companyA(), companyB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agreement.ProcessName != "PurchaseOrder" || agreement.RoleA != "Buyer" || agreement.RoleB != "Seller" {
+		t.Fatalf("roles = %+v", agreement)
+	}
+	// HTTPS preferred over HTTP, with each party's own endpoint.
+	if agreement.TransportToA.Protocol != "HTTPS" || agreement.TransportToA.Endpoint != "https://a.example/msh" {
+		t.Fatalf("toA = %+v", agreement.TransportToA)
+	}
+	if agreement.TransportToB.Endpoint != "https://b.example/msh" {
+		t.Fatalf("toB = %+v", agreement.TransportToB)
+	}
+	// Conservative reliability: max retries, max interval, both eliminate
+	// duplicates.
+	r := agreement.Reliability
+	if r.Retries != 5 || r.RetryInterval != 2*time.Second || !r.DuplicateElimination {
+		t.Fatalf("reliability = %+v", r)
+	}
+	if !rim.IsUUIDURN(agreement.ID) {
+		t.Fatalf("cpa id = %q", agreement.ID)
+	}
+}
+
+func TestComposeFailures(t *testing.T) {
+	a, b := companyA(), companyB()
+	// No complementary roles.
+	b2 := companyB()
+	b2.Roles = []Role{{ProcessName: "PurchaseOrder", Name: "Buyer"}} // same side
+	if _, err := Compose(a, b2); err == nil || !strings.Contains(err.Error(), "complementary") {
+		t.Fatalf("same-side compose: %v", err)
+	}
+	// No shared transport.
+	b3 := companyB()
+	b3.Transports = []Transport{{Protocol: "SMTP", Endpoint: "mailto:x@b"}}
+	if _, err := Compose(a, b3); err == nil || !strings.Contains(err.Error(), "transport") {
+		t.Fatalf("no-transport compose: %v", err)
+	}
+	// Self agreement.
+	if _, err := Compose(a, a); err == nil {
+		t.Fatal("self agreement accepted")
+	}
+	// Invalid profiles.
+	if _, err := Compose(&CPP{}, b); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	bad := companyA()
+	bad.Transports = nil
+	if _, err := Compose(bad, b); err == nil {
+		t.Fatal("transportless profile accepted")
+	}
+	bad2 := companyA()
+	bad2.Roles = nil
+	if _, err := Compose(bad2, b); err == nil {
+		t.Fatal("roleless profile accepted")
+	}
+	bad3 := companyA()
+	bad3.Transports = []Transport{{Protocol: "HTTP"}}
+	if _, err := Compose(bad3, b); err == nil {
+		t.Fatal("incomplete transport accepted")
+	}
+}
+
+func TestDuplicateEliminationRequiresBoth(t *testing.T) {
+	a, b := companyA(), companyB()
+	b.Reliability.DuplicateElimination = false
+	agreement, err := Compose(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agreement.Reliability.DuplicateElimination {
+		t.Fatal("one-sided duplicate elimination claimed")
+	}
+}
+
+func TestXMLRoundTrips(t *testing.T) {
+	doc, err := companyA().MarshalXMLDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCPP(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PartyID != companyA().PartyID || len(back.Roles) != 2 || len(back.Transports) != 2 {
+		t.Fatalf("cpp round trip = %+v", back)
+	}
+	if _, err := ParseCPP([]byte("junk")); err == nil {
+		t.Fatal("junk cpp accepted")
+	}
+	if _, err := ParseCPP([]byte("<CollaborationProtocolProfile/>")); err == nil {
+		t.Fatal("empty cpp accepted")
+	}
+
+	agreement, err := Compose(companyA(), companyB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adoc, err := agreement.MarshalXMLDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aback, err := ParseCPA(adoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aback.ID != agreement.ID || aback.RoleA != "Buyer" {
+		t.Fatalf("cpa round trip = %+v", aback)
+	}
+	if _, err := ParseCPA([]byte("<CollaborationProtocolAgreement/>")); err == nil {
+		t.Fatal("identityless cpa accepted")
+	}
+}
+
+// TestProfilesLiveInRegistry stores CPPs as repository content — the
+// thesis's step 3 ("Company A submits its own business profile to the
+// ebXML registry") — and rebuilds the agreement from discovered profiles
+// (steps 4–5 of Fig. 1.13).
+func TestProfilesLiveInRegistry(t *testing.T) {
+	reg, err := registry.New(registry.Config{
+		Clock:  simclock.NewManual(time.Date(2011, 4, 22, 11, 0, 0, 0, time.UTC)),
+		Policy: core.PolicyStock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := reg.AdminContext()
+	for _, p := range []*CPP{companyA(), companyB()} {
+		doc, err := p.MarshalXMLDoc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eo := rim.NewExtrinsicObject("cpp-"+p.PartyName, "text/xml")
+		if err := reg.SubmitRepositoryItem(ctx, eo, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Company B discovers Company A's profile through the registry.
+	found := reg.QM.FindObjects(rim.TypeExtrinsicObject, "cpp-%")
+	if len(found) != 2 {
+		t.Fatalf("profiles found = %d", len(found))
+	}
+	var profiles []*CPP
+	for _, o := range found {
+		_, content, err := reg.GetRepositoryItem(o.Base().ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := ParseCPP(content)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	agreement, err := Compose(profiles[0], profiles[1])
+	if err != nil {
+		// Order may be B,A: compose is symmetric up to role swap.
+		agreement, err = Compose(profiles[1], profiles[0])
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agreement.ProcessName != "PurchaseOrder" {
+		t.Fatalf("agreement = %+v", agreement)
+	}
+}

@@ -1,0 +1,244 @@
+// Package ebms implements the ebXML Message Service of thesis §1.3 — "a
+// standard for business messages ... built on SOAP Web Services message
+// format" providing the "interoperable, secure and reliable exchange of
+// messages between trading partners" the framework promises.
+//
+// The subset here is the reliability core that the specification is known
+// for:
+//
+//   - every message carries a MessageHeader (From/To party ids,
+//     CPAId/ConversationId correlation, Service/Action, a unique
+//     MessageId, and a timestamp);
+//   - a ReliableSender retransmits with configurable retries and backoff
+//     until the receiver acknowledges the MessageId (AckRequested
+//     semantics);
+//   - a Receiver acknowledges and performs duplicate elimination on
+//     MessageId, so application handlers observe once-and-only-once
+//     delivery even when acknowledgments are lost and the sender
+//     retransmits.
+//
+// Transport is the repository's soap package over HTTP; clocks come from
+// simclock so retry schedules are testable deterministically.
+package ebms
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/rim"
+	"repro/internal/simclock"
+	"repro/internal/soap"
+)
+
+// Message is one ebMS user message.
+type Message struct {
+	XMLName        struct{} `xml:"Message"`
+	MessageID      string   `xml:"MessageId,attr"`
+	ConversationID string   `xml:"ConversationId,attr,omitempty"`
+	CPAID          string   `xml:"CPAId,attr,omitempty"`
+	RefToMessageID string   `xml:"RefToMessageId,attr,omitempty"`
+	From           string   `xml:"From"`
+	To             string   `xml:"To"`
+	Service        string   `xml:"Service"`
+	Action         string   `xml:"Action"`
+	Timestamp      string   `xml:"Timestamp"`
+	Payload        string   `xml:"Payload,omitempty"`
+}
+
+// Acknowledgment is the ebMS signal message confirming receipt.
+type Acknowledgment struct {
+	XMLName        struct{} `xml:"Acknowledgment"`
+	RefToMessageID string   `xml:"RefToMessageId,attr"`
+	Timestamp      string   `xml:"Timestamp"`
+	// Duplicate reports that the receiver had already processed the
+	// message (the retransmission was eliminated).
+	Duplicate bool `xml:"duplicate,attr,omitempty"`
+}
+
+// NewMessage builds a user message with a fresh MessageId.
+func NewMessage(from, to, service, action, payload string, now time.Time) *Message {
+	return &Message{
+		MessageID: rim.NewUUID(),
+		From:      from,
+		To:        to,
+		Service:   service,
+		Action:    action,
+		Timestamp: now.UTC().Format(time.RFC3339Nano),
+		Payload:   payload,
+	}
+}
+
+// Validate checks the header fields ebMS requires.
+func (m *Message) Validate() error {
+	switch {
+	case m.MessageID == "":
+		return fmt.Errorf("ebms: message without MessageId")
+	case m.From == "" || m.To == "":
+		return fmt.Errorf("ebms: message %s needs From and To parties", m.MessageID)
+	case m.Service == "" || m.Action == "":
+		return fmt.Errorf("ebms: message %s needs Service and Action", m.MessageID)
+	default:
+		return nil
+	}
+}
+
+// Handler processes a delivered message exactly once.
+type Handler func(*Message) error
+
+// Receiver is the receiving message service handler (MSH): it validates,
+// eliminates duplicates, invokes the application handler, and
+// acknowledges.
+type Receiver struct {
+	Clock   simclock.Clock
+	Handler Handler
+
+	mu   sync.Mutex
+	seen map[string]bool
+	// processed counts handler invocations; duplicates counts eliminated
+	// retransmissions.
+	processed, duplicates int
+}
+
+// NewReceiver creates a receiver delivering to handler.
+func NewReceiver(handler Handler, clock simclock.Clock) *Receiver {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Receiver{Clock: clock, Handler: handler, seen: make(map[string]bool)}
+}
+
+// Stats reports (handler invocations, eliminated duplicates).
+func (r *Receiver) Stats() (processed, duplicates int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.processed, r.duplicates
+}
+
+// Receive implements the MSH receive side; it is the function HTTPHandler
+// wires to the network and tests may call directly.
+func (r *Receiver) Receive(m *Message) (*Acknowledgment, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	ack := &Acknowledgment{
+		RefToMessageID: m.MessageID,
+		Timestamp:      r.Clock.Now().UTC().Format(time.RFC3339Nano),
+	}
+	r.mu.Lock()
+	if r.seen[m.MessageID] {
+		r.duplicates++
+		r.mu.Unlock()
+		ack.Duplicate = true
+		return ack, nil
+	}
+	r.seen[m.MessageID] = true
+	r.processed++
+	r.mu.Unlock()
+
+	if r.Handler != nil {
+		if err := r.Handler(m); err != nil {
+			// The application rejected the message: forget it so a
+			// retransmission can retry, and report a fault.
+			r.mu.Lock()
+			delete(r.seen, m.MessageID)
+			r.processed--
+			r.mu.Unlock()
+			return nil, fmt.Errorf("ebms: handler failed for %s: %w", m.MessageID, err)
+		}
+	}
+	return ack, nil
+}
+
+// HTTPHandler exposes the receiver as an ebMS endpoint over SOAP/HTTP.
+func (r *Receiver) HTTPHandler() http.Handler {
+	return soap.Endpoint(func(m *Message) (interface{}, error) {
+		ack, err := r.Receive(m)
+		if err != nil {
+			return nil, err
+		}
+		return ack, nil
+	})
+}
+
+// Transport abstracts one send attempt, for deterministic tests and
+// non-HTTP transports.
+type Transport interface {
+	Send(endpoint string, m *Message) (*Acknowledgment, error)
+}
+
+// HTTPTransport sends over SOAP/HTTP.
+type HTTPTransport struct {
+	Client *http.Client
+}
+
+// Send implements Transport.
+func (t HTTPTransport) Send(endpoint string, m *Message) (*Acknowledgment, error) {
+	var ack Acknowledgment
+	if err := soap.Post(t.Client, endpoint, m, &ack); err != nil {
+		return nil, err
+	}
+	if ack.RefToMessageID != m.MessageID {
+		return nil, fmt.Errorf("ebms: acknowledgment for %s does not match %s", ack.RefToMessageID, m.MessageID)
+	}
+	return &ack, nil
+}
+
+// ReliableSender retransmits until acknowledged — the ebMS
+// once-and-only-once delivery contract (paired with the receiver's
+// duplicate elimination).
+type ReliableSender struct {
+	Transport Transport
+	Clock     simclock.Clock
+	// Retries is the number of retransmissions after the first attempt
+	// (ebMS CPA Retries parameter); default 3.
+	Retries int
+	// RetryInterval is the base backoff (doubled each attempt); default
+	// 2 s.
+	RetryInterval time.Duration
+
+	mu       sync.Mutex
+	attempts int
+}
+
+// NewReliableSender creates a sender with ebMS-typical defaults.
+func NewReliableSender(t Transport, clock simclock.Clock) *ReliableSender {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &ReliableSender{Transport: t, Clock: clock, Retries: 3, RetryInterval: 2 * time.Second}
+}
+
+// Attempts reports total send attempts across all messages.
+func (s *ReliableSender) Attempts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attempts
+}
+
+// Send delivers m reliably to endpoint, returning the acknowledgment. It
+// fails only after Retries retransmissions have gone unacknowledged
+// ("DeliveryFailure" in ebMS terms).
+func (s *ReliableSender) Send(endpoint string, m *Message) (*Acknowledgment, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	var lastErr error
+	interval := s.RetryInterval
+	for attempt := 0; attempt <= s.Retries; attempt++ {
+		s.mu.Lock()
+		s.attempts++
+		s.mu.Unlock()
+		ack, err := s.Transport.Send(endpoint, m)
+		if err == nil {
+			return ack, nil
+		}
+		lastErr = err
+		if attempt < s.Retries {
+			s.Clock.Sleep(interval)
+			interval *= 2
+		}
+	}
+	return nil, fmt.Errorf("ebms: delivery failure for %s after %d attempts: %w", m.MessageID, s.Retries+1, lastErr)
+}

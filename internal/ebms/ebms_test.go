@@ -1,0 +1,209 @@
+package ebms
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+var t0 = time.Date(2011, 4, 22, 11, 0, 0, 0, time.UTC)
+
+func msg(payload string) *Message {
+	return NewMessage("urn:party:CompanyA", "urn:party:CompanyB",
+		"urn:services:PurchaseOrder", "NewOrder", payload, t0)
+}
+
+func TestMessageValidate(t *testing.T) {
+	if err := msg("ok").Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Message{
+		{From: "a", To: "b", Service: "s", Action: "x"},        // no id
+		{MessageID: "m", To: "b", Service: "s", Action: "x"},   // no from
+		{MessageID: "m", From: "a", Service: "s", Action: "x"}, // no to
+		{MessageID: "m", From: "a", To: "b", Action: "x"},      // no service
+		{MessageID: "m", From: "a", To: "b", Service: "s"},     // no action
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("bad message %d accepted", i)
+		}
+	}
+}
+
+func TestReceiverOnceAndOnlyOnce(t *testing.T) {
+	var delivered []string
+	r := NewReceiver(func(m *Message) error {
+		delivered = append(delivered, m.Payload)
+		return nil
+	}, simclock.NewManual(t0))
+
+	m := msg("order-1")
+	ack, err := r.Receive(m)
+	if err != nil || ack.RefToMessageID != m.MessageID || ack.Duplicate {
+		t.Fatalf("first receive: %+v, %v", ack, err)
+	}
+	// Retransmission: acknowledged again but not redelivered.
+	ack, err = r.Receive(m)
+	if err != nil || !ack.Duplicate {
+		t.Fatalf("duplicate receive: %+v, %v", ack, err)
+	}
+	if len(delivered) != 1 {
+		t.Fatalf("delivered = %v", delivered)
+	}
+	if p, d := r.Stats(); p != 1 || d != 1 {
+		t.Fatalf("stats = %d, %d", p, d)
+	}
+}
+
+func TestReceiverHandlerFailureAllowsRetry(t *testing.T) {
+	calls := 0
+	r := NewReceiver(func(m *Message) error {
+		calls++
+		if calls == 1 {
+			return fmt.Errorf("db busy")
+		}
+		return nil
+	}, simclock.NewManual(t0))
+	m := msg("x")
+	if _, err := r.Receive(m); err == nil {
+		t.Fatal("failed handler acknowledged")
+	}
+	// The retransmission succeeds — the failure did not poison the
+	// duplicate set.
+	if _, err := r.Receive(m); err != nil {
+		t.Fatal(err)
+	}
+	if p, d := r.Stats(); p != 1 || d != 0 {
+		t.Fatalf("stats = %d, %d", p, d)
+	}
+}
+
+// flakyTransport drops the first n attempts.
+type flakyTransport struct {
+	mu    sync.Mutex
+	drop  int
+	inner Transport
+}
+
+func (f *flakyTransport) Send(endpoint string, m *Message) (*Acknowledgment, error) {
+	f.mu.Lock()
+	if f.drop > 0 {
+		f.drop--
+		f.mu.Unlock()
+		return nil, fmt.Errorf("network dropped")
+	}
+	f.mu.Unlock()
+	return f.inner.Send(endpoint, m)
+}
+
+// directTransport invokes a receiver in process.
+type directTransport struct{ r *Receiver }
+
+func (d directTransport) Send(endpoint string, m *Message) (*Acknowledgment, error) {
+	return d.r.Receive(m)
+}
+
+func TestReliableSenderRetriesUntilAck(t *testing.T) {
+	clk := simclock.NewManual(t0)
+	r := NewReceiver(nil, clk)
+	flaky := &flakyTransport{drop: 2, inner: directTransport{r: r}}
+	s := NewReliableSender(flaky, clk)
+	s.RetryInterval = time.Second
+
+	done := make(chan error, 1)
+	var ack *Acknowledgment
+	go func() {
+		var err error
+		ack, err = s.Send("direct", msg("retry-me"))
+		done <- err
+	}()
+	// Two drops → two backoff sleeps (1s, then 2s) before success.
+	for i := 0; i < 5000 && clk.PendingWaiters() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(time.Second)
+	for i := 0; i < 5000 && clk.PendingWaiters() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(2 * time.Second)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if ack == nil || ack.Duplicate {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if s.Attempts() != 3 {
+		t.Fatalf("attempts = %d", s.Attempts())
+	}
+}
+
+func TestReliableSenderDeliveryFailure(t *testing.T) {
+	clk := simclock.NewManual(t0)
+	dead := &flakyTransport{drop: 1 << 20, inner: nil}
+	s := NewReliableSender(dead, clk)
+	s.Retries = 2
+	s.RetryInterval = time.Second
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Send("nowhere", msg("doomed"))
+		done <- err
+	}()
+	for released := 0; released < 2; released++ {
+		for i := 0; i < 5000 && clk.PendingWaiters() == 0; i++ {
+			time.Sleep(time.Millisecond)
+		}
+		clk.Advance(4 * time.Second)
+	}
+	err := <-done
+	if err == nil || !strings.Contains(err.Error(), "delivery failure") {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Attempts() != 3 {
+		t.Fatalf("attempts = %d", s.Attempts())
+	}
+}
+
+func TestEndToEndOverHTTP(t *testing.T) {
+	var got []string
+	r := NewReceiver(func(m *Message) error {
+		got = append(got, m.Payload)
+		return nil
+	}, simclock.Real{})
+	srv := httptest.NewServer(r.HTTPHandler())
+	defer srv.Close()
+
+	s := NewReliableSender(HTTPTransport{Client: srv.Client()}, simclock.Real{})
+	m := msg("wire-order")
+	ack, err := s.Send(srv.URL, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.RefToMessageID != m.MessageID {
+		t.Fatalf("ack = %+v", ack)
+	}
+	// Retransmit the identical message over the wire: eliminated.
+	ack2, err := s.Send(srv.URL, m)
+	if err != nil || !ack2.Duplicate {
+		t.Fatalf("wire duplicate: %+v, %v", ack2, err)
+	}
+	if len(got) != 1 || got[0] != "wire-order" {
+		t.Fatalf("delivered = %v", got)
+	}
+}
+
+func TestSendRejectsInvalidMessage(t *testing.T) {
+	s := NewReliableSender(directTransport{r: NewReceiver(nil, nil)}, simclock.NewManual(t0))
+	if _, err := s.Send("x", &Message{}); err == nil {
+		t.Fatal("invalid message sent")
+	}
+	if s.Attempts() != 0 {
+		t.Fatal("attempt counted for invalid message")
+	}
+}

@@ -1,0 +1,126 @@
+package events
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/rim"
+	"repro/internal/soap"
+)
+
+func TestSelectorMatching(t *testing.T) {
+	svc := rim.NewService("NodeStatus", "")
+	org := rim.NewOrganization("SDSU")
+
+	all := Selector{}
+	if !all.Matches(rim.EventCreated, svc) || !all.Matches(rim.EventDeleted, org) {
+		t.Fatal("empty selector should match everything")
+	}
+	typed := Selector{ObjectType: rim.TypeService}
+	if !typed.Matches(rim.EventCreated, svc) || typed.Matches(rim.EventCreated, org) {
+		t.Fatal("type selector wrong")
+	}
+	named := Selector{NamePattern: "Node%"}
+	if !named.Matches(rim.EventCreated, svc) || named.Matches(rim.EventCreated, org) {
+		t.Fatal("name selector wrong")
+	}
+	kinds := Selector{EventTypes: []rim.EventType{rim.EventDeleted}}
+	if kinds.Matches(rim.EventCreated, svc) || !kinds.Matches(rim.EventDeleted, svc) {
+		t.Fatal("event-type selector wrong")
+	}
+}
+
+func TestBusPublishToMatchingSubscribers(t *testing.T) {
+	bus := NewBus()
+	ch := make(ChanDeliverer, 10)
+	id := bus.Subscribe("urn:uuid:gold", Selector{ObjectType: rim.TypeService}, ch)
+	if bus.Len() != 1 {
+		t.Fatalf("len = %d", bus.Len())
+	}
+
+	svc := rim.NewService("NodeStatus", "")
+	org := rim.NewOrganization("SDSU")
+	bus.Publish(rim.EventCreated, svc, org)
+
+	select {
+	case n := <-ch:
+		if n.SubscriptionID != id || len(n.Objects) != 1 || n.Objects[0].Base().ID != svc.ID {
+			t.Fatalf("notification = %+v", n)
+		}
+	default:
+		t.Fatal("no notification delivered")
+	}
+	// Organization-only change: no notification.
+	bus.Publish(rim.EventUpdated, org)
+	select {
+	case n := <-ch:
+		t.Fatalf("unexpected notification %+v", n)
+	default:
+	}
+
+	if !bus.Unsubscribe(id) || bus.Unsubscribe(id) {
+		t.Fatal("unsubscribe semantics wrong")
+	}
+	bus.Publish(rim.EventCreated, svc)
+	if len(ch) != 0 {
+		t.Fatal("unsubscribed listener notified")
+	}
+}
+
+func TestBusCountsDeliveryFailures(t *testing.T) {
+	bus := NewBus()
+	full := make(ChanDeliverer) // zero capacity: Deliver always fails
+	id := bus.Subscribe("urn:uuid:gold", Selector{}, full)
+	bus.Publish(rim.EventCreated, rim.NewService("S", ""))
+	if bus.Failures(id) != 1 {
+		t.Fatalf("failures = %d", bus.Failures(id))
+	}
+}
+
+func TestEmailDeliverer(t *testing.T) {
+	e := &EmailDeliverer{Address: "gold@sdsu.edu"}
+	bus := NewBus()
+	bus.Subscribe("urn:uuid:gold", Selector{NamePattern: "Demo%"}, e)
+	bus.Publish(rim.EventDeleted, rim.NewService("DemoSrv_DeleteService", ""))
+	out := e.Outbox()
+	if len(out) != 1 || !strings.Contains(out[0], "gold@sdsu.edu") || !strings.Contains(out[0], "DemoSrv_DeleteService") {
+		t.Fatalf("outbox = %v", out)
+	}
+}
+
+func TestServiceDelivererOverHTTP(t *testing.T) {
+	var got WireNotification
+	srv := httptest.NewServer(soap.Endpoint(func(n *WireNotification) (interface{}, error) {
+		got = *n
+		return &struct {
+			XMLName struct{} `xml:"Ack"`
+		}{}, nil
+	}))
+	defer srv.Close()
+
+	bus := NewBus()
+	bus.Subscribe("urn:uuid:gold", Selector{}, &ServiceDeliverer{EndpointURI: srv.URL})
+	svc := rim.NewService("NodeStatus", "")
+	bus.Publish(rim.EventApproved, svc)
+
+	if got.EventKind != "Approved" || len(got.ObjectIDs) != 1 || got.ObjectIDs[0] != svc.ID {
+		t.Fatalf("wire notification = %+v", got)
+	}
+}
+
+type failingPoster struct{}
+
+func (failingPoster) Post(url string, req, resp interface{}) error {
+	return fmt.Errorf("network down")
+}
+
+func TestServiceDelivererFailureCounted(t *testing.T) {
+	bus := NewBus()
+	id := bus.Subscribe("urn:uuid:gold", Selector{}, &ServiceDeliverer{EndpointURI: "http://x/", Client: failingPoster{}})
+	bus.Publish(rim.EventCreated, rim.NewService("S", ""))
+	if bus.Failures(id) != 1 {
+		t.Fatalf("failures = %d", bus.Failures(id))
+	}
+}

@@ -1,0 +1,226 @@
+// Package federation implements the multi-registry features of thesis
+// Table 1.1 ("Federation Support"): federated queries that fan out across
+// member registries and merge results, and selective object replication
+// from one registry to another with the object's Home attribute stamped to
+// its origin — the ebXML counterpart of UDDI v3's registry affiliation
+// (Fig. 1.12).
+//
+// Members are addressed through jaxr connections, so a federation can mix
+// in-process registries (localCall) and remote ones (SOAP) transparently.
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/jaxr"
+	"repro/internal/rim"
+)
+
+// Member is one registry in the federation.
+type Member struct {
+	// Name identifies the registry in results and Home stamps, e.g.
+	// "sdsu" or "http://volta.sdsu.edu:8080/omar".
+	Name string
+	// Conn is a ready (logged-in where writes are needed) connection.
+	Conn *jaxr.Connection
+}
+
+// Federation is an ordered set of member registries.
+type Federation struct {
+	members []Member
+}
+
+// New creates a federation; member names must be unique and non-empty.
+func New(members ...Member) (*Federation, error) {
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m.Name == "" || m.Conn == nil {
+			return nil, fmt.Errorf("federation: member needs a name and a connection")
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("federation: duplicate member %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("federation: no members")
+	}
+	return &Federation{members: append([]Member(nil), members...)}, nil
+}
+
+// Members returns the member names in federation order.
+func (f *Federation) Members() []string {
+	out := make([]string, len(f.members))
+	for i, m := range f.members {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// Result is one federated find hit.
+type Result struct {
+	Member string
+	Object rim.Object
+}
+
+// MemberError reports one member's failure during a fan-out.
+type MemberError struct {
+	Member string
+	Err    error
+}
+
+// Error implements error.
+func (e *MemberError) Error() string {
+	return fmt.Sprintf("federation: member %s: %v", e.Member, e.Err)
+}
+
+// Errors aggregates partial fan-out failures; successful members' results
+// are still returned alongside it.
+type Errors []*MemberError
+
+// Error implements error.
+func (es Errors) Error() string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.Error()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Find fans a name search out to every member in parallel and merges the
+// hits, deduplicating by object id (the first member in federation order
+// wins, mirroring "home registry" preference). A non-nil error is of type
+// Errors and accompanies whatever partial results were gathered.
+func (f *Federation) Find(kind, namePattern string) ([]Result, error) {
+	type memberHits struct {
+		idx  int
+		objs []rim.Object
+		err  error
+	}
+	hits := make([]memberHits, len(f.members))
+	var wg sync.WaitGroup
+	for i, m := range f.members {
+		wg.Add(1)
+		go func(i int, m Member) {
+			defer wg.Done()
+			objs, err := m.Conn.Find(kind, namePattern)
+			hits[i] = memberHits{idx: i, objs: objs, err: err}
+		}(i, m)
+	}
+	wg.Wait()
+
+	var out []Result
+	var errs Errors
+	seen := make(map[string]bool)
+	for i, h := range hits {
+		if h.err != nil {
+			errs = append(errs, &MemberError{Member: f.members[i].Name, Err: h.err})
+			continue
+		}
+		for _, o := range h.objs {
+			id := o.Base().ID
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			out = append(out, Result{Member: f.members[i].Name, Object: o})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ni, nj := out[i].Object.Base().Name.String(), out[j].Object.Base().Name.String()
+		if ni != nj {
+			return ni < nj
+		}
+		return out[i].Object.Base().ID < out[j].Object.Base().ID
+	})
+	if len(errs) > 0 {
+		return out, errs
+	}
+	return out, nil
+}
+
+// QueryRow is one federated ad-hoc query row, tagged with its member.
+type QueryRow struct {
+	Member string
+	Cells  []string
+}
+
+// Query fans a SQL ad-hoc query out to every member and concatenates the
+// rows, each tagged with the member it came from.
+func (f *Federation) Query(sql string, params map[string]string) (columns []string, rows []QueryRow, err error) {
+	var errs Errors
+	for _, m := range f.members {
+		res, qerr := m.Conn.AdhocQuery(sql, params)
+		if qerr != nil {
+			errs = append(errs, &MemberError{Member: m.Name, Err: qerr})
+			continue
+		}
+		if columns == nil {
+			columns = res.Columns
+		}
+		for _, r := range res.Rows {
+			rows = append(rows, QueryRow{Member: m.Name, Cells: r})
+		}
+	}
+	if len(errs) > 0 {
+		return columns, rows, errs
+	}
+	return columns, rows, nil
+}
+
+// ReplicationReport summarizes one Replicate call.
+type ReplicationReport struct {
+	Copied  []string // object ids copied
+	Skipped []string // ids already present at the target
+}
+
+// Replicate copies the source member's objects of the given kind matching
+// namePattern into the target member — selective replication, unlike
+// UDDI's "all data replicated across all registries all the time" (Table
+// 1.1). Copied objects keep their ids (so references stay valid) and get
+// their Home attribute stamped with the source member's name; objects
+// whose id already exists at the target are skipped, making replication
+// idempotent. The target connection must be authenticated.
+func (f *Federation) Replicate(sourceName, targetName, kind, namePattern string) (*ReplicationReport, error) {
+	src, err := f.member(sourceName)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := f.member(targetName)
+	if err != nil {
+		return nil, err
+	}
+	if sourceName == targetName {
+		return nil, fmt.Errorf("federation: cannot replicate %s onto itself", sourceName)
+	}
+	objs, err := src.Conn.Find(kind, namePattern)
+	if err != nil {
+		return nil, &MemberError{Member: sourceName, Err: err}
+	}
+	report := &ReplicationReport{}
+	for _, o := range objs {
+		id := o.Base().ID
+		if _, err := dst.Conn.GetObject(id); err == nil {
+			report.Skipped = append(report.Skipped, id)
+			continue
+		}
+		o.Base().Home = sourceName
+		if _, err := dst.Conn.Submit(o); err != nil {
+			return report, &MemberError{Member: targetName, Err: err}
+		}
+		report.Copied = append(report.Copied, id)
+	}
+	return report, nil
+}
+
+func (f *Federation) member(name string) (Member, error) {
+	for _, m := range f.members {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Member{}, fmt.Errorf("federation: unknown member %q", name)
+}

@@ -1,0 +1,245 @@
+package federation
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jaxr"
+	"repro/internal/registry"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+)
+
+var t0 = time.Date(2011, 4, 22, 11, 0, 0, 0, time.UTC)
+
+// newMember spins up a registry with a logged-in local connection.
+func newMember(t *testing.T, name string) (Member, *registry.Registry) {
+	t.Helper()
+	reg, err := registry.New(registry.Config{Clock: simclock.NewManual(t0), Policy: core.PolicyStock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := jaxr.ConnectLocal(reg)
+	creds, _, err := conn.Register("fed-"+name, "pw", rim.PersonName{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Login(creds); err != nil {
+		t.Fatal(err)
+	}
+	return Member{Name: name, Conn: conn}, reg
+}
+
+func publishOrg(t *testing.T, m Member, name string) *rim.Organization {
+	t.Helper()
+	org := rim.NewOrganization(name)
+	if _, err := m.Conn.Submit(org); err != nil {
+		t.Fatal(err)
+	}
+	return org
+}
+
+func TestNewValidation(t *testing.T) {
+	m1, _ := newMember(t, "a")
+	if _, err := New(); err == nil {
+		t.Fatal("empty federation accepted")
+	}
+	if _, err := New(Member{Name: "", Conn: m1.Conn}); err == nil {
+		t.Fatal("nameless member accepted")
+	}
+	if _, err := New(m1, Member{Name: "a", Conn: m1.Conn}); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	f, err := New(m1)
+	if err != nil || len(f.Members()) != 1 {
+		t.Fatalf("members = %v, %v", f.Members(), err)
+	}
+}
+
+func TestFederatedFindMergesAndDedups(t *testing.T) {
+	m1, _ := newMember(t, "sdsu")
+	m2, _ := newMember(t, "ucsd")
+	publishOrg(t, m1, "Shared Research Lab")
+	publishOrg(t, m2, "Shared Compute Center")
+	// The same object id present in both registries (previously
+	// replicated) must appear once, attributed to the first member.
+	dup := publishOrg(t, m1, "Duplicated Org")
+	if _, err := m2.Conn.Submit(dup.Clone()); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := New(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := f.Find("Organization", "%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	byName := map[string]string{}
+	for _, r := range results {
+		byName[r.Object.Base().Name.String()] = r.Member
+	}
+	if byName["Duplicated Org"] != "sdsu" {
+		t.Fatalf("dedup attribution = %q", byName["Duplicated Org"])
+	}
+	if byName["Shared Compute Center"] != "ucsd" {
+		t.Fatalf("attribution = %v", byName)
+	}
+}
+
+func TestFederatedFindPartialFailure(t *testing.T) {
+	m1, _ := newMember(t, "up")
+	publishOrg(t, m1, "Only Org")
+	// A remote member whose server is already closed.
+	regDown, err := registry.New(registry.Config{Clock: simclock.NewManual(t0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(regDown.Handler())
+	downConn := jaxr.Connect(srv.URL, srv.Client())
+	srv.Close()
+
+	f, err := New(m1, Member{Name: "down", Conn: downConn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := f.Find("Organization", "%")
+	if err == nil {
+		t.Fatal("dead member produced no error")
+	}
+	var errs Errors
+	if !asErrors(err, &errs) || len(errs) != 1 || errs[0].Member != "down" {
+		t.Fatalf("errors = %v", err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("partial results = %d", len(results))
+	}
+	if !strings.Contains(err.Error(), "down") {
+		t.Fatalf("error text: %v", err)
+	}
+}
+
+func asErrors(err error, out *Errors) bool {
+	es, ok := err.(Errors)
+	if ok {
+		*out = es
+	}
+	return ok
+}
+
+func TestFederatedQuery(t *testing.T) {
+	m1, _ := newMember(t, "sdsu")
+	m2, _ := newMember(t, "ucsd")
+	publishOrg(t, m1, "Org A")
+	publishOrg(t, m2, "Org B")
+	f, _ := New(m1, m2)
+	cols, rows, err := f.Query("SELECT o.name FROM Organization o WHERE o.name LIKE 'Org %' ORDER BY o.name", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 1 || len(rows) != 2 {
+		t.Fatalf("cols=%v rows=%v", cols, rows)
+	}
+	members := map[string]bool{}
+	for _, r := range rows {
+		members[r.Member] = true
+	}
+	if !members["sdsu"] || !members["ucsd"] {
+		t.Fatalf("row attribution = %v", rows)
+	}
+}
+
+func TestReplicateSelective(t *testing.T) {
+	m1, _ := newMember(t, "source")
+	m2, reg2 := newMember(t, "target")
+	publishOrg(t, m1, "ReplicateMe One")
+	publishOrg(t, m1, "ReplicateMe Two")
+	publishOrg(t, m1, "PrivateOrg") // outside the pattern
+
+	f, _ := New(m1, m2)
+	report, err := f.Replicate("source", "target", "Organization", "ReplicateMe%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Copied) != 2 || len(report.Skipped) != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	got := reg2.QM.FindObjects(rim.TypeOrganization, "ReplicateMe%")
+	if len(got) != 2 {
+		t.Fatalf("replicated = %d", len(got))
+	}
+	// Home stamped to the source.
+	for _, o := range got {
+		if o.Base().Home != "source" {
+			t.Fatalf("home = %q", o.Base().Home)
+		}
+	}
+	// Selective: PrivateOrg did not travel.
+	if len(reg2.QM.FindObjects(rim.TypeOrganization, "PrivateOrg")) != 0 {
+		t.Fatal("selective replication leaked")
+	}
+	// Idempotent: the second run skips everything.
+	report2, err := f.Replicate("source", "target", "Organization", "ReplicateMe%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report2.Copied) != 0 || len(report2.Skipped) != 2 {
+		t.Fatalf("second report = %+v", report2)
+	}
+}
+
+func TestReplicateValidation(t *testing.T) {
+	m1, _ := newMember(t, "a")
+	m2, _ := newMember(t, "b")
+	f, _ := New(m1, m2)
+	if _, err := f.Replicate("a", "a", "Organization", "%"); err == nil {
+		t.Fatal("self replication accepted")
+	}
+	if _, err := f.Replicate("ghost", "b", "Organization", "%"); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if _, err := f.Replicate("a", "ghost", "Organization", "%"); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestReplicateOverSOAP(t *testing.T) {
+	// Source local, target reached over real HTTP — federation mixing
+	// transports.
+	m1, _ := newMember(t, "local")
+	publishOrg(t, m1, "WireOrg")
+
+	regRemote, err := registry.New(registry.Config{Clock: simclock.NewManual(t0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(regRemote.Handler())
+	defer srv.Close()
+	remote := jaxr.Connect(srv.URL, srv.Client())
+	creds, _, err := remote.Register("remote-user", "pw", rim.PersonName{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Login(creds); err != nil {
+		t.Fatal(err)
+	}
+
+	f, _ := New(m1, Member{Name: "remote", Conn: remote})
+	report, err := f.Replicate("local", "remote", "Organization", "WireOrg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Copied) != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	if got := regRemote.QM.FindObjects(rim.TypeOrganization, "WireOrg"); len(got) != 1 || got[0].Base().Home != "local" {
+		t.Fatalf("remote copy = %+v", got)
+	}
+}

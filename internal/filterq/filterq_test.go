@@ -1,0 +1,152 @@
+package filterq
+
+import (
+	"testing"
+
+	"repro/internal/sqlq"
+)
+
+func catalog() sqlq.Catalog {
+	return sqlq.MapCatalog{
+		"Service": &sqlq.MemTable{
+			Cols: []string{"id", "name", "status", "bindings"},
+			Data: []sqlq.Row{
+				{"id": "1", "name": "NodeStatus", "status": "Approved", "bindings": float64(2)},
+				{"id": "2", "name": "DemoSrv_Add", "status": "Submitted", "bindings": float64(1)},
+				{"id": "3", "name": "DemoSrv_Del", "status": "Deprecated", "bindings": float64(0)},
+				{"id": "4", "name": "Adder", "status": "Approved", "bindings": nil},
+			},
+		},
+	}
+}
+
+func exec(t *testing.T, doc string) *sqlq.ResultSet {
+	t.Helper()
+	rs, err := Exec(catalog(), doc)
+	if err != nil {
+		t.Fatalf("Exec(%s): %v", doc, err)
+	}
+	return rs
+}
+
+func TestMatchAll(t *testing.T) {
+	rs := exec(t, `<FilterQuery target="Service"/>`)
+	if rs.Total != 4 || len(rs.Columns) != 4 {
+		t.Fatalf("rs = %+v", rs)
+	}
+}
+
+func TestSingleClause(t *testing.T) {
+	rs := exec(t, `<FilterQuery target="Service"><Clause leftArgument="status" comparator="EQ" rightArgument="Approved"/></FilterQuery>`)
+	if rs.Total != 2 {
+		t.Fatalf("total = %d", rs.Total)
+	}
+}
+
+func TestLikeAndNotLike(t *testing.T) {
+	rs := exec(t, `<FilterQuery target="Service"><Clause leftArgument="name" comparator="LIKE" rightArgument="DemoSrv%"/></FilterQuery>`)
+	if rs.Total != 2 {
+		t.Fatalf("like total = %d", rs.Total)
+	}
+	rs = exec(t, `<FilterQuery target="Service"><Clause leftArgument="name" comparator="NOTLIKE" rightArgument="DemoSrv%"/></FilterQuery>`)
+	if rs.Total != 2 {
+		t.Fatalf("notlike total = %d", rs.Total)
+	}
+}
+
+func TestCompoundAndOrNot(t *testing.T) {
+	doc := `<FilterQuery target="Service">
+	  <And>
+	    <Clause leftArgument="name" comparator="LIKE" rightArgument="Demo%"/>
+	    <Not><Clause leftArgument="status" comparator="EQ" rightArgument="Deprecated"/></Not>
+	  </And>
+	</FilterQuery>`
+	rs := exec(t, doc)
+	if rs.Total != 1 || rs.Rows[0][1] != "DemoSrv_Add" {
+		t.Fatalf("rs = %+v", rs)
+	}
+	doc = `<FilterQuery target="Service">
+	  <Or>
+	    <Clause leftArgument="name" comparator="EQ" rightArgument="Adder"/>
+	    <Clause leftArgument="name" comparator="EQ" rightArgument="NodeStatus"/>
+	  </Or>
+	</FilterQuery>`
+	if rs := exec(t, doc); rs.Total != 2 {
+		t.Fatalf("or total = %d", rs.Total)
+	}
+}
+
+func TestImplicitAndOfSiblings(t *testing.T) {
+	doc := `<FilterQuery target="Service">
+	  <Clause leftArgument="name" comparator="LIKE" rightArgument="Demo%"/>
+	  <Clause leftArgument="status" comparator="EQ" rightArgument="Submitted"/>
+	</FilterQuery>`
+	rs := exec(t, doc)
+	if rs.Total != 1 {
+		t.Fatalf("total = %d", rs.Total)
+	}
+}
+
+func TestNumericComparison(t *testing.T) {
+	doc := `<FilterQuery target="Service"><Clause leftArgument="bindings" comparator="GE" rightArgument="1"/></FilterQuery>`
+	rs := exec(t, doc)
+	// Adder has nil bindings and must not match.
+	if rs.Total != 2 {
+		t.Fatalf("total = %d", rs.Total)
+	}
+	doc = `<FilterQuery target="Service"><Clause leftArgument="bindings" comparator="LT" rightArgument="1"/></FilterQuery>`
+	if rs := exec(t, doc); rs.Total != 1 {
+		t.Fatalf("lt total = %d", rs.Total)
+	}
+}
+
+func TestCaseInsensitiveStrings(t *testing.T) {
+	doc := `<FilterQuery target="Service"><Clause leftArgument="name" comparator="EQ" rightArgument="nodestatus"/></FilterQuery>`
+	if rs := exec(t, doc); rs.Total != 1 {
+		t.Fatalf("total = %d", rs.Total)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`not xml`,
+		`<FilterQuery/>`, // no target
+		`<FilterQuery target="Service"><Clause comparator="EQ" rightArgument="x"/></FilterQuery>`,            // no left
+		`<FilterQuery target="Service"><Clause leftArgument="name" comparator="QQ"/></FilterQuery>`,          // bad comparator
+		`<FilterQuery target="Service"><Not/></FilterQuery>`,                                                 // empty Not
+		`<FilterQuery target="Service"><And/></FilterQuery>`,                                                 // empty And
+		`<FilterQuery target="Service"><Frob/></FilterQuery>`,                                                // unknown element
+		`<FilterQuery target="Service"><Clause leftArgument="n" comparator="EQ"><X/></Clause></FilterQuery>`, // clause with child
+	}
+	for _, doc := range bad {
+		if _, err := Parse(doc); err == nil {
+			t.Errorf("Parse accepted %s", doc)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Exec(catalog(), `<FilterQuery target="Nope"/>`); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	doc := `<FilterQuery target="Service"><Clause leftArgument="ghost" comparator="EQ" rightArgument="x"/></FilterQuery>`
+	if _, err := Exec(catalog(), doc); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestSQLAndFilterQueriesAgree(t *testing.T) {
+	// The two syntaxes must see identical data (thesis: both are views
+	// over the same AdhocQuery protocol).
+	sqlRS, err := sqlq.Exec(catalog(), "SELECT id FROM Service WHERE name LIKE 'Demo%' AND status <> 'Deprecated'", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fRS := exec(t, `<FilterQuery target="Service">
+	  <Clause leftArgument="name" comparator="LIKE" rightArgument="Demo%"/>
+	  <Clause leftArgument="status" comparator="NE" rightArgument="Deprecated"/>
+	</FilterQuery>`)
+	if len(sqlRS.Rows) != fRS.Total {
+		t.Fatalf("sql %d rows vs filter %d rows", len(sqlRS.Rows), fRS.Total)
+	}
+}

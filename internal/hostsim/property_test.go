@@ -1,0 +1,109 @@
+package hostsim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: task conservation — every accepted task is eventually
+// completed exactly once, and memory returns to its initial level.
+func TestTaskConservation(t *testing.T) {
+	f := func(cpuDeciSecs []uint8, cores8 uint8) bool {
+		cores := int(cores8%4) + 1
+		h := NewHost(Config{Name: "p", Cores: cores, TotalMemB: 1 << 30, TotalSwapB: 1 << 30}, t0)
+		accepted := 0
+		var totalCPU float64
+		for i, d := range cpuDeciSecs {
+			if len(cpuDeciSecs) > 32 && i >= 32 {
+				break
+			}
+			cpu := float64(d)/10 + 0.1
+			if err := h.Submit(Task{ID: fmt.Sprintf("t%d", i), CPUSeconds: cpu, MemB: 1 << 20}, t0); err != nil {
+				continue
+			}
+			accepted++
+			totalCPU += cpu
+		}
+		// Worst case all tasks serialize on one core.
+		horizon := time.Duration(totalCPU*float64(time.Second)) + time.Minute
+		done := h.AdvanceTo(t0.Add(horizon))
+		if len(done) != accepted {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, c := range done {
+			if seen[c.Task.ID] {
+				return false
+			}
+			seen[c.Task.ID] = true
+		}
+		s, err := h.Sample(t0.Add(horizon))
+		return err == nil && s.MemoryB == 1<<30 && s.SwapB == 1<<30 && h.RunQueue() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: completions are monotone in time — Finish is never before
+// Start, and never before the submission clock.
+func TestCompletionTimesMonotone(t *testing.T) {
+	f := func(gapsSecs []uint8) bool {
+		h := NewHost(Config{Name: "p", Cores: 2, TotalMemB: 1 << 30}, t0)
+		now := t0
+		n := len(gapsSecs)
+		if n > 24 {
+			n = 24
+		}
+		for i := 0; i < n; i++ {
+			now = now.Add(time.Duration(gapsSecs[i]%30) * time.Second)
+			if err := h.Submit(Task{ID: fmt.Sprintf("t%d", i), CPUSeconds: 1 + float64(i%5), MemB: 1 << 10}, now); err != nil {
+				return false
+			}
+		}
+		done := h.AdvanceTo(now.Add(time.Hour))
+		if len(done) != n {
+			return false
+		}
+		prev := time.Time{}
+		for _, c := range done {
+			if c.Finish.Before(c.Start) || c.Finish.Before(prev) {
+				return false
+			}
+			prev = c.Finish
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: load average is always non-negative and bounded by the maximum
+// concurrency plus ambient load.
+func TestLoadAverageBounds(t *testing.T) {
+	f := func(burst uint8, ambient10 uint8) bool {
+		ambient := float64(ambient10%30) / 10
+		h := NewHost(Config{Name: "p", Cores: 1, TotalMemB: 1 << 30, AmbientLoad: ambient}, t0)
+		n := int(burst%20) + 1
+		for i := 0; i < n; i++ {
+			if err := h.Submit(Task{ID: fmt.Sprintf("t%d", i), CPUSeconds: 30, MemB: 1 << 10}, t0); err != nil {
+				return false
+			}
+		}
+		upper := float64(n) + ambient + 1e-9
+		for step := 0; step < 20; step++ {
+			h.AdvanceTo(t0.Add(time.Duration(step*30) * time.Second))
+			l := h.LoadAvg()
+			if l < 0 || l > upper {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package integration holds cross-package end-to-end tests that would
+// create import cycles if they lived next to the packages they exercise.
+package integration
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jaxr"
+	"repro/internal/registry"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+	"repro/internal/store"
+)
+
+var t0 = time.Date(2011, 4, 22, 11, 0, 0, 0, time.UTC)
+
+// TestConcurrentClientsOverSOAP hammers the registry's full HTTP surface
+// from many goroutines at once: publishers submitting and removing
+// organizations+services, readers running ad-hoc queries and discoveries,
+// and the collector path writing NodeState — the concurrency profile of a
+// production registry under an MTC application.
+func TestConcurrentClientsOverSOAP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	reg, err := registry.New(registry.Config{Clock: simclock.NewManual(t0), Policy: core.PolicyFilter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	const publishers = 4
+	const readers = 4
+	const rounds = 25
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, publishers+readers+1)
+
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			conn := jaxr.Connect(srv.URL, srv.Client())
+			creds, _, err := conn.Register(fmt.Sprintf("pub-%d", p), "pw", rim.PersonName{})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if err := conn.Login(creds); err != nil {
+				errCh <- err
+				return
+			}
+			for i := 0; i < rounds; i++ {
+				org := rim.NewOrganization(fmt.Sprintf("StressOrg-%d-%d", p, i))
+				svc := rim.NewService(fmt.Sprintf("StressSvc-%d-%d", p, i),
+					`<constraint><cpuLoad>load ls 5.0</cpuLoad></constraint>`)
+				svc.AddBinding(fmt.Sprintf("http://h%d.sdsu.edu:8080/s%d", p, i))
+				assoc := rim.NewAssociation(rim.AssocOffersService, org.ID, svc.ID)
+				if _, err := conn.Submit(org, svc, assoc); err != nil {
+					errCh <- fmt.Errorf("publisher %d round %d submit: %w", p, i, err)
+					return
+				}
+				if i%3 == 0 {
+					if err := conn.Remove(org.ID); err != nil {
+						errCh <- fmt.Errorf("publisher %d round %d remove: %w", p, i, err)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			conn := jaxr.Connect(srv.URL, srv.Client())
+			for i := 0; i < rounds*2; i++ {
+				if _, err := conn.Find("Service", "StressSvc-%"); err != nil {
+					errCh <- fmt.Errorf("reader %d find: %w", r, err)
+					return
+				}
+				if _, err := conn.AdhocQuery("SELECT s.name FROM Service s WHERE s.name LIKE 'StressSvc-%' LIMIT 5", nil); err != nil {
+					errCh <- fmt.Errorf("reader %d query: %w", r, err)
+					return
+				}
+				// Discovery may miss (service deleted concurrently) —
+				// only transport errors matter.
+				conn.ServiceBindings(fmt.Sprintf("StressSvc-%d-%d", i%publishers, i%rounds))
+			}
+		}(r)
+	}
+
+	// Concurrent NodeState writes, as the collector would produce.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds*4; i++ {
+			reg.Store.NodeState().Upsert(store.NodeState{
+				Host: fmt.Sprintf("h%d.sdsu.edu", i%publishers), Load: float64(i % 7),
+				MemoryB: 4 << 30, SwapB: 1 << 30, Updated: t0,
+			})
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// The survivors are consistent: every remaining service's offering
+	// association resolves, and no association dangles.
+	for _, o := range reg.Store.ByType(rim.TypeAssociation) {
+		a := o.(*rim.Association)
+		if !reg.Store.Has(a.SourceID) || !reg.Store.Has(a.TargetID) {
+			t.Errorf("dangling association %s: %s -> %s", a.ID, a.SourceID, a.TargetID)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package nodestate implements the registry-side collection loop of thesis
+// §3.2 — the TimeHits class (Fig. 3.1): a timer that periodically invokes
+// the NodeStatus Web Service on every host that deploys it and stores the
+// returned CPU load, physical memory and swap memory in the NodeState
+// table (Fig. 3.2). The thesis collects every 25 seconds, a period the
+// freebXML administrator can reconfigure; DefaultPeriod preserves that
+// default and experiments sweep it (EXPERIMENTS.md, H2).
+package nodestate
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/nodestatus"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+	"repro/internal/store"
+)
+
+// DefaultPeriod is the thesis's collection interval: 25 seconds, "decided
+// upon after observing the frequency of load change on our system" (§3.2).
+const DefaultPeriod = 25 * time.Second
+
+// defaultParallelism bounds concurrent NodeStatus invocations per sweep.
+const defaultParallelism = 16
+
+// URIProvider supplies the current NodeStatus deployment URIs. The
+// registry wires this to "the bindings of the service named NodeStatus",
+// so newly published hosts are picked up on the next sweep without
+// restarting the collector.
+type URIProvider func() []string
+
+// Collector periodically polls NodeStatus endpoints into a NodeStateTable.
+type Collector struct {
+	table   *store.NodeStateTable
+	invoker nodestatus.Invoker
+	clock   simclock.Clock
+	period  time.Duration
+	uris    URIProvider
+
+	parallelism int
+
+	mu     sync.Mutex
+	sweeps int
+	errs   int
+}
+
+// Option configures a Collector.
+type Option func(*Collector)
+
+// WithPeriod overrides the collection period.
+func WithPeriod(d time.Duration) Option {
+	return func(c *Collector) {
+		if d > 0 {
+			c.period = d
+		}
+	}
+}
+
+// WithParallelism bounds the number of concurrent NodeStatus invocations.
+func WithParallelism(n int) Option {
+	return func(c *Collector) {
+		if n > 0 {
+			c.parallelism = n
+		}
+	}
+}
+
+// New creates a collector writing to table, invoking via invoker, timed by
+// clock, polling the URIs returned by uris.
+func New(table *store.NodeStateTable, invoker nodestatus.Invoker, clock simclock.Clock, uris URIProvider, opts ...Option) *Collector {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	c := &Collector{
+		table:       table,
+		invoker:     invoker,
+		clock:       clock,
+		period:      DefaultPeriod,
+		uris:        uris,
+		parallelism: defaultParallelism,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Period returns the configured collection period.
+func (c *Collector) Period() time.Duration { return c.period }
+
+// Stats reports completed sweeps and accumulated invocation errors.
+func (c *Collector) Stats() (sweeps, errs int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sweeps, c.errs
+}
+
+// CollectOnce performs one sweep at the clock's current time: it invokes
+// NodeStatus on every deployment URI (boundedly in parallel) and upserts a
+// NodeState row per host; failed invocations record a failure on the row
+// instead so stale data is distinguishable from fresh (strict policies can
+// then exclude the host).
+func (c *Collector) CollectOnce() {
+	uris := c.uris()
+	now := c.clock.Now()
+
+	sem := make(chan struct{}, c.parallelism)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	errCount := 0
+
+	for _, uri := range uris {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(uri string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			host := rim.HostOfURI(uri)
+			if host == "" {
+				errMu.Lock()
+				errCount++
+				errMu.Unlock()
+				return
+			}
+			resp, err := c.invoker.Invoke(uri)
+			if err != nil {
+				c.table.RecordFailure(host, now)
+				errMu.Lock()
+				errCount++
+				errMu.Unlock()
+				return
+			}
+			c.table.Upsert(store.NodeState{
+				Host:       host,
+				Load:       resp.Load,
+				MemoryB:    resp.MemoryB,
+				SwapB:      resp.SwapB,
+				NetDelayMs: resp.NetDelayMs,
+				Updated:    now,
+			})
+		}(uri)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	c.sweeps++
+	c.errs += errCount
+	c.mu.Unlock()
+}
+
+// Run collects immediately and then on every period tick until ctx is
+// cancelled. It uses the collector's clock, so tests drive it with a
+// simclock.Manual.
+func (c *Collector) Run(ctx context.Context) {
+	for {
+		c.CollectOnce()
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.clock.After(c.period):
+		}
+	}
+}

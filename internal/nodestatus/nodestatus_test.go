@@ -1,0 +1,116 @@
+package nodestatus
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hostsim"
+	"repro/internal/simclock"
+)
+
+var t0 = time.Date(2011, 4, 22, 10, 0, 0, 0, time.UTC)
+
+func TestHandlerServesHostSample(t *testing.T) {
+	clk := simclock.NewManual(t0)
+	h := hostsim.NewHost(hostsim.Config{
+		Name: "thermo.sdsu.edu", Cores: 2, TotalMemB: 4 << 30, TotalSwapB: 2 << 30, NetDelayMs: 3,
+	}, t0)
+	srv := httptest.NewServer(NewHandler(h, clk))
+	defer srv.Close()
+
+	inv := HTTPInvoker{Client: srv.Client()}
+	resp, err := inv.Invoke(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Host != "thermo.sdsu.edu" || resp.MemoryB != 4<<30 || resp.SwapB != 2<<30 || resp.NetDelayMs != 3 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Timestamp == "" {
+		t.Fatal("missing timestamp")
+	}
+	if _, err := time.Parse(time.RFC3339Nano, resp.Timestamp); err != nil {
+		t.Fatalf("bad timestamp %q: %v", resp.Timestamp, err)
+	}
+	s := resp.Sample()
+	if s.MemoryB != resp.MemoryB || s.Load != resp.Load {
+		t.Fatal("Sample conversion mismatch")
+	}
+}
+
+func TestHandlerReflectsLoadChanges(t *testing.T) {
+	clk := simclock.NewManual(t0)
+	h := hostsim.NewHost(hostsim.Config{Name: "x", Cores: 1, TotalMemB: 1 << 30}, t0)
+	srv := httptest.NewServer(NewHandler(h, clk))
+	defer srv.Close()
+	inv := HTTPInvoker{Client: srv.Client()}
+
+	before, err := inv.Invoke(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Submit(hostsim.Task{ID: "t", CPUSeconds: 600, MemB: 512 << 20}, t0); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Minute)
+	after, err := inv.Invoke(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Load <= before.Load {
+		t.Fatalf("load did not rise: %v -> %v", before.Load, after.Load)
+	}
+	if after.MemoryB != (1<<30)-(512<<20) {
+		t.Fatalf("memory = %d", after.MemoryB)
+	}
+}
+
+func TestHandlerDownHostFaults(t *testing.T) {
+	clk := simclock.NewManual(t0)
+	h := hostsim.NewHost(hostsim.Config{Name: "x", Cores: 1, TotalMemB: 1 << 30}, t0)
+	h.SetDown(true)
+	srv := httptest.NewServer(NewHandler(h, clk))
+	defer srv.Close()
+	if _, err := (HTTPInvoker{Client: srv.Client()}).Invoke(srv.URL); err == nil {
+		t.Fatal("down host served a sample")
+	}
+}
+
+func TestLocalInvoker(t *testing.T) {
+	clk := simclock.NewManual(t0)
+	cluster := hostsim.NewCluster()
+	cluster.Add(hostsim.NewHost(hostsim.Config{Name: "exergy.sdsu.edu", Cores: 1, TotalMemB: 2 << 30}, t0))
+	inv := LocalInvoker{Cluster: cluster, Clock: clk}
+
+	resp, err := inv.Invoke("http://exergy.sdsu.edu:8080/NodeStatus/NodeStatusService")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Host != "exergy.sdsu.edu" || resp.MemoryB != 2<<30 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if _, err := inv.Invoke("http://unknown.sdsu.edu/x"); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+	if _, err := inv.Invoke("::garbage::"); err == nil || !strings.Contains(err.Error(), "unparseable") {
+		t.Fatalf("garbage uri: %v", err)
+	}
+}
+
+func TestDeploymentClose(t *testing.T) {
+	var d Deployment
+	clk := simclock.NewManual(t0)
+	h := hostsim.NewHost(hostsim.Config{Name: "x", Cores: 1, TotalMemB: 1 << 30}, t0)
+	ts := httptest.NewServer(NewHandler(h, clk))
+	defer ts.Close()
+	d.AddServer(ts.Config, ts.URL)
+	if len(d.URIs()) != 1 {
+		t.Fatalf("uris = %v", d.URIs())
+	}
+	d.Close()
+	if len(d.URIs()) != 1 {
+		t.Fatal("Close should not clear recorded URIs")
+	}
+}

@@ -1,0 +1,440 @@
+package registry
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/lcm"
+	"repro/internal/qm"
+	"repro/internal/rim"
+	"repro/internal/soap"
+	"repro/internal/sqlq"
+)
+
+// Handler builds the registry's HTTP surface:
+//
+//	POST /soap/registry   — ebRS life-cycle + query protocols over SOAP
+//	POST /soap/auth       — registration / challenge / login handshake
+//	GET  /registry/...    — the mandatory HTTP (REST) binding, which per
+//	                        thesis §2.2.3 "only supports search queries"
+//	                        (QueryManager only, no publishing)
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/soap/registry", soap.Endpoint(r.handleRegistrySOAP))
+	mux.Handle("/soap/auth", soap.Endpoint(r.handleAuthSOAP))
+	mux.HandleFunc("/registry/object", r.handleGetObject)
+	mux.HandleFunc("/registry/find", r.handleFind)
+	mux.HandleFunc("/registry/bindings", r.handleBindings)
+	mux.HandleFunc("/registry/query", r.handleQuery)
+	mux.HandleFunc("/registry/nodestate", r.handleNodeState)
+	mux.HandleFunc("/registry/content", r.handleContent)
+	mux.HandleFunc("/ui", r.handleUI)
+	return mux
+}
+
+// soapRequest is the union envelope body for /soap/registry: exactly one
+// member protocol element is set per request.
+type soapRequest struct {
+	XMLName     struct{}                   `xml:"RegistryRequest"`
+	Submit      *SubmitObjectsRequest      `xml:"SubmitObjectsRequest"`
+	Update      *UpdateObjectsRequest      `xml:"UpdateObjectsRequest"`
+	Approve     *ApproveObjectsRequest     `xml:"ApproveObjectsRequest"`
+	Deprecate   *DeprecateObjectsRequest   `xml:"DeprecateObjectsRequest"`
+	Undeprecate *UndeprecateObjectsRequest `xml:"UndeprecateObjectsRequest"`
+	Remove      *RemoveObjectsRequest      `xml:"RemoveObjectsRequest"`
+	Relocate    *RelocateObjectsRequest    `xml:"RelocateObjectsRequest"`
+	GetObject   *GetObjectRequest          `xml:"GetObjectRequest"`
+	Find        *FindObjectsRequest        `xml:"FindObjectsRequest"`
+	Query       *AdhocQueryWireRequest     `xml:"AdhocQueryRequest"`
+	Bindings    *GetBindingsRequest        `xml:"GetBindingsRequest"`
+	Subscribe   *SubscribeRequest          `xml:"SubscribeRequest"`
+	Unsubscribe *UnsubscribeRequest        `xml:"UnsubscribeRequest"`
+}
+
+func (r *Registry) handleRegistrySOAP(req *soapRequest) (interface{}, error) {
+	switch {
+	case req.Submit != nil:
+		return r.doSubmit(req.Submit)
+	case req.Update != nil:
+		return r.doUpdate(req.Update)
+	case req.Approve != nil:
+		ctx, err := r.sessionOrFault(req.Approve.Session)
+		if err != nil {
+			return nil, err
+		}
+		return ack(req.Approve.IDs, r.LCM.ApproveObjects(ctx, req.Approve.IDs...))
+	case req.Deprecate != nil:
+		ctx, err := r.sessionOrFault(req.Deprecate.Session)
+		if err != nil {
+			return nil, err
+		}
+		return ack(req.Deprecate.IDs, r.LCM.DeprecateObjects(ctx, req.Deprecate.IDs...))
+	case req.Undeprecate != nil:
+		ctx, err := r.sessionOrFault(req.Undeprecate.Session)
+		if err != nil {
+			return nil, err
+		}
+		return ack(req.Undeprecate.IDs, r.LCM.UndeprecateObjects(ctx, req.Undeprecate.IDs...))
+	case req.Remove != nil:
+		ctx, err := r.sessionOrFault(req.Remove.Session)
+		if err != nil {
+			return nil, err
+		}
+		return ack(req.Remove.IDs, r.LCM.RemoveObjects(ctx, req.Remove.IDs...))
+	case req.Relocate != nil:
+		ctx, err := r.sessionOrFault(req.Relocate.Session)
+		if err != nil {
+			return nil, err
+		}
+		return ack(req.Relocate.IDs, r.LCM.RelocateObjects(ctx, req.Relocate.Home, req.Relocate.IDs...))
+	case req.GetObject != nil:
+		return r.doGetObject(req.GetObject)
+	case req.Find != nil:
+		return r.doFind(req.Find)
+	case req.Query != nil:
+		return r.doQuery(req.Query)
+	case req.Bindings != nil:
+		return r.doBindings(req.Bindings)
+	case req.Subscribe != nil:
+		return r.doSubscribe(req.Subscribe)
+	case req.Unsubscribe != nil:
+		return r.doUnsubscribe(req.Unsubscribe)
+	default:
+		return nil, soap.ClientFault("empty RegistryRequest")
+	}
+}
+
+// sessionOrFault requires an authenticated session for LCM operations
+// (§2.2.3: "unauthenticated clients cannot access the LifeCycleManager").
+func (r *Registry) sessionOrFault(token string) (lcm.Context, error) {
+	if token == "" {
+		return lcm.Guest, soap.ClientFault("authentication required for life-cycle operations")
+	}
+	ctx, err := r.SessionContext(token)
+	if err != nil {
+		return lcm.Guest, soap.ClientFault("invalid session: %v", err)
+	}
+	return ctx, nil
+}
+
+func ack(ids []string, err error) (interface{}, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &RegistryResponse{Status: "Success", IDs: ids}, nil
+}
+
+func (r *Registry) doSubmit(req *SubmitObjectsRequest) (interface{}, error) {
+	ctx, err := r.sessionOrFault(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	objs, ids, err := decodeAll(req.Objects)
+	if err != nil {
+		return nil, soap.ClientFault("%v", err)
+	}
+	if err := r.LCM.SubmitObjects(ctx, objs...); err != nil {
+		return nil, err
+	}
+	return &RegistryResponse{Status: "Success", IDs: ids}, nil
+}
+
+func (r *Registry) doUpdate(req *UpdateObjectsRequest) (interface{}, error) {
+	ctx, err := r.sessionOrFault(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	objs, ids, err := decodeAll(req.Objects)
+	if err != nil {
+		return nil, soap.ClientFault("%v", err)
+	}
+	if err := r.LCM.UpdateObjects(ctx, objs...); err != nil {
+		return nil, err
+	}
+	return &RegistryResponse{Status: "Success", IDs: ids}, nil
+}
+
+func decodeAll(wires []WireObject) ([]rim.Object, []string, error) {
+	objs := make([]rim.Object, 0, len(wires))
+	ids := make([]string, 0, len(wires))
+	for i := range wires {
+		o, err := wires[i].FromWire()
+		if err != nil {
+			return nil, nil, err
+		}
+		objs = append(objs, o)
+		ids = append(ids, o.Base().ID)
+	}
+	return objs, ids, nil
+}
+
+func (r *Registry) doGetObject(req *GetObjectRequest) (interface{}, error) {
+	o, err := r.QM.GetRegistryObject(req.ID)
+	if err != nil {
+		return nil, soap.ClientFault("%v", err)
+	}
+	w, err := ToWire(o)
+	if err != nil {
+		return nil, err
+	}
+	return &GetObjectResponse{Object: *w}, nil
+}
+
+func (r *Registry) doFind(req *FindObjectsRequest) (interface{}, error) {
+	t, err := kindToType(req.Kind)
+	if err != nil {
+		return nil, soap.ClientFault("%v", err)
+	}
+	resp := &FindObjectsResponse{}
+	for _, o := range r.QM.FindObjects(t, req.NamePattern) {
+		w, err := ToWire(o)
+		if err != nil {
+			continue // non-wireable kinds are skipped in listings
+		}
+		resp.Objects = append(resp.Objects, *w)
+	}
+	return resp, nil
+}
+
+func kindToType(kind string) (rim.ObjectType, error) {
+	switch kind {
+	case "Organization":
+		return rim.TypeOrganization, nil
+	case "Service":
+		return rim.TypeService, nil
+	case "Association":
+		return rim.TypeAssociation, nil
+	case "User":
+		return rim.TypeUser, nil
+	case "RegistryPackage":
+		return rim.TypeRegistryPackage, nil
+	case "ExternalLink":
+		return rim.TypeExternalLink, nil
+	case "AdhocQuery":
+		return rim.TypeAdhocQuery, nil
+	case "ClassificationScheme":
+		return rim.TypeClassificationScheme, nil
+	case "ClassificationNode":
+		return rim.TypeClassificationNode, nil
+	default:
+		return "", fmt.Errorf("registry: unknown object kind %q", kind)
+	}
+}
+
+func (r *Registry) doQuery(req *AdhocQueryWireRequest) (interface{}, error) {
+	params := make(map[string]sqlq.Value, len(req.Params))
+	for _, p := range req.Params {
+		if p.Type == "number" {
+			n, err := strconv.ParseFloat(p.Value, 64)
+			if err != nil {
+				return nil, soap.ClientFault("bad numeric parameter %s=%q", p.Name, p.Value)
+			}
+			params[p.Name] = n
+		} else {
+			params[p.Name] = p.Value
+		}
+	}
+	var resp *qm.AdhocQueryResponse
+	var err error
+	if req.StoredQueryName != "" {
+		resp, err = r.QM.InvokeStoredQuery(req.StoredQueryName, params, req.StartIndex, req.MaxResults)
+	} else {
+		resp, err = r.QM.SubmitAdhocQuery(qm.AdhocQueryRequest{
+			Syntax: req.Syntax, Query: req.Query, Params: params,
+			StartIndex: req.StartIndex, MaxResults: req.MaxResults,
+		})
+	}
+	if err != nil {
+		return nil, soap.ClientFault("%v", err)
+	}
+	wire := &AdhocQueryWireResponse{
+		StartIndex:        resp.StartIndex,
+		TotalResultsCount: resp.TotalResultsCount,
+		Columns:           resp.Columns,
+	}
+	for _, row := range resp.Rows {
+		wr := WireRow{Cells: make([]WireCell, len(row))}
+		for i, v := range row {
+			if v == nil {
+				wr.Cells[i] = WireCell{Null: true}
+			} else {
+				wr.Cells[i] = WireCell{Value: fmt.Sprintf("%v", v)}
+			}
+		}
+		wire.Rows = append(wire.Rows, wr)
+	}
+	return wire, nil
+}
+
+func (r *Registry) doBindings(req *GetBindingsRequest) (interface{}, error) {
+	var uris []string
+	var dec core.Decision
+	var err error
+	switch {
+	case req.ServiceID != "":
+		uris, dec, err = r.QM.GetServiceBindings(req.ServiceID)
+	case req.ServiceName != "":
+		uris, dec, err = r.QM.GetServiceBindingsByName(req.ServiceName)
+	default:
+		return nil, soap.ClientFault("GetBindingsRequest needs serviceId or serviceName")
+	}
+	if err != nil {
+		return nil, soap.ClientFault("%v", err)
+	}
+	return &GetBindingsResponse{
+		URIs:       uris,
+		Filtered:   dec.Filtered,
+		Eligible:   dec.Eligible(),
+		Unknown:    dec.Unknown(),
+		Ineligible: dec.Ineligible(),
+		WindowOK:   dec.TimeWindowOK,
+	}, nil
+}
+
+// authRequest is the union body for /soap/auth.
+type authRequest struct {
+	XMLName   struct{}          `xml:"AuthRequest"`
+	Register  *RegisterRequest  `xml:"RegisterRequest"`
+	Challenge *ChallengeRequest `xml:"ChallengeRequest"`
+	Login     *LoginRequest     `xml:"LoginRequest"`
+}
+
+func (r *Registry) handleAuthSOAP(req *authRequest) (interface{}, error) {
+	switch {
+	case req.Register != nil:
+		creds, user, err := r.Registrar.Register(req.Register.Alias, req.Register.Password,
+			rim.PersonName{FirstName: req.Register.FirstName, LastName: req.Register.LastName})
+		if err != nil {
+			return nil, soap.ClientFault("%v", err)
+		}
+		if err := r.Store.Put(user); err != nil {
+			return nil, err
+		}
+		return &RegisterResponse{UserID: user.ID, CertPEM: string(creds.CertPEM), KeyPEM: string(creds.KeyPEM)}, nil
+	case req.Challenge != nil:
+		nonce, err := r.Registrar.Challenge(req.Challenge.Alias)
+		if err != nil {
+			return nil, soap.ClientFault("%v", err)
+		}
+		return &ChallengeResponse{Nonce: base64.StdEncoding.EncodeToString(nonce)}, nil
+	case req.Login != nil:
+		sig, err := base64.StdEncoding.DecodeString(req.Login.Signature)
+		if err != nil {
+			return nil, soap.ClientFault("bad signature encoding: %v", err)
+		}
+		token, userID, err := r.Registrar.Login(req.Login.Alias, sig)
+		if err != nil {
+			return nil, soap.ClientFault("%v", err)
+		}
+		return &LoginResponse{Token: token, UserID: userID}, nil
+	default:
+		return nil, soap.ClientFault("empty AuthRequest")
+	}
+}
+
+// --- HTTP GET (REST) binding: QueryManager only --------------------------
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func (r *Registry) handleGetObject(w http.ResponseWriter, req *http.Request) {
+	id := req.URL.Query().Get("id")
+	o, err := r.QM.GetRegistryObject(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	wire, err := ToWire(o)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, wire)
+}
+
+func (r *Registry) handleFind(w http.ResponseWriter, req *http.Request) {
+	kind := req.URL.Query().Get("kind")
+	pattern := req.URL.Query().Get("name")
+	t, err := kindToType(kind)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var out []*WireObject
+	for _, o := range r.QM.FindObjects(t, pattern) {
+		if wire, err := ToWire(o); err == nil {
+			out = append(out, wire)
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (r *Registry) handleBindings(w http.ResponseWriter, req *http.Request) {
+	name := req.URL.Query().Get("service")
+	if name == "" {
+		http.Error(w, "missing service parameter", http.StatusBadRequest)
+		return
+	}
+	uris, dec, err := r.QM.GetServiceBindingsByName(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"uris":       uris,
+		"filtered":   dec.Filtered,
+		"eligible":   dec.Eligible(),
+		"unknown":    dec.Unknown(),
+		"ineligible": dec.Ineligible(),
+		"windowOk":   dec.TimeWindowOK,
+	})
+}
+
+func (r *Registry) handleQuery(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	syntax := req.URL.Query().Get("syntax")
+	start, _ := strconv.Atoi(req.URL.Query().Get("start"))
+	max, _ := strconv.Atoi(req.URL.Query().Get("max"))
+	resp, err := r.QM.SubmitAdhocQuery(qm.AdhocQueryRequest{
+		Syntax: syntax, Query: q, StartIndex: start, MaxResults: max,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (r *Registry) handleNodeState(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, r.Store.NodeState().Rows())
+}
+
+// handleContent serves repository artifacts by ExtrinsicObject id — the
+// "any metadata or artifact ... addressable via an HTTP URL" row of
+// Table 1.1.
+func (r *Registry) handleContent(w http.ResponseWriter, req *http.Request) {
+	id := req.URL.Query().Get("id")
+	eo, content, err := r.GetRepositoryItem(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	ct := eo.MimeType
+	if ct == "" {
+		ct = "application/octet-stream"
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Write(content)
+}

@@ -1,0 +1,176 @@
+// Package registry assembles the complete ebXML registry server of thesis
+// Figure 2.1: persistence (store), the LifeCycleManager and QueryManager
+// interfaces, XACML authorization, the audit trail, the event bus, user
+// authentication, the load-balancing core, and the NodeStatus collector —
+// exposed both as direct Go method calls (freebXML's localCall mode) and
+// over HTTP via SOAP and HTTP-GET bindings (see httpserver.go).
+package registry
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/auth"
+	"repro/internal/cataloger"
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/lcm"
+	"repro/internal/nodestate"
+	"repro/internal/nodestatus"
+	"repro/internal/qm"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+	"repro/internal/store"
+	"repro/internal/taxonomy"
+	"repro/internal/xacml"
+)
+
+// AdminAlias is the built-in registry operator account (the thesis's
+// registryOperator identity, §3.4.3).
+const AdminAlias = "registryOperator"
+
+// Config tunes a registry instance.
+type Config struct {
+	// Clock drives timestamps, sessions, constraints and collection;
+	// nil means the real clock.
+	Clock simclock.Clock
+	// Policy is the balancer arrangement policy; the thesis's scheme is
+	// PolicyFilter. PolicyStock disables load balancing (the baseline).
+	Policy core.Policy
+	// TimeMode selects out-of-window behaviour (see core).
+	TimeMode core.TimeWindowMode
+	// Freshness is the NodeState staleness cutoff; 0 disables it.
+	Freshness time.Duration
+	// FallbackAll returns load-ordered URIs when nothing is eligible.
+	FallbackAll bool
+	// CollectionPeriod overrides the 25 s NodeStatus poll period.
+	CollectionPeriod time.Duration
+	// Invoker performs NodeStatus invocations; nil means HTTP.
+	Invoker nodestatus.Invoker
+	// Versioning enables automatic version bumps on update.
+	Versioning bool
+	// AccessPolicy overrides the default XACML policy.
+	AccessPolicy *xacml.Policy
+}
+
+// Registry is an assembled registry server.
+type Registry struct {
+	Store     *store.Store
+	Clock     simclock.Clock
+	Balancer  *core.Balancer
+	LCM       *lcm.Manager
+	QM        *qm.Manager
+	Trail     *audit.Trail
+	Bus       *events.Bus
+	Registrar *auth.Registrar
+	Collector *nodestate.Collector
+
+	adminID string
+	catOnce sync.Once
+	cat     *cataloger.Registry
+
+	outboxMu sync.Mutex
+	outboxes []*events.EmailDeliverer
+}
+
+// New builds a registry from cfg.
+func New(cfg Config) (*Registry, error) {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = simclock.Real{}
+	}
+	s := store.New()
+	bal := &core.Balancer{
+		Table:       s.NodeState(),
+		Policy:      cfg.Policy,
+		TimeMode:    cfg.TimeMode,
+		Freshness:   cfg.Freshness,
+		FallbackAll: cfg.FallbackAll,
+	}
+	trail := audit.New(s, clk)
+	bus := events.NewBus()
+	policy := cfg.AccessPolicy
+	if policy == nil {
+		policy = xacml.DefaultPolicy()
+	}
+	lifecycle := lcm.New(s, policy, trail, bus)
+	lifecycle.Versioning = cfg.Versioning
+	query := qm.New(s, bal, clk)
+	registrar := auth.NewRegistrar(clk)
+
+	invoker := cfg.Invoker
+	if invoker == nil {
+		invoker = nodestatus.HTTPInvoker{}
+	}
+	var opts []nodestate.Option
+	if cfg.CollectionPeriod > 0 {
+		opts = append(opts, nodestate.WithPeriod(cfg.CollectionPeriod))
+	}
+	collector := nodestate.New(s.NodeState(), invoker, clk, query.CollectionTargets, opts...)
+
+	r := &Registry{
+		Store:     s,
+		Clock:     clk,
+		Balancer:  bal,
+		LCM:       lifecycle,
+		QM:        query,
+		Trail:     trail,
+		Bus:       bus,
+		Registrar: registrar,
+		Collector: collector,
+	}
+
+	// Seed the canonical classification schemes (Table 1.2 + the
+	// registry's own ObjectType/AssociationType schemes).
+	if _, err := taxonomy.Seed(s); err != nil {
+		return nil, err
+	}
+
+	// Bootstrap the registry operator account.
+	_, adminUser, err := registrar.Register(AdminAlias, auth.DefaultKeystorePassword,
+		rim.PersonName{FirstName: "Registry", LastName: "Operator"})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Put(adminUser); err != nil {
+		return nil, err
+	}
+	r.adminID = adminUser.ID
+	return r, nil
+}
+
+// AdminContext returns the operator's LCM context.
+func (r *Registry) AdminContext() lcm.Context {
+	return lcm.Context{UserID: r.adminID, Roles: []string{xacml.RoleAdministrator}}
+}
+
+// ContextFor builds the LCM context for an authenticated user id.
+func (r *Registry) ContextFor(userID string) lcm.Context {
+	roles := []string{xacml.RoleRegisteredUser}
+	if userID == r.adminID {
+		roles = append(roles, xacml.RoleAdministrator)
+	}
+	return lcm.Context{UserID: userID, Roles: roles}
+}
+
+// SessionContext resolves a session token to an LCM context; an empty or
+// invalid token yields the guest context and an error callers may ignore
+// for read-only paths.
+func (r *Registry) SessionContext(token string) (lcm.Context, error) {
+	if token == "" {
+		return lcm.Guest, nil
+	}
+	userID, err := r.Registrar.Validate(token)
+	if err != nil {
+		return lcm.Guest, err
+	}
+	return r.ContextFor(userID), nil
+}
+
+// RunCollector runs the NodeStatus collection loop until ctx is done —
+// the TimeHits timer the thesis starts inside the registry server.
+func (r *Registry) RunCollector(ctx context.Context) {
+	r.Collector.Run(ctx)
+}

@@ -1,0 +1,104 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cataloger"
+	"repro/internal/lcm"
+	"repro/internal/rim"
+	"repro/internal/store"
+)
+
+// The repository half of the registry/repository pairing (thesis §1.2,
+// §2.2.3): ExtrinsicObject metadata lives in the registry, the artifact
+// bytes live in the content store, and publication runs the content
+// through validation and automatic cataloging (Table 1.1's WSDL features).
+
+// catalogers is the registry's cataloger chain; it is created lazily so
+// Registry's zero-setup tests don't pay for it.
+func (r *Registry) catalogers() *cataloger.Registry {
+	r.catOnce.Do(func() { r.cat = cataloger.NewRegistry() })
+	return r.cat
+}
+
+// RegisterCataloger appends a custom validation/cataloging service.
+func (r *Registry) RegisterCataloger(c cataloger.Cataloger) {
+	r.catalogers().Register(c)
+}
+
+// SubmitRepositoryItem publishes one repository artifact: the content is
+// validated and cataloged (slots extracted onto eo), the bytes stored
+// under eo.ContentID, and the metadata submitted through the normal
+// life-cycle path (authorization, audit, notification included).
+func (r *Registry) SubmitRepositoryItem(ctx lcm.Context, eo *rim.ExtrinsicObject, content []byte) error {
+	if eo == nil {
+		return fmt.Errorf("registry: nil extrinsic object")
+	}
+	if eo.ContentID == "" {
+		eo.ContentID = rim.NewUUID()
+	}
+	if err := r.catalogers().Catalog(eo, content); err != nil {
+		return fmt.Errorf("registry: content rejected: %w", err)
+	}
+	if err := r.LCM.SubmitObjects(ctx, eo); err != nil {
+		return err
+	}
+	r.Store.PutContent(eo.ContentID, content)
+	return nil
+}
+
+// GetRepositoryItem retrieves an artifact's metadata and bytes by object
+// id.
+func (r *Registry) GetRepositoryItem(id string) (*rim.ExtrinsicObject, []byte, error) {
+	o, err := r.Store.Get(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	eo, ok := o.(*rim.ExtrinsicObject)
+	if !ok {
+		return nil, nil, fmt.Errorf("registry: %s is not repository content", id)
+	}
+	content, err := r.Store.GetContent(eo.ContentID)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eo, content, nil
+}
+
+// RemoveRepositoryItem deletes the artifact and its metadata.
+func (r *Registry) RemoveRepositoryItem(ctx lcm.Context, id string) error {
+	o, err := r.Store.Get(id)
+	if err != nil {
+		return err
+	}
+	eo, ok := o.(*rim.ExtrinsicObject)
+	if !ok {
+		return fmt.Errorf("registry: %s is not repository content", id)
+	}
+	if err := r.LCM.RemoveObjects(ctx, id); err != nil {
+		return err
+	}
+	r.Store.DeleteContent(eo.ContentID)
+	return nil
+}
+
+// FindRepositoryItemsByWSDLNamespace is one of freebXML's predefined WSDL
+// discovery queries ("Find all WSDLs that use a specified namespace or
+// namespace pattern", Table 1.1). The pattern uses SQL LIKE syntax.
+func (r *Registry) FindRepositoryItemsByWSDLNamespace(pattern string) []*rim.ExtrinsicObject {
+	var out []*rim.ExtrinsicObject
+	for _, o := range r.Store.ByType(rim.TypeExtrinsicObject) {
+		eo, ok := o.(*rim.ExtrinsicObject)
+		if !ok {
+			continue
+		}
+		if ns, present := eo.SlotValue(cataloger.SlotWSDLTargetNamespace); present && store.MatchLike(ns, pattern) {
+			out = append(out, eo)
+		}
+	}
+	return out
+}
+
+// ErrNotRepositoryContent helps callers distinguish type mismatches.
+var ErrNotRepositoryContent = errors.New("registry: not repository content")

@@ -1,0 +1,129 @@
+package registry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cataloger"
+	"repro/internal/rim"
+)
+
+const adderWSDL = `<?xml version="1.0"?>
+<definitions name="Adder" targetNamespace="http://sdsu.edu/adder"
+    xmlns="http://schemas.xmlsoap.org/wsdl/"
+    xmlns:soap="http://schemas.xmlsoap.org/wsdl/soap/">
+  <portType name="AdderPortType"/>
+  <binding name="AdderSoapBinding"/>
+  <service name="addService">
+    <port name="AdderPort" binding="tns:AdderSoapBinding">
+      <soap:address location="http://thermo.sdsu.edu:8080/Adder/addService"/>
+    </port>
+  </service>
+</definitions>`
+
+func TestSubmitRepositoryItemCatalogsWSDL(t *testing.T) {
+	reg := newRegistry(t)
+	ctx := reg.AdminContext()
+	eo := rim.NewExtrinsicObject("adder.wsdl", "text/xml")
+	if err := reg.SubmitRepositoryItem(ctx, eo, []byte(adderWSDL)); err != nil {
+		t.Fatal(err)
+	}
+	got, content, err := reg.GetRepositoryItem(eo.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(content) != adderWSDL {
+		t.Fatal("content mismatch")
+	}
+	if ns, _ := got.SlotValue(cataloger.SlotWSDLTargetNamespace); ns != "http://sdsu.edu/adder" {
+		t.Fatalf("namespace slot = %q", ns)
+	}
+	// The predefined WSDL discovery query finds it by namespace pattern.
+	found := reg.FindRepositoryItemsByWSDLNamespace("http://sdsu.edu/%")
+	if len(found) != 1 || found[0].ID != eo.ID {
+		t.Fatalf("namespace search = %+v", found)
+	}
+	if len(reg.FindRepositoryItemsByWSDLNamespace("urn:none%")) != 0 {
+		t.Fatal("namespace search over-matched")
+	}
+}
+
+func TestSubmitRepositoryItemRejectsBadWSDL(t *testing.T) {
+	reg := newRegistry(t)
+	eo := rim.NewExtrinsicObject("bad.wsdl", "application/wsdl+xml")
+	err := reg.SubmitRepositoryItem(reg.AdminContext(), eo, []byte(`<definitions targetNamespace="urn:x"/>`))
+	if err == nil || !strings.Contains(err.Error(), "content rejected") {
+		t.Fatalf("bad wsdl: %v", err)
+	}
+	// Nothing leaked into the store.
+	if reg.Store.Has(eo.ID) {
+		t.Fatal("rejected metadata stored")
+	}
+}
+
+func TestRemoveRepositoryItem(t *testing.T) {
+	reg := newRegistry(t)
+	ctx := reg.AdminContext()
+	eo := rim.NewExtrinsicObject("doc.xml", "text/xml")
+	if err := reg.SubmitRepositoryItem(ctx, eo, []byte(`<doc/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RemoveRepositoryItem(ctx, eo.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.GetRepositoryItem(eo.ID); err == nil {
+		t.Fatal("item survived removal")
+	}
+	if _, err := reg.Store.GetContent(eo.ContentID); err == nil {
+		t.Fatal("content survived removal")
+	}
+}
+
+func TestRepositoryItemTypeMismatch(t *testing.T) {
+	reg := newRegistry(t)
+	org := rim.NewOrganization("SDSU")
+	if err := reg.LCM.SubmitObjects(reg.AdminContext(), org); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.GetRepositoryItem(org.ID); err == nil {
+		t.Fatal("organization served as content")
+	}
+	if err := reg.RemoveRepositoryItem(reg.AdminContext(), org.ID); err == nil {
+		t.Fatal("organization removed as content")
+	}
+}
+
+func TestContentHTTPBinding(t *testing.T) {
+	reg := newRegistry(t)
+	eo := rim.NewExtrinsicObject("adder.wsdl", "text/xml")
+	if err := reg.SubmitRepositoryItem(reg.AdminContext(), eo, []byte(adderWSDL)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/registry/content?id=" + eo.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || string(body) != adderWSDL {
+		t.Fatalf("content binding: %d %q", resp.StatusCode, body[:min(40, len(body))])
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/xml" {
+		t.Fatalf("content type = %q", ct)
+	}
+	if resp2, _ := http.Get(srv.URL + "/registry/content?id=urn:uuid:ghost"); resp2.StatusCode != 404 {
+		t.Fatalf("ghost content status = %d", resp2.StatusCode)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

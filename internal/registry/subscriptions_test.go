@@ -1,0 +1,143 @@
+package registry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/rim"
+	"repro/internal/soap"
+)
+
+func TestSubscribeEmailDelivery(t *testing.T) {
+	reg := newRegistry(t)
+	id, err := reg.Subscribe("urn:uuid:watcher",
+		events.Selector{ObjectType: rim.TypeService, NamePattern: "Demo%"},
+		"", "watcher@sdsu.edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := rim.NewService("DemoSvc", "")
+	svc.AddBinding("http://h.example/x")
+	if err := reg.LCM.SubmitObjects(reg.AdminContext(), svc); err != nil {
+		t.Fatal(err)
+	}
+	outbox := reg.EmailOutbox()
+	if len(outbox) != 1 || !strings.Contains(outbox[0], "watcher@sdsu.edu") || !strings.Contains(outbox[0], "DemoSvc") {
+		t.Fatalf("outbox = %v", outbox)
+	}
+	// Non-matching events stay silent.
+	if err := reg.LCM.SubmitObjects(reg.AdminContext(), rim.NewOrganization("Org")); err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.EmailOutbox()) != 1 {
+		t.Fatal("organization event leaked to service subscription")
+	}
+	if !reg.Unsubscribe(id) {
+		t.Fatal("unsubscribe failed")
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	reg := newRegistry(t)
+	if _, err := reg.Subscribe("u", events.Selector{}, "", ""); err == nil {
+		t.Fatal("no delivery target accepted")
+	}
+	if _, err := reg.Subscribe("u", events.Selector{}, "http://x/", "y@z"); err == nil {
+		t.Fatal("two delivery targets accepted")
+	}
+}
+
+func TestSubscribeOverSOAPWithWebServiceDelivery(t *testing.T) {
+	reg := newRegistry(t)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	token := registerAndLogin(t, client, srv.URL, "subscriber")
+
+	// A listener Web Service that records notifications.
+	var got []events.WireNotification
+	listener := httptest.NewServer(soap.Endpoint(func(n *events.WireNotification) (interface{}, error) {
+		got = append(got, *n)
+		return &struct {
+			XMLName struct{} `xml:"Ack"`
+		}{}, nil
+	}))
+	defer listener.Close()
+
+	var sub SubscribeResponse
+	err := soap.Post(client, srv.URL+"/soap/registry", &soapRequest{Subscribe: &SubscribeRequest{
+		Session: token, ObjectKind: "Service", NamePattern: "Watched%",
+		EventTypes: []string{"Created"}, NotifyURI: listener.URL,
+	}}, &sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.SubscriptionID == "" {
+		t.Fatal("no subscription id")
+	}
+
+	// Publish a matching service over SOAP; the listener must hear it.
+	var resp RegistryResponse
+	submit := &SubmitObjectsRequest{Session: token, Objects: []WireObject{{
+		Kind: "Service", Name: "WatchedService",
+		Bindings: []WireBinding{{AccessURI: "http://h.example/w"}},
+	}}}
+	if err := soap.Post(client, srv.URL+"/soap/registry", &soapRequest{Submit: submit}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].EventKind != "Created" || len(got[0].ObjectIDs) != 1 {
+		t.Fatalf("notifications = %+v", got)
+	}
+
+	// Deleting the service fires no event (subscription is Created-only).
+	remove := &RemoveObjectsRequest{ObjectRefRequest: ObjectRefRequest{Session: token, IDs: resp.IDs}}
+	if err := soap.Post(client, srv.URL+"/soap/registry", &soapRequest{Remove: remove}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("delete leaked: %+v", got)
+	}
+
+	// Unsubscribe over SOAP.
+	var ack RegistryResponse
+	err = soap.Post(client, srv.URL+"/soap/registry", &soapRequest{Unsubscribe: &UnsubscribeRequest{
+		Session: token, SubscriptionID: sub.SubscriptionID,
+	}}, &ack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown id now faults.
+	err = soap.Post(client, srv.URL+"/soap/registry", &soapRequest{Unsubscribe: &UnsubscribeRequest{
+		Session: token, SubscriptionID: sub.SubscriptionID,
+	}}, &ack)
+	if err == nil {
+		t.Fatal("double unsubscribe accepted")
+	}
+}
+
+func TestSubscribeRequiresSession(t *testing.T) {
+	reg := newRegistry(t)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	var sub SubscribeResponse
+	err := soap.Post(srv.Client(), srv.URL+"/soap/registry", &soapRequest{Subscribe: &SubscribeRequest{
+		Email: "x@y",
+	}}, &sub)
+	if err == nil {
+		t.Fatal("anonymous subscribe accepted")
+	}
+}
+
+func TestTaxonomySeededInRegistry(t *testing.T) {
+	reg := newRegistry(t)
+	schemes := reg.QM.FindObjects(rim.TypeClassificationScheme, "%")
+	if len(schemes) != 5 {
+		t.Fatalf("seeded schemes = %d", len(schemes))
+	}
+	nodes := reg.QM.FindObjects(rim.TypeClassificationNode, "%")
+	if len(nodes) < 30 {
+		t.Fatalf("seeded nodes = %d", len(nodes))
+	}
+}

@@ -1,0 +1,118 @@
+package registry
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// A minimal read-only Web UI — the thin-browser counterpart of the
+// freebXML Web UI the thesis drives in §3.4.4.1 (search form, object
+// listings with details, and a live NodeState view). Publishing stays on
+// the SOAP binding and the AccessRegistry API, exactly as the HTTP binding
+// "only supports search queries" (§2.2.3).
+
+var uiTemplate = template.Must(template.New("ui").Parse(`<!DOCTYPE html>
+<html><head><title>ebXML Registry</title>
+<style>
+ body { font-family: sans-serif; margin: 2em; }
+ table { border-collapse: collapse; margin: 1em 0; }
+ td, th { border: 1px solid #999; padding: 0.3em 0.7em; text-align: left; }
+ th { background: #eee; }
+ .muted { color: #666; font-size: 0.9em; }
+</style></head><body>
+<h1>ebXML Registry Repository</h1>
+<form method="GET" action="/ui">
+ <select name="kind">
+  {{range .Kinds}}<option value="{{.}}" {{if eq . $.Kind}}selected{{end}}>{{.}}</option>{{end}}
+ </select>
+ <input type="text" name="name" value="{{.Pattern}}" placeholder="name pattern, %% = wildcard">
+ <input type="submit" value="Search">
+</form>
+{{if .Objects}}
+<h2>{{.Kind}} objects matching “{{.Pattern}}”</h2>
+<table>
+ <tr><th>Name</th><th>Description</th><th>Status</th><th>Version</th><th>ID</th></tr>
+ {{range .Objects}}
+ <tr><td>{{.Name}}</td><td>{{.Description}}</td><td>{{.Status}}</td><td>{{.Version}}</td>
+     <td class="muted">{{.ID}}</td></tr>
+ {{end}}
+</table>
+{{else}}<p class="muted">No matches.</p>{{end}}
+<h2>NodeState</h2>
+{{if .Nodes}}
+<table>
+ <tr><th>Host</th><th>Load</th><th>Free memory</th><th>Free swap</th><th>Updated</th><th>Failures</th></tr>
+ {{range .Nodes}}
+ <tr><td>{{.Host}}</td><td>{{printf "%.2f" .Load}}</td><td>{{.MemoryB}}</td>
+     <td>{{.SwapB}}</td><td>{{.Updated}}</td><td>{{.Failures}}</td></tr>
+ {{end}}
+</table>
+{{else}}<p class="muted">No NodeStatus data collected yet.</p>{{end}}
+<p class="muted">{{.Count}} objects in the registry. Publishing requires the SOAP binding or the AccessRegistry API.</p>
+</body></html>`))
+
+type uiRow struct {
+	Name, Description, Status, Version, ID string
+}
+
+type uiData struct {
+	Kinds   []string
+	Kind    string
+	Pattern string
+	Objects []uiRow
+	Nodes   interface{}
+	Count   int
+}
+
+var uiKinds = []string{
+	"Organization", "Service", "Association", "User",
+	"ClassificationScheme", "ClassificationNode", "RegistryPackage",
+	"ExternalLink", "AdhocQuery",
+}
+
+func (r *Registry) handleUI(w http.ResponseWriter, req *http.Request) {
+	kind := req.URL.Query().Get("kind")
+	if kind == "" {
+		kind = "Organization"
+	}
+	pattern := req.URL.Query().Get("name")
+	if pattern == "" {
+		pattern = "%"
+	}
+	t, err := kindToType(kind)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data := uiData{
+		Kinds:   uiKinds,
+		Kind:    kind,
+		Pattern: pattern,
+		Nodes:   r.Store.NodeState().Rows(),
+		Count:   r.Store.Len(),
+	}
+	for _, o := range r.QM.FindObjects(t, pattern) {
+		b := o.Base()
+		desc := b.Description.String()
+		if len(desc) > 120 {
+			desc = desc[:117] + "..."
+		}
+		data.Objects = append(data.Objects, uiRow{
+			Name:        b.Name.String(),
+			Description: desc,
+			Status:      string(b.Status),
+			Version:     b.Version.VersionName,
+			ID:          b.ID,
+		})
+	}
+	sort.Slice(data.Objects, func(i, j int) bool {
+		return strings.ToLower(data.Objects[i].Name) < strings.ToLower(data.Objects[j].Name)
+	})
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := uiTemplate.Execute(w, data); err != nil {
+		fmt.Fprintf(w, "<!-- render error: %v -->", err)
+	}
+}

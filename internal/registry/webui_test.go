@@ -1,0 +1,80 @@
+package registry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/rim"
+	"repro/internal/store"
+)
+
+func getUI(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestWebUISearchAndNodeState(t *testing.T) {
+	reg := newRegistry(t)
+	org := rim.NewOrganization("San Diego State University (SDSU)")
+	svc := rim.NewService("NodeStatus", "Service to monitor node status")
+	svc.AddBinding("http://thermo.sdsu.edu:8080/NodeStatus/NodeStatusService")
+	if err := reg.LCM.SubmitObjects(reg.AdminContext(), org, svc); err != nil {
+		t.Fatal(err)
+	}
+	reg.Store.NodeState().Upsert(store.NodeState{Host: "thermo.sdsu.edu", Load: 1.23, MemoryB: 1 << 30, Updated: t0})
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	// Default view lists organizations and the NodeState table.
+	code, body := getUI(t, srv.URL+"/ui")
+	if code != 200 || !strings.Contains(body, "San Diego State University") {
+		t.Fatalf("default ui: %d\n%s", code, body[:min(300, len(body))])
+	}
+	if !strings.Contains(body, "thermo.sdsu.edu") || !strings.Contains(body, "1.23") {
+		t.Fatal("nodestate missing from ui")
+	}
+
+	// Service search.
+	code, body = getUI(t, srv.URL+"/ui?kind=Service&name=Node%25")
+	if code != 200 || !strings.Contains(body, "NodeStatus") {
+		t.Fatalf("service search: %d", code)
+	}
+
+	// Empty result message.
+	_, body = getUI(t, srv.URL+"/ui?kind=Service&name=Nomatch%25")
+	if !strings.Contains(body, "No matches") {
+		t.Fatal("empty-result message missing")
+	}
+
+	// Bad kind is a 400.
+	if code, _ := getUI(t, srv.URL+"/ui?kind=Martian"); code != 400 {
+		t.Fatalf("bad kind: %d", code)
+	}
+}
+
+func TestWebUIEscapesHTML(t *testing.T) {
+	reg := newRegistry(t)
+	org := rim.NewOrganization(`<script>alert("xss")</script>`)
+	if err := reg.LCM.SubmitObjects(reg.AdminContext(), org); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	_, body := getUI(t, srv.URL+"/ui")
+	if strings.Contains(body, "<script>alert") {
+		t.Fatal("unescaped name in ui")
+	}
+	if !strings.Contains(body, "&lt;script&gt;") {
+		t.Fatal("escaped name missing")
+	}
+}

@@ -1,0 +1,257 @@
+package registry
+
+import (
+	"fmt"
+
+	"repro/internal/rim"
+)
+
+// WireObject is the XML wire form of a registry object, used by the SOAP
+// protocol bindings. It is a flat union over the concrete ebRIM classes:
+// Kind selects which optional field groups are meaningful. Keeping one
+// wire struct (instead of one element per class) mirrors freebXML's
+// RegistryObjectList, where heterogeneous objects travel in one list.
+type WireObject struct {
+	XMLName struct{} `xml:"RegistryObject"`
+	Kind    string   `xml:"kind,attr"`
+
+	ID          string `xml:"id,attr"`
+	LID         string `xml:"lid,attr,omitempty"`
+	Status      string `xml:"status,attr,omitempty"`
+	Owner       string `xml:"owner,attr,omitempty"`
+	Home        string `xml:"home,attr,omitempty"`
+	Version     string `xml:"versionName,attr,omitempty"`
+	Name        string `xml:"Name,omitempty"`
+	Description string `xml:"Description,omitempty"`
+
+	Slots []WireSlot `xml:"Slot,omitempty"`
+
+	// Organization / User fields.
+	Addresses  []WireAddress   `xml:"PostalAddress,omitempty"`
+	Emails     []WireEmail     `xml:"EmailAddress,omitempty"`
+	Telephones []WireTelephone `xml:"TelephoneNumber,omitempty"`
+	ParentID   string          `xml:"parent,attr,omitempty"`
+
+	// User fields.
+	Alias      string `xml:"alias,attr,omitempty"`
+	FirstName  string `xml:"firstName,attr,omitempty"`
+	MiddleName string `xml:"middleName,attr,omitempty"`
+	LastName   string `xml:"lastName,attr,omitempty"`
+
+	// Service fields.
+	Bindings []WireBinding `xml:"ServiceBinding,omitempty"`
+
+	// Association fields.
+	AssociationType string `xml:"associationType,attr,omitempty"`
+	SourceID        string `xml:"sourceObject,attr,omitempty"`
+	TargetID        string `xml:"targetObject,attr,omitempty"`
+
+	// ExternalLink fields.
+	ExternalURI string `xml:"externalURI,attr,omitempty"`
+
+	// AdhocQuery fields.
+	QuerySyntax string `xml:"querySyntax,attr,omitempty"`
+	QueryText   string `xml:"QueryExpression,omitempty"`
+
+	// ClassificationNode fields.
+	Code string `xml:"code,attr,omitempty"`
+	Path string `xml:"path,attr,omitempty"`
+}
+
+// WireSlot is a Slot on the wire.
+type WireSlot struct {
+	Name   string   `xml:"name,attr"`
+	Values []string `xml:"Value"`
+}
+
+// WireAddress is a PostalAddress on the wire.
+type WireAddress struct {
+	StreetNumber string `xml:"streetNumber,attr,omitempty"`
+	Street       string `xml:"street,attr,omitempty"`
+	City         string `xml:"city,attr,omitempty"`
+	State        string `xml:"stateOrProvince,attr,omitempty"`
+	Country      string `xml:"country,attr,omitempty"`
+	PostalCode   string `xml:"postalCode,attr,omitempty"`
+	Type         string `xml:"type,attr,omitempty"`
+}
+
+// WireEmail is an EmailAddress on the wire.
+type WireEmail struct {
+	Address string `xml:"address,attr"`
+	Type    string `xml:"type,attr,omitempty"`
+}
+
+// WireTelephone is a TelephoneNumber on the wire.
+type WireTelephone struct {
+	CountryCode string `xml:"countryCode,attr,omitempty"`
+	AreaCode    string `xml:"areaCode,attr,omitempty"`
+	Number      string `xml:"number,attr"`
+	Extension   string `xml:"extension,attr,omitempty"`
+	Type        string `xml:"phoneType,attr,omitempty"`
+}
+
+// WireBinding is a ServiceBinding on the wire.
+type WireBinding struct {
+	ID            string `xml:"id,attr,omitempty"`
+	AccessURI     string `xml:"accessURI,attr,omitempty"`
+	TargetBinding string `xml:"targetBinding,attr,omitempty"`
+	Description   string `xml:"Description,omitempty"`
+}
+
+// ToWire converts a rim object to its wire form.
+func ToWire(o rim.Object) (*WireObject, error) {
+	b := o.Base()
+	w := &WireObject{
+		Kind:        b.ObjectType.Short(),
+		ID:          b.ID,
+		LID:         b.LID,
+		Status:      string(b.Status),
+		Owner:       b.Owner,
+		Home:        b.Home,
+		Version:     b.Version.VersionName,
+		Name:        b.Name.String(),
+		Description: b.Description.String(),
+	}
+	for _, s := range b.Slots {
+		w.Slots = append(w.Slots, WireSlot{Name: s.Name, Values: s.Values})
+	}
+	switch v := o.(type) {
+	case *rim.Organization:
+		w.ParentID = v.ParentID
+		for _, a := range v.Addresses {
+			w.Addresses = append(w.Addresses, WireAddress(a))
+		}
+		for _, e := range v.Emails {
+			w.Emails = append(w.Emails, WireEmail(e))
+		}
+		for _, p := range v.Telephones {
+			w.Telephones = append(w.Telephones, WireTelephone(p))
+		}
+	case *rim.User:
+		w.Alias = v.Alias
+		w.FirstName = v.PersonName.FirstName
+		w.MiddleName = v.PersonName.MiddleName
+		w.LastName = v.PersonName.LastName
+	case *rim.Service:
+		for _, bind := range v.Bindings {
+			w.Bindings = append(w.Bindings, WireBinding{
+				ID:            bind.ID,
+				AccessURI:     bind.AccessURI,
+				TargetBinding: bind.TargetBindingID,
+				Description:   bind.Description.String(),
+			})
+		}
+	case *rim.Association:
+		w.AssociationType = string(v.AssociationType)
+		w.SourceID = v.SourceID
+		w.TargetID = v.TargetID
+	case *rim.ExternalLink:
+		w.ExternalURI = v.ExternalURI
+	case *rim.AdhocQuery:
+		w.QuerySyntax = v.QuerySyntax
+		w.QueryText = v.Query
+	case *rim.ClassificationScheme:
+		// no extra fields carried
+	case *rim.ClassificationNode:
+		w.ParentID = v.ParentID
+		w.Code = v.Code
+		w.Path = v.Path
+	case *rim.RegistryPackage:
+		// base fields only
+	default:
+		return nil, fmt.Errorf("registry: cannot wire-encode %T", o)
+	}
+	return w, nil
+}
+
+// FromWire converts a wire object back to a rim object. Objects without an
+// id get a fresh one, so clients may omit ids on submit.
+func (w *WireObject) FromWire() (rim.Object, error) {
+	base := rim.RegistryObject{
+		ID:          w.ID,
+		LID:         w.LID,
+		Name:        rim.NewIString(w.Name),
+		Description: rim.NewIString(w.Description),
+		Status:      rim.Status(w.Status),
+		Owner:       w.Owner,
+		Home:        w.Home,
+		Version:     rim.VersionInfo{VersionName: w.Version},
+	}
+	if base.ID == "" {
+		base.ID = rim.NewUUID()
+	}
+	if base.LID == "" {
+		base.LID = base.ID
+	}
+	if base.Status == "" {
+		base.Status = rim.StatusSubmitted
+	}
+	if base.Version.VersionName == "" {
+		base.Version.VersionName = "1.1"
+	}
+	for _, s := range w.Slots {
+		base.Slots = append(base.Slots, rim.Slot{Name: s.Name, Values: s.Values})
+	}
+
+	switch w.Kind {
+	case "Organization":
+		base.ObjectType = rim.TypeOrganization
+		o := &rim.Organization{RegistryObject: base, ParentID: w.ParentID}
+		for _, a := range w.Addresses {
+			o.Addresses = append(o.Addresses, rim.PostalAddress(a))
+		}
+		for _, e := range w.Emails {
+			o.Emails = append(o.Emails, rim.EmailAddress(e))
+		}
+		for _, p := range w.Telephones {
+			o.Telephones = append(o.Telephones, rim.TelephoneNumber(p))
+		}
+		return o, nil
+	case "User":
+		base.ObjectType = rim.TypeUser
+		return &rim.User{
+			RegistryObject: base,
+			Alias:          w.Alias,
+			PersonName:     rim.PersonName{FirstName: w.FirstName, MiddleName: w.MiddleName, LastName: w.LastName},
+		}, nil
+	case "Service":
+		base.ObjectType = rim.TypeService
+		s := &rim.Service{RegistryObject: base}
+		for _, wb := range w.Bindings {
+			b := rim.NewServiceBinding(s.ID, wb.AccessURI)
+			if wb.ID != "" {
+				b.ID = wb.ID
+				b.LID = wb.ID
+			}
+			b.TargetBindingID = wb.TargetBinding
+			b.Description = rim.NewIString(wb.Description)
+			s.Bindings = append(s.Bindings, b)
+		}
+		return s, nil
+	case "Association":
+		base.ObjectType = rim.TypeAssociation
+		return &rim.Association{
+			RegistryObject:  base,
+			AssociationType: rim.AssociationType(w.AssociationType),
+			SourceID:        w.SourceID,
+			TargetID:        w.TargetID,
+		}, nil
+	case "ExternalLink":
+		base.ObjectType = rim.TypeExternalLink
+		return &rim.ExternalLink{RegistryObject: base, ExternalURI: w.ExternalURI}, nil
+	case "AdhocQuery":
+		base.ObjectType = rim.TypeAdhocQuery
+		return &rim.AdhocQuery{RegistryObject: base, QuerySyntax: w.QuerySyntax, Query: w.QueryText}, nil
+	case "ClassificationScheme":
+		base.ObjectType = rim.TypeClassificationScheme
+		return &rim.ClassificationScheme{RegistryObject: base, IsInternal: true, NodeType: "UniqueCode"}, nil
+	case "ClassificationNode":
+		base.ObjectType = rim.TypeClassificationNode
+		return &rim.ClassificationNode{RegistryObject: base, ParentID: w.ParentID, Code: w.Code, Path: w.Path}, nil
+	case "RegistryPackage":
+		base.ObjectType = rim.TypeRegistryPackage
+		return &rim.RegistryPackage{RegistryObject: base}, nil
+	default:
+		return nil, fmt.Errorf("registry: unknown wire kind %q", w.Kind)
+	}
+}

@@ -1,0 +1,270 @@
+package rim
+
+import "fmt"
+
+// AssociationType names the relationship an Association asserts between its
+// source and target objects.
+type AssociationType string
+
+// Predefined association types (Table 1.5) plus OffersService, the type the
+// thesis uses to relate an Organization to the Services it offers
+// (Fig. 3.44, "OfferService").
+const (
+	AssocHasMember       AssociationType = "HasMember"
+	AssocEquivalentTo    AssociationType = "EquivalentTo"
+	AssocExtends         AssociationType = "Extends"
+	AssocImplements      AssociationType = "Implements"
+	AssocInstanceOf      AssociationType = "InstanceOf"
+	AssocOffersService   AssociationType = "OffersService"
+	AssocRelatedTo       AssociationType = "RelatedTo"
+	AssocUses            AssociationType = "Uses"
+	AssocReplaces        AssociationType = "Replaces"
+	AssocSupersedes      AssociationType = "Supersedes"
+	AssocContains        AssociationType = "Contains"
+	AssocExternallyLinks AssociationType = "ExternallyLinks"
+)
+
+// PredefinedAssociationTypes lists the association types the registry ships
+// with; user-defined types are also accepted (Table 1.1, "User-defined
+// relationship types: Yes").
+var PredefinedAssociationTypes = []AssociationType{
+	AssocHasMember, AssocEquivalentTo, AssocExtends, AssocImplements,
+	AssocInstanceOf, AssocOffersService, AssocRelatedTo, AssocUses,
+	AssocReplaces, AssocSupersedes, AssocContains, AssocExternallyLinks,
+}
+
+// Association is a free-standing RegistryObject that defines a many-to-many
+// relationship between any two objects in the registry.
+type Association struct {
+	RegistryObject
+	AssociationType AssociationType
+	SourceID        string
+	TargetID        string
+	// Confirmed tracks two-party confirmation semantics: an association
+	// between objects owned by different users is visible to third
+	// parties only after both owners confirm it.
+	ConfirmedBySource bool
+	ConfirmedByTarget bool
+}
+
+// NewAssociation relates source to target with the given type.
+func NewAssociation(t AssociationType, sourceID, targetID string) *Association {
+	a := &Association{
+		RegistryObject:  NewRegistryObject(TypeAssociation, string(t)),
+		AssociationType: t,
+		SourceID:        sourceID,
+		TargetID:        targetID,
+	}
+	return a
+}
+
+// Validate checks Association invariants.
+func (a *Association) Validate() error {
+	if err := a.RegistryObject.Validate(); err != nil {
+		return err
+	}
+	if a.AssociationType == "" {
+		return fmt.Errorf("rim: association %s has no type", a.ID)
+	}
+	if a.SourceID == "" || a.TargetID == "" {
+		return fmt.Errorf("rim: association %s must have source and target", a.ID)
+	}
+	if a.SourceID == a.TargetID {
+		return fmt.Errorf("rim: association %s relates %s to itself", a.ID, a.SourceID)
+	}
+	return nil
+}
+
+// Classification classifies a RegistryObject, either internally (by
+// referencing a ClassificationNode) or externally (by naming a scheme and a
+// value within it).
+type Classification struct {
+	RegistryObject
+	ClassifiedObjectID   string
+	ClassificationScheme string // scheme id, for external classification
+	ClassificationNode   string // node id, for internal classification
+	NodeRepresentation   string // value within the external scheme
+}
+
+// NewInternalClassification classifies object by a node of an internal
+// scheme.
+func NewInternalClassification(objectID, nodeID string) *Classification {
+	c := &Classification{RegistryObject: NewRegistryObject(TypeClassification, "")}
+	c.ClassifiedObjectID = objectID
+	c.ClassificationNode = nodeID
+	return c
+}
+
+// NewExternalClassification classifies object by a value within an external
+// scheme (e.g. NAICS code "111330").
+func NewExternalClassification(objectID, schemeID, value string) *Classification {
+	c := &Classification{RegistryObject: NewRegistryObject(TypeClassification, value)}
+	c.ClassifiedObjectID = objectID
+	c.ClassificationScheme = schemeID
+	c.NodeRepresentation = value
+	return c
+}
+
+// Validate checks Classification invariants: exactly one of internal node
+// or external scheme+value must be set.
+func (c *Classification) Validate() error {
+	if err := c.RegistryObject.Validate(); err != nil {
+		return err
+	}
+	internal := c.ClassificationNode != ""
+	external := c.ClassificationScheme != "" || c.NodeRepresentation != ""
+	switch {
+	case internal && external:
+		return fmt.Errorf("rim: classification %s is both internal and external", c.ID)
+	case !internal && !external:
+		return fmt.Errorf("rim: classification %s is neither internal nor external", c.ID)
+	case external && (c.ClassificationScheme == "" || c.NodeRepresentation == ""):
+		return fmt.Errorf("rim: external classification %s needs scheme and value", c.ID)
+	}
+	return nil
+}
+
+// ClassificationScheme describes a structured way to classify objects
+// (taxonomies such as NAICS, UNSPSC, ISO 3166, or user-defined schemes).
+type ClassificationScheme struct {
+	RegistryObject
+	IsInternal bool
+	NodeType   string // "UniqueCode", "EmbeddedPath", or "NonUniqueCode"
+}
+
+// NewClassificationScheme creates a scheme.
+func NewClassificationScheme(name string, internal bool) *ClassificationScheme {
+	s := &ClassificationScheme{RegistryObject: NewRegistryObject(TypeClassificationScheme, name)}
+	s.IsInternal = internal
+	s.NodeType = "UniqueCode"
+	return s
+}
+
+// ClassificationNode is one node of a classification tree rooted at a
+// ClassificationScheme.
+type ClassificationNode struct {
+	RegistryObject
+	ParentID string // scheme id or another node id
+	Code     string
+	Path     string // e.g. "/NAICS/11/111/1113/11133/111330"
+}
+
+// NewClassificationNode creates a node under parent with the given code.
+func NewClassificationNode(parentID, code, name string) *ClassificationNode {
+	n := &ClassificationNode{RegistryObject: NewRegistryObject(TypeClassificationNode, name)}
+	n.ParentID = parentID
+	n.Code = code
+	return n
+}
+
+// Validate checks node invariants.
+func (n *ClassificationNode) Validate() error {
+	if err := n.RegistryObject.Validate(); err != nil {
+		return err
+	}
+	if n.ParentID == "" {
+		return fmt.Errorf("rim: classification node %s has no parent", n.ID)
+	}
+	if n.Code == "" {
+		return fmt.Errorf("rim: classification node %s has no code", n.ID)
+	}
+	return nil
+}
+
+// RegistryPackage groups logically related objects; membership is expressed
+// with HasMember associations.
+type RegistryPackage struct {
+	RegistryObject
+}
+
+// NewRegistryPackage creates a package.
+func NewRegistryPackage(name string) *RegistryPackage {
+	return &RegistryPackage{RegistryObject: NewRegistryObject(TypeRegistryPackage, name)}
+}
+
+// ExternalLink models a named URI to content not managed by the registry.
+type ExternalLink struct {
+	RegistryObject
+	ExternalURI string
+}
+
+// NewExternalLink creates a link object.
+func NewExternalLink(name, uri string) *ExternalLink {
+	l := &ExternalLink{RegistryObject: NewRegistryObject(TypeExternalLink, name)}
+	l.ExternalURI = uri
+	return l
+}
+
+// Validate checks link invariants.
+func (l *ExternalLink) Validate() error {
+	if err := l.RegistryObject.Validate(); err != nil {
+		return err
+	}
+	if l.ExternalURI == "" {
+		return fmt.Errorf("rim: external link %s has no uri", l.ID)
+	}
+	return nil
+}
+
+// ExternalIdentifier provides additional identifier information for an
+// object, such as a DUNS number.
+type ExternalIdentifier struct {
+	RegistryObject
+	RegistryObjectID     string
+	IdentificationScheme string
+	Value                string
+}
+
+// NewExternalIdentifier attaches an identifier from scheme with the given
+// value to an object.
+func NewExternalIdentifier(objectID, scheme, value string) *ExternalIdentifier {
+	e := &ExternalIdentifier{RegistryObject: NewRegistryObject(TypeExternalIdentifier, scheme)}
+	e.RegistryObjectID = objectID
+	e.IdentificationScheme = scheme
+	e.Value = value
+	return e
+}
+
+// Validate checks identifier invariants.
+func (e *ExternalIdentifier) Validate() error {
+	if err := e.RegistryObject.Validate(); err != nil {
+		return err
+	}
+	if e.IdentificationScheme == "" || e.Value == "" {
+		return fmt.Errorf("rim: external identifier %s needs scheme and value", e.ID)
+	}
+	return nil
+}
+
+// AdhocQuery stores a parameterized query as registry metadata so that it
+// can be discovered and invoked by name (Table 1.1, "Stored parameterized
+// queries").
+type AdhocQuery struct {
+	RegistryObject
+	QuerySyntax string // "SQL-92" or "FilterQuery"
+	Query       string // the query text, with $placeholders for parameters
+}
+
+// NewAdhocQuery stores a query under the given name.
+func NewAdhocQuery(name, syntax, query string) *AdhocQuery {
+	q := &AdhocQuery{RegistryObject: NewRegistryObject(TypeAdhocQuery, name)}
+	q.QuerySyntax = syntax
+	q.Query = query
+	return q
+}
+
+// Validate checks query invariants.
+func (q *AdhocQuery) Validate() error {
+	if err := q.RegistryObject.Validate(); err != nil {
+		return err
+	}
+	if q.Query == "" {
+		return fmt.Errorf("rim: adhoc query %s has no query text", q.ID)
+	}
+	switch q.QuerySyntax {
+	case "SQL-92", "FilterQuery":
+	default:
+		return fmt.Errorf("rim: adhoc query %s has unknown syntax %q", q.ID, q.QuerySyntax)
+	}
+	return nil
+}

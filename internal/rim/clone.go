@@ -1,0 +1,213 @@
+package rim
+
+// Deep-copy support. The store never hands out pointers into its own object
+// graph: objects are cloned on Put and on Get so that concurrent readers
+// and writers cannot alias each other's state. Clone methods are written by
+// hand (rather than via reflection or gob round-trips) because discovery is
+// the registry's hot path and binding lists are cloned per query.
+
+// CloneBase deep-copies the embedded RegistryObject fields.
+func (r *RegistryObject) CloneBase() RegistryObject {
+	c := *r
+	c.Name = r.Name.clone()
+	c.Description = r.Description.clone()
+	if r.Slots != nil {
+		c.Slots = make([]Slot, len(r.Slots))
+		for i, s := range r.Slots {
+			c.Slots[i] = Slot{Name: s.Name, SlotType: s.SlotType, Values: append([]string(nil), s.Values...)}
+		}
+	}
+	if r.Classifications != nil {
+		c.Classifications = make([]*Classification, len(r.Classifications))
+		for i, cl := range r.Classifications {
+			c.Classifications[i] = cl.Clone()
+		}
+	}
+	if r.ExternalIdentifiers != nil {
+		c.ExternalIdentifiers = make([]*ExternalIdentifier, len(r.ExternalIdentifiers))
+		for i, e := range r.ExternalIdentifiers {
+			c.ExternalIdentifiers[i] = e.Clone()
+		}
+	}
+	return c
+}
+
+func (s InternationalString) clone() InternationalString {
+	if s.Localized == nil {
+		return s
+	}
+	return InternationalString{Localized: append([]LocalizedString(nil), s.Localized...)}
+}
+
+// Clone deep-copies an Organization.
+func (o *Organization) Clone() *Organization {
+	c := *o
+	c.RegistryObject = o.CloneBase()
+	c.Addresses = append([]PostalAddress(nil), o.Addresses...)
+	c.Emails = append([]EmailAddress(nil), o.Emails...)
+	c.Telephones = append([]TelephoneNumber(nil), o.Telephones...)
+	return &c
+}
+
+// Clone deep-copies a User.
+func (u *User) Clone() *User {
+	c := *u
+	c.RegistryObject = u.CloneBase()
+	c.Addresses = append([]PostalAddress(nil), u.Addresses...)
+	c.Emails = append([]EmailAddress(nil), u.Emails...)
+	c.Telephones = append([]TelephoneNumber(nil), u.Telephones...)
+	return &c
+}
+
+// Clone deep-copies a Service including its bindings.
+func (s *Service) Clone() *Service {
+	c := *s
+	c.RegistryObject = s.CloneBase()
+	if s.Bindings != nil {
+		c.Bindings = make([]*ServiceBinding, len(s.Bindings))
+		for i, b := range s.Bindings {
+			c.Bindings[i] = b.Clone()
+		}
+	}
+	return &c
+}
+
+// Clone deep-copies a ServiceBinding including its specification links.
+func (b *ServiceBinding) Clone() *ServiceBinding {
+	c := *b
+	c.RegistryObject = b.CloneBase()
+	if b.SpecificationLinks != nil {
+		c.SpecificationLinks = make([]*SpecificationLink, len(b.SpecificationLinks))
+		for i, l := range b.SpecificationLinks {
+			c.SpecificationLinks[i] = l.Clone()
+		}
+	}
+	return &c
+}
+
+// Clone deep-copies a SpecificationLink.
+func (l *SpecificationLink) Clone() *SpecificationLink {
+	c := *l
+	c.RegistryObject = l.CloneBase()
+	c.UsageParameters = append([]string(nil), l.UsageParameters...)
+	return &c
+}
+
+// Clone deep-copies an Association.
+func (a *Association) Clone() *Association {
+	c := *a
+	c.RegistryObject = a.CloneBase()
+	return &c
+}
+
+// Clone deep-copies a Classification.
+func (cl *Classification) Clone() *Classification {
+	c := *cl
+	c.RegistryObject = RegistryObject{
+		ID: cl.ID, LID: cl.LID, Name: cl.Name.clone(), Description: cl.Description.clone(),
+		ObjectType: cl.ObjectType, Status: cl.Status, Home: cl.Home, Owner: cl.Owner,
+		Version: cl.Version,
+	}
+	// Classifications do not themselves carry nested classifications.
+	return &c
+}
+
+// Clone deep-copies a ClassificationScheme.
+func (s *ClassificationScheme) Clone() *ClassificationScheme {
+	c := *s
+	c.RegistryObject = s.CloneBase()
+	return &c
+}
+
+// Clone deep-copies a ClassificationNode.
+func (n *ClassificationNode) Clone() *ClassificationNode {
+	c := *n
+	c.RegistryObject = n.CloneBase()
+	return &c
+}
+
+// Clone deep-copies a RegistryPackage.
+func (p *RegistryPackage) Clone() *RegistryPackage {
+	c := *p
+	c.RegistryObject = p.CloneBase()
+	return &c
+}
+
+// Clone deep-copies an ExternalLink.
+func (l *ExternalLink) Clone() *ExternalLink {
+	c := *l
+	c.RegistryObject = l.CloneBase()
+	return &c
+}
+
+// Clone deep-copies an ExternalIdentifier.
+func (e *ExternalIdentifier) Clone() *ExternalIdentifier {
+	c := *e
+	c.RegistryObject = RegistryObject{
+		ID: e.ID, LID: e.LID, Name: e.Name.clone(), Description: e.Description.clone(),
+		ObjectType: e.ObjectType, Status: e.Status, Home: e.Home, Owner: e.Owner,
+		Version: e.Version,
+	}
+	return &c
+}
+
+// Clone deep-copies an AuditableEvent.
+func (e *AuditableEvent) Clone() *AuditableEvent {
+	c := *e
+	c.RegistryObject = e.CloneBase()
+	c.AffectedIDs = append([]string(nil), e.AffectedIDs...)
+	return &c
+}
+
+// Clone deep-copies an AdhocQuery.
+func (q *AdhocQuery) Clone() *AdhocQuery {
+	c := *q
+	c.RegistryObject = q.CloneBase()
+	return &c
+}
+
+// Clone deep-copies an ExtrinsicObject.
+func (e *ExtrinsicObject) Clone() *ExtrinsicObject {
+	c := *e
+	c.RegistryObject = e.CloneBase()
+	return &c
+}
+
+// CloneObject deep-copies any known concrete Object. Unknown types cause a
+// panic, which indicates a missing case, a programming error.
+func CloneObject(o Object) Object {
+	switch v := o.(type) {
+	case *Organization:
+		return v.Clone()
+	case *User:
+		return v.Clone()
+	case *Service:
+		return v.Clone()
+	case *ServiceBinding:
+		return v.Clone()
+	case *SpecificationLink:
+		return v.Clone()
+	case *Association:
+		return v.Clone()
+	case *Classification:
+		return v.Clone()
+	case *ClassificationScheme:
+		return v.Clone()
+	case *ClassificationNode:
+		return v.Clone()
+	case *RegistryPackage:
+		return v.Clone()
+	case *ExternalLink:
+		return v.Clone()
+	case *ExternalIdentifier:
+		return v.Clone()
+	case *AuditableEvent:
+		return v.Clone()
+	case *AdhocQuery:
+		return v.Clone()
+	case *ExtrinsicObject:
+		return v.Clone()
+	default:
+		panic("rim: CloneObject: unknown concrete type")
+	}
+}

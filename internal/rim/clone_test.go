@@ -1,0 +1,99 @@
+package rim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCloneServiceIsolation(t *testing.T) {
+	s := NewService("NodeStatus", "monitor")
+	s.SetSlot("k", "v1")
+	b := s.AddBinding("http://thermo.sdsu.edu:8080/svc")
+	b.SpecificationLinks = append(b.SpecificationLinks, NewSpecificationLink(b.ID, "urn:uuid:spec"))
+
+	c := s.Clone()
+	if c == s || c.Bindings[0] == s.Bindings[0] {
+		t.Fatal("clone shares pointers with original")
+	}
+	c.Name = NewIString("changed")
+	c.SetSlot("k", "v2")
+	c.Bindings[0].AccessURI = "http://other/x"
+	c.Bindings[0].SpecificationLinks[0].SpecificationObject = "urn:uuid:other"
+
+	if s.Name.String() != "NodeStatus" {
+		t.Error("clone name mutation leaked")
+	}
+	if v, _ := s.SlotValue("k"); v != "v1" {
+		t.Error("clone slot mutation leaked")
+	}
+	if s.Bindings[0].AccessURI != "http://thermo.sdsu.edu:8080/svc" {
+		t.Error("clone binding mutation leaked")
+	}
+	if s.Bindings[0].SpecificationLinks[0].SpecificationObject != "urn:uuid:spec" {
+		t.Error("clone spec link mutation leaked")
+	}
+}
+
+func TestCloneOrganizationIsolation(t *testing.T) {
+	o := NewOrganization("SDSU")
+	o.Addresses = append(o.Addresses, PostalAddress{City: "San Diego"})
+	o.Emails = append(o.Emails, EmailAddress{Address: "info@sdsu.edu"})
+	o.Telephones = append(o.Telephones, TelephoneNumber{Number: "594-5200"})
+	o.Classifications = append(o.Classifications, NewExternalClassification(o.ID, "urn:uuid:naics", "6113"))
+
+	c := o.Clone()
+	c.Addresses[0].City = "LA"
+	c.Emails[0].Address = "x@y"
+	c.Telephones[0].Number = "000"
+	c.Classifications[0].NodeRepresentation = "999"
+
+	if o.Addresses[0].City != "San Diego" || o.Emails[0].Address != "info@sdsu.edu" ||
+		o.Telephones[0].Number != "594-5200" || o.Classifications[0].NodeRepresentation != "6113" {
+		t.Fatal("organization clone mutation leaked")
+	}
+}
+
+func TestCloneObjectCoversAllTypes(t *testing.T) {
+	objs := []Object{
+		NewOrganization("o"),
+		NewUser("u", PersonName{}),
+		NewService("s", ""),
+		NewServiceBinding("urn:uuid:s", "http://h/x"),
+		NewSpecificationLink("urn:uuid:b", "urn:uuid:spec"),
+		NewAssociation(AssocHasMember, "urn:uuid:a", "urn:uuid:b"),
+		NewInternalClassification("urn:uuid:o", "urn:uuid:n"),
+		NewClassificationScheme("NAICS", true),
+		NewClassificationNode("urn:uuid:p", "c", "n"),
+		NewRegistryPackage("pkg"),
+		NewExternalLink("l", "http://x/"),
+		NewExternalIdentifier("urn:uuid:o", "DUNS", "1"),
+		NewAuditableEvent(EventCreated, "urn:uuid:u", time.Time{}, "urn:uuid:a"),
+		NewAdhocQuery("q", "SQL-92", "SELECT 1"),
+		NewExtrinsicObject("wsdl", "text/xml"),
+	}
+	for _, o := range objs {
+		c := CloneObject(o)
+		if c == o {
+			t.Fatalf("CloneObject returned the same pointer for %T", o)
+		}
+		if c.Base().ID != o.Base().ID {
+			t.Fatalf("CloneObject changed id for %T", o)
+		}
+		// Mutating the clone base must not touch the original.
+		c.Base().Status = StatusDeprecated
+		if o.Base().Status == StatusDeprecated && o.Base().Status != StatusApproved {
+			// AuditableEvents are born Approved; others Submitted.
+			t.Fatalf("CloneObject aliased base for %T", o)
+		}
+	}
+}
+
+func TestCloneObjectPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	type weird struct{ RegistryObject }
+	CloneObject(&weird{NewRegistryObject(TypeRegistryObject, "")})
+}

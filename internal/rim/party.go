@@ -1,0 +1,152 @@
+package rim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PostalAddress is the reusable address entity class (Fig. 1.18); the Web
+// UI's "Postal Address" tab maps to these fields (Figs. 3.18–3.21).
+type PostalAddress struct {
+	StreetNumber string
+	Street       string
+	City         string
+	State        string
+	Country      string
+	PostalCode   string
+	Type         string // e.g. "TYPE-US"
+}
+
+// String renders a single-line address.
+func (a PostalAddress) String() string {
+	parts := []string{}
+	if a.StreetNumber != "" || a.Street != "" {
+		parts = append(parts, strings.TrimSpace(a.StreetNumber+" "+a.Street))
+	}
+	for _, p := range []string{a.City, a.State, a.PostalCode, a.Country} {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// IsZero reports whether the address is entirely empty.
+func (a PostalAddress) IsZero() bool { return a == PostalAddress{} }
+
+// EmailAddress is the reusable email entity class.
+type EmailAddress struct {
+	Address string
+	Type    string // e.g. "OfficeEmail"
+}
+
+// TelephoneNumber is the reusable phone entity class (Figs. 3.27–3.30).
+type TelephoneNumber struct {
+	CountryCode string
+	AreaCode    string
+	Number      string
+	Extension   string
+	Type        string // e.g. "OfficePhone", "MobilePhone", "FAX"
+}
+
+// String renders the number in +CC (AAA) NNN form.
+func (t TelephoneNumber) String() string {
+	var sb strings.Builder
+	if t.CountryCode != "" {
+		fmt.Fprintf(&sb, "+%s ", t.CountryCode)
+	}
+	if t.AreaCode != "" {
+		fmt.Fprintf(&sb, "(%s) ", t.AreaCode)
+	}
+	sb.WriteString(t.Number)
+	if t.Extension != "" {
+		fmt.Fprintf(&sb, " x%s", t.Extension)
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+// PersonName is the structured name of a registered User.
+type PersonName struct {
+	FirstName  string
+	MiddleName string
+	LastName   string
+}
+
+// String joins the non-empty name parts.
+func (p PersonName) String() string {
+	parts := make([]string, 0, 3)
+	for _, s := range []string{p.FirstName, p.MiddleName, p.LastName} {
+		if s != "" {
+			parts = append(parts, s)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Organization provides information about a submitting organization; it may
+// reference a parent Organization and offers Services via OffersService
+// associations (Fig. 1.18).
+type Organization struct {
+	RegistryObject
+	ParentID         string
+	PrimaryContactID string // id of a User
+	Addresses        []PostalAddress
+	Emails           []EmailAddress
+	Telephones       []TelephoneNumber
+}
+
+// NewOrganization creates an Organization with the given display name.
+func NewOrganization(name string) *Organization {
+	return &Organization{RegistryObject: NewRegistryObject(TypeOrganization, name)}
+}
+
+// Validate checks Organization-specific invariants on top of the base ones.
+func (o *Organization) Validate() error {
+	if err := o.RegistryObject.Validate(); err != nil {
+		return err
+	}
+	if o.ObjectType != TypeOrganization {
+		return fmt.Errorf("rim: organization %s has objectType %s", o.ID, o.ObjectType)
+	}
+	if o.Name.IsEmpty() {
+		return fmt.Errorf("rim: organization %s must have a name", o.ID)
+	}
+	if o.ParentID == o.ID && o.ParentID != "" {
+		return fmt.Errorf("rim: organization %s is its own parent", o.ID)
+	}
+	return nil
+}
+
+// User provides information about a registered registry user; Users appear
+// in audit trails and own the objects they publish (Fig. 1.18).
+type User struct {
+	RegistryObject
+	PersonName     PersonName
+	Alias          string // login alias chosen in the registration wizard
+	OrganizationID string
+	Addresses      []PostalAddress
+	Emails         []EmailAddress
+	Telephones     []TelephoneNumber
+}
+
+// NewUser creates a User with the given alias and person name.
+func NewUser(alias string, name PersonName) *User {
+	u := &User{
+		RegistryObject: NewRegistryObject(TypeUser, alias),
+		PersonName:     name,
+		Alias:          alias,
+	}
+	u.Status = StatusApproved
+	return u
+}
+
+// Validate checks User-specific invariants.
+func (u *User) Validate() error {
+	if err := u.RegistryObject.Validate(); err != nil {
+		return err
+	}
+	if u.Alias == "" {
+		return fmt.Errorf("rim: user %s must have an alias", u.ID)
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+// Package rim implements the ebXML Registry Information Model (ebRIM) that
+// underpins the registry: RegistryObject and its concrete subclasses —
+// Organization, Service, ServiceBinding, SpecificationLink, Association,
+// Classification(+Scheme/Node), RegistryPackage, ExternalLink,
+// ExternalIdentifier, AuditableEvent, User, AdhocQuery — together with the
+// object status lifecycle (Submitted → Approved → Deprecated → Removed)
+// described by thesis Figures 1.18, 1.19 and 2.4.
+//
+// Each instance carries a registry-unique id in the urn:uuid: scheme, a
+// logical id (lid) shared by all versions of the same logical object, a
+// human name and description, dynamic Slot attributes, and version info.
+package rim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ObjectType identifies the concrete ebRIM class of a RegistryObject, using
+// the canonical path names from the ebRIM specification's ObjectType
+// classification scheme.
+type ObjectType string
+
+// Canonical object types stored in the registry.
+const (
+	TypeRegistryObject       ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject"
+	TypeOrganization         ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject:Organization"
+	TypeService              ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject:Service"
+	TypeServiceBinding       ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject:ServiceBinding"
+	TypeSpecificationLink    ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject:SpecificationLink"
+	TypeAssociation          ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject:Association"
+	TypeClassification       ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject:Classification"
+	TypeClassificationScheme ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject:ClassificationScheme"
+	TypeClassificationNode   ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject:ClassificationNode"
+	TypeRegistryPackage      ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject:RegistryPackage"
+	TypeExternalLink         ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject:ExternalLink"
+	TypeExternalIdentifier   ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject:ExternalIdentifier"
+	TypeAuditableEvent       ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject:AuditableEvent"
+	TypeUser                 ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject:User"
+	TypeAdhocQuery           ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject:AdhocQuery"
+	TypeSubscription         ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject:Subscription"
+	TypeExtrinsicObject      ObjectType = "urn:oasis:names:tc:ebxml-regrep:ObjectType:RegistryObject:ExtrinsicObject"
+)
+
+// Short returns the unqualified class name, e.g. "Service".
+func (t ObjectType) Short() string {
+	if i := strings.LastIndexByte(string(t), ':'); i >= 0 {
+		return string(t)[i+1:]
+	}
+	return string(t)
+}
+
+// Status is the life-cycle state of a registry object (Fig. 1.19 / 2.4).
+type Status string
+
+// Life-cycle states. Removed objects are deleted from the store, so the
+// constant exists only for audit records.
+const (
+	StatusSubmitted  Status = "Submitted"
+	StatusApproved   Status = "Approved"
+	StatusDeprecated Status = "Deprecated"
+	StatusWithdrawn  Status = "Withdrawn"
+)
+
+// VersionInfo carries the automatic version-control metadata that ebXML
+// registries maintain for every object (Table 1.1, "Automatic Version
+// Control").
+type VersionInfo struct {
+	VersionName string // e.g. "1.1"
+	Comment     string
+}
+
+// Slot is a dynamic name/value-list attribute attachable to any
+// RegistryObject; slots are the ebRIM extensibility mechanism (e.g. a
+// "copyright" slot in the spec's own example).
+type Slot struct {
+	Name     string
+	SlotType string
+	Values   []string
+}
+
+// InternationalString models ebRIM's localized strings. The reproduction
+// keeps a charset/lang pair per value but most callers use the default
+// locale via String().
+type InternationalString struct {
+	Localized []LocalizedString
+}
+
+// LocalizedString is one (lang, value) entry of an InternationalString.
+type LocalizedString struct {
+	Lang    string
+	Charset string
+	Value   string
+}
+
+// NewIString builds an InternationalString holding a single en-US value.
+func NewIString(v string) InternationalString {
+	if v == "" {
+		return InternationalString{}
+	}
+	return InternationalString{Localized: []LocalizedString{{Lang: "en-US", Charset: "UTF-8", Value: v}}}
+}
+
+// String returns the first localized value (the registry default locale).
+func (s InternationalString) String() string {
+	if len(s.Localized) == 0 {
+		return ""
+	}
+	return s.Localized[0].Value
+}
+
+// IsEmpty reports whether the string has no localized values.
+func (s InternationalString) IsEmpty() bool { return len(s.Localized) == 0 }
+
+// RegistryObject is the abstract base class of the information model. All
+// concrete classes embed it. The zero value is not directly useful; use
+// NewRegistryObject or the typed constructors.
+type RegistryObject struct {
+	ID          string // registry-unique id, urn:uuid:...
+	LID         string // logical id shared across versions
+	Name        InternationalString
+	Description InternationalString
+	ObjectType  ObjectType
+	Status      Status
+	Home        string // base URL of the home registry (federation support)
+	Owner       string // id of the owning User
+	Version     VersionInfo
+	Slots       []Slot
+	// Classifications and ExternalIdentifiers compose directly on the
+	// object; Associations are free-standing objects referencing source
+	// and target ids.
+	Classifications     []*Classification
+	ExternalIdentifiers []*ExternalIdentifier
+}
+
+// NewRegistryObject creates a base object of the given type with a fresh
+// UUID, matching LID, and Submitted status.
+func NewRegistryObject(t ObjectType, name string) RegistryObject {
+	id := NewUUID()
+	return RegistryObject{
+		ID:         id,
+		LID:        id,
+		Name:       NewIString(name),
+		ObjectType: t,
+		Status:     StatusSubmitted,
+		Version:    VersionInfo{VersionName: "1.1"},
+	}
+}
+
+// Base returns the embedded RegistryObject; concrete classes satisfy the
+// Object interface through it.
+func (r *RegistryObject) Base() *RegistryObject { return r }
+
+// SlotValue returns the first value of the named slot and whether the slot
+// exists.
+func (r *RegistryObject) SlotValue(name string) (string, bool) {
+	for _, s := range r.Slots {
+		if s.Name == name {
+			if len(s.Values) == 0 {
+				return "", true
+			}
+			return s.Values[0], true
+		}
+	}
+	return "", false
+}
+
+// SetSlot adds or replaces the named slot with the given values.
+func (r *RegistryObject) SetSlot(name string, values ...string) {
+	for i := range r.Slots {
+		if r.Slots[i].Name == name {
+			r.Slots[i].Values = append([]string(nil), values...)
+			return
+		}
+	}
+	r.Slots = append(r.Slots, Slot{Name: name, Values: append([]string(nil), values...)})
+}
+
+// RemoveSlot deletes the named slot, reporting whether it was present.
+func (r *RegistryObject) RemoveSlot(name string) bool {
+	for i := range r.Slots {
+		if r.Slots[i].Name == name {
+			r.Slots = append(r.Slots[:i], r.Slots[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Object is implemented by every concrete ebRIM class.
+type Object interface {
+	// Base exposes the shared RegistryObject metadata for mutation.
+	Base() *RegistryObject
+}
+
+// ID returns the id of any Object (convenience for callers holding the
+// interface).
+func ID(o Object) string { return o.Base().ID }
+
+// Validate checks the structural invariants common to all objects.
+func (r *RegistryObject) Validate() error {
+	if r.ID == "" {
+		return fmt.Errorf("rim: object has empty id")
+	}
+	if !IsURN(r.ID) {
+		return fmt.Errorf("rim: object id %q is not a urn", r.ID)
+	}
+	if r.ObjectType == "" {
+		return fmt.Errorf("rim: object %s has empty objectType", r.ID)
+	}
+	switch r.Status {
+	case StatusSubmitted, StatusApproved, StatusDeprecated, StatusWithdrawn:
+	default:
+		return fmt.Errorf("rim: object %s has invalid status %q", r.ID, r.Status)
+	}
+	return nil
+}
+
+// EventType enumerates the auditable actions recorded by the registry.
+type EventType string
+
+// Auditable event types (ebRS life-cycle protocols).
+const (
+	EventCreated      EventType = "Created"
+	EventUpdated      EventType = "Updated"
+	EventApproved     EventType = "Approved"
+	EventDeprecated   EventType = "Deprecated"
+	EventUndeprecated EventType = "Undeprecated"
+	EventDeleted      EventType = "Deleted"
+	EventVersioned    EventType = "Versioned"
+	EventRelocated    EventType = "Relocated"
+)
+
+// AuditableEvent records one life-cycle action on a set of objects
+// (Fig. 1.18); the registry appends these automatically on every LCM call.
+type AuditableEvent struct {
+	RegistryObject
+	EventKind   EventType
+	UserID      string
+	Timestamp   time.Time
+	AffectedIDs []string
+	RequestID   string
+}
+
+// NewAuditableEvent builds an event object.
+func NewAuditableEvent(kind EventType, userID string, at time.Time, affected ...string) *AuditableEvent {
+	e := &AuditableEvent{
+		RegistryObject: NewRegistryObject(TypeAuditableEvent, string(kind)),
+		EventKind:      kind,
+		UserID:         userID,
+		Timestamp:      at,
+		AffectedIDs:    append([]string(nil), affected...),
+	}
+	e.Status = StatusApproved
+	return e
+}

@@ -1,0 +1,101 @@
+package rim
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// uuidSource allows tests to install a deterministic generator.
+var (
+	uuidMu     sync.Mutex
+	uuidSource func() string
+)
+
+// NewUUID returns a fresh registry id in the urn:uuid: scheme, e.g.
+// "urn:uuid:59bd7041-781f-4c57-b985-f0293588642b" — the exact format the
+// thesis's AccessRegistry API prints for published organizations. IDs are
+// RFC 4122 version-4 (random) UUIDs from crypto/rand.
+func NewUUID() string {
+	uuidMu.Lock()
+	src := uuidSource
+	uuidMu.Unlock()
+	if src != nil {
+		return src()
+	}
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for id generation.
+		panic(fmt.Sprintf("rim: crypto/rand failed: %v", err))
+	}
+	b[6] = (b[6] & 0x0f) | 0x40 // version 4
+	b[8] = (b[8] & 0x3f) | 0x80 // variant 10
+	return "urn:uuid:" + formatUUID(b)
+}
+
+func formatUUID(b [16]byte) string {
+	dst := make([]byte, 36)
+	hex.Encode(dst[0:8], b[0:4])
+	dst[8] = '-'
+	hex.Encode(dst[9:13], b[4:6])
+	dst[13] = '-'
+	hex.Encode(dst[14:18], b[6:8])
+	dst[18] = '-'
+	hex.Encode(dst[19:23], b[8:10])
+	dst[23] = '-'
+	hex.Encode(dst[24:36], b[10:16])
+	return string(dst)
+}
+
+// SetUUIDSourceForTest installs gen as the id generator and returns a
+// restore function. Passing nil restores the crypto/rand generator
+// directly.
+func SetUUIDSourceForTest(gen func() string) (restore func()) {
+	uuidMu.Lock()
+	prev := uuidSource
+	uuidSource = gen
+	uuidMu.Unlock()
+	return func() {
+		uuidMu.Lock()
+		uuidSource = prev
+		uuidMu.Unlock()
+	}
+}
+
+// IsURN reports whether s looks like a URN (the ebRIM id requirement).
+func IsURN(s string) bool {
+	if !strings.HasPrefix(s, "urn:") || len(s) < len("urn:x:y") {
+		return false
+	}
+	rest := s[4:]
+	i := strings.IndexByte(rest, ':')
+	return i > 0 && i < len(rest)-1
+}
+
+// IsUUIDURN reports whether s is specifically a urn:uuid: id with a
+// well-formed 36-character UUID body.
+func IsUUIDURN(s string) bool {
+	const p = "urn:uuid:"
+	if !strings.HasPrefix(s, p) {
+		return false
+	}
+	u := s[len(p):]
+	if len(u) != 36 {
+		return false
+	}
+	for i, c := range u {
+		switch i {
+		case 8, 13, 18, 23:
+			if c != '-' {
+				return false
+			}
+		default:
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+// Package simclock provides a Clock abstraction so that every time-dependent
+// component in the registry — the NodeStatus collector, time-of-day
+// constraints, host load dynamics, audit timestamps — can run against either
+// the real wall clock or a deterministic, manually advanced virtual clock.
+//
+// The thesis's scheme is deeply time-sensitive: NodeState rows are polled
+// every 25 seconds, constraints carry military-time service windows, and
+// load averages decay exponentially. Reproducing those behaviours in tests
+// and benchmarks requires a clock that can be advanced by exact amounts,
+// which is what Manual provides. Real wraps the system clock for the
+// binaries in cmd/.
+package simclock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout the repository.
+//
+// Timer-style waiting is expressed with After; components that poll (such as
+// the nodestate collector) use After rather than time.Sleep so that a Manual
+// clock can release them deterministically.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// After returns a channel that delivers the then-current time once d
+	// has elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed on this clock.
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the operating system clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Manual is a deterministic Clock that only moves when Advance or Set is
+// called. It is safe for concurrent use. Waiters registered through After
+// or Sleep fire exactly when the virtual time passes their deadline,
+// regardless of the order in which they were registered.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewManual returns a Manual clock positioned at start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// After implements Clock. The returned channel has capacity 1 so Advance
+// never blocks on an abandoned waiter.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &waiter{deadline: m.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		w.ch <- m.now
+		return w.ch
+	}
+	m.waiters = append(m.waiters, w)
+	return w.ch
+}
+
+// Sleep implements Clock. It blocks until another goroutine advances the
+// clock past the deadline.
+func (m *Manual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-m.After(d)
+}
+
+// Set jumps the clock to t (which must not be earlier than the current
+// time; earlier values are ignored) and fires any waiters whose deadlines
+// have passed.
+func (m *Manual) Set(t time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t.Before(m.now) {
+		return
+	}
+	m.now = t
+	m.fireLocked()
+}
+
+// Advance moves the clock forward by d and fires due waiters in deadline
+// order.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = m.now.Add(d)
+	m.fireLocked()
+}
+
+// PendingWaiters reports how many After/Sleep callers are still waiting.
+// It is useful for tests that need to know a poller has parked before
+// advancing time.
+func (m *Manual) PendingWaiters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiters)
+}
+
+func (m *Manual) fireLocked() {
+	if len(m.waiters) == 0 {
+		return
+	}
+	sort.SliceStable(m.waiters, func(i, j int) bool {
+		return m.waiters[i].deadline.Before(m.waiters[j].deadline)
+	})
+	var remaining []*waiter
+	for _, w := range m.waiters {
+		if !w.deadline.After(m.now) {
+			w.ch <- m.now
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	m.waiters = remaining
+}

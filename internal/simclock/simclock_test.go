@@ -1,0 +1,136 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2011, 4, 22, 10, 0, 0, 0, time.UTC)
+
+func TestManualNowAndAdvance(t *testing.T) {
+	c := NewManual(epoch)
+	if !c.Now().Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), epoch)
+	}
+	c.Advance(25 * time.Second)
+	want := epoch.Add(25 * time.Second)
+	if !c.Now().Equal(want) {
+		t.Fatalf("after Advance, Now() = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestManualSetIgnoresPast(t *testing.T) {
+	c := NewManual(epoch)
+	c.Set(epoch.Add(-time.Hour))
+	if !c.Now().Equal(epoch) {
+		t.Fatalf("Set backwards moved the clock to %v", c.Now())
+	}
+	c.Set(epoch.Add(time.Minute))
+	if !c.Now().Equal(epoch.Add(time.Minute)) {
+		t.Fatalf("Set forwards did not move the clock")
+	}
+}
+
+func TestManualAfterFiresInOrder(t *testing.T) {
+	c := NewManual(epoch)
+	ch10 := c.After(10 * time.Second)
+	ch5 := c.After(5 * time.Second)
+
+	c.Advance(7 * time.Second)
+	select {
+	case got := <-ch5:
+		if !got.Equal(epoch.Add(7 * time.Second)) {
+			t.Fatalf("ch5 delivered %v", got)
+		}
+	default:
+		t.Fatal("5s waiter did not fire after 7s advance")
+	}
+	select {
+	case <-ch10:
+		t.Fatal("10s waiter fired after only 7s")
+	default:
+	}
+
+	c.Advance(3 * time.Second)
+	select {
+	case <-ch10:
+	default:
+		t.Fatal("10s waiter did not fire after 10s total")
+	}
+}
+
+func TestManualAfterNonPositive(t *testing.T) {
+	c := NewManual(epoch)
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+	select {
+	case <-c.After(-time.Second):
+	default:
+		t.Fatal("After(negative) should fire immediately")
+	}
+}
+
+func TestManualSleepReleasedByAdvance(t *testing.T) {
+	c := NewManual(epoch)
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(30 * time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to park.
+	for i := 0; i < 1000 && c.PendingWaiters() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if c.PendingWaiters() != 1 {
+		t.Fatal("sleeper never parked")
+	}
+	c.Advance(30 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep not released by Advance")
+	}
+}
+
+func TestManualConcurrentWaiters(t *testing.T) {
+	c := NewManual(epoch)
+	const n = 64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			c.Sleep(time.Duration(i%10+1) * time.Second)
+		}(i)
+	}
+	for i := 0; i < 5000 && c.PendingWaiters() < n; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(10 * time.Second)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("only released %d waiters", n-c.PendingWaiters())
+	}
+}
+
+func TestRealClockMonotoneEnough(t *testing.T) {
+	var c Real
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}

@@ -1,0 +1,191 @@
+// Package soap implements the lightweight SOAP 1.1-style XML envelope the
+// registry and the NodeStatus service exchange over HTTP — the messaging
+// layer of the Web Service stack (thesis Fig. 1.1, §1.3.1.2): a request
+// payload is wrapped in <Envelope><Body>, POSTed, and answered with either
+// a response payload or a <Fault>.
+//
+// The envelope is intentionally a faithful subset: one body element, an
+// optional fault, no attachments. It is enough to run every protocol in
+// the reproduction (SubmitObjectsRequest, AdhocQueryRequest, NodeStatus
+// invocations) over real net/http connections.
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// NS is the SOAP 1.1 envelope namespace.
+const NS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+// ContentType is the media type for SOAP 1.1 over HTTP.
+const ContentType = "text/xml; charset=utf-8"
+
+// Fault is a SOAP fault. It implements error so transport helpers can
+// return it directly.
+type Fault struct {
+	XMLName xml.Name `xml:"Fault"`
+	Code    string   `xml:"faultcode"`
+	String  string   `xml:"faultstring"`
+	Detail  string   `xml:"detail,omitempty"`
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap fault %s: %s", f.Code, f.String)
+}
+
+// ClientFault builds a Client-code fault (the caller's request was bad).
+func ClientFault(format string, args ...interface{}) *Fault {
+	return &Fault{Code: "Client", String: fmt.Sprintf(format, args...)}
+}
+
+// ServerFault builds a Server-code fault (the service failed).
+func ServerFault(format string, args ...interface{}) *Fault {
+	return &Fault{Code: "Server", String: fmt.Sprintf(format, args...)}
+}
+
+// envelope is the wire form.
+type envelope struct {
+	XMLName xml.Name `xml:"Envelope"`
+	XMLNS   string   `xml:"xmlns,attr,omitempty"`
+	Body    body     `xml:"Body"`
+}
+
+type body struct {
+	Inner []byte `xml:",innerxml"`
+}
+
+// Marshal wraps payload in a SOAP envelope. A *Fault payload becomes a
+// fault body.
+func Marshal(payload interface{}) ([]byte, error) {
+	inner, err := xml.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("soap: marshal body: %w", err)
+	}
+	env := envelope{XMLNS: NS, Body: body{Inner: inner}}
+	out, err := xml.MarshalIndent(&env, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("soap: marshal envelope: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// Unmarshal extracts the envelope body into payload. If the body carries a
+// fault, Unmarshal returns it as a *Fault error and leaves payload
+// untouched.
+func Unmarshal(data []byte, payload interface{}) error {
+	var env envelope
+	if err := xml.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("soap: bad envelope: %w", err)
+	}
+	inner := bytes.TrimSpace(env.Body.Inner)
+	if len(inner) == 0 {
+		return fmt.Errorf("soap: empty body")
+	}
+	if bytes.Contains(inner[:min(len(inner), 64)], []byte("Fault")) {
+		var f Fault
+		if err := xml.Unmarshal(inner, &f); err == nil && f.Code != "" {
+			return &f
+		}
+	}
+	if payload == nil {
+		return nil
+	}
+	if err := xml.Unmarshal(inner, payload); err != nil {
+		return fmt.Errorf("soap: decode body: %w", err)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Post sends req to url as a SOAP request and decodes the reply into resp
+// (which may be nil to ignore the body). Faults come back as *Fault errors.
+func Post(client *http.Client, url string, req, resp interface{}) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	data, err := Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpResp, err := client.Post(url, ContentType, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("soap: post %s: %w", url, err)
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("soap: read response: %w", err)
+	}
+	if err := Unmarshal(raw, resp); err != nil {
+		return err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("soap: http status %d from %s", httpResp.StatusCode, url)
+	}
+	return nil
+}
+
+// Endpoint adapts a typed handler to http.Handler. The handler receives
+// the decoded request and returns a response payload or an error; errors
+// that are not already *Fault become Server faults. Req must be a struct
+// type decodable from the request body.
+func Endpoint[Req any](handle func(*Req) (interface{}, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeFault(w, http.StatusMethodNotAllowed, ClientFault("method %s not allowed", r.Method))
+			return
+		}
+		raw, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			writeFault(w, http.StatusBadRequest, ClientFault("read request: %v", err))
+			return
+		}
+		var req Req
+		if err := Unmarshal(raw, &req); err != nil {
+			writeFault(w, http.StatusBadRequest, ClientFault("decode request: %v", err))
+			return
+		}
+		resp, err := handle(&req)
+		if err != nil {
+			f, ok := err.(*Fault)
+			if !ok {
+				f = ServerFault("%v", err)
+			}
+			status := http.StatusInternalServerError
+			if f.Code == "Client" {
+				status = http.StatusBadRequest
+			}
+			writeFault(w, status, f)
+			return
+		}
+		data, err := Marshal(resp)
+		if err != nil {
+			writeFault(w, http.StatusInternalServerError, ServerFault("encode response: %v", err))
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		w.Write(data)
+	})
+}
+
+func writeFault(w http.ResponseWriter, status int, f *Fault) {
+	data, err := Marshal(f)
+	if err != nil {
+		http.Error(w, f.String, status)
+		return
+	}
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(status)
+	w.Write(data)
+}

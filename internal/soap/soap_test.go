@@ -1,0 +1,155 @@
+package soap
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+type ping struct {
+	XMLName struct{} `xml:"Ping"`
+	Msg     string   `xml:"msg"`
+	N       int      `xml:"n"`
+}
+
+type pong struct {
+	XMLName struct{} `xml:"Pong"`
+	Msg     string   `xml:"msg"`
+	N       int      `xml:"n"`
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	data, err := Marshal(&ping{Msg: "hello <world> & co", N: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "Envelope") || !strings.Contains(s, "Body") || !strings.Contains(s, "Ping") {
+		t.Fatalf("envelope missing parts:\n%s", s)
+	}
+	var got ping
+	if err := Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Msg != "hello <world> & co" || got.N != 42 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestUnmarshalFault(t *testing.T) {
+	data, err := Marshal(ServerFault("boom %d", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ping
+	err = Unmarshal(data, &got)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want fault, got %v", err)
+	}
+	if f.Code != "Server" || f.String != "boom 7" {
+		t.Fatalf("fault = %+v", f)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if err := Unmarshal([]byte("not xml"), &ping{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	empty := `<Envelope xmlns="` + NS + `"><Body></Body></Envelope>`
+	if err := Unmarshal([]byte(empty), &ping{}); err == nil {
+		t.Fatal("empty body accepted")
+	}
+}
+
+func TestUnmarshalNilPayloadSkipsDecode(t *testing.T) {
+	data, _ := Marshal(&ping{Msg: "x"})
+	if err := Unmarshal(data, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndpointAndPost(t *testing.T) {
+	srv := httptest.NewServer(Endpoint(func(req *ping) (interface{}, error) {
+		if req.Msg == "fail" {
+			return nil, ClientFault("bad message")
+		}
+		if req.Msg == "crash" {
+			return nil, errors.New("internal explosion")
+		}
+		return &pong{Msg: strings.ToUpper(req.Msg), N: req.N + 1}, nil
+	}))
+	defer srv.Close()
+
+	var resp pong
+	if err := Post(srv.Client(), srv.URL, &ping{Msg: "hi", N: 1}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Msg != "HI" || resp.N != 2 {
+		t.Fatalf("resp = %+v", resp)
+	}
+
+	// Client fault surfaces with code Client.
+	err := Post(srv.Client(), srv.URL, &ping{Msg: "fail"}, &resp)
+	var f *Fault
+	if !errors.As(err, &f) || f.Code != "Client" {
+		t.Fatalf("want client fault, got %v", err)
+	}
+
+	// Generic errors become Server faults.
+	err = Post(srv.Client(), srv.URL, &ping{Msg: "crash"}, &resp)
+	if !errors.As(err, &f) || f.Code != "Server" || !strings.Contains(f.String, "explosion") {
+		t.Fatalf("want server fault, got %v", err)
+	}
+}
+
+func TestEndpointRejectsGet(t *testing.T) {
+	srv := httptest.NewServer(Endpoint(func(req *ping) (interface{}, error) { return &pong{}, nil }))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestEndpointRejectsGarbageBody(t *testing.T) {
+	srv := httptest.NewServer(Endpoint(func(req *ping) (interface{}, error) { return &pong{}, nil }))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, ContentType, strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestPostConnectionError(t *testing.T) {
+	err := Post(nil, "http://127.0.0.1:1/nothing", &ping{}, nil)
+	if err == nil {
+		t.Fatal("dead endpoint succeeded")
+	}
+}
+
+func TestFaultBodyWithPayloadNamedFault(t *testing.T) {
+	// A legitimate payload whose content merely mentions "Fault" must not
+	// be mistaken for a fault (the sniff checks decode success and code).
+	data, err := Marshal(&ping{Msg: "Fault tolerance"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ping
+	if err := Unmarshal(data, &got); err != nil {
+		t.Fatalf("payload mentioning Fault rejected: %v", err)
+	}
+	if got.Msg != "Fault tolerance" {
+		t.Fatalf("got %+v", got)
+	}
+}

@@ -1,0 +1,145 @@
+package sqlq
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestComparisonAgainstNaiveEvaluator cross-checks the engine against a
+// direct Go evaluation of the same predicate over random numeric rows.
+func TestComparisonAgainstNaiveEvaluator(t *testing.T) {
+	ops := []struct {
+		sql  string
+		eval func(a, b float64) bool
+	}{
+		{"<", func(a, b float64) bool { return a < b }},
+		{"<=", func(a, b float64) bool { return a <= b }},
+		{">", func(a, b float64) bool { return a > b }},
+		{">=", func(a, b float64) bool { return a >= b }},
+		{"=", func(a, b float64) bool { return a == b }},
+		{"<>", func(a, b float64) bool { return a != b }},
+	}
+	f := func(vals []uint8, bound uint8, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		rows := make([]Row, len(vals))
+		want := 0
+		for i, v := range vals {
+			rows[i] = Row{"v": float64(v)}
+			if op.eval(float64(v), float64(bound)) {
+				want++
+			}
+		}
+		c := MapCatalog{"T": &MemTable{Cols: []string{"v"}, Data: rows}}
+		rs, err := Exec(c, fmt.Sprintf("SELECT v FROM T WHERE v %s %d", op.sql, bound), nil)
+		return err == nil && rs.Total == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAndOrDistribution checks that (p AND q) OR r evaluates identically
+// to its naive expansion for random boolean columns.
+func TestAndOrDistribution(t *testing.T) {
+	f := func(ps, qs, rs []bool) bool {
+		n := len(ps)
+		if len(qs) < n {
+			n = len(qs)
+		}
+		if len(rs) < n {
+			n = len(rs)
+		}
+		rows := make([]Row, n)
+		want := 0
+		for i := 0; i < n; i++ {
+			rows[i] = Row{"p": b2f(ps[i]), "q": b2f(qs[i]), "r": b2f(rs[i])}
+			if (ps[i] && qs[i]) || rs[i] {
+				want++
+			}
+		}
+		c := MapCatalog{"T": &MemTable{Cols: []string{"p", "q", "r"}, Data: rows}}
+		res, err := Exec(c, "SELECT p FROM T WHERE (p = 1 AND q = 1) OR r = 1", nil)
+		return err == nil && res.Total == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestOrderByIsSorted verifies ORDER BY yields a non-decreasing (or
+// non-increasing) sequence for random inputs.
+func TestOrderByIsSorted(t *testing.T) {
+	f := func(vals []int16, desc bool) bool {
+		rows := make([]Row, len(vals))
+		for i, v := range vals {
+			rows[i] = Row{"v": float64(v)}
+		}
+		c := MapCatalog{"T": &MemTable{Cols: []string{"v"}, Data: rows}}
+		q := "SELECT v FROM T ORDER BY v"
+		if desc {
+			q += " DESC"
+		}
+		rs, err := Exec(c, q, nil)
+		if err != nil || len(rs.Rows) != len(vals) {
+			return false
+		}
+		for i := 1; i < len(rs.Rows); i++ {
+			a := rs.Rows[i-1][0].(float64)
+			b := rs.Rows[i][0].(float64)
+			if desc && a < b {
+				return false
+			}
+			if !desc && a > b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNotIsComplement: NOT p selects exactly the complement of p over
+// non-null rows.
+func TestNotIsComplement(t *testing.T) {
+	f := func(vals []uint8, bound uint8) bool {
+		rows := make([]Row, len(vals))
+		for i, v := range vals {
+			rows[i] = Row{"v": float64(v)}
+		}
+		c := MapCatalog{"T": &MemTable{Cols: []string{"v"}, Data: rows}}
+		pos, err1 := Exec(c, fmt.Sprintf("SELECT v FROM T WHERE v < %d", bound), nil)
+		neg, err2 := Exec(c, fmt.Sprintf("SELECT v FROM T WHERE NOT v < %d", bound), nil)
+		return err1 == nil && err2 == nil && pos.Total+neg.Total == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistinctNeverExceedsTotal and is idempotent on already-distinct data.
+func TestDistinctProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		rows := make([]Row, len(vals))
+		set := map[uint8]bool{}
+		for i, v := range vals {
+			rows[i] = Row{"v": float64(v)}
+			set[v] = true
+		}
+		c := MapCatalog{"T": &MemTable{Cols: []string{"v"}, Data: rows}}
+		rs, err := Exec(c, "SELECT DISTINCT v FROM T", nil)
+		return err == nil && rs.Total == len(set)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// NodeState is one row of the table in thesis Figure 3.2: the most recent
+// performance sample for a host. HOST (the hostname part of an access URI)
+// is the primary key; LOAD is the run-queue CPU load; MEMORY and SWAPMEMORY
+// are the available physical and swap memory in bytes. Updated records when
+// the row was written so readers can reason about staleness.
+type NodeState struct {
+	Host    string
+	Load    float64
+	MemoryB int64
+	SwapB   int64
+	// NetDelayMs is the §5.2 future-work extension: observed network
+	// delay to the host in milliseconds (0 when not measured).
+	NetDelayMs float64
+	Updated    time.Time
+	// Failures counts consecutive collection failures; a row with recent
+	// failures is treated as unknown by strict policies.
+	Failures int
+}
+
+// NodeStateTable is the concurrent NodeState store keyed by host.
+type NodeStateTable struct {
+	mu   sync.RWMutex
+	rows map[string]NodeState
+}
+
+// NewNodeStateTable creates an empty table.
+func NewNodeStateTable() *NodeStateTable {
+	return &NodeStateTable{rows: make(map[string]NodeState)}
+}
+
+// Upsert writes the row for row.Host, replacing any previous row.
+func (t *NodeStateTable) Upsert(row NodeState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows[row.Host] = row
+}
+
+// RecordFailure increments the failure counter for host, creating the row
+// if needed, and stamps the failure time.
+func (t *NodeStateTable) RecordFailure(host string, at time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row := t.rows[host]
+	row.Host = host
+	row.Failures++
+	row.Updated = at
+	t.rows[host] = row
+}
+
+// Get returns the row for host and whether it exists.
+func (t *NodeStateTable) Get(host string) (NodeState, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	row, ok := t.rows[host]
+	return row, ok
+}
+
+// Delete removes the row for host.
+func (t *NodeStateTable) Delete(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.rows, host)
+}
+
+// Hosts returns the known hostnames in sorted order.
+func (t *NodeStateTable) Hosts() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	hosts := make([]string, 0, len(t.rows))
+	for h := range t.rows {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// Rows returns all rows sorted by host.
+func (t *NodeStateTable) Rows() []NodeState {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rows := make([]NodeState, 0, len(t.rows))
+	for _, r := range t.rows {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Host < rows[j].Host })
+	return rows
+}
+
+// Len returns the number of rows.
+func (t *NodeStateTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// FreshRows returns the rows whose Updated stamp is no older than maxAge
+// relative to now; maxAge <= 0 disables the staleness filter.
+func (t *NodeStateTable) FreshRows(now time.Time, maxAge time.Duration) []NodeState {
+	rows := t.Rows()
+	if maxAge <= 0 {
+		return rows
+	}
+	fresh := rows[:0]
+	for _, r := range rows {
+		if now.Sub(r.Updated) <= maxAge {
+			fresh = append(fresh, r)
+		}
+	}
+	return fresh
+}

@@ -1,0 +1,128 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/rim"
+)
+
+// snapshot is the on-disk JSON layout of a Store.
+type snapshot struct {
+	Objects   []objectEnvelope  `json:"objects"`
+	Content   map[string][]byte `json:"content,omitempty"`
+	NodeState []NodeState       `json:"nodeState,omitempty"`
+}
+
+// objectEnvelope tags each serialized object with its concrete class so the
+// decoder can rebuild the right Go type.
+type objectEnvelope struct {
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data"`
+}
+
+func kindOf(o rim.Object) string { return o.Base().ObjectType.Short() }
+
+// Save writes a JSON snapshot of the store to w. The snapshot contains
+// every registry object, all repository content, and the NodeState table.
+func (s *Store) Save(w io.Writer) error {
+	var snap snapshot
+	for _, o := range s.All() {
+		data, err := json.Marshal(o)
+		if err != nil {
+			return fmt.Errorf("store: marshal %s: %w", o.Base().ID, err)
+		}
+		snap.Objects = append(snap.Objects, objectEnvelope{Kind: kindOf(o), Data: data})
+	}
+	s.mu.RLock()
+	if len(s.content) > 0 {
+		snap.Content = make(map[string][]byte, len(s.content))
+		for k, v := range s.content {
+			snap.Content[k] = append([]byte(nil), v...)
+		}
+	}
+	s.mu.RUnlock()
+	snap.NodeState = s.nodeState.Rows()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&snap)
+}
+
+// Load replaces the store's contents with the snapshot read from r.
+func (s *Store) Load(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	fresh := New()
+	for _, env := range snap.Objects {
+		o, err := decodeObject(env)
+		if err != nil {
+			return err
+		}
+		if err := fresh.Put(o); err != nil {
+			return err
+		}
+	}
+	for k, v := range snap.Content {
+		fresh.PutContent(k, v)
+	}
+	for _, row := range snap.NodeState {
+		fresh.nodeState.Upsert(row)
+	}
+
+	s.mu.Lock()
+	s.objects = fresh.objects
+	s.byType = fresh.byType
+	s.byOwner = fresh.byOwner
+	s.assocBySource = fresh.assocBySource
+	s.assocByTarget = fresh.assocByTarget
+	s.content = fresh.content
+	s.nodeState = fresh.nodeState
+	s.mu.Unlock()
+	return nil
+}
+
+func decodeObject(env objectEnvelope) (rim.Object, error) {
+	var o rim.Object
+	switch env.Kind {
+	case "Organization":
+		o = new(rim.Organization)
+	case "User":
+		o = new(rim.User)
+	case "Service":
+		o = new(rim.Service)
+	case "ServiceBinding":
+		o = new(rim.ServiceBinding)
+	case "SpecificationLink":
+		o = new(rim.SpecificationLink)
+	case "Association":
+		o = new(rim.Association)
+	case "Classification":
+		o = new(rim.Classification)
+	case "ClassificationScheme":
+		o = new(rim.ClassificationScheme)
+	case "ClassificationNode":
+		o = new(rim.ClassificationNode)
+	case "RegistryPackage":
+		o = new(rim.RegistryPackage)
+	case "ExternalLink":
+		o = new(rim.ExternalLink)
+	case "ExternalIdentifier":
+		o = new(rim.ExternalIdentifier)
+	case "AuditableEvent":
+		o = new(rim.AuditableEvent)
+	case "AdhocQuery":
+		o = new(rim.AdhocQuery)
+	case "ExtrinsicObject":
+		o = new(rim.ExtrinsicObject)
+	default:
+		return nil, fmt.Errorf("store: snapshot contains unknown kind %q", env.Kind)
+	}
+	if err := json.Unmarshal(env.Data, o); err != nil {
+		return nil, fmt.Errorf("store: decode %s: %w", env.Kind, err)
+	}
+	return o, nil
+}

@@ -1,0 +1,333 @@
+// Package store is the registry's persistence layer — the role Apache Derby
+// plays under freebXML (thesis §2.2.3). It keeps every ebRIM object in
+// in-memory tables with secondary indexes (by type, by name, by owner, and
+// association endpoints), holds the repository's content items, and owns
+// the NodeState table of Figure 3.2 that the load-balancing scheme reads at
+// discovery time. Snapshots serialize the whole store to JSON so cmd
+// binaries can persist across restarts.
+//
+// All methods are safe for concurrent use. Objects are deep-copied on Put
+// and on Get, so callers can never alias the store's internal graph.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/rim"
+)
+
+// ErrNotFound is returned when an object id does not exist.
+var ErrNotFound = fmt.Errorf("store: object not found")
+
+// ErrExists is returned by Insert when the id is already present.
+var ErrExists = fmt.Errorf("store: object already exists")
+
+// Store is the in-memory registry database.
+type Store struct {
+	mu      sync.RWMutex
+	objects map[string]rim.Object
+	byType  map[rim.ObjectType]map[string]struct{}
+	byOwner map[string]map[string]struct{}
+	// Association endpoint indexes: object id -> association ids.
+	assocBySource map[string]map[string]struct{}
+	assocByTarget map[string]map[string]struct{}
+	// Repository content, keyed by ExtrinsicObject ContentID.
+	content map[string][]byte
+
+	nodeState *NodeStateTable
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{
+		objects:       make(map[string]rim.Object),
+		byType:        make(map[rim.ObjectType]map[string]struct{}),
+		byOwner:       make(map[string]map[string]struct{}),
+		assocBySource: make(map[string]map[string]struct{}),
+		assocByTarget: make(map[string]map[string]struct{}),
+		content:       make(map[string][]byte),
+		nodeState:     NewNodeStateTable(),
+	}
+}
+
+// NodeState returns the store's NodeState table.
+func (s *Store) NodeState() *NodeStateTable { return s.nodeState }
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// Put inserts or replaces the object under its id. The object is cloned;
+// later mutation of o does not affect the store.
+func (s *Store) Put(o rim.Object) error {
+	if o == nil {
+		return fmt.Errorf("store: Put(nil)")
+	}
+	base := o.Base()
+	if base.ID == "" {
+		return fmt.Errorf("store: object has no id")
+	}
+	c := rim.CloneObject(o)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.objects[base.ID]; ok {
+		s.unindexLocked(old)
+	}
+	s.objects[base.ID] = c
+	s.indexLocked(c)
+	return nil
+}
+
+// Insert is Put that fails if the id already exists.
+func (s *Store) Insert(o rim.Object) error {
+	if o == nil {
+		return fmt.Errorf("store: Insert(nil)")
+	}
+	s.mu.Lock()
+	_, exists := s.objects[o.Base().ID]
+	s.mu.Unlock()
+	if exists {
+		return fmt.Errorf("%w: %s", ErrExists, o.Base().ID)
+	}
+	return s.Put(o)
+}
+
+// Get returns a deep copy of the object with the given id.
+func (s *Store) Get(id string) (rim.Object, error) {
+	s.mu.RLock()
+	o, ok := s.objects[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return rim.CloneObject(o), nil
+}
+
+// Has reports whether id exists.
+func (s *Store) Has(id string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.objects[id]
+	return ok
+}
+
+// Delete removes the object with the given id.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	s.unindexLocked(o)
+	delete(s.objects, id)
+	return nil
+}
+
+func (s *Store) indexLocked(o rim.Object) {
+	b := o.Base()
+	addIdx(s.byType, b.ObjectType, b.ID)
+	if b.Owner != "" {
+		addIdx(s.byOwner, b.Owner, b.ID)
+	}
+	if a, ok := o.(*rim.Association); ok {
+		addIdx(s.assocBySource, a.SourceID, a.ID)
+		addIdx(s.assocByTarget, a.TargetID, a.ID)
+	}
+}
+
+func (s *Store) unindexLocked(o rim.Object) {
+	b := o.Base()
+	delIdx(s.byType, b.ObjectType, b.ID)
+	if b.Owner != "" {
+		delIdx(s.byOwner, b.Owner, b.ID)
+	}
+	if a, ok := o.(*rim.Association); ok {
+		delIdx(s.assocBySource, a.SourceID, a.ID)
+		delIdx(s.assocByTarget, a.TargetID, a.ID)
+	}
+}
+
+func addIdx[K comparable](m map[K]map[string]struct{}, k K, id string) {
+	set, ok := m[k]
+	if !ok {
+		set = make(map[string]struct{})
+		m[k] = set
+	}
+	set[id] = struct{}{}
+}
+
+func delIdx[K comparable](m map[K]map[string]struct{}, k K, id string) {
+	if set, ok := m[k]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// ByType returns deep copies of all objects of type t, sorted by id for
+// deterministic iteration.
+func (s *Store) ByType(t rim.ObjectType) []rim.Object {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.collectLocked(s.byType[t])
+}
+
+// ByOwner returns deep copies of all objects owned by the given user id.
+func (s *Store) ByOwner(owner string) []rim.Object {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.collectLocked(s.byOwner[owner])
+}
+
+func (s *Store) collectLocked(ids map[string]struct{}) []rim.Object {
+	out := make([]rim.Object, 0, len(ids))
+	for id := range ids {
+		if o, ok := s.objects[id]; ok {
+			out = append(out, rim.CloneObject(o))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base().ID < out[j].Base().ID })
+	return out
+}
+
+// All returns deep copies of every object, sorted by id.
+func (s *Store) All() []rim.Object {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]rim.Object, 0, len(s.objects))
+	for _, o := range s.objects {
+		out = append(out, rim.CloneObject(o))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base().ID < out[j].Base().ID })
+	return out
+}
+
+// MatchLike reports whether name matches a SQL LIKE pattern (% = any run,
+// _ = any single character; matching is case-insensitive as in freebXML's
+// Derby collation for names).
+func MatchLike(name, pattern string) bool {
+	return likeMatch(strings.ToLower(name), strings.ToLower(pattern))
+}
+
+func likeMatch(s, p string) bool {
+	// Iterative greedy match with backtracking on '%'.
+	var si, pi int
+	star, starSi := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			starSi = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			starSi++
+			si = starSi
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// FindByName returns deep copies of objects of type t whose Name matches
+// the LIKE pattern.
+func (s *Store) FindByName(t rim.ObjectType, pattern string) []rim.Object {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []rim.Object
+	for id := range s.byType[t] {
+		o := s.objects[id]
+		if MatchLike(o.Base().Name.String(), pattern) {
+			out = append(out, rim.CloneObject(o))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base().Name.String() < out[j].Base().Name.String() })
+	return out
+}
+
+// FindOneByName returns the unique object of type t with exactly the given
+// name (case-insensitive). It returns ErrNotFound if absent and an error if
+// the name is ambiguous.
+func (s *Store) FindOneByName(t rim.ObjectType, name string) (rim.Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var found rim.Object
+	for id := range s.byType[t] {
+		o := s.objects[id]
+		if strings.EqualFold(o.Base().Name.String(), name) {
+			if found != nil {
+				return nil, fmt.Errorf("store: name %q is ambiguous for %s", name, t.Short())
+			}
+			found = o
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("%w: %s named %q", ErrNotFound, t.Short(), name)
+	}
+	return rim.CloneObject(found), nil
+}
+
+// AssociationsFrom returns deep copies of the associations whose source is
+// the given object id.
+func (s *Store) AssociationsFrom(sourceID string) []*rim.Association {
+	return s.assocs(s.assocBySource, sourceID)
+}
+
+// AssociationsTo returns deep copies of the associations whose target is
+// the given object id.
+func (s *Store) AssociationsTo(targetID string) []*rim.Association {
+	return s.assocs(s.assocByTarget, targetID)
+}
+
+func (s *Store) assocs(idx map[string]map[string]struct{}, key string) []*rim.Association {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*rim.Association
+	for id := range idx[key] {
+		if a, ok := s.objects[id].(*rim.Association); ok {
+			out = append(out, a.Clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// PutContent stores a repository payload under the given content id.
+func (s *Store) PutContent(contentID string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.content[contentID] = append([]byte(nil), data...)
+}
+
+// GetContent retrieves a repository payload.
+func (s *Store) GetContent(contentID string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.content[contentID]
+	if !ok {
+		return nil, fmt.Errorf("%w: content %s", ErrNotFound, contentID)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// DeleteContent removes a repository payload if present.
+func (s *Store) DeleteContent(contentID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.content, contentID)
+}

@@ -1,0 +1,182 @@
+// Package taxonomy seeds the registry with its canonical classification
+// schemes: the three industry taxonomies UDDI and ebXML both ship
+// (Table 1.2 — NAICS, UNSPSC, ISO 3166) plus the registry's own
+// ObjectType and AssociationType schemes. Nodes carry embedded paths so
+// drill-down queries can match by prefix.
+//
+// The code sets are representative subsets (top-level NAICS sectors,
+// UNSPSC segments, a handful of ISO 3166 countries): enough to exercise
+// classification, browsing and validation without shipping the full
+// multi-thousand-node trees.
+package taxonomy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rim"
+	"repro/internal/store"
+)
+
+// Canonical scheme names.
+const (
+	SchemeNAICS           = "ntis-gov:naics"
+	SchemeUNSPSC          = "unspsc-org:unspsc"
+	SchemeISO3166         = "iso-ch:3166:1999"
+	SchemeObjectType      = "urn:oasis:names:tc:ebxml-regrep:classificationScheme:ObjectType"
+	SchemeAssociationType = "urn:oasis:names:tc:ebxml-regrep:classificationScheme:AssociationType"
+)
+
+// entry is one (code, name) pair of a seeded scheme.
+type entry struct{ code, name string }
+
+var naicsSectors = []entry{
+	{"11", "Agriculture, Forestry, Fishing and Hunting"},
+	{"21", "Mining"},
+	{"22", "Utilities"},
+	{"23", "Construction"},
+	{"31-33", "Manufacturing"},
+	{"42", "Wholesale Trade"},
+	{"44-45", "Retail Trade"},
+	{"48-49", "Transportation and Warehousing"},
+	{"51", "Information"},
+	{"52", "Finance and Insurance"},
+	{"54", "Professional, Scientific, and Technical Services"},
+	{"61", "Educational Services"},
+	{"62", "Health Care and Social Assistance"},
+	{"92", "Public Administration"},
+}
+
+var unspscSegments = []entry{
+	{"43", "Information Technology Broadcasting and Telecommunications"},
+	{"44", "Office Equipment and Accessories and Supplies"},
+	{"72", "Building and Construction and Maintenance Services"},
+	{"80", "Management and Business Professionals and Administrative Services"},
+	{"81", "Engineering and Research and Technology Based Services"},
+	{"86", "Education and Training Services"},
+}
+
+var iso3166Countries = []entry{
+	{"US", "United States"},
+	{"CA", "Canada"},
+	{"MX", "Mexico"},
+	{"DE", "Germany"},
+	{"IN", "India"},
+	{"JP", "Japan"},
+	{"GB", "United Kingdom"},
+}
+
+// Seed installs the canonical schemes and their nodes into the store,
+// returning the scheme objects keyed by scheme name. Seeding an
+// already-seeded store is an error (schemes are registry singletons).
+func Seed(s *store.Store) (map[string]*rim.ClassificationScheme, error) {
+	out := make(map[string]*rim.ClassificationScheme)
+	add := func(name string, internal bool, entries []entry) error {
+		if _, err := s.FindOneByName(rim.TypeClassificationScheme, name); err == nil {
+			return fmt.Errorf("taxonomy: scheme %q already seeded", name)
+		}
+		scheme := rim.NewClassificationScheme(name, internal)
+		scheme.Status = rim.StatusApproved
+		if err := s.Put(scheme); err != nil {
+			return err
+		}
+		out[name] = scheme
+		for _, e := range entries {
+			node := rim.NewClassificationNode(scheme.ID, e.code, e.name)
+			node.Path = "/" + name + "/" + e.code
+			node.Status = rim.StatusApproved
+			if err := node.Validate(); err != nil {
+				return err
+			}
+			if err := s.Put(node); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := add(SchemeNAICS, true, naicsSectors); err != nil {
+		return nil, err
+	}
+	if err := add(SchemeUNSPSC, true, unspscSegments); err != nil {
+		return nil, err
+	}
+	if err := add(SchemeISO3166, true, iso3166Countries); err != nil {
+		return nil, err
+	}
+
+	var assocEntries []entry
+	for _, a := range rim.PredefinedAssociationTypes {
+		assocEntries = append(assocEntries, entry{code: string(a), name: string(a)})
+	}
+	if err := add(SchemeAssociationType, true, assocEntries); err != nil {
+		return nil, err
+	}
+
+	objTypes := []rim.ObjectType{
+		rim.TypeOrganization, rim.TypeService, rim.TypeServiceBinding,
+		rim.TypeAssociation, rim.TypeClassification, rim.TypeClassificationScheme,
+		rim.TypeClassificationNode, rim.TypeRegistryPackage, rim.TypeExternalLink,
+		rim.TypeExternalIdentifier, rim.TypeAuditableEvent, rim.TypeUser,
+		rim.TypeAdhocQuery, rim.TypeExtrinsicObject,
+	}
+	var otEntries []entry
+	for _, t := range objTypes {
+		otEntries = append(otEntries, entry{code: t.Short(), name: t.Short()})
+	}
+	if err := add(SchemeObjectType, true, otEntries); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FindNode resolves a code within a named scheme.
+func FindNode(s *store.Store, schemeName, code string) (*rim.ClassificationNode, error) {
+	scheme, err := s.FindOneByName(rim.TypeClassificationScheme, schemeName)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range s.ByType(rim.TypeClassificationNode) {
+		n, ok := o.(*rim.ClassificationNode)
+		if !ok {
+			continue
+		}
+		if n.ParentID == scheme.Base().ID && strings.EqualFold(n.Code, code) {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("taxonomy: scheme %q has no node %q", schemeName, code)
+}
+
+// Classify builds a validated internal classification of object by the
+// (scheme, code) node.
+func Classify(s *store.Store, objectID, schemeName, code string) (*rim.Classification, error) {
+	node, err := FindNode(s, schemeName, code)
+	if err != nil {
+		return nil, err
+	}
+	c := rim.NewInternalClassification(objectID, node.ID)
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NodesOf lists a scheme's nodes sorted by code.
+func NodesOf(s *store.Store, schemeName string) ([]*rim.ClassificationNode, error) {
+	scheme, err := s.FindOneByName(rim.TypeClassificationScheme, schemeName)
+	if err != nil {
+		return nil, err
+	}
+	var out []*rim.ClassificationNode
+	for _, o := range s.ByType(rim.TypeClassificationNode) {
+		if n, ok := o.(*rim.ClassificationNode); ok && n.ParentID == scheme.Base().ID {
+			out = append(out, n)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Code > out[j].Code; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package taxonomy
+
+import (
+	"testing"
+
+	"repro/internal/rim"
+	"repro/internal/store"
+)
+
+func seeded(t *testing.T) *store.Store {
+	t.Helper()
+	s := store.New()
+	schemes, err := Seed(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schemes) != 5 {
+		t.Fatalf("schemes = %d", len(schemes))
+	}
+	return s
+}
+
+func TestSeedCreatesSchemesAndNodes(t *testing.T) {
+	s := seeded(t)
+	for _, name := range []string{SchemeNAICS, SchemeUNSPSC, SchemeISO3166, SchemeObjectType, SchemeAssociationType} {
+		if _, err := s.FindOneByName(rim.TypeClassificationScheme, name); err != nil {
+			t.Errorf("scheme %q missing: %v", name, err)
+		}
+	}
+	nodes, err := NodesOf(s, SchemeNAICS)
+	if err != nil || len(nodes) != 14 {
+		t.Fatalf("naics nodes = %d, %v", len(nodes), err)
+	}
+	// Sorted by code; paths embedded.
+	if nodes[0].Code != "11" || nodes[0].Path != "/"+SchemeNAICS+"/11" {
+		t.Fatalf("first node = %+v", nodes[0])
+	}
+}
+
+func TestSeedTwiceRejected(t *testing.T) {
+	s := seeded(t)
+	if _, err := Seed(s); err == nil {
+		t.Fatal("double seed accepted")
+	}
+}
+
+func TestFindNodeAndClassify(t *testing.T) {
+	s := seeded(t)
+	n, err := FindNode(s, SchemeNAICS, "61")
+	if err != nil || n.Name.String() != "Educational Services" {
+		t.Fatalf("FindNode = %+v, %v", n, err)
+	}
+	// Case-insensitive code match (ISO country codes).
+	if _, err := FindNode(s, SchemeISO3166, "us"); err != nil {
+		t.Fatalf("ci FindNode: %v", err)
+	}
+	if _, err := FindNode(s, SchemeNAICS, "99"); err == nil {
+		t.Fatal("ghost code found")
+	}
+	if _, err := FindNode(s, "ghost-scheme", "11"); err == nil {
+		t.Fatal("ghost scheme found")
+	}
+
+	org := rim.NewOrganization("SDSU")
+	if err := s.Put(org); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Classify(s, org.ID, SchemeNAICS, "61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ClassifiedObjectID != org.ID || c.ClassificationNode != n.ID {
+		t.Fatalf("classification = %+v", c)
+	}
+}
+
+func TestAssociationTypeSchemeCoversPredefined(t *testing.T) {
+	s := seeded(t)
+	nodes, err := NodesOf(s, SchemeAssociationType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != len(rim.PredefinedAssociationTypes) {
+		t.Fatalf("assoc nodes = %d, want %d", len(nodes), len(rim.PredefinedAssociationTypes))
+	}
+	if _, err := FindNode(s, SchemeAssociationType, "OffersService"); err != nil {
+		t.Fatalf("OffersService node: %v", err)
+	}
+}
+
+func TestObjectTypeSchemeQueryable(t *testing.T) {
+	s := seeded(t)
+	nodes, err := NodesOf(s, SchemeObjectType)
+	if err != nil || len(nodes) < 10 {
+		t.Fatalf("objecttype nodes = %d, %v", len(nodes), err)
+	}
+	if _, err := FindNode(s, SchemeObjectType, "Service"); err != nil {
+		t.Fatalf("Service node: %v", err)
+	}
+}

@@ -1,0 +1,298 @@
+package uddi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rim"
+)
+
+// This file adds the remaining thesis-enumerated UDDI API sets
+// (§1.3.1.5) beyond Inquiry/Publication/Security: Custody Transfer
+// (get_transferToken / transfer_entity), Subscription (save_subscription /
+// get_subscriptionResults / delete_subscription), and Validation
+// (validate_values against registered checked tModels).
+
+// --- Custody Transfer API set ----------------------------------------------
+
+// transferToken authorizes moving entity custody between publishers.
+type transferToken struct {
+	keys      []string
+	fromOwner string
+	expires   time.Time
+}
+
+// custodyState holds the registry's outstanding transfer tokens.
+type custodyState struct {
+	mu     sync.Mutex
+	tokens map[string]*transferToken
+}
+
+func (r *Registry) custody() *custodyState {
+	r.custodyOnce.Do(func() {
+		r.custodyTokens = &custodyState{tokens: make(map[string]*transferToken)}
+	})
+	return r.custodyTokens
+}
+
+// GetTransferToken lets the current owner authorize transferring custody of
+// the given entity keys; the returned token is presented by the receiving
+// publisher to TransferEntity (UDDI v3 custody transfer).
+func (r *Registry) GetTransferToken(authToken string, keys ...string) (string, error) {
+	pub, err := r.publisher(authToken)
+	if err != nil {
+		return "", err
+	}
+	if len(keys) == 0 {
+		return "", fmt.Errorf("uddi: transfer token needs at least one key")
+	}
+	r.mu.RLock()
+	for _, k := range keys {
+		owner, ok := r.owners[k]
+		if !ok {
+			r.mu.RUnlock()
+			return "", fmt.Errorf("%w: entity %s", ErrNotFound, k)
+		}
+		if owner != pub {
+			r.mu.RUnlock()
+			return "", fmt.Errorf("uddi: %s does not own %s", pub, k)
+		}
+	}
+	r.mu.RUnlock()
+
+	tok := rim.NewUUID()
+	c := r.custody()
+	c.mu.Lock()
+	c.tokens[tok] = &transferToken{keys: keys, fromOwner: pub, expires: time.Now().Add(time.Hour)}
+	c.mu.Unlock()
+	return tok, nil
+}
+
+// DiscardTransferToken cancels an outstanding transfer.
+func (r *Registry) DiscardTransferToken(transferTok string) {
+	c := r.custody()
+	c.mu.Lock()
+	delete(c.tokens, transferTok)
+	c.mu.Unlock()
+}
+
+// TransferEntity moves custody of the token's entities to the caller.
+func (r *Registry) TransferEntity(authToken, transferTok string) error {
+	pub, err := r.publisher(authToken)
+	if err != nil {
+		return err
+	}
+	c := r.custody()
+	c.mu.Lock()
+	t, ok := c.tokens[transferTok]
+	if ok {
+		delete(c.tokens, transferTok)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("uddi: unknown transfer token")
+	}
+	if time.Now().After(t.expires) {
+		return fmt.Errorf("uddi: transfer token expired")
+	}
+	if pub == t.fromOwner {
+		return fmt.Errorf("uddi: cannot transfer custody to the same publisher")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range t.keys {
+		// Verify custody did not move since the token was issued.
+		if r.owners[k] != t.fromOwner {
+			return fmt.Errorf("uddi: custody of %s changed since token issue", k)
+		}
+	}
+	for _, k := range t.keys {
+		r.owners[k] = pub
+	}
+	return nil
+}
+
+// OwnerOf reports the publisher owning an entity key (for tests/tools).
+func (r *Registry) OwnerOf(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	owner, ok := r.owners[key]
+	return owner, ok
+}
+
+// --- Subscription API set -----------------------------------------------------
+
+// uddiSubscription tracks a name-pattern interest in business changes.
+type uddiSubscription struct {
+	id          string
+	publisher   string
+	namePattern string
+	lastSeen    time.Time
+}
+
+type subscriptionState struct {
+	mu      sync.Mutex
+	subs    map[string]*uddiSubscription
+	changes []changeRecord
+}
+
+type changeRecord struct {
+	at   time.Time
+	key  string
+	name string
+	op   string // "save" | "delete"
+}
+
+func (r *Registry) subscriptions() *subscriptionState {
+	r.subsOnce.Do(func() {
+		r.subsState = &subscriptionState{subs: make(map[string]*uddiSubscription)}
+	})
+	return r.subsState
+}
+
+// recordChange appends to the change log consumed by subscriptions.
+func (r *Registry) recordChange(op, key, name string) {
+	s := r.subscriptions()
+	s.mu.Lock()
+	s.changes = append(s.changes, changeRecord{at: time.Now(), key: key, name: name, op: op})
+	s.mu.Unlock()
+}
+
+// SaveSubscription registers interest in businesses whose names match the
+// pattern, returning the subscription key.
+func (r *Registry) SaveSubscription(authToken, namePattern string) (string, error) {
+	pub, err := r.publisher(authToken)
+	if err != nil {
+		return "", err
+	}
+	s := r.subscriptions()
+	sub := &uddiSubscription{id: rim.NewUUID(), publisher: pub, namePattern: namePattern, lastSeen: time.Now()}
+	s.mu.Lock()
+	s.subs[sub.id] = sub
+	s.mu.Unlock()
+	return sub.id, nil
+}
+
+// DeleteSubscription removes a subscription, reporting whether it existed.
+func (r *Registry) DeleteSubscription(authToken, subID string) (bool, error) {
+	if _, err := r.publisher(authToken); err != nil {
+		return false, err
+	}
+	s := r.subscriptions()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.subs[subID]
+	delete(s.subs, subID)
+	return ok, nil
+}
+
+// SubscriptionResult is one change reported by GetSubscriptionResults.
+type SubscriptionResult struct {
+	Key  string
+	Name string
+	Op   string
+}
+
+// GetSubscriptionResults returns the matching changes since the
+// subscription's previous poll and advances its cursor — the thesis's
+// "returns registry data that has changed for a particular subscription
+// within a specified time period".
+func (r *Registry) GetSubscriptionResults(authToken, subID string) ([]SubscriptionResult, error) {
+	pub, err := r.publisher(authToken)
+	if err != nil {
+		return nil, err
+	}
+	s := r.subscriptions()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub, ok := s.subs[subID]
+	if !ok || sub.publisher != pub {
+		return nil, fmt.Errorf("%w: subscription %s", ErrNotFound, subID)
+	}
+	var out []SubscriptionResult
+	for _, c := range s.changes {
+		if !c.at.After(sub.lastSeen) {
+			continue
+		}
+		if !likeMatchFold(c.name, sub.namePattern) {
+			continue
+		}
+		out = append(out, SubscriptionResult{Key: c.key, Name: c.name, Op: c.op})
+	}
+	sub.lastSeen = time.Now()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func likeMatchFold(name, pattern string) bool {
+	// Reuse the store's LIKE semantics without importing it twice: simple
+	// case-insensitive % matching via strings.
+	return matchLike(strings.ToLower(name), strings.ToLower(pattern))
+}
+
+func matchLike(s, p string) bool {
+	var si, pi int
+	star, starSi := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star, starSi = pi, si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			starSi++
+			si = starSi
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// --- Validation API set ----------------------------------------------------
+
+// RegisterCheckedTModel marks a tModel as a checked value set with the
+// given permitted values; keyedReferences citing it are then validated.
+func (r *Registry) RegisterCheckedTModel(authToken string, tm *TModel, validValues ...string) (string, error) {
+	key, err := r.SaveTModel(authToken, tm)
+	if err != nil {
+		return "", err
+	}
+	r.validOnce.Do(func() { r.validValues = make(map[string]map[string]bool) })
+	set := make(map[string]bool, len(validValues))
+	for _, v := range validValues {
+		set[v] = true
+	}
+	r.mu.Lock()
+	r.validValues[key] = set
+	r.mu.Unlock()
+	return key, nil
+}
+
+// ValidateValues implements validate_values: every keyedReference citing a
+// checked tModel must use one of its registered values; references to
+// unchecked tModels pass.
+func (r *Registry) ValidateValues(refs ...KeyedReference) error {
+	r.validOnce.Do(func() { r.validValues = make(map[string]map[string]bool) })
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, ref := range refs {
+		set, checked := r.validValues[ref.TModelKey]
+		if !checked {
+			continue
+		}
+		if !set[ref.Value] {
+			return fmt.Errorf("uddi: value %q is not valid for checked tModel %s", ref.Value, ref.TModelKey)
+		}
+	}
+	return nil
+}

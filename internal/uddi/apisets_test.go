@@ -1,0 +1,152 @@
+package uddi
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCustodyTransfer(t *testing.T) {
+	r, tokA, be := newSeeded(t)
+	tokB := r.GetAuthToken("publisher-2")
+
+	transfer, err := r.GetTransferToken(tokA, be.BusinessKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.TransferEntity(tokB, transfer); err != nil {
+		t.Fatal(err)
+	}
+	owner, ok := r.OwnerOf(be.BusinessKey)
+	if !ok || owner != "publisher-2" {
+		t.Fatalf("owner = %q, %v", owner, ok)
+	}
+	// The new owner can now modify; the old one cannot.
+	be.Description = "updated by new owner"
+	if _, err := r.SaveBusiness(tokB, be); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SaveBusiness(tokA, be); err == nil {
+		t.Fatal("old owner retained custody")
+	}
+	// Tokens are single use.
+	if err := r.TransferEntity(tokB, transfer); err == nil {
+		t.Fatal("transfer token replayed")
+	}
+}
+
+func TestCustodyTransferValidation(t *testing.T) {
+	r, tokA, be := newSeeded(t)
+	tokB := r.GetAuthToken("publisher-2")
+
+	if _, err := r.GetTransferToken("bogus", be.BusinessKey); !errors.Is(err, ErrAuth) {
+		t.Fatalf("bogus auth: %v", err)
+	}
+	if _, err := r.GetTransferToken(tokA); err == nil {
+		t.Fatal("empty key list accepted")
+	}
+	if _, err := r.GetTransferToken(tokA, "uuid:ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ghost key: %v", err)
+	}
+	// Only the owner can issue a token.
+	if _, err := r.GetTransferToken(tokB, be.BusinessKey); err == nil {
+		t.Fatal("non-owner issued transfer token")
+	}
+	// Transfer to self is rejected.
+	transfer, _ := r.GetTransferToken(tokA, be.BusinessKey)
+	if err := r.TransferEntity(tokA, transfer); err == nil {
+		t.Fatal("self transfer accepted")
+	}
+	// Discard invalidates.
+	transfer2, _ := r.GetTransferToken(tokA, be.BusinessKey)
+	r.DiscardTransferToken(transfer2)
+	if err := r.TransferEntity(tokB, transfer2); err == nil {
+		t.Fatal("discarded token honoured")
+	}
+	if err := r.TransferEntity(tokB, "uuid:never-issued"); err == nil {
+		t.Fatal("unknown token honoured")
+	}
+}
+
+func TestSubscriptionAPISet(t *testing.T) {
+	r := New()
+	tok := r.GetAuthToken("watcher")
+	subID, err := r.SaveSubscription(tok, "Acme%")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pubTok := r.GetAuthToken("publisher")
+	acme := &BusinessEntity{Name: "Acme Corp"}
+	if _, err := r.SaveBusiness(pubTok, acme); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SaveBusiness(pubTok, &BusinessEntity{Name: "Unrelated Inc"}); err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := r.GetSubscriptionResults(tok, subID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "Acme Corp" || results[0].Op != "save" {
+		t.Fatalf("results = %+v", results)
+	}
+	// The cursor advanced: an immediate re-poll is empty.
+	results, err = r.GetSubscriptionResults(tok, subID)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("re-poll = %+v, %v", results, err)
+	}
+	// A delete shows up as a change too.
+	if err := r.DeleteBusiness(pubTok, acme.BusinessKey); err != nil {
+		t.Fatal(err)
+	}
+	results, _ = r.GetSubscriptionResults(tok, subID)
+	if len(results) != 1 || results[0].Op != "delete" {
+		t.Fatalf("delete results = %+v", results)
+	}
+
+	// Foreign subscriptions are invisible; deletion works once.
+	other := r.GetAuthToken("someone-else")
+	if _, err := r.GetSubscriptionResults(other, subID); err == nil {
+		t.Fatal("foreign poll accepted")
+	}
+	if ok, err := r.DeleteSubscription(tok, subID); err != nil || !ok {
+		t.Fatalf("delete subscription: %v %v", ok, err)
+	}
+	if ok, _ := r.DeleteSubscription(tok, subID); ok {
+		t.Fatal("double delete reported true")
+	}
+	if _, err := r.SaveSubscription("bogus", "%"); !errors.Is(err, ErrAuth) {
+		t.Fatalf("bogus save: %v", err)
+	}
+}
+
+func TestValidationAPISet(t *testing.T) {
+	r := New()
+	tok := r.GetAuthToken("p")
+	naicsKey, err := r.RegisterCheckedTModel(tok,
+		&TModel{Name: "ntis-gov:naics"}, "111330", "6113")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Valid value passes.
+	if err := r.ValidateValues(KeyedReference{TModelKey: naicsKey, Name: "NAICS", Value: "6113"}); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid value against a checked scheme fails.
+	if err := r.ValidateValues(KeyedReference{TModelKey: naicsKey, Name: "NAICS", Value: "99999"}); err == nil {
+		t.Fatal("invalid checked value accepted")
+	}
+	// Unchecked tModels are not validated.
+	if err := r.ValidateValues(KeyedReference{TModelKey: "uuid:unchecked", Value: "anything"}); err != nil {
+		t.Fatal(err)
+	}
+	// Mixed batch: one bad reference poisons the batch.
+	err = r.ValidateValues(
+		KeyedReference{TModelKey: naicsKey, Value: "111330"},
+		KeyedReference{TModelKey: naicsKey, Value: "badcode"},
+	)
+	if err == nil {
+		t.Fatal("bad batch accepted")
+	}
+}

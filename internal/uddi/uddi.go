@@ -1,0 +1,449 @@
+// Package uddi implements a compact UDDI v2-style registry — the
+// comparator the thesis positions ebXML against in Chapter 1 (Table 1.1,
+// Figs. 1.6–1.11). It carries the four core data structures
+// (businessEntity, businessService, bindingTemplate, tModel) plus
+// publisherAssertions and six of the nine thesis-enumerated API sets
+// (§1.3.1.5): Inquiry, Publication, Security (authTokens), Custody
+// Transfer, Subscription, and Validation. (Replication, Subscription
+// Listener and Value Set Caching concern multi-node UBR deployments and
+// are out of the comparator's scope.)
+//
+// Deliberately absent — because UDDI lacks them (Table 1.1) — are a
+// content repository, SQL ad-hoc queries, life-cycle approval/deprecation,
+// and any notion of host state: find_binding always returns
+// bindingTemplates in stored order, which is exactly why the C1 comparison
+// and the stock baseline in the experiments behave the way they do.
+package uddi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/rim"
+	"repro/internal/store"
+)
+
+// Errors returned by the registry.
+var (
+	ErrAuth     = errors.New("uddi: invalid authToken")
+	ErrNotFound = errors.New("uddi: not found")
+)
+
+// BusinessEntity is the white/yellow-pages record (Fig. 1.7).
+type BusinessEntity struct {
+	BusinessKey string
+	Name        string
+	Description string
+	Contacts    []Contact
+	CategoryBag []KeyedReference
+	Identifiers []KeyedReference
+	Services    []*BusinessService
+}
+
+// Contact is a businessEntity contact entry.
+type Contact struct {
+	UseType    string
+	PersonName string
+	Phone      string
+	Email      string
+}
+
+// KeyedReference is a (tModelKey, name, value) triple used by category and
+// identifier bags.
+type KeyedReference struct {
+	TModelKey string
+	Name      string
+	Value     string
+}
+
+// BusinessService is one service offered by a business (Fig. 1.9).
+type BusinessService struct {
+	ServiceKey  string
+	BusinessKey string
+	Name        string
+	Description string
+	CategoryBag []KeyedReference
+	Bindings    []*BindingTemplate
+}
+
+// BindingTemplate holds the green-pages access point (Fig. 1.10).
+type BindingTemplate struct {
+	BindingKey  string
+	ServiceKey  string
+	AccessPoint string
+	Description string
+	TModelKeys  []string
+}
+
+// TModel is a technical model (Fig. 1.11).
+type TModel struct {
+	TModelKey   string
+	Name        string
+	Description string
+	OverviewURL string
+}
+
+// PublisherAssertion relates two businesses (Fig. 1.8); it becomes visible
+// only once both sides assert it.
+type PublisherAssertion struct {
+	FromKey string
+	ToKey   string
+	KeyedReference
+}
+
+// Registry is an in-memory UDDI node.
+type Registry struct {
+	mu         sync.RWMutex
+	businesses map[string]*BusinessEntity
+	services   map[string]*BusinessService
+	bindings   map[string]*BindingTemplate
+	tmodels    map[string]*TModel
+	assertions map[string][]PublisherAssertion // by publisher authToken's owner
+	tokens     map[string]string               // authToken -> publisherID
+	owners     map[string]string               // entity key -> publisherID
+
+	custodyOnce   sync.Once
+	custodyTokens *custodyState
+	subsOnce      sync.Once
+	subsState     *subscriptionState
+	validOnce     sync.Once
+	validValues   map[string]map[string]bool // checked tModelKey -> allowed values
+}
+
+// New creates an empty UDDI registry.
+func New() *Registry {
+	return &Registry{
+		businesses: make(map[string]*BusinessEntity),
+		services:   make(map[string]*BusinessService),
+		bindings:   make(map[string]*BindingTemplate),
+		tmodels:    make(map[string]*TModel),
+		assertions: make(map[string][]PublisherAssertion),
+		tokens:     make(map[string]string),
+		owners:     make(map[string]string),
+	}
+}
+
+// --- Security API set -----------------------------------------------------
+
+// GetAuthToken opens a publisher session (the registry trusts the caller's
+// id; credential checking is out of scope for the comparator).
+func (r *Registry) GetAuthToken(publisherID string) string {
+	tok := rim.NewUUID()
+	r.mu.Lock()
+	r.tokens[tok] = publisherID
+	r.mu.Unlock()
+	return tok
+}
+
+// DiscardAuthToken ends a session.
+func (r *Registry) DiscardAuthToken(token string) {
+	r.mu.Lock()
+	delete(r.tokens, token)
+	r.mu.Unlock()
+}
+
+func (r *Registry) publisher(token string) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.tokens[token]
+	if !ok {
+		return "", ErrAuth
+	}
+	return p, nil
+}
+
+// --- Publication API set ---------------------------------------------------
+
+// SaveBusiness stores (or replaces) a businessEntity and its embedded
+// services/bindings, assigning keys where missing.
+func (r *Registry) SaveBusiness(token string, be *BusinessEntity) (string, error) {
+	pub, err := r.publisher(token)
+	if err != nil {
+		return "", err
+	}
+	if be.Name == "" {
+		return "", fmt.Errorf("uddi: businessEntity needs a name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if be.BusinessKey == "" {
+		be.BusinessKey = rim.NewUUID()
+	} else if owner, ok := r.owners[be.BusinessKey]; ok && owner != pub {
+		return "", fmt.Errorf("uddi: businessKey %s owned by another publisher", be.BusinessKey)
+	}
+	r.owners[be.BusinessKey] = pub
+	r.businesses[be.BusinessKey] = be
+	defer r.recordChange("save", be.BusinessKey, be.Name)
+	for _, svc := range be.Services {
+		svc.BusinessKey = be.BusinessKey
+		if svc.ServiceKey == "" {
+			svc.ServiceKey = rim.NewUUID()
+		}
+		r.owners[svc.ServiceKey] = pub
+		r.services[svc.ServiceKey] = svc
+		for _, bt := range svc.Bindings {
+			bt.ServiceKey = svc.ServiceKey
+			if bt.BindingKey == "" {
+				bt.BindingKey = rim.NewUUID()
+			}
+			r.owners[bt.BindingKey] = pub
+			r.bindings[bt.BindingKey] = bt
+		}
+	}
+	return be.BusinessKey, nil
+}
+
+// SaveService stores a service under an existing business.
+func (r *Registry) SaveService(token string, svc *BusinessService) (string, error) {
+	pub, err := r.publisher(token)
+	if err != nil {
+		return "", err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	be, ok := r.businesses[svc.BusinessKey]
+	if !ok {
+		return "", fmt.Errorf("%w: business %s", ErrNotFound, svc.BusinessKey)
+	}
+	if svc.ServiceKey == "" {
+		svc.ServiceKey = rim.NewUUID()
+		be.Services = append(be.Services, svc)
+	}
+	r.owners[svc.ServiceKey] = pub
+	r.services[svc.ServiceKey] = svc
+	for _, bt := range svc.Bindings {
+		bt.ServiceKey = svc.ServiceKey
+		if bt.BindingKey == "" {
+			bt.BindingKey = rim.NewUUID()
+		}
+		r.owners[bt.BindingKey] = pub
+		r.bindings[bt.BindingKey] = bt
+	}
+	return svc.ServiceKey, nil
+}
+
+// SaveTModel stores a technical model.
+func (r *Registry) SaveTModel(token string, tm *TModel) (string, error) {
+	pub, err := r.publisher(token)
+	if err != nil {
+		return "", err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tm.TModelKey == "" {
+		tm.TModelKey = rim.NewUUID()
+	}
+	r.owners[tm.TModelKey] = pub
+	r.tmodels[tm.TModelKey] = tm
+	return tm.TModelKey, nil
+}
+
+// DeleteBusiness removes a business and its services and bindings.
+func (r *Registry) DeleteBusiness(token, businessKey string) error {
+	pub, err := r.publisher(token)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	be, ok := r.businesses[businessKey]
+	if !ok {
+		return fmt.Errorf("%w: business %s", ErrNotFound, businessKey)
+	}
+	if r.owners[businessKey] != pub {
+		return fmt.Errorf("uddi: business %s owned by another publisher", businessKey)
+	}
+	for _, svc := range be.Services {
+		for _, bt := range svc.Bindings {
+			delete(r.bindings, bt.BindingKey)
+			delete(r.owners, bt.BindingKey)
+		}
+		delete(r.services, svc.ServiceKey)
+		delete(r.owners, svc.ServiceKey)
+	}
+	delete(r.businesses, businessKey)
+	delete(r.owners, businessKey)
+	r.recordChange("delete", businessKey, be.Name)
+	return nil
+}
+
+// AddPublisherAssertion records one side of a business relationship; it is
+// reported by FindRelatedBusinesses only when both sides have asserted it.
+func (r *Registry) AddPublisherAssertion(token string, pa PublisherAssertion) error {
+	pub, err := r.publisher(token)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.assertions[pub] = append(r.assertions[pub], pa)
+	return nil
+}
+
+// --- Inquiry API set --------------------------------------------------------
+
+// FindBusiness searches business names with % wildcards (UDDI's
+// approximate-match behaviour maps onto LIKE).
+func (r *Registry) FindBusiness(namePattern string) []*BusinessEntity {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*BusinessEntity
+	for _, be := range r.businesses {
+		if store.MatchLike(be.Name, namePattern) {
+			out = append(out, be)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FindService searches service names, optionally within one business.
+func (r *Registry) FindService(businessKey, namePattern string) []*BusinessService {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*BusinessService
+	for _, svc := range r.services {
+		if businessKey != "" && svc.BusinessKey != businessKey {
+			continue
+		}
+		if store.MatchLike(svc.Name, namePattern) {
+			out = append(out, svc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FindBinding returns a service's bindingTemplates in stored order —
+// there is no host-state awareness to reorder them, which is the
+// structural gap the thesis's scheme fills on the ebXML side.
+func (r *Registry) FindBinding(serviceKey string) []*BindingTemplate {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	svc, ok := r.services[serviceKey]
+	if !ok {
+		return nil
+	}
+	return append([]*BindingTemplate(nil), svc.Bindings...)
+}
+
+// FindTModel searches tModel names.
+func (r *Registry) FindTModel(namePattern string) []*TModel {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*TModel
+	for _, tm := range r.tmodels {
+		if store.MatchLike(tm.Name, namePattern) {
+			out = append(out, tm)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FindRelatedBusinesses reports businesses related to businessKey by
+// mutually confirmed publisher assertions.
+func (r *Registry) FindRelatedBusinesses(businessKey string) []*BusinessEntity {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	confirmed := make(map[string]bool)
+	for pubA, asA := range r.assertions {
+		for _, a := range asA {
+			if a.FromKey != businessKey && a.ToKey != businessKey {
+				continue
+			}
+			// Find a matching assertion from a different publisher.
+			for pubB, asB := range r.assertions {
+				if pubA == pubB {
+					continue
+				}
+				for _, b := range asB {
+					if a.FromKey == b.FromKey && a.ToKey == b.ToKey && a.Value == b.Value {
+						other := a.FromKey
+						if other == businessKey {
+							other = a.ToKey
+						}
+						confirmed[other] = true
+					}
+				}
+			}
+		}
+	}
+	var out []*BusinessEntity
+	for key := range confirmed {
+		if be, ok := r.businesses[key]; ok {
+			out = append(out, be)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// GetBusinessDetail retrieves one business.
+func (r *Registry) GetBusinessDetail(key string) (*BusinessEntity, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	be, ok := r.businesses[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: business %s", ErrNotFound, key)
+	}
+	return be, nil
+}
+
+// GetServiceDetail retrieves one service.
+func (r *Registry) GetServiceDetail(key string) (*BusinessService, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	svc, ok := r.services[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: service %s", ErrNotFound, key)
+	}
+	return svc, nil
+}
+
+// GetBindingDetail retrieves one bindingTemplate.
+func (r *Registry) GetBindingDetail(key string) (*BindingTemplate, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	bt, ok := r.bindings[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: binding %s", ErrNotFound, key)
+	}
+	return bt, nil
+}
+
+// GetTModelDetail retrieves one tModel.
+func (r *Registry) GetTModelDetail(key string) (*TModel, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	tm, ok := r.tmodels[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: tModel %s", ErrNotFound, key)
+	}
+	return tm, nil
+}
+
+// Capabilities reports the code-checkable Table 1.1 feature rows for this
+// registry; the ebXML side's counterpart lives in the comparison tests.
+func Capabilities() map[string]bool {
+	return map[string]bool{
+		"repository":             false,
+		"sql-query":              false,
+		"stored-queries":         false,
+		"approval-lifecycle":     false,
+		"deprecation":            false,
+		"automatic-versioning":   false,
+		"user-defined-relations": false,
+		"content-notification":   false,
+		"host-state-discovery":   false,
+		"publish":                true,
+		"find":                   true,
+		"publisher-assertions":   true,
+	}
+}
+
+// Normalize lowercases a capability key (helper for comparison tables).
+func Normalize(k string) string { return strings.ToLower(k) }

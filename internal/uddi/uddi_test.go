@@ -1,0 +1,235 @@
+package uddi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qm"
+	"repro/internal/registry"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+	"repro/internal/store"
+)
+
+func newSeeded(t *testing.T) (*Registry, string, *BusinessEntity) {
+	t.Helper()
+	r := New()
+	tok := r.GetAuthToken("publisher-1")
+	be := &BusinessEntity{
+		Name:        "San Diego State University",
+		Description: "university",
+		Contacts:    []Contact{{UseType: "general info", PersonName: "Ops", Phone: "619-594-5200"}},
+		CategoryBag: []KeyedReference{{TModelKey: "uuid:naics", Name: "NAICS", Value: "6113"}},
+		Services: []*BusinessService{{
+			Name: "Adder",
+			Bindings: []*BindingTemplate{
+				{AccessPoint: "http://thermo.sdsu.edu:8080/Adder"},
+				{AccessPoint: "http://exergy.sdsu.edu:8080/Adder"},
+			},
+		}},
+	}
+	if _, err := r.SaveBusiness(tok, be); err != nil {
+		t.Fatal(err)
+	}
+	return r, tok, be
+}
+
+func TestSaveAssignsKeysAndOwnership(t *testing.T) {
+	r, tok, be := newSeeded(t)
+	if be.BusinessKey == "" || be.Services[0].ServiceKey == "" || be.Services[0].Bindings[0].BindingKey == "" {
+		t.Fatalf("keys not assigned: %+v", be)
+	}
+	// Another publisher cannot replace it.
+	tok2 := r.GetAuthToken("publisher-2")
+	stolen := &BusinessEntity{BusinessKey: be.BusinessKey, Name: "Evil"}
+	if _, err := r.SaveBusiness(tok2, stolen); err == nil {
+		t.Fatal("foreign overwrite accepted")
+	}
+	_ = tok
+}
+
+func TestAuthTokenLifecycle(t *testing.T) {
+	r := New()
+	if _, err := r.SaveBusiness("bogus", &BusinessEntity{Name: "X"}); !errors.Is(err, ErrAuth) {
+		t.Fatalf("bogus token: %v", err)
+	}
+	tok := r.GetAuthToken("p")
+	if _, err := r.SaveBusiness(tok, &BusinessEntity{Name: "X"}); err != nil {
+		t.Fatal(err)
+	}
+	r.DiscardAuthToken(tok)
+	if _, err := r.SaveBusiness(tok, &BusinessEntity{Name: "Y"}); !errors.Is(err, ErrAuth) {
+		t.Fatalf("discarded token: %v", err)
+	}
+}
+
+func TestInquiryAPIs(t *testing.T) {
+	r, _, be := newSeeded(t)
+	if got := r.FindBusiness("San Diego%"); len(got) != 1 {
+		t.Fatalf("FindBusiness = %d", len(got))
+	}
+	if got := r.FindService("", "Adder"); len(got) != 1 {
+		t.Fatalf("FindService = %d", len(got))
+	}
+	if got := r.FindService(be.BusinessKey, "%"); len(got) != 1 {
+		t.Fatalf("FindService scoped = %d", len(got))
+	}
+	if got := r.FindService("uuid:other", "%"); len(got) != 0 {
+		t.Fatalf("FindService wrong scope = %d", len(got))
+	}
+	svcKey := be.Services[0].ServiceKey
+	bindings := r.FindBinding(svcKey)
+	if len(bindings) != 2 || bindings[0].AccessPoint != "http://thermo.sdsu.edu:8080/Adder" {
+		t.Fatalf("FindBinding = %+v", bindings)
+	}
+	if r.FindBinding("uuid:ghost") != nil {
+		t.Fatal("ghost service bindings")
+	}
+	if _, err := r.GetBusinessDetail(be.BusinessKey); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GetServiceDetail(svcKey); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GetBindingDetail(bindings[0].BindingKey); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []func() error{
+		func() error { _, err := r.GetBusinessDetail("x"); return err },
+		func() error { _, err := r.GetServiceDetail("x"); return err },
+		func() error { _, err := r.GetBindingDetail("x"); return err },
+		func() error { _, err := r.GetTModelDetail("x"); return err },
+	} {
+		if err := bad(); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("missing detail: %v", err)
+		}
+	}
+}
+
+func TestTModels(t *testing.T) {
+	r := New()
+	tok := r.GetAuthToken("p")
+	key, err := r.SaveTModel(tok, &TModel{Name: "unspsc-org:unspsc:3-1", OverviewURL: "http://www.unspsc.org"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.FindTModel("unspsc%"); len(got) != 1 || got[0].TModelKey != key {
+		t.Fatalf("FindTModel = %+v", got)
+	}
+}
+
+func TestSaveServiceUnderBusiness(t *testing.T) {
+	r, tok, be := newSeeded(t)
+	svc := &BusinessService{BusinessKey: be.BusinessKey, Name: "NodeStatus",
+		Bindings: []*BindingTemplate{{AccessPoint: "http://volta.sdsu.edu:8080/NS"}}}
+	if _, err := r.SaveService(tok, svc); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.FindService(be.BusinessKey, "%"); len(got) != 2 {
+		t.Fatalf("services = %d", len(got))
+	}
+	// Unknown business rejected.
+	if _, err := r.SaveService(tok, &BusinessService{BusinessKey: "uuid:ghost", Name: "X"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ghost business: %v", err)
+	}
+}
+
+func TestDeleteBusinessCascades(t *testing.T) {
+	r, tok, be := newSeeded(t)
+	svcKey := be.Services[0].ServiceKey
+	btKey := be.Services[0].Bindings[0].BindingKey
+	if err := r.DeleteBusiness(tok, be.BusinessKey); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GetServiceDetail(svcKey); err == nil {
+		t.Fatal("service survived")
+	}
+	if _, err := r.GetBindingDetail(btKey); err == nil {
+		t.Fatal("binding survived")
+	}
+	// Foreign delete rejected.
+	r2, _, be2 := newSeeded(t)
+	tok2 := r2.GetAuthToken("someone-else")
+	if err := r2.DeleteBusiness(tok2, be2.BusinessKey); err == nil {
+		t.Fatal("foreign delete accepted")
+	}
+}
+
+func TestPublisherAssertionsRequireBothSides(t *testing.T) {
+	r := New()
+	tokA := r.GetAuthToken("companyA")
+	tokB := r.GetAuthToken("companyB")
+	beA := &BusinessEntity{Name: "Company A"}
+	beB := &BusinessEntity{Name: "Company B"}
+	r.SaveBusiness(tokA, beA)
+	r.SaveBusiness(tokB, beB)
+
+	pa := PublisherAssertion{FromKey: beA.BusinessKey, ToKey: beB.BusinessKey,
+		KeyedReference: KeyedReference{Name: "partner", Value: "peer-peer"}}
+	if err := r.AddPublisherAssertion(tokA, pa); err != nil {
+		t.Fatal(err)
+	}
+	// One-sided: invisible.
+	if got := r.FindRelatedBusinesses(beA.BusinessKey); len(got) != 0 {
+		t.Fatalf("one-sided assertion visible: %v", got)
+	}
+	if err := r.AddPublisherAssertion(tokB, pa); err != nil {
+		t.Fatal(err)
+	}
+	got := r.FindRelatedBusinesses(beA.BusinessKey)
+	if len(got) != 1 || got[0].BusinessKey != beB.BusinessKey {
+		t.Fatalf("related = %+v", got)
+	}
+}
+
+// TestC1FeatureComparison is experiment C1: the code-checkable rows of
+// Table 1.1. The UDDI side reports its capability map; the ebXML side is
+// probed against the real registry implementation.
+func TestC1FeatureComparison(t *testing.T) {
+	caps := Capabilities()
+	for _, missing := range []string{"repository", "sql-query", "approval-lifecycle", "host-state-discovery"} {
+		if caps[missing] {
+			t.Errorf("uddi claims %s", missing)
+		}
+	}
+	for _, present := range []string{"publish", "find", "publisher-assertions"} {
+		if !caps[present] {
+			t.Errorf("uddi misses %s", present)
+		}
+	}
+
+	// ebXML side: all four "missing" features demonstrably work.
+	clk := simclock.NewManual(time.Date(2011, 4, 22, 11, 0, 0, 0, time.UTC))
+	reg, err := registry.New(registry.Config{Clock: clk, Policy: core.PolicyFilter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// repository:
+	reg.Store.PutContent("wsdl-1", []byte("<definitions/>"))
+	if _, err := reg.Store.GetContent("wsdl-1"); err != nil {
+		t.Error("ebxml repository missing")
+	}
+	// sql-query:
+	if _, err := reg.QM.SubmitAdhocQuery(qm.AdhocQueryRequest{Query: "SELECT host FROM NodeState"}); err != nil {
+		t.Errorf("ebxml sql query: %v", err)
+	}
+	// approval-lifecycle:
+	svc := rim.NewService("S", "")
+	svc.AddBinding("http://h.example/x")
+	if err := reg.LCM.SubmitObjects(reg.AdminContext(), svc); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.LCM.ApproveObjects(reg.AdminContext(), svc.ID); err != nil {
+		t.Errorf("ebxml approval: %v", err)
+	}
+	// host-state-discovery:
+	reg.Store.NodeState().Upsert(store.NodeState{Host: "h.example", Load: 0.5, MemoryB: 1 << 30, SwapB: 1 << 30, Updated: clk.Now()})
+	if _, _, err := reg.QM.GetServiceBindings(svc.ID); err != nil {
+		t.Errorf("ebxml host-state discovery: %v", err)
+	}
+	if Normalize("SQL-Query") != "sql-query" {
+		t.Error("Normalize broken")
+	}
+}

@@ -1,0 +1,191 @@
+// Package xacml implements the registry's role-based access control in the
+// spirit of the XACML policies freebXML evaluates before processing a
+// request (thesis §2.2.3): rules match Subject attributes (user id, roles,
+// groups), Resource attributes (object type, owner) and Action attributes
+// (submit, update, approve, deprecate, remove, read, ...), and a
+// first-applicable combining algorithm yields Permit or Deny.
+//
+// DefaultPolicy reproduces freebXML's out-of-the-box behaviour: anyone may
+// read public content, registered users may submit, owners may modify and
+// remove their own objects, and the RegistryAdministrator role may do
+// anything.
+package xacml
+
+import "fmt"
+
+// Action names the operation being authorized.
+type Action string
+
+// Registry actions subject to access control.
+const (
+	ActionRead      Action = "read"
+	ActionSubmit    Action = "submit"
+	ActionUpdate    Action = "update"
+	ActionApprove   Action = "approve"
+	ActionDeprecate Action = "deprecate"
+	ActionRemove    Action = "remove"
+	ActionRelocate  Action = "relocate"
+)
+
+// Effect is the outcome of a rule or policy evaluation.
+type Effect int
+
+// Effects.
+const (
+	NotApplicable Effect = iota
+	Permit
+	Deny
+)
+
+// String names the effect.
+func (e Effect) String() string {
+	switch e {
+	case Permit:
+		return "Permit"
+	case Deny:
+		return "Deny"
+	default:
+		return "NotApplicable"
+	}
+}
+
+// Well-known roles.
+const (
+	RoleAdministrator  = "RegistryAdministrator"
+	RoleRegisteredUser = "RegisteredUser"
+	RoleGuest          = "RegistryGuest"
+)
+
+// SubjectOwner is the special subject match that fires when the requesting
+// user owns the resource.
+const SubjectOwner = "owner"
+
+// Wildcard matches any value in a rule field.
+const Wildcard = "*"
+
+// Request carries the attributes of one authorization question.
+type Request struct {
+	SubjectID     string   // user id ("" for anonymous)
+	SubjectRoles  []string // roles held by the subject
+	Action        Action
+	ResourceType  string // ebRIM class short name, e.g. "Service"
+	ResourceOwner string // user id owning the object ("" when N/A)
+}
+
+// Rule is one access control rule.
+type Rule struct {
+	ID       string
+	Effect   Effect
+	Subjects []string // role names, SubjectOwner, or Wildcard
+	Actions  []Action // or a single Wildcard entry via ActionAny
+	Types    []string // resource type short names, or Wildcard
+}
+
+// ActionAny in a rule's Actions matches every action.
+const ActionAny Action = "*"
+
+// matches reports whether the rule applies to the request.
+func (r Rule) matches(req Request) bool {
+	if !r.subjectMatches(req) {
+		return false
+	}
+	if !containsAction(r.Actions, req.Action) {
+		return false
+	}
+	return containsString(r.Types, req.ResourceType)
+}
+
+func (r Rule) subjectMatches(req Request) bool {
+	for _, s := range r.Subjects {
+		switch s {
+		case Wildcard:
+			return true
+		case SubjectOwner:
+			if req.SubjectID != "" && req.SubjectID == req.ResourceOwner {
+				return true
+			}
+		default:
+			for _, role := range req.SubjectRoles {
+				if role == s {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func containsAction(haystack []Action, needle Action) bool {
+	for _, a := range haystack {
+		if a == ActionAny || a == needle {
+			return true
+		}
+	}
+	return false
+}
+
+func containsString(haystack []string, needle string) bool {
+	for _, s := range haystack {
+		if s == Wildcard || s == needle {
+			return true
+		}
+	}
+	return false
+}
+
+// Policy is an ordered rule list with a default effect, combined
+// first-applicable.
+type Policy struct {
+	Rules   []Rule
+	Default Effect
+}
+
+// Evaluate returns the effect of the first applicable rule, or the policy
+// default.
+func (p *Policy) Evaluate(req Request) Effect {
+	for _, r := range p.Rules {
+		if r.matches(req) {
+			return r.Effect
+		}
+	}
+	if p.Default == NotApplicable {
+		return Deny
+	}
+	return p.Default
+}
+
+// Authorize is Evaluate folded into an error: nil on Permit.
+func (p *Policy) Authorize(req Request) error {
+	if p.Evaluate(req) == Permit {
+		return nil
+	}
+	subject := req.SubjectID
+	if subject == "" {
+		subject = "anonymous"
+	}
+	return fmt.Errorf("xacml: %s denied %s on %s", subject, req.Action, req.ResourceType)
+}
+
+// DefaultPolicy reproduces freebXML's stock access control.
+func DefaultPolicy() *Policy {
+	return &Policy{
+		Rules: []Rule{
+			// Administrators can do anything.
+			{ID: "admin-all", Effect: Permit,
+				Subjects: []string{RoleAdministrator}, Actions: []Action{ActionAny}, Types: []string{Wildcard}},
+			// Anyone — including unauthenticated guests — can read
+			// public content (the QueryManager is open, §2.2.3).
+			{ID: "public-read", Effect: Permit,
+				Subjects: []string{Wildcard}, Actions: []Action{ActionRead}, Types: []string{Wildcard}},
+			// Registered users can submit new content.
+			{ID: "registered-submit", Effect: Permit,
+				Subjects: []string{RoleRegisteredUser}, Actions: []Action{ActionSubmit}, Types: []string{Wildcard}},
+			// Owners manage the life cycle of their own objects.
+			{ID: "owner-lifecycle", Effect: Permit,
+				Subjects: []string{SubjectOwner},
+				Actions:  []Action{ActionUpdate, ActionApprove, ActionDeprecate, ActionRemove, ActionRelocate},
+				Types:    []string{Wildcard}},
+		},
+		Default: Deny,
+	}
+}

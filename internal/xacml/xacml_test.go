@@ -1,0 +1,94 @@
+package xacml
+
+import "testing"
+
+func TestDefaultPolicyMatrix(t *testing.T) {
+	p := DefaultPolicy()
+	admin := Request{SubjectID: "urn:uuid:root", SubjectRoles: []string{RoleAdministrator}}
+	user := Request{SubjectID: "urn:uuid:gold", SubjectRoles: []string{RoleRegisteredUser}}
+	guest := Request{SubjectRoles: []string{RoleGuest}}
+
+	cases := []struct {
+		name string
+		req  Request
+		want Effect
+	}{
+		{"guest reads", with(guest, ActionRead, "Service", "urn:uuid:other"), Permit},
+		{"anonymous reads", with(Request{}, ActionRead, "Organization", ""), Permit},
+		{"guest submits", with(guest, ActionSubmit, "Service", ""), Deny},
+		{"user submits", with(user, ActionSubmit, "Organization", ""), Permit},
+		{"user updates own", with(user, ActionUpdate, "Service", "urn:uuid:gold"), Permit},
+		{"user updates other's", with(user, ActionUpdate, "Service", "urn:uuid:other"), Deny},
+		{"user removes own", with(user, ActionRemove, "Service", "urn:uuid:gold"), Permit},
+		{"user approves own", with(user, ActionApprove, "Service", "urn:uuid:gold"), Permit},
+		{"user deprecates other's", with(user, ActionDeprecate, "Service", "urn:uuid:other"), Deny},
+		{"admin removes other's", with(admin, ActionRemove, "Service", "urn:uuid:other"), Permit},
+		{"admin relocates", with(admin, ActionRelocate, "RegistryPackage", ""), Permit},
+	}
+	for _, c := range cases {
+		if got := p.Evaluate(c.req); got != c.want {
+			t.Errorf("%s: %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func with(base Request, a Action, typ, owner string) Request {
+	base.Action = a
+	base.ResourceType = typ
+	base.ResourceOwner = owner
+	return base
+}
+
+func TestAnonymousOwnerNeverMatches(t *testing.T) {
+	// An anonymous request against an unowned resource must not match
+	// the "owner" subject (both ids are empty).
+	p := DefaultPolicy()
+	req := Request{Action: ActionUpdate, ResourceType: "Service", ResourceOwner: ""}
+	if p.Evaluate(req) != Deny {
+		t.Fatal("anonymous matched owner rule")
+	}
+}
+
+func TestFirstApplicableOrdering(t *testing.T) {
+	p := &Policy{
+		Rules: []Rule{
+			{ID: "deny-services", Effect: Deny, Subjects: []string{Wildcard}, Actions: []Action{ActionRead}, Types: []string{"Service"}},
+			{ID: "allow-read", Effect: Permit, Subjects: []string{Wildcard}, Actions: []Action{ActionRead}, Types: []string{Wildcard}},
+		},
+		Default: Deny,
+	}
+	if p.Evaluate(Request{Action: ActionRead, ResourceType: "Service"}) != Deny {
+		t.Fatal("later rule won over first applicable")
+	}
+	if p.Evaluate(Request{Action: ActionRead, ResourceType: "Organization"}) != Permit {
+		t.Fatal("fallthrough rule did not apply")
+	}
+}
+
+func TestDefaultEffectFallback(t *testing.T) {
+	empty := &Policy{}
+	if empty.Evaluate(Request{Action: ActionRead}) != Deny {
+		t.Fatal("zero-valued default should deny")
+	}
+	open := &Policy{Default: Permit}
+	if open.Evaluate(Request{Action: ActionRemove}) != Permit {
+		t.Fatal("explicit default ignored")
+	}
+}
+
+func TestAuthorizeError(t *testing.T) {
+	p := DefaultPolicy()
+	if err := p.Authorize(Request{Action: ActionRead, ResourceType: "Service"}); err != nil {
+		t.Fatalf("permitted request errored: %v", err)
+	}
+	err := p.Authorize(Request{Action: ActionRemove, ResourceType: "Service"})
+	if err == nil {
+		t.Fatal("denied request passed")
+	}
+}
+
+func TestEffectString(t *testing.T) {
+	if Permit.String() != "Permit" || Deny.String() != "Deny" || NotApplicable.String() != "NotApplicable" {
+		t.Fatal("effect strings wrong")
+	}
+}
