@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race vet lint check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bin/repolint: $(shell find cmd/repolint tools/analyzers -name '*.go' -not -path '*/testdata/*')
+	$(GO) build -o $@ ./cmd/repolint
+
+# lint runs the repo's own invariant analyzers (wallclock, lockcheck,
+# errwrap, norand) over every package via the go vet driver.
+lint: bin/repolint
+	$(GO) vet -vettool=$(CURDIR)/bin/repolint ./...
+
+check: build test vet lint
+
+clean:
+	rm -rf bin

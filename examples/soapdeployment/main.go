@@ -109,7 +109,7 @@ func main() {
 	for i := 0; i < 16; i++ {
 		hostA.Submit(hostsim.Task{ID: fmt.Sprintf("burn-%d", i), CPUSeconds: 600, MemB: 1 << 20}, clk.Now())
 	}
-	time.Sleep(50 * time.Millisecond) // let wall-clock load average react slightly
+	clk.Sleep(50 * time.Millisecond) // let wall-clock load average react slightly
 	hostA.AdvanceTo(clk.Now().Add(2 * time.Minute))
 	collector.CollectOnce()
 

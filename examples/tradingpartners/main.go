@@ -116,7 +116,7 @@ func main() {
 	for i := 1; i <= 3; i++ {
 		m := ebms.NewMessage(agreement.PartyA, agreement.PartyB,
 			"urn:services:"+agreement.ProcessName, "NewOrder",
-			fmt.Sprintf("PO-%04d", i), time.Now())
+			fmt.Sprintf("PO-%04d", i), simclock.Real{}.Now())
 		m.CPAID = agreement.ID
 		if _, err := buyer.Send(srv.URL, m); err != nil {
 			log.Fatal(err)

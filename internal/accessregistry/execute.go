@@ -396,7 +396,7 @@ func (r *Registry) findOrganization(name string) (*rim.Organization, error) {
 			return org, nil
 		}
 	}
-	return nil, fmt.Errorf("organization %q not found", name)
+	return nil, fmt.Errorf("accessregistry: organization %q not found", name)
 }
 
 // findOfferedService checks that the named service exists and is offered

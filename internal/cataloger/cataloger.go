@@ -65,7 +65,7 @@ func (r *Registry) Catalog(eo *rim.ExtrinsicObject, content []byte) error {
 	for _, c := range r.catalogers {
 		if c.Accepts(eo.MimeType, content) {
 			if err := c.Catalog(eo, content); err != nil {
-				return fmt.Errorf("cataloger %s: %w", c.Name(), err)
+				return fmt.Errorf("%w (%s cataloger)", err, c.Name())
 			}
 			return nil
 		}
@@ -132,23 +132,23 @@ type soapAddress struct {
 func (WSDL) Catalog(eo *rim.ExtrinsicObject, content []byte) error {
 	var doc wsdlDoc
 	if err := xml.Unmarshal(content, &doc); err != nil {
-		return fmt.Errorf("not well-formed wsdl: %w", err)
+		return fmt.Errorf("cataloger: not well-formed wsdl: %w", err)
 	}
 	if doc.XMLName.Local != "definitions" {
-		return fmt.Errorf("root element is <%s>, want <definitions>", doc.XMLName.Local)
+		return fmt.Errorf("cataloger: root element is <%s>, want <definitions>", doc.XMLName.Local)
 	}
 	if doc.TargetNamespace == "" {
-		return fmt.Errorf("missing targetNamespace")
+		return fmt.Errorf("cataloger: missing targetNamespace")
 	}
 	if len(doc.Services) == 0 {
-		return fmt.Errorf("wsdl defines no <service>")
+		return fmt.Errorf("cataloger: wsdl defines no <service>")
 	}
 	for _, svc := range doc.Services {
 		if svc.Name == "" {
-			return fmt.Errorf("unnamed <service>")
+			return fmt.Errorf("cataloger: unnamed <service>")
 		}
 		if len(svc.Ports) == 0 {
-			return fmt.Errorf("service %s has no <port>", svc.Name)
+			return fmt.Errorf("cataloger: service %s has no <port>", svc.Name)
 		}
 	}
 
@@ -207,7 +207,7 @@ func (XML) Catalog(eo *rim.ExtrinsicObject, content []byte) error {
 			if errors.Is(err, io.EOF) {
 				break
 			}
-			return fmt.Errorf("not well-formed xml: %w", err)
+			return fmt.Errorf("cataloger: not well-formed xml: %w", err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
@@ -220,7 +220,7 @@ func (XML) Catalog(eo *rim.ExtrinsicObject, content []byte) error {
 		}
 	}
 	if root == "" {
-		return fmt.Errorf("xml document has no root element")
+		return fmt.Errorf("cataloger: xml document has no root element")
 	}
 	eo.SetSlot(SlotXMLRootElement, root)
 	return nil

@@ -239,10 +239,12 @@ func (d *Driver) Run(w Workload) (*Report, error) {
 			nextArrival++
 		}
 
-		// Advance hosts; gather completions.
-		for host, done := range d.Cluster.AdvanceTo(now) {
-			_ = host
-			for _, c := range done {
+		// Advance hosts; gather completions in host-name order so the
+		// report (and anything derived from it) replays byte-identically
+		// from the same seed.
+		completions := d.Cluster.AdvanceTo(now)
+		for _, host := range names {
+			for _, c := range completions[host] {
 				rep.Completed++
 				rep.Latencies = append(rep.Latencies, c.Latency().Seconds())
 				if c.Finish.After(lastCompletion) {

@@ -42,8 +42,8 @@ type Collector struct {
 	parallelism int
 
 	mu     sync.Mutex
-	sweeps int
-	errs   int
+	sweeps int // guarded by mu
+	errs   int // guarded by mu
 }
 
 // Option configures a Collector.

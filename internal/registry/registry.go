@@ -72,7 +72,7 @@ type Registry struct {
 	cat     *cataloger.Registry
 
 	outboxMu sync.Mutex
-	outboxes []*events.EmailDeliverer
+	outboxes []*events.EmailDeliverer // guarded by outboxMu
 }
 
 // New builds a registry from cfg.

@@ -50,8 +50,8 @@ func (Real) Sleep(d time.Duration) { time.Sleep(d) }
 // regardless of the order in which they were registered.
 type Manual struct {
 	mu      sync.Mutex
-	now     time.Time
-	waiters []*waiter
+	now     time.Time // guarded by mu
+	waiters []*waiter // guarded by mu
 }
 
 type waiter struct {

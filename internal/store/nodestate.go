@@ -28,7 +28,7 @@ type NodeState struct {
 // NodeStateTable is the concurrent NodeState store keyed by host.
 type NodeStateTable struct {
 	mu   sync.RWMutex
-	rows map[string]NodeState
+	rows map[string]NodeState // guarded by mu
 }
 
 // NewNodeStateTable creates an empty table.

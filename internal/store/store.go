@@ -28,16 +28,16 @@ var ErrExists = fmt.Errorf("store: object already exists")
 // Store is the in-memory registry database.
 type Store struct {
 	mu      sync.RWMutex
-	objects map[string]rim.Object
-	byType  map[rim.ObjectType]map[string]struct{}
-	byOwner map[string]map[string]struct{}
+	objects map[string]rim.Object                  // guarded by mu
+	byType  map[rim.ObjectType]map[string]struct{} // guarded by mu
+	byOwner map[string]map[string]struct{}         // guarded by mu
 	// Association endpoint indexes: object id -> association ids.
-	assocBySource map[string]map[string]struct{}
-	assocByTarget map[string]map[string]struct{}
+	assocBySource map[string]map[string]struct{} // guarded by mu
+	assocByTarget map[string]map[string]struct{} // guarded by mu
 	// Repository content, keyed by ExtrinsicObject ContentID.
-	content map[string][]byte
+	content map[string][]byte // guarded by mu
 
-	nodeState *NodeStateTable
+	nodeState *NodeStateTable // immutable after New; the table locks itself
 }
 
 // New creates an empty store.
@@ -285,18 +285,20 @@ func (s *Store) FindOneByName(t rim.ObjectType, name string) (rim.Object, error)
 // AssociationsFrom returns deep copies of the associations whose source is
 // the given object id.
 func (s *Store) AssociationsFrom(sourceID string) []*rim.Association {
-	return s.assocs(s.assocBySource, sourceID)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.assocsLocked(s.assocBySource, sourceID)
 }
 
 // AssociationsTo returns deep copies of the associations whose target is
 // the given object id.
 func (s *Store) AssociationsTo(targetID string) []*rim.Association {
-	return s.assocs(s.assocByTarget, targetID)
-}
-
-func (s *Store) assocs(idx map[string]map[string]struct{}, key string) []*rim.Association {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.assocsLocked(s.assocByTarget, targetID)
+}
+
+func (s *Store) assocsLocked(idx map[string]map[string]struct{}, key string) []*rim.Association {
 	var out []*rim.Association
 	for id := range idx[key] {
 		if a, ok := s.objects[id].(*rim.Association); ok {

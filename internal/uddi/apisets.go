@@ -28,7 +28,7 @@ type transferToken struct {
 // custodyState holds the registry's outstanding transfer tokens.
 type custodyState struct {
 	mu     sync.Mutex
-	tokens map[string]*transferToken
+	tokens map[string]*transferToken // guarded by mu
 }
 
 func (r *Registry) custody() *custodyState {
@@ -66,7 +66,7 @@ func (r *Registry) GetTransferToken(authToken string, keys ...string) (string, e
 	tok := rim.NewUUID()
 	c := r.custody()
 	c.mu.Lock()
-	c.tokens[tok] = &transferToken{keys: keys, fromOwner: pub, expires: time.Now().Add(time.Hour)}
+	c.tokens[tok] = &transferToken{keys: keys, fromOwner: pub, expires: r.now().Add(time.Hour)}
 	c.mu.Unlock()
 	return tok, nil
 }
@@ -95,7 +95,7 @@ func (r *Registry) TransferEntity(authToken, transferTok string) error {
 	if !ok {
 		return fmt.Errorf("uddi: unknown transfer token")
 	}
-	if time.Now().After(t.expires) {
+	if r.now().After(t.expires) {
 		return fmt.Errorf("uddi: transfer token expired")
 	}
 	if pub == t.fromOwner {
@@ -135,8 +135,8 @@ type uddiSubscription struct {
 
 type subscriptionState struct {
 	mu      sync.Mutex
-	subs    map[string]*uddiSubscription
-	changes []changeRecord
+	subs    map[string]*uddiSubscription // guarded by mu
+	changes []changeRecord               // guarded by mu
 }
 
 type changeRecord struct {
@@ -157,7 +157,7 @@ func (r *Registry) subscriptions() *subscriptionState {
 func (r *Registry) recordChange(op, key, name string) {
 	s := r.subscriptions()
 	s.mu.Lock()
-	s.changes = append(s.changes, changeRecord{at: time.Now(), key: key, name: name, op: op})
+	s.changes = append(s.changes, changeRecord{at: r.now(), key: key, name: name, op: op})
 	s.mu.Unlock()
 }
 
@@ -169,7 +169,7 @@ func (r *Registry) SaveSubscription(authToken, namePattern string) (string, erro
 		return "", err
 	}
 	s := r.subscriptions()
-	sub := &uddiSubscription{id: rim.NewUUID(), publisher: pub, namePattern: namePattern, lastSeen: time.Now()}
+	sub := &uddiSubscription{id: rim.NewUUID(), publisher: pub, namePattern: namePattern, lastSeen: r.now()}
 	s.mu.Lock()
 	s.subs[sub.id] = sub
 	s.mu.Unlock()
@@ -222,7 +222,7 @@ func (r *Registry) GetSubscriptionResults(authToken, subID string) ([]Subscripti
 		}
 		out = append(out, SubscriptionResult{Key: c.key, Name: c.name, Op: c.op})
 	}
-	sub.lastSeen = time.Now()
+	sub.lastSeen = r.now()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
 }

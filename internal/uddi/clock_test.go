@@ -1,0 +1,85 @@
+package uddi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+var clk0 = time.Date(2011, 4, 22, 11, 0, 0, 0, time.UTC)
+
+// newSeededAt builds a seeded registry on a manual clock so the
+// time-dependent API sets (custody expiry, subscription cursors) can be
+// driven deterministically.
+func newSeededAt(t *testing.T) (*Registry, *simclock.Manual, string, *BusinessEntity) {
+	t.Helper()
+	clk := simclock.NewManual(clk0)
+	r := NewWithClock(clk)
+	tok := r.GetAuthToken("publisher-1")
+	be := &BusinessEntity{Name: "San Diego State University"}
+	if _, err := r.SaveBusiness(tok, be); err != nil {
+		t.Fatal(err)
+	}
+	return r, clk, tok, be
+}
+
+func TestTransferTokenExpiresOnInjectedClock(t *testing.T) {
+	r, clk, tokA, be := newSeededAt(t)
+	tokB := r.GetAuthToken("publisher-2")
+
+	transfer, err := r.GetTransferToken(tokA, be.BusinessKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Just inside the hour the token is live; just past it, dead. Only a
+	// manual clock can pin this boundary exactly.
+	clk.Advance(time.Hour + time.Second)
+	if err := r.TransferEntity(tokB, transfer); err == nil {
+		t.Fatal("expired transfer token accepted")
+	}
+
+	transfer2, err := r.GetTransferToken(tokA, be.BusinessKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(59 * time.Minute)
+	if err := r.TransferEntity(tokB, transfer2); err != nil {
+		t.Fatalf("live transfer token rejected: %v", err)
+	}
+}
+
+func TestSubscriptionCursorOnInjectedClock(t *testing.T) {
+	r, clk, tok, _ := newSeededAt(t)
+
+	subID, err := r.SaveSubscription(tok, "%State%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A change strictly after the subscription's lastSeen is reported
+	// once, then consumed by the advancing cursor.
+	clk.Advance(time.Minute)
+	if _, err := r.SaveBusiness(tok, &BusinessEntity{Name: "Ohio State University"}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Minute)
+	got, err := r.GetSubscriptionResults(tok, subID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "Ohio State University" {
+		t.Fatalf("results = %+v, want the one post-subscription change", got)
+	}
+	got, err = r.GetSubscriptionResults(tok, subID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("cursor did not advance: results = %+v", got)
+	}
+
+	if _, err := r.GetSubscriptionResults(tok, "no-such-sub"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}

@@ -21,8 +21,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/rim"
+	"repro/internal/simclock"
 	"repro/internal/store"
 )
 
@@ -94,28 +96,42 @@ type PublisherAssertion struct {
 	KeyedReference
 }
 
-// Registry is an in-memory UDDI node.
+// Registry is an in-memory UDDI node. All time-dependent behaviour
+// (transfer-token expiry, subscription change records and cursors) reads
+// the injected clock, so a simclock.Manual drives it deterministically.
 type Registry struct {
+	clock simclock.Clock
+
 	mu         sync.RWMutex
-	businesses map[string]*BusinessEntity
-	services   map[string]*BusinessService
-	bindings   map[string]*BindingTemplate
-	tmodels    map[string]*TModel
-	assertions map[string][]PublisherAssertion // by publisher authToken's owner
-	tokens     map[string]string               // authToken -> publisherID
-	owners     map[string]string               // entity key -> publisherID
+	businesses map[string]*BusinessEntity      // guarded by mu
+	services   map[string]*BusinessService     // guarded by mu
+	bindings   map[string]*BindingTemplate     // guarded by mu
+	tmodels    map[string]*TModel              // guarded by mu
+	assertions map[string][]PublisherAssertion // guarded by mu; by publisher authToken's owner
+	tokens     map[string]string               // guarded by mu; authToken -> publisherID
+	owners     map[string]string               // guarded by mu; entity key -> publisherID
 
 	custodyOnce   sync.Once
 	custodyTokens *custodyState
 	subsOnce      sync.Once
 	subsState     *subscriptionState
 	validOnce     sync.Once
-	validValues   map[string]map[string]bool // checked tModelKey -> allowed values
+	validValues   map[string]map[string]bool // guarded by mu; checked tModelKey -> allowed values
 }
 
-// New creates an empty UDDI registry.
+// New creates an empty UDDI registry on the real clock.
 func New() *Registry {
+	return NewWithClock(simclock.Real{})
+}
+
+// NewWithClock creates an empty UDDI registry whose timestamps come from
+// clk; nil means the real clock.
+func NewWithClock(clk simclock.Clock) *Registry {
+	if clk == nil {
+		clk = simclock.Real{}
+	}
 	return &Registry{
+		clock:      clk,
 		businesses: make(map[string]*BusinessEntity),
 		services:   make(map[string]*BusinessService),
 		bindings:   make(map[string]*BindingTemplate),
@@ -125,6 +141,9 @@ func New() *Registry {
 		owners:     make(map[string]string),
 	}
 }
+
+// now reads the registry's clock.
+func (r *Registry) now() time.Time { return r.clock.Now() }
 
 // --- Security API set -----------------------------------------------------
 

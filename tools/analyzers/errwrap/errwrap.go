@@ -1,0 +1,105 @@
+// Package errwrap enforces the repository's error-construction convention
+// in library packages:
+//
+//   - every fmt.Errorf / errors.New message is prefixed with the package
+//     name ("store: ...", "uddi: ...") so an error's origin is readable
+//     from its text alone, or begins with %w when it re-prefixes a
+//     sentinel that already carries one ("%w: business %s");
+//   - an error value interpolated into fmt.Errorf must use the %w verb,
+//     never %v or %s, so errors.Is/As keep working through the wrap.
+//
+// Test files and main packages (cmd/, examples/) are exempt: binaries
+// compose user-facing messages, and tests fabricate errors freely.
+package errwrap
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/tools/analyzers/framework"
+)
+
+// Analyzer is the errwrap pass.
+var Analyzer = &framework.Analyzer{
+	Name: "errwrap",
+	Doc: `enforces the "pkg: ...: %w" error convention: package-name prefixes on fmt.Errorf/errors.New ` +
+		"and %w (not %v/%s) for wrapped errors, in non-main packages",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	prefix := pass.Pkg.Name() + ": "
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			switch fn.FullName() {
+			case "errors.New":
+				checkMessage(pass, call, prefix, false)
+			case "fmt.Errorf":
+				checkMessage(pass, call, prefix, true)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkMessage validates one errors.New / fmt.Errorf call. Calls whose
+// message is not a plain string literal are skipped: the convention is
+// about human-written messages, not computed ones.
+func checkMessage(pass *framework.Pass, call *ast.CallExpr, prefix string, isErrorf bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	msg, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !strings.HasPrefix(msg, prefix) && !strings.HasPrefix(msg, "%w") {
+		pass.Reportf(lit.Pos(), "error message %q must start with %q (or %%w when re-prefixing a wrapped sentinel)",
+			msg, prefix)
+	}
+	if !isErrorf {
+		return
+	}
+	// Any error-typed argument must be formatted with %w so that
+	// errors.Is / errors.As see through the wrap.
+	if strings.Contains(msg, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if isErrorType(tv.Type) {
+			pass.Reportf(arg.Pos(), "error value formatted without %%w; use %%w so errors.Is/As unwrap it")
+		}
+	}
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

@@ -1,0 +1,35 @@
+// Package errwrap is the fixture for the errwrap analyzer: unprefixed
+// messages and %v-formatted errors are diagnosed; the "pkg: ...: %w"
+// convention and sentinel re-prefixing stay clean.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("errwrap: not found")
+
+var errBare = errors.New("not found") // want `error message "not found" must start with "errwrap: "`
+
+func bad(err error, name string) error {
+	if name == "" {
+		return fmt.Errorf("empty name for %s", name) // want `error message "empty name for %s" must start with "errwrap: "`
+	}
+	return fmt.Errorf("errwrap: lookup %s: %v", name, err) // want `error value formatted without %w; use %w so errors\.Is/As unwrap it`
+}
+
+func good(err error, name string) error {
+	if name == "" {
+		return fmt.Errorf("errwrap: empty name (code %d)", 42)
+	}
+	if errors.Is(err, errSentinel) {
+		return fmt.Errorf("%w: while looking up %s", errSentinel, name)
+	}
+	return fmt.Errorf("errwrap: lookup %s: %w", name, err)
+}
+
+// computed messages are outside the convention's scope.
+func computed(msg string) error {
+	return errors.New(msg)
+}

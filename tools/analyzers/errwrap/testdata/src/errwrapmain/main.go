@@ -1,0 +1,13 @@
+// Command errwrapmain shows that main packages are exempt: binaries
+// compose user-facing messages without package prefixes.
+package main
+
+import (
+	"errors"
+	"fmt"
+)
+
+func main() {
+	_ = errors.New("usage: errwrapmain <flags>")
+	_ = fmt.Errorf("bad flag %q", "-x")
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockcheck.Analyzer, "lockcheck")
+}

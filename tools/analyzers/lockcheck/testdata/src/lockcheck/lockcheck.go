@@ -1,0 +1,93 @@
+// Package lockcheck is the fixture for the lockcheck analyzer: guarded
+// fields touched without their mutex, and locks copied by value, are
+// diagnosed; disciplined methods and *Locked helpers stay clean.
+package lockcheck
+
+import "sync"
+
+type table struct {
+	mu   sync.Mutex
+	rows map[string]int // guarded by mu
+}
+
+func newTable() *table {
+	return &table{rows: make(map[string]int)}
+}
+
+func (t *table) Get(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rows[k]
+}
+
+func (t *table) Bad(k string) int {
+	return t.rows[k] // want `table\.rows is guarded by "mu" but Bad never acquires it`
+}
+
+// sizeLocked follows the caller-holds-lock naming convention.
+func (t *table) sizeLocked() int { return len(t.rows) }
+
+// stats has two mutexes; acquiring the wrong one is still a violation.
+type stats struct {
+	mu      sync.RWMutex
+	rows    map[string]int // guarded by mu
+	hitsMu  sync.Mutex
+	hits    int // guarded by hitsMu
+	uncared int
+}
+
+func (s *stats) Read(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rows[k]
+}
+
+func (s *stats) WrongMutex() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.uncared++
+	return s.hits // want `stats\.hits is guarded by "hitsMu" but WrongMutex never acquires it`
+}
+
+// wrapper reaches a guarded field through another struct; the acquire on
+// the owning value still counts.
+type wrapper struct{ tab *table }
+
+func (w *wrapper) Good(k string) int {
+	w.tab.mu.Lock()
+	defer w.tab.mu.Unlock()
+	return w.tab.rows[k]
+}
+
+func (w *wrapper) Bad(k string) int {
+	return w.tab.rows[k] // want `table\.rows is guarded by "mu" but Bad never acquires it`
+}
+
+// --- copied locks -----------------------------------------------------------
+
+func (t table) CopyRecv() int { // want `CopyRecv value receiver copies a lock: lockcheck\.table contains a sync mutex`
+	return 0
+}
+
+func passByValue(t table) { // want `passByValue parameter copies a lock: lockcheck\.table contains a sync mutex`
+	_ = t
+}
+
+func returnByValue() (t table) { // want `returnByValue result copies a lock: lockcheck\.table contains a sync mutex`
+	return
+}
+
+// nested embeds a lock-bearing struct by value; copying it copies the lock.
+type nested struct{ inner table }
+
+func passNested(n nested) { // want `passNested parameter copies a lock: lockcheck\.nested contains a sync mutex`
+	_ = n
+}
+
+// Pointers never copy the lock.
+func fine(t *table, n *nested) *table {
+	if n != nil {
+		return &n.inner
+	}
+	return t
+}

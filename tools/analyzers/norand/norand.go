@@ -1,0 +1,62 @@
+// Package norand flags use of math/rand's implicit global source in
+// non-test code.
+//
+// Every stochastic component of the reproduction — the MTC workload
+// generator's Poisson arrivals, host-load jitter in cmd/nodestatusd, the
+// trading-partner demo — must draw from a *rand.Rand seeded from
+// configuration, so that a run is reproducible from its recorded seed.
+// The global source (rand.Intn, rand.Float64, rand.Shuffle, ...) is
+// seeded behind the program's back and shared across goroutines, which
+// destroys replayability; rand.Seed is additionally deprecated. The
+// analyzer permits constructing sources (rand.New, rand.NewSource,
+// rand.NewZipf) and referring to math/rand types, and bans everything
+// that reads or mutates the package-level generator.
+package norand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/analyzers/framework"
+)
+
+// Analyzer is the norand pass.
+var Analyzer = &framework.Analyzer{
+	Name: "norand",
+	Doc: "flags math/rand global-source calls (rand.Intn, rand.Shuffle, rand.Seed, ...) in non-test code; " +
+		"inject a seeded *rand.Rand instead",
+	Run: run,
+}
+
+// allowed are the math/rand package-level names that do not touch the
+// global source.
+var allowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			for _, pkgPath := range []string{"math/rand", "math/rand/v2"} {
+				_, name, ok := pass.SelectorOnPackage(sel, pkgPath)
+				if !ok || allowed[name] {
+					continue
+				}
+				// Types (rand.Rand, rand.Source) are fine; only
+				// functions and vars act on the global source.
+				if _, isType := pass.TypesInfo.Uses[sel.Sel].(*types.TypeName); isType {
+					continue
+				}
+				pass.Reportf(sel.Pos(), "rand.%s uses the global math/rand source; inject a seeded *rand.Rand", name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package norand_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/norand"
+)
+
+func TestNorand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), norand.Analyzer, "norand")
+}

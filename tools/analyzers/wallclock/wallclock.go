@@ -1,0 +1,63 @@
+// Package wallclock flags direct wall-clock access outside the simclock
+// package.
+//
+// The reproduction's determinism rests on the internal/simclock.Clock
+// abstraction: the 25 s NodeStatus poller, time-of-day service windows,
+// token expiry and audit timestamps all take an injected Clock so that a
+// simclock.Manual can drive them in tests and simulations. A single stray
+// time.Now() reintroduces nondeterminism that only shows up as flaky
+// experiments, so the analyzer turns the convention into a build error:
+// every use of the wall clock must flow through a Clock (simclock.Real in
+// binaries), and only package simclock itself may touch package time's
+// clock functions.
+package wallclock
+
+import (
+	"go/ast"
+	"path"
+
+	"repro/tools/analyzers/framework"
+)
+
+// Analyzer is the wallclock pass.
+var Analyzer = &framework.Analyzer{
+	Name: "wallclock",
+	Doc: "flags time.Now/Since/After/Sleep/... outside internal/simclock; " +
+		"all wall-clock access must go through the injected simclock.Clock",
+	Run: run,
+}
+
+// banned are the package time functions that read or wait on the wall
+// clock. Pure constructors and arithmetic (time.Date, time.Duration,
+// t.Add, time.Parse, ...) remain allowed.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	// simclock is the sanctioned wrapper around the real clock.
+	if path.Base(pass.Pkg.Path()) == "simclock" {
+		return nil, nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if _, name, ok := pass.SelectorOnPackage(sel, "time"); ok && banned[name] {
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock; use the injected simclock.Clock", name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

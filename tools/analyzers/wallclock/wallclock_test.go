@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), wallclock.Analyzer, "wallclock", "simclock")
+}
