@@ -20,7 +20,7 @@ bin/repolint: $(shell find cmd/repolint tools/analyzers -name '*.go' -not -path 
 	$(GO) build -o $@ ./cmd/repolint
 
 # lint runs the repo's own invariant analyzers (wallclock, lockcheck,
-# errwrap, norand) over every package via the go vet driver.
+# errwrap, norand, clienttimeout) over every package via the go vet driver.
 lint: bin/repolint
 	$(GO) vet -vettool=$(CURDIR)/bin/repolint ./...
 

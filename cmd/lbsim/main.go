@@ -7,6 +7,7 @@
 //	lbsim -exp failure   host-failure reaction (collector failure tracking)
 //	lbsim -exp scale     deployment-size sweep
 //	lbsim -exp ablation  filter/rank/fallback/freshness design choices
+//	lbsim -exp flaky     NodeStatus drop faults, breakers, quarantine (H7)
 //	lbsim -exp all       everything above
 //
 // All experiments run on the simulated SDSU cluster under a deterministic
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: h1|period|timeofday|netdelay|failure|scale|ablation|all")
+		exp   = flag.String("exp", "all", "experiment: h1|period|timeofday|netdelay|failure|scale|ablation|flaky|all")
 		hosts = flag.Int("hosts", 4, "number of simulated hosts")
 		tasks = flag.Int("tasks", 300, "MTC tasks per run")
 		seed  = flag.Int64("seed", 42, "workload seed")
@@ -205,6 +206,22 @@ func main() {
 		tbl.AddRow("rank-first, 10s freshness vs 2m period", rep.Completed, rep.Dropped, rep.MeanFairness())
 
 		w.printf("%s\n", tbl)
+		return nil
+	})
+
+	run("flaky", func() error {
+		w.printf("H7: NodeStatus faults on %d of %d hosts — drop-rate sweep with\n", lbexp.FlakyHosts, len(lbexp.HostNames))
+		w.printf("per-host breakers, quarantine, and static-degraded discovery\n\n")
+		tbl, _, err := lbexp.Flaky(base, []float64{0, 0.1, 0.3, 0.6, 0.9})
+		if err != nil {
+			return err
+		}
+		w.printf("%s\n", tbl)
+		same, err := lbexp.FlakyReplayIdentical(base, 0.3)
+		if err != nil {
+			return err
+		}
+		w.printf("replay check (drop 0.3, seed %d): byte-identical = %v\n", *seed, same)
 		return nil
 	})
 }

@@ -9,6 +9,13 @@
 //
 // Policies: stock (no balancing), filter (thesis), rank-first,
 // least-loaded.
+//
+// Fault tolerance: -invoke-timeout bounds each NodeStatus call,
+// -invoke-retries/-retry-backoff retry transient failures,
+// -breaker-threshold enables per-host circuit breakers (0 disables), and
+// -degraded picks what discovery serves when every candidate host is
+// quarantined or stale (empty = drop the request, static = fall back to
+// the stored binding order like a vanilla registry).
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/core"
 	"repro/internal/registry"
 )
@@ -33,6 +41,14 @@ func main() {
 		snapshot = flag.String("snapshot", "", "snapshot file to load on start and save on shutdown")
 		fresh    = flag.Duration("freshness", 0, "NodeState staleness cutoff (0 = none)")
 		fallback = flag.Bool("fallback", false, "serve load-ordered URIs when no host satisfies constraints")
+
+		invokeTimeout = flag.Duration("invoke-timeout", 10*time.Second, "deadline per NodeStatus invocation (0 = none)")
+		invokeRetries = flag.Int("invoke-retries", 1, "retries per failed NodeStatus invocation")
+		retryBackoff  = flag.Duration("retry-backoff", 2*time.Second, "base backoff between invocation retries")
+		brkThreshold  = flag.Int("breaker-threshold", 3, "consecutive failures that trip a host's breaker (0 = breakers off)")
+		brkBackoff    = flag.Duration("breaker-backoff", 50*time.Second, "first breaker open interval (doubles per trip)")
+		brkMax        = flag.Duration("breaker-max-backoff", 10*time.Minute, "cap on breaker backoff growth")
+		degraded      = flag.String("degraded", "empty", "discovery result when all hosts are quarantined/stale: empty|static")
 	)
 	flag.Parse()
 
@@ -40,12 +56,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	reg, err := registry.New(registry.Config{
+	dm, err := parseDegraded(*degraded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := registry.Config{
 		Policy:           p,
 		CollectionPeriod: *period,
 		Freshness:        *fresh,
 		FallbackAll:      *fallback,
-	})
+		Degraded:         dm,
+		InvokeTimeout:    *invokeTimeout,
+		InvokeRetries:    *invokeRetries,
+		RetryBackoff:     *retryBackoff,
+	}
+	if *brkThreshold > 0 {
+		cfg.Breaker = &breaker.Config{
+			Threshold:   *brkThreshold,
+			BaseBackoff: *brkBackoff,
+			MaxBackoff:  *brkMax,
+		}
+	}
+	reg, err := registry.New(cfg)
 	if err != nil {
 		log.Fatalf("regserver: %v", err)
 	}
@@ -102,5 +134,16 @@ func parsePolicy(s string) (core.Policy, error) {
 		return core.PolicyLeastLoaded, nil
 	default:
 		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+func parseDegraded(s string) (core.DegradedMode, error) {
+	switch s {
+	case "empty":
+		return core.DegradedEmpty, nil
+	case "static":
+		return core.DegradedStatic, nil
+	default:
+		return 0, fmt.Errorf("unknown degraded mode %q", s)
 	}
 }

@@ -1,8 +1,8 @@
 // Command repolint is the repository's static-analysis vettool. It runs
-// the four invariant analyzers — wallclock, lockcheck, errwrap, norand —
-// over Go packages, enforcing the conventions that keep the registry
-// reproduction deterministic and race-free (see DESIGN.md, "Static
-// analysis & invariants").
+// the five invariant analyzers — wallclock, lockcheck, errwrap, norand,
+// clienttimeout — over Go packages, enforcing the conventions that keep
+// the registry reproduction deterministic, race-free, and fault-tolerant
+// (see DESIGN.md, "Static analysis & invariants").
 //
 // It speaks the `go vet -vettool` unit-checker protocol, so the usual
 // invocation is
@@ -35,6 +35,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/tools/analyzers/clienttimeout"
 	"repro/tools/analyzers/errwrap"
 	"repro/tools/analyzers/framework"
 	"repro/tools/analyzers/lockcheck"
@@ -48,6 +49,7 @@ var analyzers = []*framework.Analyzer{
 	lockcheck.Analyzer,
 	errwrap.Analyzer,
 	norand.Analyzer,
+	clienttimeout.Analyzer,
 }
 
 func main() {

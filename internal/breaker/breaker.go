@@ -1,0 +1,267 @@
+// Package breaker implements per-host circuit breakers for the registry's
+// NodeStatus collection path. The thesis's collector (§3.2) polls every
+// deployed host at full rate forever, which means a host that is down or
+// flapping consumes a sweep slot on every period and its repeated timeouts
+// dominate the collector's error budget. A breaker gives each host the
+// classic three-state treatment:
+//
+//	Closed    → invocations flow normally; consecutive failures are counted.
+//	Open      → after Threshold consecutive failures the host is quarantined
+//	            and invocations are skipped until a jittered, exponentially
+//	            growing backoff expires.
+//	Half-open → one probe invocation is admitted; success closes the
+//	            breaker, failure re-opens it with a doubled backoff.
+//
+// Determinism: the backoff jitter for each host is drawn from a dedicated
+// *rand.Rand seeded from Config.Seed and the host name, so per-host trip
+// schedules replay byte-identically from the same seed no matter how sweep
+// goroutines interleave across hosts. Time never comes from the wall
+// clock — every method takes the caller's `now`, which the collector reads
+// from its injected simclock.Clock.
+package breaker
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a breaker's position in the closed/open/half-open cycle.
+type State int
+
+// Breaker states.
+const (
+	// Closed admits every invocation (the healthy steady state).
+	Closed State = iota
+	// Open rejects invocations until the backoff deadline passes.
+	Open
+	// HalfOpen admits exactly one probe invocation.
+	HalfOpen
+)
+
+// String names the state for reports and gauges.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown-state"
+	}
+}
+
+// Defaults chosen around the thesis's 25 s collection period: a host must
+// miss three consecutive sweeps to trip, stays quarantined for about two
+// periods, and is never benched longer than ten minutes.
+const (
+	DefaultThreshold   = 3
+	DefaultBaseBackoff = 50 * time.Second
+	DefaultMaxBackoff  = 10 * time.Minute
+	DefaultJitter      = 0.2
+)
+
+// Config tunes a breaker Set. The zero value selects every default.
+type Config struct {
+	// Threshold is the number of consecutive failures that opens the
+	// breaker (default 3).
+	Threshold int
+	// BaseBackoff is the first open interval; each subsequent trip doubles
+	// it (default 50 s, two collection periods).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 10 min).
+	MaxBackoff time.Duration
+	// Jitter is the fraction of the backoff randomized symmetrically
+	// around its nominal value, de-synchronizing probe storms when many
+	// hosts trip together (default 0.2, i.e. ±20%; negative disables
+	// jitter for exact, test-friendly backoffs).
+	Jitter float64
+	// Seed drives the per-host jitter sequences; runs with the same seed
+	// replay identically.
+	Seed int64
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (c Config) withDefaults() Config {
+	if c.Threshold <= 0 {
+		c.Threshold = DefaultThreshold
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = DefaultBaseBackoff
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = DefaultMaxBackoff
+	}
+	switch {
+	case c.Jitter == 0 || c.Jitter >= 1:
+		c.Jitter = DefaultJitter
+	case c.Jitter < 0:
+		c.Jitter = 0 // negative disables jitter entirely (exact backoffs)
+	}
+	return c
+}
+
+// hostState is one host's breaker, always accessed under Set.mu.
+type hostState struct {
+	state       State
+	consecutive int        // consecutive failures since the last success
+	trips       int        // opens since the last success (drives backoff)
+	totalTrips  int        // lifetime opens, never reset (for reporting)
+	nextProbe   time.Time  // when an Open breaker admits its probe
+	probing     bool       // a half-open probe is outstanding
+	rng         *rand.Rand // per-host jitter sequence
+}
+
+// Set holds one breaker per host.
+type Set struct {
+	cfg Config
+
+	mu    sync.Mutex
+	hosts map[string]*hostState // guarded by mu
+}
+
+// NewSet creates a breaker set with cfg (zero fields take defaults).
+func NewSet(cfg Config) *Set {
+	return &Set{cfg: cfg.withDefaults(), hosts: make(map[string]*hostState)}
+}
+
+// hostLocked returns (creating if needed) the breaker for host. The
+// caller holds s.mu.
+func (s *Set) hostLocked(host string) *hostState {
+	h, ok := s.hosts[host]
+	if !ok {
+		h = &hostState{rng: rand.New(rand.NewSource(s.cfg.Seed ^ hostSeed(host)))}
+		s.hosts[host] = h
+	}
+	return h
+}
+
+// hostSeed folds a host name into a seed component so each host draws an
+// independent, reproducible jitter sequence.
+func hostSeed(host string) int64 {
+	f := fnv.New64a()
+	f.Write([]byte(host))
+	return int64(f.Sum64())
+}
+
+// Allow reports whether an invocation of host may proceed at time now.
+// An Open breaker whose backoff has expired transitions to HalfOpen and
+// admits the caller as the probe; concurrent callers are rejected until
+// the probe resolves via Success or Failure.
+func (s *Set) Allow(host string, now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.hostLocked(host)
+	switch h.state {
+	case Closed:
+		return true
+	case Open:
+		if now.Before(h.nextProbe) {
+			return false
+		}
+		h.state = HalfOpen
+		h.probing = true
+		return true
+	default: // HalfOpen
+		if h.probing {
+			return false
+		}
+		h.probing = true
+		return true
+	}
+}
+
+// Success records a successful invocation of host, closing its breaker
+// and resetting the failure and backoff history.
+func (s *Set) Success(host string, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.hostLocked(host)
+	h.state = Closed
+	h.consecutive = 0
+	h.trips = 0
+	h.probing = false
+}
+
+// Failure records a failed invocation of host at time now. Reaching the
+// threshold in Closed, or failing the HalfOpen probe, opens the breaker
+// with the next backoff interval.
+func (s *Set) Failure(host string, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.hostLocked(host)
+	h.consecutive++
+	switch h.state {
+	case HalfOpen:
+		s.openLocked(h, now)
+	case Closed:
+		if h.consecutive >= s.cfg.Threshold {
+			s.openLocked(h, now)
+		}
+	}
+}
+
+// openLocked trips the breaker at time now with the host's next jittered
+// exponential backoff. The caller holds s.mu.
+func (s *Set) openLocked(h *hostState, now time.Time) {
+	h.state = Open
+	h.probing = false
+	h.trips++
+	h.totalTrips++
+	backoff := s.cfg.BaseBackoff
+	for i := 1; i < h.trips && backoff < s.cfg.MaxBackoff; i++ {
+		backoff *= 2
+	}
+	if backoff > s.cfg.MaxBackoff {
+		backoff = s.cfg.MaxBackoff
+	}
+	if s.cfg.Jitter > 0 {
+		factor := 1 + s.cfg.Jitter*(2*h.rng.Float64()-1)
+		backoff = time.Duration(float64(backoff) * factor)
+	}
+	h.nextProbe = now.Add(backoff)
+}
+
+// State returns host's current breaker state. Hosts never seen are
+// Closed.
+func (s *Set) State(host string) State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.hosts[host]; ok {
+		return h.state
+	}
+	return Closed
+}
+
+// HostStatus is one host's breaker snapshot for UIs and metrics.
+type HostStatus struct {
+	Host        string
+	State       State
+	Consecutive int
+	// Trips counts lifetime opens; unlike the backoff ladder it survives
+	// recoveries, so a flapping host keeps accumulating.
+	Trips int
+	// NextProbe is when an Open breaker admits its probe (zero for
+	// Closed breakers).
+	NextProbe time.Time
+}
+
+// Snapshot returns every tracked host's status sorted by host name.
+func (s *Set) Snapshot() []HostStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]HostStatus, 0, len(s.hosts))
+	for host, h := range s.hosts {
+		st := HostStatus{Host: host, State: h.state, Consecutive: h.consecutive, Trips: h.totalTrips}
+		if h.state != Closed {
+			st.NextProbe = h.nextProbe
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}

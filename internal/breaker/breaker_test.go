@@ -1,0 +1,194 @@
+package breaker
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2011, 4, 22, 11, 0, 0, 0, time.UTC)
+
+// noJitter makes backoff arithmetic exact for the transition tables.
+func noJitter() Config {
+	return Config{Threshold: 3, BaseBackoff: 50 * time.Second, MaxBackoff: 10 * time.Minute, Jitter: -1}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Threshold != DefaultThreshold || c.BaseBackoff != DefaultBaseBackoff ||
+		c.MaxBackoff != DefaultMaxBackoff || c.Jitter != DefaultJitter {
+		t.Fatalf("defaults = %+v", c)
+	}
+	// Jitter: -1 sentinel normalizes to the default; the tests below use
+	// Jitter inside (0,1) untouched.
+	if (Config{Jitter: 0.5}).withDefaults().Jitter != 0.5 {
+		t.Fatal("explicit jitter overridden")
+	}
+}
+
+// TestStateTransitions walks the closed → open → half-open → closed cycle
+// as a scripted event table.
+func TestStateTransitions(t *testing.T) {
+	s := NewSet(noJitter())
+	const host = "thermo.sdsu.edu"
+	steps := []struct {
+		name  string
+		at    time.Duration // offset from t0
+		event string        // allow | success | failure
+		want  bool          // expected Allow result (allow events only)
+		state State         // expected state after the event
+	}{
+		{"fresh host admits", 0, "allow", true, Closed},
+		{"failure 1 stays closed", 0, "failure", false, Closed},
+		{"failure 2 stays closed", 25 * time.Second, "failure", false, Closed},
+		{"still admits below threshold", 26 * time.Second, "allow", true, Closed},
+		{"failure 3 trips", 50 * time.Second, "failure", false, Open},
+		{"open rejects", 51 * time.Second, "allow", false, Open},
+		{"open rejects until backoff", 99 * time.Second, "allow", false, Open},
+		{"backoff expiry admits probe", 100 * time.Second, "allow", true, HalfOpen},
+		{"second caller blocked during probe", 100 * time.Second, "allow", false, HalfOpen},
+		{"probe failure reopens", 101 * time.Second, "failure", false, Open},
+		{"doubled backoff still open", 200 * time.Second, "allow", false, Open},
+		{"doubled backoff expiry admits probe", 201 * time.Second, "allow", true, HalfOpen},
+		{"probe success closes", 202 * time.Second, "success", false, Closed},
+		{"closed admits again", 203 * time.Second, "allow", true, Closed},
+	}
+	for _, step := range steps {
+		now := t0.Add(step.at)
+		switch step.event {
+		case "allow":
+			if got := s.Allow(host, now); got != step.want {
+				t.Fatalf("%s: Allow = %v, want %v", step.name, got, step.want)
+			}
+		case "success":
+			s.Success(host, now)
+		case "failure":
+			s.Failure(host, now)
+		}
+		if got := s.State(host); got != step.state {
+			t.Fatalf("%s: state = %v, want %v", step.name, got, step.state)
+		}
+	}
+}
+
+func TestSuccessResetsConsecutiveCount(t *testing.T) {
+	s := NewSet(noJitter())
+	const host = "exergy.sdsu.edu"
+	// Two failures, a success, then two more failures: never trips.
+	s.Failure(host, t0)
+	s.Failure(host, t0)
+	s.Success(host, t0)
+	s.Failure(host, t0)
+	s.Failure(host, t0)
+	if got := s.State(host); got != Closed {
+		t.Fatalf("state = %v after interleaved success", got)
+	}
+	s.Failure(host, t0)
+	if got := s.State(host); got != Open {
+		t.Fatalf("state = %v after three consecutive failures", got)
+	}
+}
+
+func TestBackoffGrowsExponentiallyAndCaps(t *testing.T) {
+	cfg := noJitter()
+	cfg.BaseBackoff = time.Minute
+	cfg.MaxBackoff = 4 * time.Minute
+	s := NewSet(cfg)
+	const host = "romulus.sdsu.edu"
+
+	trip := func(now time.Time) {
+		for i := 0; i < cfg.Threshold; i++ {
+			s.Failure(host, now)
+		}
+	}
+	reopen := func(now time.Time) {
+		if !s.Allow(host, now) {
+			t.Fatalf("probe not admitted at %v", now)
+		}
+		s.Failure(host, now)
+	}
+
+	trip(t0)
+	wantProbe := []time.Duration{
+		time.Minute,     // trip 1: base
+		2 * time.Minute, // trip 2: doubled
+		4 * time.Minute, // trip 3: doubled again
+		4 * time.Minute, // trip 4: capped
+	}
+	now := t0
+	for i, backoff := range wantProbe {
+		snap := s.Snapshot()
+		if len(snap) != 1 {
+			t.Fatalf("snapshot hosts = %d", len(snap))
+		}
+		if got := snap[0].NextProbe.Sub(now); got != backoff {
+			t.Fatalf("trip %d: backoff = %v, want %v", i+1, got, backoff)
+		}
+		if s.Allow(host, now.Add(backoff-time.Second)) {
+			t.Fatalf("trip %d: admitted before backoff expiry", i+1)
+		}
+		now = now.Add(backoff)
+		if i < len(wantProbe)-1 {
+			reopen(now)
+		}
+	}
+}
+
+// TestJitterDeterministicPerSeed pins the reproducibility contract: the
+// same seed yields the same probe schedule, a different seed a different
+// one, regardless of how other hosts interleave.
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	schedule := func(seed int64, warmup int) []time.Time {
+		s := NewSet(Config{Threshold: 1, BaseBackoff: time.Minute, Jitter: 0.5, Seed: seed})
+		// Interleave unrelated host activity to prove isolation.
+		for i := 0; i < warmup; i++ {
+			s.Failure("noise.sdsu.edu", t0)
+			s.Allow("noise.sdsu.edu", t0)
+		}
+		var probes []time.Time
+		now := t0
+		for i := 0; i < 5; i++ {
+			s.Failure("volta.sdsu.edu", now)
+			snap := s.Snapshot()
+			for _, h := range snap {
+				if h.Host == "volta.sdsu.edu" {
+					probes = append(probes, h.NextProbe)
+					now = h.NextProbe
+				}
+			}
+			if !s.Allow("volta.sdsu.edu", now) {
+				t.Fatal("probe not admitted at its own deadline")
+			}
+		}
+		return probes
+	}
+	a := schedule(7, 0)
+	b := schedule(7, 13) // same seed, different cross-host interleaving
+	c := schedule(8, 0)  // different seed
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("probe %d diverged under identical seed: %v vs %v", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter schedules")
+	}
+}
+
+func TestUnknownHostIsClosed(t *testing.T) {
+	s := NewSet(Config{})
+	if s.State("never-seen") != Closed {
+		t.Fatal("unknown host not closed")
+	}
+	if !s.Allow("never-seen", t0) {
+		t.Fatal("unknown host rejected")
+	}
+	if len(s.Snapshot()) != 1 {
+		t.Fatal("allow did not register host")
+	}
+}

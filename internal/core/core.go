@@ -84,6 +84,34 @@ const (
 	TimeWindowExclude
 )
 
+// DegradedMode selects what discovery serves when filtering leaves nothing
+// at all — every candidate host quarantined, stale, or ineligible and no
+// fallback produced output. This is the graceful-degradation policy for a
+// cluster that is entirely unhealthy from the collector's point of view.
+type DegradedMode int
+
+// Degradation modes.
+const (
+	// DegradedEmpty preserves the strict behaviour: an empty binding list.
+	DegradedEmpty DegradedMode = iota
+	// DegradedStatic serves the stored binding order — what vanilla
+	// freebXML would return — on the theory that a registry with no
+	// health information should behave like one that never collected any.
+	DegradedStatic
+)
+
+// String names the mode for flags and reports.
+func (m DegradedMode) String() string {
+	switch m {
+	case DegradedEmpty:
+		return "empty"
+	case DegradedStatic:
+		return "static"
+	default:
+		return "unknown-degraded-mode"
+	}
+}
+
 // Balancer is the constraint-enforcement engine attached to the registry's
 // query path.
 type Balancer struct {
@@ -99,8 +127,13 @@ type Balancer struct {
 	Freshness time.Duration
 	// FallbackAll, when true, returns all bindings in ascending-load
 	// order if no host satisfies the constraints, instead of an empty
-	// list (ablation 3).
+	// list (ablation 3). Quarantined hosts stay excluded from the
+	// fallback; only Degraded can resurrect them.
 	FallbackAll bool
+	// Degraded selects what to serve when filtering and fallback leave
+	// nothing (e.g. every host quarantined). The zero value keeps the
+	// strict empty answer.
+	Degraded DegradedMode
 }
 
 // Verdict classifies one binding's host against the constraints.
@@ -111,6 +144,9 @@ const (
 	VerdictEligible Verdict = iota
 	VerdictIneligible
 	VerdictUnknown
+	// VerdictQuarantined marks a host whose collector breaker is open; it
+	// is excluded from every arrangement, including FallbackAll.
+	VerdictQuarantined
 )
 
 // String names the verdict.
@@ -120,6 +156,8 @@ func (v Verdict) String() string {
 		return "eligible"
 	case VerdictIneligible:
 		return "ineligible"
+	case VerdictQuarantined:
+		return "quarantined"
 	default:
 		return "unknown"
 	}
@@ -150,6 +188,9 @@ type Decision struct {
 	// FellBack is true when no host was eligible and FallbackAll served
 	// the full load-ordered list.
 	FellBack bool
+	// Degraded is true when even the fallback produced nothing and the
+	// DegradedStatic policy served the stored binding order.
+	Degraded bool
 	// Bindings classifies every binding considered.
 	Bindings []BindingDecision
 }
@@ -162,6 +203,9 @@ func (d Decision) Unknown() int { return d.count(VerdictUnknown) }
 
 // Ineligible returns the number of constraint-failing bindings.
 func (d Decision) Ineligible() int { return d.count(VerdictIneligible) }
+
+// Quarantined returns the number of breaker-quarantined bindings.
+func (d Decision) Quarantined() int { return d.count(VerdictQuarantined) }
 
 func (d Decision) count(v Verdict) int {
 	n := 0
@@ -235,13 +279,22 @@ func (b *Balancer) ArrangeURIs(description string, uris []string, now time.Time)
 	}
 
 	// Step 3: LoadStatus — classify each host against NodeState.
+	// Quarantined hosts (open collector breaker) are set aside first: they
+	// take no part in any arrangement, fallback included.
 	dec.Filtered = true
-	var eligible, unknown, ineligible []string
+	var eligible, unknown, ineligible, candidates []string
 	loadOf := make(map[string]float64, len(uris))
 	for _, uri := range uris {
 		host := rim.HostOfURI(uri)
 		bd := BindingDecision{AccessURI: uri, Host: host}
 		row, ok := b.Table.Get(host)
+		if ok && row.Health == store.HealthQuarantined {
+			bd.Verdict = VerdictQuarantined
+			bd.HasRow = true
+			dec.Bindings = append(dec.Bindings, bd)
+			continue
+		}
+		candidates = append(candidates, uri)
 		fresh := ok && row.Failures == 0 &&
 			(b.Freshness <= 0 || now.Sub(row.Updated) <= b.Freshness)
 		if !fresh {
@@ -279,9 +332,9 @@ func (b *Balancer) ArrangeURIs(description string, uris []string, now time.Time)
 		out = stock
 	}
 
-	if len(out) == 0 && b.FallbackAll {
+	if len(out) == 0 && b.FallbackAll && len(candidates) > 0 {
 		dec.FellBack = true
-		out = append([]string(nil), uris...)
+		out = append([]string(nil), candidates...)
 		sort.SliceStable(out, func(i, j int) bool {
 			li, iOK := loadOrInf(loadOf, out[i])
 			lj, jOK := loadOrInf(loadOf, out[j])
@@ -290,6 +343,14 @@ func (b *Balancer) ArrangeURIs(description string, uris []string, now time.Time)
 			}
 			return li < lj
 		})
+	}
+
+	// Step 5: graceful degradation — when nothing at all survived (e.g.
+	// every host quarantined), DegradedStatic serves the stored order as
+	// vanilla freebXML would, rather than an empty answer.
+	if len(out) == 0 && b.Degraded == DegradedStatic {
+		dec.Degraded = true
+		out = stock
 	}
 	return out, dec
 }

@@ -1,0 +1,254 @@
+// Package faults provides a deterministic fault-injecting wrapper around a
+// nodestatus.Invoker, for testing and simulating the collection path under
+// unreliable clusters. Real NodeStatus deployments fail in a handful of
+// characteristic ways — the request is lost (drop), the socket answers
+// late (delay) or never (hang), the response is garbage (corrupt), or the
+// host oscillates between reachable and dead (flap) — and the Injector
+// reproduces each of them on schedule.
+//
+// Determinism is the point: every probabilistic decision is drawn from a
+// per-host *rand.Rand seeded from Plan.Seed and the host name, and every
+// time read comes from the injected simclock.Clock. Because the collector
+// invokes each host at most once per sweep (retries included, they run
+// sequentially in the host's goroutine), the per-host decision sequence is
+// a pure function of the seed and the invocation count — runs replay
+// byte-identically no matter how sweep goroutines interleave across hosts.
+// The flap fault draws from the clock instead of the rng: the host is down
+// whenever the virtual time falls inside the down-window of its period.
+//
+// Delay and hang park on Clock.Sleep, so under a simclock.Manual they
+// require another goroutine to advance the clock (as the deadline tests in
+// internal/nodestate do). Scenarios driven from a single goroutine — the
+// lbsim flaky-cluster experiment — use the non-blocking faults (drop,
+// corrupt, flap).
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/nodestatus"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+)
+
+// Kind labels one injected fault decision.
+type Kind int
+
+// Fault kinds. KindNone records an invocation the injector passed through
+// untouched, keeping per-host logs aligned with invocation counts.
+const (
+	KindNone Kind = iota
+	KindDrop
+	KindHang
+	KindDelay
+	KindCorrupt
+	KindFlap
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindDrop:
+		return "drop"
+	case KindHang:
+		return "hang"
+	case KindDelay:
+		return "delay"
+	case KindCorrupt:
+		return "corrupt"
+	case KindFlap:
+		return "flap"
+	default:
+		return "unknown-fault"
+	}
+}
+
+// Plan schedules faults for a set of hosts. Rates are independent
+// per-invocation probabilities stacked in the order drop, hang, delay,
+// corrupt; their sum must not exceed 1.
+type Plan struct {
+	// Hosts restricts injection to these hostnames; empty targets every
+	// host.
+	Hosts []string
+	// DropRate is the probability an invocation fails immediately, as if
+	// the request were lost.
+	DropRate float64
+	// HangRate is the probability an invocation parks for Hang before
+	// failing, simulating a socket that never answers (exercises the
+	// collector's deadline).
+	HangRate float64
+	Hang     time.Duration
+	// DelayRate is the probability an invocation is delayed by Delay
+	// before proceeding normally (late but valid answers).
+	DelayRate float64
+	Delay     time.Duration
+	// CorruptRate is the probability a successful response is mangled
+	// into out-of-range values the collector must reject.
+	CorruptRate float64
+	// FlapPeriod, when positive, makes targeted hosts unreachable during
+	// the first FlapDuty fraction of every period (measured from the
+	// injector's construction time).
+	FlapPeriod time.Duration
+	// FlapDuty is the down fraction of each flap period (default 0.5).
+	FlapDuty float64
+	// Seed drives every per-host decision sequence.
+	Seed int64
+}
+
+// hostFaults is one host's decision state, always accessed under
+// Injector.mu.
+type hostFaults struct {
+	rng *rand.Rand
+	log []Kind
+}
+
+// Injector wraps an Invoker with scheduled faults.
+type Injector struct {
+	next  nodestatus.Invoker
+	clock simclock.Clock
+	plan  Plan
+	epoch time.Time       // flap phase reference
+	only  map[string]bool // nil = every host targeted
+
+	mu     sync.Mutex
+	hosts  map[string]*hostFaults // guarded by mu
+	counts map[Kind]int           // guarded by mu
+}
+
+// New wraps next with the fault plan, phased off clock's current time.
+func New(next nodestatus.Invoker, clock simclock.Clock, plan Plan) *Injector {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	if plan.FlapDuty <= 0 || plan.FlapDuty > 1 {
+		plan.FlapDuty = 0.5
+	}
+	inj := &Injector{
+		next:   next,
+		clock:  clock,
+		plan:   plan,
+		epoch:  clock.Now(),
+		hosts:  make(map[string]*hostFaults),
+		counts: make(map[Kind]int),
+	}
+	if len(plan.Hosts) > 0 {
+		inj.only = make(map[string]bool, len(plan.Hosts))
+		for _, h := range plan.Hosts {
+			inj.only[h] = true
+		}
+	}
+	return inj
+}
+
+// decide draws the fault for one invocation of host at time now and logs
+// it. The rng is always advanced exactly once per invocation so per-host
+// schedules stay count-aligned even when flap windows pre-empt the draw.
+func (i *Injector) decide(host string, now time.Time) Kind {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	h, ok := i.hosts[host]
+	if !ok {
+		h = &hostFaults{rng: rand.New(rand.NewSource(i.plan.Seed ^ hostSeed(host)))}
+		i.hosts[host] = h
+	}
+	u := h.rng.Float64()
+	kind := KindNone
+	if i.plan.FlapPeriod > 0 && i.downWindow(now) {
+		kind = KindFlap
+	} else {
+		switch threshold := i.plan.DropRate; {
+		case u < threshold:
+			kind = KindDrop
+		case u < threshold+i.plan.HangRate:
+			kind = KindHang
+		case u < threshold+i.plan.HangRate+i.plan.DelayRate:
+			kind = KindDelay
+		case u < threshold+i.plan.HangRate+i.plan.DelayRate+i.plan.CorruptRate:
+			kind = KindCorrupt
+		}
+	}
+	h.log = append(h.log, kind)
+	i.counts[kind]++
+	return kind
+}
+
+// downWindow reports whether now falls in the down fraction of the flap
+// period.
+func (i *Injector) downWindow(now time.Time) bool {
+	period := i.plan.FlapPeriod
+	phase := now.Sub(i.epoch) % period
+	if phase < 0 {
+		phase += period
+	}
+	return float64(phase) < i.plan.FlapDuty*float64(period)
+}
+
+// Invoke implements nodestatus.Invoker, applying the scheduled fault for
+// this invocation before (or instead of) delegating to the wrapped
+// invoker.
+func (i *Injector) Invoke(accessURI string) (nodestatus.Response, error) {
+	host := rim.HostOfURI(accessURI)
+	if host == "" || (i.only != nil && !i.only[host]) {
+		return i.next.Invoke(accessURI)
+	}
+	switch kind := i.decide(host, i.clock.Now()); kind {
+	case KindDrop:
+		return nodestatus.Response{}, fmt.Errorf("faults: injected drop for %s", host)
+	case KindFlap:
+		return nodestatus.Response{}, fmt.Errorf("faults: host %s is flapping (down window)", host)
+	case KindHang:
+		i.clock.Sleep(i.plan.Hang)
+		return nodestatus.Response{}, fmt.Errorf("faults: injected hang for %s gave up after %s", host, i.plan.Hang)
+	case KindDelay:
+		i.clock.Sleep(i.plan.Delay)
+		return i.next.Invoke(accessURI)
+	case KindCorrupt:
+		resp, err := i.next.Invoke(accessURI)
+		if err != nil {
+			return nodestatus.Response{}, err
+		}
+		// Out-of-range measurements the collector's validation must
+		// reject: negative load and memory.
+		resp.Load = -1 - resp.Load
+		resp.MemoryB = -1
+		return resp, nil
+	default:
+		return i.next.Invoke(accessURI)
+	}
+}
+
+// Counts returns how many decisions of each kind have been made.
+func (i *Injector) Counts() map[Kind]int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make(map[Kind]int, len(i.counts))
+	for k, n := range i.counts {
+		out[k] = n
+	}
+	return out
+}
+
+// Log returns host's decision sequence in invocation order — the fault
+// schedule a seed-reproducibility test compares across runs.
+func (i *Injector) Log(host string) []Kind {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if h, ok := i.hosts[host]; ok {
+		return append([]Kind(nil), h.log...)
+	}
+	return nil
+}
+
+// hostSeed folds a host name into a seed component, mirroring the breaker
+// package's per-host stream derivation.
+func hostSeed(host string) int64 {
+	f := fnv.New64a()
+	f.Write([]byte(host))
+	return int64(f.Sum64())
+}

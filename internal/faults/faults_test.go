@@ -1,0 +1,210 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nodestatus"
+	"repro/internal/simclock"
+)
+
+var t0 = time.Date(2011, 4, 22, 11, 0, 0, 0, time.UTC)
+
+// fakeInvoker returns a fixed healthy response and counts invocations.
+type fakeInvoker struct {
+	mu    sync.Mutex
+	calls map[string]int
+	err   error
+}
+
+func newFake() *fakeInvoker { return &fakeInvoker{calls: make(map[string]int)} }
+
+func (f *fakeInvoker) Invoke(uri string) (nodestatus.Response, error) {
+	f.mu.Lock()
+	f.calls[uri]++
+	f.mu.Unlock()
+	if f.err != nil {
+		return nodestatus.Response{}, f.err
+	}
+	return nodestatus.Response{Host: "fake", Load: 0.5, MemoryB: 1 << 30}, nil
+}
+
+func (f *fakeInvoker) count(uri string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[uri]
+}
+
+const uriA = "http://thermo.sdsu.edu:8080/NodeStatus"
+const uriB = "http://exergy.sdsu.edu:8080/NodeStatus"
+
+func TestPassThroughWithEmptyPlan(t *testing.T) {
+	fake := newFake()
+	clk := simclock.NewManual(t0)
+	inj := New(fake, clk, Plan{})
+	resp, err := inj.Invoke(uriA)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if resp.Load != 0.5 {
+		t.Fatalf("response not passed through: %+v", resp)
+	}
+	if got := inj.Log("thermo.sdsu.edu"); len(got) != 1 || got[0] != KindNone {
+		t.Fatalf("log = %v", got)
+	}
+}
+
+func TestDropInjectsErrors(t *testing.T) {
+	fake := newFake()
+	inj := New(fake, simclock.NewManual(t0), Plan{DropRate: 1, Seed: 1})
+	if _, err := inj.Invoke(uriA); err == nil {
+		t.Fatal("drop did not error")
+	}
+	if fake.count(uriA) != 0 {
+		t.Fatal("dropped invocation reached the wrapped invoker")
+	}
+	if inj.Counts()[KindDrop] != 1 {
+		t.Fatalf("counts = %v", inj.Counts())
+	}
+}
+
+func TestTargetedHostsOnly(t *testing.T) {
+	fake := newFake()
+	inj := New(fake, simclock.NewManual(t0), Plan{Hosts: []string{"thermo.sdsu.edu"}, DropRate: 1, Seed: 1})
+	if _, err := inj.Invoke(uriA); err == nil {
+		t.Fatal("targeted host not dropped")
+	}
+	if _, err := inj.Invoke(uriB); err != nil {
+		t.Fatalf("untargeted host faulted: %v", err)
+	}
+	if got := inj.Log("exergy.sdsu.edu"); got != nil {
+		t.Fatalf("untargeted host logged decisions: %v", got)
+	}
+}
+
+func TestCorruptMangles(t *testing.T) {
+	fake := newFake()
+	inj := New(fake, simclock.NewManual(t0), Plan{CorruptRate: 1, Seed: 1})
+	resp, err := inj.Invoke(uriA)
+	if err != nil {
+		t.Fatalf("corrupt should not error: %v", err)
+	}
+	if resp.Load >= 0 || resp.MemoryB >= 0 {
+		t.Fatalf("response not corrupted: %+v", resp)
+	}
+	if fake.count(uriA) != 1 {
+		t.Fatal("corrupt skipped the wrapped invoker")
+	}
+}
+
+func TestFlapFollowsClock(t *testing.T) {
+	fake := newFake()
+	clk := simclock.NewManual(t0)
+	inj := New(fake, clk, Plan{FlapPeriod: 100 * time.Second, FlapDuty: 0.3, Seed: 1})
+	// t0: phase 0 < 30 s → down window.
+	if _, err := inj.Invoke(uriA); err == nil {
+		t.Fatal("down window did not fail")
+	}
+	clk.Advance(50 * time.Second) // phase 50 ≥ 30 → up
+	if _, err := inj.Invoke(uriA); err != nil {
+		t.Fatalf("up window failed: %v", err)
+	}
+	clk.Advance(60 * time.Second) // phase 10 < 30 → down again
+	if _, err := inj.Invoke(uriA); err == nil {
+		t.Fatal("second down window did not fail")
+	}
+	want := []Kind{KindFlap, KindNone, KindFlap}
+	if got := inj.Log("thermo.sdsu.edu"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("log = %v, want %v", got, want)
+	}
+}
+
+func TestDelayAndHangParkOnClock(t *testing.T) {
+	fake := newFake()
+	clk := simclock.NewManual(t0)
+	inj := New(fake, clk, Plan{DelayRate: 0.5, Delay: 5 * time.Second, HangRate: 0.5, Hang: 30 * time.Second, Seed: 3})
+	type result struct {
+		err error
+	}
+	// Run a batch of invocations; each parks on clk.Sleep, so advance the
+	// clock from this goroutine until all resolve.
+	const n = 8
+	done := make(chan result, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := inj.Invoke(uriA)
+			done <- result{err}
+		}()
+	}
+	var failures, successes int
+	for got := 0; got < n; {
+		select {
+		case r := <-done:
+			got++
+			if r.err != nil {
+				failures++
+			} else {
+				successes++
+			}
+		default:
+			clk.Advance(time.Second)
+		}
+	}
+	counts := inj.Counts()
+	if counts[KindHang] != failures || counts[KindDelay] != successes {
+		t.Fatalf("counts = %v vs failures=%d successes=%d", counts, failures, successes)
+	}
+	if counts[KindHang] == 0 || counts[KindDelay] == 0 {
+		t.Fatalf("expected both kinds with rate 0.5 each over %d draws: %v", n, counts)
+	}
+	if fake.count(uriA) != successes {
+		t.Fatalf("wrapped invoker calls = %d, want %d", fake.count(uriA), successes)
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	hosts := []string{"thermo.sdsu.edu", "exergy.sdsu.edu", "romulus.sdsu.edu"}
+	schedule := func(seed int64, reverse bool) map[string][]Kind {
+		inj := New(newFake(), simclock.NewManual(t0), Plan{DropRate: 0.3, CorruptRate: 0.2, Seed: seed})
+		for i := 0; i < 40; i++ {
+			order := hosts
+			if reverse { // different cross-host interleaving, same per-host order
+				order = []string{hosts[2], hosts[1], hosts[0]}
+			}
+			for _, h := range order {
+				inj.Invoke(fmt.Sprintf("http://%s:8080/NodeStatus", h))
+			}
+		}
+		out := make(map[string][]Kind)
+		for _, h := range hosts {
+			out[h] = inj.Log(h)
+		}
+		return out
+	}
+	a := schedule(42, false)
+	b := schedule(42, true)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed diverged under different cross-host interleaving")
+	}
+	if reflect.DeepEqual(a, schedule(43, false)) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Distinct hosts draw distinct streams even under one seed.
+	if reflect.DeepEqual(a[hosts[0]], a[hosts[1]]) {
+		t.Fatal("per-host streams identical")
+	}
+}
+
+func TestWrappedErrorPassesThrough(t *testing.T) {
+	fake := newFake()
+	sentinel := errors.New("nodestatus: boom")
+	fake.err = sentinel
+	inj := New(fake, simclock.NewManual(t0), Plan{CorruptRate: 1, Seed: 1})
+	if _, err := inj.Invoke(uriA); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}

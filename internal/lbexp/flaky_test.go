@@ -1,0 +1,61 @@
+package lbexp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mtc"
+)
+
+// flakyWorkload spans several flap periods so the breakers get to trip,
+// back off, and recover within one run.
+func flakyWorkload() mtc.Workload {
+	return mtc.Workload{
+		Tasks: 80, MeanInterarrival: 3 * time.Second, Deterministic: true,
+		TaskCPU: 8, TaskMemB: 16 << 20, Seed: 42,
+	}
+}
+
+func TestFlakyQuarantinesAndRebalances(t *testing.T) {
+	base := Config{Workload: flakyWorkload()}
+	tbl, results, err := Flaky(base, []float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl == nil || len(results) != 2 {
+		t.Fatalf("results = %v", results)
+	}
+	clean, faulty := results[0], results[1]
+	if clean.Trips != 0 || clean.Stats.Errs != 0 {
+		t.Fatalf("clean baseline saw faults: %+v", clean)
+	}
+	if faulty.Trips == 0 {
+		t.Fatalf("no breaker trips at 30%% drop: %+v", faulty)
+	}
+	if faulty.Stats.Skipped == 0 {
+		t.Fatalf("quarantined hosts were never skipped: %+v", faulty.Stats)
+	}
+	if faulty.Stats.Errs == 0 || faulty.Stats.Retries == 0 {
+		t.Fatalf("injector left no trace in collector stats: %+v", faulty.Stats)
+	}
+	// The workload still completes, and placement shifts away from the
+	// flaky hosts while the healthy majority keeps a balanced share.
+	if faulty.Completed == 0 {
+		t.Fatalf("flaky run completed nothing: %+v", faulty)
+	}
+	if faulty.FaultyTasks >= faulty.HealthyTasks {
+		t.Fatalf("faulty hosts kept their share: faulty=%v healthy=%v",
+			faulty.FaultyTasks, faulty.HealthyTasks)
+	}
+}
+
+func TestFlakyReplayIsByteIdentical(t *testing.T) {
+	base := Config{Workload: flakyWorkload()}
+	same, err := FlakyReplayIdentical(base, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatal("identical seeds produced different fingerprints")
+	}
+}

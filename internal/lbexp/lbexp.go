@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/hostsim"
 	"repro/internal/jaxr"
 	"repro/internal/metrics"
@@ -59,6 +61,23 @@ type Config struct {
 	Workload mtc.Workload
 	// Start overrides the simulation start time (zero = Epoch).
 	Start time.Time
+	// FaultPlan, when set, wraps the collector's invoker in a
+	// deterministic fault injector (H7). Only non-blocking faults (drop,
+	// corrupt, flap) are safe here: the MTC driver runs sweeps
+	// synchronously off the manual clock, so nothing advances time inside
+	// a sweep.
+	FaultPlan *faults.Plan
+	// Breaker, when set, attaches per-host circuit breakers to the
+	// collector.
+	Breaker *breaker.Config
+	// InvokeTimeout, InvokeRetries, RetryBackoff forward to the collector
+	// (see nodestate.WithTimeout / WithRetries).
+	InvokeTimeout time.Duration
+	InvokeRetries int
+	RetryBackoff  time.Duration
+	// Degraded forwards to core.Balancer: what discovery serves when every
+	// candidate is quarantined or stale.
+	Degraded core.DegradedMode
 }
 
 // DefaultConstraint is the worker constraint used when none is given.
@@ -73,6 +92,12 @@ type Setup struct {
 	Collector *nodestate.Collector
 	Driver    *mtc.Driver
 	Worker    *rim.Service
+	// Injector is the fault injector wrapping the collector's invoker
+	// (nil unless Config.FaultPlan was set).
+	Injector *faults.Injector
+	// Breakers is the collector's breaker set (nil unless Config.Breaker
+	// was set).
+	Breakers *breaker.Set
 }
 
 // NewSetup builds the Fig. 3.7 deployment for cfg.
@@ -94,6 +119,7 @@ func NewSetup(cfg Config) (*Setup, error) {
 		TimeMode:    cfg.TimeMode,
 		Freshness:   cfg.Freshness,
 		FallbackAll: cfg.FallbackAll,
+		Degraded:    cfg.Degraded,
 	})
 	if err != nil {
 		return nil, err
@@ -146,12 +172,30 @@ func NewSetup(cfg Config) (*Setup, error) {
 	if period > 0 {
 		opts = append(opts, nodestate.WithPeriod(period))
 	}
-	collector := nodestate.New(reg.Store.NodeState(),
-		nodestatus.LocalInvoker{Cluster: cluster, Clock: clk}, clk,
+	if cfg.InvokeTimeout > 0 {
+		opts = append(opts, nodestate.WithTimeout(cfg.InvokeTimeout))
+	}
+	if cfg.InvokeRetries > 0 {
+		opts = append(opts, nodestate.WithRetries(cfg.InvokeRetries, cfg.RetryBackoff))
+	}
+	var breakers *breaker.Set
+	if cfg.Breaker != nil {
+		breakers = breaker.NewSet(*cfg.Breaker)
+		opts = append(opts, nodestate.WithBreakers(breakers))
+	}
+	invoker := nodestatus.Invoker(nodestatus.LocalInvoker{Cluster: cluster, Clock: clk})
+	var injector *faults.Injector
+	if cfg.FaultPlan != nil {
+		injector = faults.New(invoker, clk, *cfg.FaultPlan)
+		invoker = injector
+	}
+	collector := nodestate.New(reg.Store.NodeState(), invoker, clk,
 		reg.QM.CollectionTargets, opts...)
 	collector.CollectOnce()
 
 	return &Setup{
+		Injector:  injector,
+		Breakers:  breakers,
 		Registry:  reg,
 		Cluster:   cluster,
 		Clock:     clk,
@@ -398,6 +442,152 @@ func Failure(base Config, failAfter time.Duration) (*metrics.Table, []FailureRes
 		tbl.AddRow(res.Name, res.Completed, res.Dropped, res.Unfinished, res.Retries, res.TasksOnFailedHost)
 	}
 	return tbl, results, nil
+}
+
+// FlakyHosts is how many of the eight hosts the H7 fault injector
+// targets (the first FlakyHosts entries of HostNames).
+const FlakyHosts = 2
+
+// flakyConfig builds the H7 deployment: the full eight-host homogeneous
+// cluster under least-loaded arrangement with fallback and static
+// degradation, per-host circuit breakers on the collector, and a fault
+// plan dropping the given fraction of NodeStatus invocations on the first
+// two hosts. A flap window (100 s down out of every 250 s) is layered on
+// top so the faulty hosts reliably accumulate the consecutive sweep
+// failures that trip a breaker even at modest drop rates. Only
+// non-blocking faults appear here — the MTC driver runs sweeps
+// synchronously off the manual clock — and the retry backoff stays zero
+// for the same reason.
+func flakyConfig(base Config, dropRate float64) Config {
+	cfg := base
+	cfg.Hosts = len(HostNames)
+	cfg.Heterogeneous = false
+	cfg.RegistryPolicy = core.PolicyLeastLoaded
+	cfg.ClientPolicy = mtc.ClientFirst
+	cfg.FallbackAll = true
+	cfg.Degraded = core.DegradedStatic
+	cfg.InvokeTimeout = 5 * time.Second
+	cfg.InvokeRetries = 1
+	cfg.RetryBackoff = 0
+	// Freshness evicts rows the injector has silenced (staleness), while
+	// the breaker quarantines hosts that fail sweeps outright — the two
+	// mechanisms H7 is designed to exercise together. The 100 s backoff
+	// keeps a tripped host benched for most of a flap's down window.
+	cfg.Freshness = 60 * time.Second
+	cfg.Breaker = &breaker.Config{
+		Seed:        cfg.Workload.Seed,
+		BaseBackoff: 100 * time.Second,
+		MaxBackoff:  200 * time.Second,
+	}
+	if dropRate > 0 {
+		cfg.FaultPlan = &faults.Plan{
+			Hosts:      HostNames[:FlakyHosts],
+			DropRate:   dropRate,
+			FlapPeriod: 250 * time.Second,
+			FlapDuty:   0.4,
+			Seed:       cfg.Workload.Seed,
+		}
+	}
+	return cfg
+}
+
+// FlakyResult is one row of experiment H7.
+type FlakyResult struct {
+	DropRate  float64
+	Completed int
+	Dropped   int
+	Fairness  float64
+	Stats     nodestate.Stats
+	// Trips totals breaker open transitions across all hosts.
+	Trips int
+	// FaultyTasks and HealthyTasks are the mean per-host task counts on
+	// the fault-injected and clean hosts respectively.
+	FaultyTasks  float64
+	HealthyTasks float64
+}
+
+// Flaky runs experiment H7: the same workload under increasing NodeStatus
+// drop rates on two of eight hosts, tabulating throughput, collector
+// fault counters, breaker trips, and how task placement shifts away from
+// the flaky hosts while the healthy majority keeps a balanced share.
+func Flaky(base Config, dropRates []float64) (*metrics.Table, []FlakyResult, error) {
+	tbl := metrics.NewTable("dropRate", "completed", "dropped", "loadFairness",
+		"sweepErrs", "timeouts", "retries", "skips", "trips",
+		"faultyTasks", "healthyTasks")
+	var results []FlakyResult
+	for _, rate := range dropRates {
+		res, _, err := flakyRun(base, rate)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lbexp: flaky rate %g: %w", rate, err)
+		}
+		results = append(results, res)
+		tbl.AddRow(rate, res.Completed, res.Dropped, round4(res.Fairness),
+			res.Stats.Errs, res.Stats.Timeouts, res.Stats.Retries,
+			res.Stats.Skipped, res.Trips,
+			round4(res.FaultyTasks), round4(res.HealthyTasks))
+	}
+	return tbl, results, nil
+}
+
+// flakyRun executes one H7 configuration. The returned fingerprint is a
+// complete deterministic rendering of the run's observable state —
+// placement, collector counters, fault log counts, breaker snapshot —
+// used by FlakyReplayIdentical to prove seeded replays are byte-identical.
+func flakyRun(base Config, dropRate float64) (FlakyResult, string, error) {
+	cfg := flakyConfig(base, dropRate)
+	s, err := NewSetup(cfg)
+	if err != nil {
+		return FlakyResult{}, "", err
+	}
+	rep, err := s.Driver.Run(cfg.Workload)
+	if err != nil {
+		return FlakyResult{}, "", err
+	}
+	res := FlakyResult{
+		DropRate:  dropRate,
+		Completed: rep.Completed,
+		Dropped:   rep.Dropped,
+		Fairness:  rep.MeanFairness(),
+		Stats:     s.Collector.FaultStats(),
+	}
+	shares := rep.TaskShare(HostNames)
+	for i, n := range shares {
+		if i < FlakyHosts {
+			res.FaultyTasks += n / FlakyHosts
+		} else {
+			res.HealthyTasks += n / float64(len(HostNames)-FlakyHosts)
+		}
+	}
+	var snap []breaker.HostStatus
+	if s.Breakers != nil {
+		snap = s.Breakers.Snapshot()
+		for _, hs := range snap {
+			res.Trips += hs.Trips
+		}
+	}
+	var counts map[faults.Kind]int
+	if s.Injector != nil {
+		counts = s.Injector.Counts()
+	}
+	fingerprint := fmt.Sprintf("tasks=%v lat=%v stats=%+v faults=%v breakers=%+v",
+		rep.PerHostTasks, rep.Latencies, res.Stats, counts, snap)
+	return res, fingerprint, nil
+}
+
+// FlakyReplayIdentical runs one H7 configuration twice with the same seed
+// and reports whether the two runs' full fingerprints match byte for
+// byte — the determinism guarantee the fault injector and breakers are
+// built around.
+func FlakyReplayIdentical(base Config, dropRate float64) (bool, error) {
+	_, a, err := flakyRun(base, dropRate)
+	if err != nil {
+		return false, err
+	}
+	_, b, err := flakyRun(base, dropRate)
+	if err != nil {
+		return false, err
+	}
+	return a == b, nil
 }
 
 // NetDelay runs experiment H4 (the §5.2 future-work extension): hosts with

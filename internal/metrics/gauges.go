@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+)
+
+// Counter is a concurrency-safe monotonic event counter, used by the
+// collector's fault-tolerance telemetry (timeouts, retries, sweep errors,
+// breaker skips).
+type Counter struct {
+	mu sync.Mutex
+	n  int64 // guarded by mu
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += delta
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// GaugeSet is a concurrency-safe map of labelled gauges — one float per
+// label, last write wins — used for per-host breaker states.
+type GaugeSet struct {
+	mu   sync.Mutex
+	vals map[string]float64 // guarded by mu
+}
+
+// Set writes the gauge for label.
+func (g *GaugeSet) Set(label string, v float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.vals == nil {
+		g.vals = make(map[string]float64)
+	}
+	g.vals[label] = v
+}
+
+// Value returns the gauge for label (zero when never set).
+func (g *GaugeSet) Value(label string) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.vals[label]
+}
+
+// Labels returns the set labels in sorted order.
+func (g *GaugeSet) Labels() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.vals))
+	for l := range g.vals {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a copy of every labelled gauge.
+func (g *GaugeSet) Snapshot() map[string]float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]float64, len(g.vals))
+	for l, v := range g.vals {
+		out[l] = v
+	}
+	return out
+}

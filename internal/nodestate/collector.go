@@ -5,13 +5,25 @@
 // table (Fig. 3.2). The thesis collects every 25 seconds, a period the
 // freebXML administrator can reconfigure; DefaultPeriod preserves that
 // default and experiments sweep it (EXPERIMENTS.md, H2).
+//
+// Beyond the thesis, the collector is fault-tolerant: each invocation can
+// carry a deadline (WithTimeout), fail over to bounded retries with a
+// jittered backoff (WithRetries), and feed a per-host circuit breaker
+// (WithBreakers) whose open hosts are skipped in subsequent sweeps and
+// marked Quarantined on their NodeState rows so discovery excludes them.
 package nodestate
 
 import (
 	"context"
+	"errors"
+	"hash/fnv"
+	"math"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/breaker"
+	"repro/internal/metrics"
 	"repro/internal/nodestatus"
 	"repro/internal/rim"
 	"repro/internal/simclock"
@@ -25,11 +37,55 @@ const DefaultPeriod = 25 * time.Second
 // defaultParallelism bounds concurrent NodeStatus invocations per sweep.
 const defaultParallelism = 16
 
+// ErrDeadline reports an invocation that exceeded the collector's
+// per-invocation timeout.
+var ErrDeadline = errors.New("nodestate: invocation deadline exceeded")
+
 // URIProvider supplies the current NodeStatus deployment URIs. The
 // registry wires this to "the bindings of the service named NodeStatus",
 // so newly published hosts are picked up on the next sweep without
 // restarting the collector.
 type URIProvider func() []string
+
+// Stats aggregates a collector's fault-tolerance counters.
+type Stats struct {
+	// Sweeps is the number of completed CollectOnce passes.
+	Sweeps int
+	// Errs counts invocations that exhausted their retries and failed.
+	Errs int
+	// Timeouts counts individual invocation attempts that hit the
+	// per-invocation deadline.
+	Timeouts int
+	// Retries counts re-attempts after a failed invocation.
+	Retries int
+	// Skipped counts sweep slots not invoked because the host's breaker
+	// was open.
+	Skipped int
+}
+
+// Telemetry exports the collector's fault-tolerance counters and per-host
+// breaker state gauges (0 closed, 1 open, 2 half-open) to a metrics
+// consumer. All fields are optional; nil members are simply not updated.
+type Telemetry struct {
+	Timeouts    *metrics.Counter
+	Retries     *metrics.Counter
+	SweepErrors *metrics.Counter
+	Skipped     *metrics.Counter
+	// BreakerState maps host → breaker state ordinal after each sweep
+	// decision for that host.
+	BreakerState *metrics.GaugeSet
+}
+
+// NewTelemetry allocates every member.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{
+		Timeouts:     &metrics.Counter{},
+		Retries:      &metrics.Counter{},
+		SweepErrors:  &metrics.Counter{},
+		Skipped:      &metrics.Counter{},
+		BreakerState: &metrics.GaugeSet{},
+	}
+}
 
 // Collector periodically polls NodeStatus endpoints into a NodeStateTable.
 type Collector struct {
@@ -39,11 +95,15 @@ type Collector struct {
 	period  time.Duration
 	uris    URIProvider
 
-	parallelism int
+	parallelism  int
+	timeout      time.Duration // per-invocation deadline; 0 = none
+	maxRetries   int           // re-attempts after the first failure
+	retryBackoff time.Duration // base backoff between attempts; 0 = immediate
+	breakers     *breaker.Set  // nil = breakers disabled
+	telemetry    *Telemetry    // nil = no telemetry
 
-	mu     sync.Mutex
-	sweeps int // guarded by mu
-	errs   int // guarded by mu
+	mu    sync.Mutex
+	stats Stats // guarded by mu
 }
 
 // Option configures a Collector.
@@ -65,6 +125,41 @@ func WithParallelism(n int) Option {
 			c.parallelism = n
 		}
 	}
+}
+
+// WithTimeout sets the per-invocation deadline. An attempt still running
+// when it expires counts as failed (and is cancelled when the invoker
+// supports contexts). Zero or negative disables the deadline.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Collector) { c.timeout = d }
+}
+
+// WithRetries allows n re-attempts after a failed invocation, waiting a
+// jittered backoff (base, ±25% by host/attempt hash) before each. A zero
+// backoff retries immediately, which is the right choice when the
+// collector is driven synchronously off a manual clock (nothing else
+// advances time mid-sweep).
+func WithRetries(n int, backoff time.Duration) Option {
+	return func(c *Collector) {
+		if n > 0 {
+			c.maxRetries = n
+		}
+		if backoff > 0 {
+			c.retryBackoff = backoff
+		}
+	}
+}
+
+// WithBreakers attaches a per-host circuit breaker set: hosts whose
+// breaker is open are skipped in sweeps and quarantined on their rows
+// until a half-open probe succeeds.
+func WithBreakers(b *breaker.Set) Option {
+	return func(c *Collector) { c.breakers = b }
+}
+
+// WithTelemetry attaches fault-tolerance counters and gauges.
+func WithTelemetry(t *Telemetry) Option {
+	return func(c *Collector) { c.telemetry = t }
 }
 
 // New creates a collector writing to table, invoking via invoker, timed by
@@ -90,26 +185,43 @@ func New(table *store.NodeStateTable, invoker nodestatus.Invoker, clock simclock
 // Period returns the configured collection period.
 func (c *Collector) Period() time.Duration { return c.period }
 
-// Stats reports completed sweeps and accumulated invocation errors.
+// Breakers returns the attached breaker set (nil when disabled).
+func (c *Collector) Breakers() *breaker.Set { return c.breakers }
+
+// Stats reports completed sweeps and accumulated invocation errors (the
+// pre-fault-tolerance signature; FaultStats has the full counters).
 func (c *Collector) Stats() (sweeps, errs int) {
+	s := c.FaultStats()
+	return s.Sweeps, s.Errs
+}
+
+// FaultStats returns a copy of all fault-tolerance counters.
+func (c *Collector) FaultStats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.sweeps, c.errs
+	return c.stats
 }
 
 // CollectOnce performs one sweep at the clock's current time: it invokes
 // NodeStatus on every deployment URI (boundedly in parallel) and upserts a
 // NodeState row per host; failed invocations record a failure on the row
 // instead so stale data is distinguishable from fresh (strict policies can
-// then exclude the host).
+// then exclude the host). Hosts with an open breaker are skipped and left
+// quarantined.
 func (c *Collector) CollectOnce() {
 	uris := c.uris()
 	now := c.clock.Now()
 
 	sem := make(chan struct{}, c.parallelism)
 	var wg sync.WaitGroup
-	var errMu sync.Mutex
-	errCount := 0
+	var sweep Stats
+
+	var sweepMu sync.Mutex
+	count := func(f func(*Stats)) {
+		sweepMu.Lock()
+		f(&sweep)
+		sweepMu.Unlock()
+	}
 
 	for _, uri := range uris {
 		wg.Add(1)
@@ -119,35 +231,193 @@ func (c *Collector) CollectOnce() {
 			defer func() { <-sem }()
 			host := rim.HostOfURI(uri)
 			if host == "" {
-				errMu.Lock()
-				errCount++
-				errMu.Unlock()
+				count(func(s *Stats) { s.Errs++ })
 				return
 			}
-			resp, err := c.invoker.Invoke(uri)
-			if err != nil {
-				c.table.RecordFailure(host, now)
-				errMu.Lock()
-				errCount++
-				errMu.Unlock()
+			if c.breakers != nil && !c.breakers.Allow(host, now) {
+				c.table.SetHealth(host, store.HealthQuarantined)
+				count(func(s *Stats) { s.Skipped++ })
+				c.observeBreaker(host)
+				if c.telemetry != nil && c.telemetry.Skipped != nil {
+					c.telemetry.Skipped.Inc()
+				}
 				return
 			}
-			c.table.Upsert(store.NodeState{
-				Host:       host,
-				Load:       resp.Load,
-				MemoryB:    resp.MemoryB,
-				SwapB:      resp.SwapB,
-				NetDelayMs: resp.NetDelayMs,
-				Updated:    now,
-			})
+			c.collectHost(uri, host, now, count)
+			c.observeBreaker(host)
 		}(uri)
 	}
 	wg.Wait()
 
+	sweep.Sweeps = 1
 	c.mu.Lock()
-	c.sweeps++
-	c.errs += errCount
+	c.stats.Sweeps += sweep.Sweeps
+	c.stats.Errs += sweep.Errs
+	c.stats.Timeouts += sweep.Timeouts
+	c.stats.Retries += sweep.Retries
+	c.stats.Skipped += sweep.Skipped
 	c.mu.Unlock()
+	if c.telemetry != nil && c.telemetry.SweepErrors != nil {
+		c.telemetry.SweepErrors.Add(int64(sweep.Errs))
+	}
+}
+
+// collectHost runs the retry loop for one host within a sweep.
+func (c *Collector) collectHost(uri, host string, now time.Time, count func(func(*Stats))) {
+	var resp nodestatus.Response
+	var err error
+	for attempt := 0; attempt <= c.maxRetries; attempt++ {
+		if attempt > 0 {
+			count(func(s *Stats) { s.Retries++ })
+			if c.telemetry != nil && c.telemetry.Retries != nil {
+				c.telemetry.Retries.Inc()
+			}
+			if c.retryBackoff > 0 {
+				c.clock.Sleep(jitteredBackoff(c.retryBackoff, host, attempt))
+			}
+		}
+		resp, err = c.invokeOnce(uri)
+		if err == nil {
+			err = validate(resp)
+		}
+		if err == nil {
+			break
+		}
+		if errors.Is(err, ErrDeadline) {
+			count(func(s *Stats) { s.Timeouts++ })
+			if c.telemetry != nil && c.telemetry.Timeouts != nil {
+				c.telemetry.Timeouts.Inc()
+			}
+		}
+	}
+	if err != nil {
+		c.table.RecordFailure(host, now)
+		if c.breakers != nil {
+			c.breakers.Failure(host, now)
+			if c.breakers.State(host) != breaker.Closed {
+				c.table.SetHealth(host, store.HealthQuarantined)
+			}
+		}
+		count(func(s *Stats) { s.Errs++ })
+		return
+	}
+	if c.breakers != nil {
+		c.breakers.Success(host, now)
+	}
+	c.table.Upsert(store.NodeState{
+		Host:       host,
+		Load:       resp.Load,
+		MemoryB:    resp.MemoryB,
+		SwapB:      resp.SwapB,
+		NetDelayMs: resp.NetDelayMs,
+		Updated:    now,
+		Health:     store.HealthHealthy,
+	})
+}
+
+// invokeOnce performs one invocation attempt under the per-invocation
+// deadline. With no deadline it calls the invoker inline; otherwise the
+// invocation runs in a goroutine raced against clock.After, and on expiry
+// the context is cancelled so a ContextInvoker releases its socket.
+func (c *Collector) invokeOnce(uri string) (nodestatus.Response, error) {
+	if c.timeout <= 0 {
+		return c.invoker.Invoke(uri)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type result struct {
+		resp nodestatus.Response
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		var r result
+		if ci, ok := c.invoker.(nodestatus.ContextInvoker); ok {
+			r.resp, r.err = ci.InvokeContext(ctx, uri)
+		} else {
+			r.resp, r.err = c.invoker.Invoke(uri)
+		}
+		ch <- r
+	}()
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-c.clock.After(c.timeout):
+		return nodestatus.Response{}, ErrDeadline
+	}
+}
+
+// validate rejects responses whose measurements are physically impossible
+// (negative load, memory, swap, or delay, or NaN) — the corrupt-response
+// fault mode. It deliberately does not compare the reported hostname to
+// the URI host: deployments behind load balancers or loopback test servers
+// legitimately report a different name.
+func validate(r nodestatus.Response) error {
+	bad := r.Load < 0 || r.MemoryB < 0 || r.SwapB < 0 || r.NetDelayMs < 0 ||
+		math.IsNaN(r.Load) || math.IsNaN(r.NetDelayMs)
+	if bad {
+		return errors.New("nodestate: corrupt response: measurement out of range")
+	}
+	return nil
+}
+
+// jitteredBackoff spreads base by ±25% using a host/attempt hash, so
+// retries across hosts de-synchronize without consuming any rng state
+// (keeping fault schedules seed-reproducible).
+func jitteredBackoff(base time.Duration, host string, attempt int) time.Duration {
+	f := fnv.New64a()
+	f.Write([]byte(host))
+	f.Write([]byte{byte(attempt)})
+	u := float64(f.Sum64()%1000) / 1000 // [0,1)
+	return time.Duration(float64(base) * (0.75 + 0.5*u))
+}
+
+// observeBreaker exports host's current breaker state to the gauge set.
+func (c *Collector) observeBreaker(host string) {
+	if c.breakers == nil || c.telemetry == nil || c.telemetry.BreakerState == nil {
+		return
+	}
+	c.telemetry.BreakerState.Set(host, float64(c.breakers.State(host)))
+}
+
+// HostHealthReport is one host's merged collection/breaker status for the
+// web UI and the /registry/health endpoint.
+type HostHealthReport struct {
+	Host     string
+	Health   store.HostHealth
+	Failures int
+	Updated  time.Time
+	// Breaker fields are zero-valued when breakers are disabled.
+	Breaker     breaker.State
+	Consecutive int
+	Trips       int
+	NextProbe   time.Time
+}
+
+// HealthSnapshot merges the NodeState table with the breaker set into one
+// per-host report, sorted by host.
+func (c *Collector) HealthSnapshot() []HostHealthReport {
+	byHost := make(map[string]HostHealthReport)
+	for _, r := range c.table.Rows() {
+		byHost[r.Host] = HostHealthReport{Host: r.Host, Health: r.Health, Failures: r.Failures, Updated: r.Updated}
+	}
+	if c.breakers != nil {
+		for _, b := range c.breakers.Snapshot() {
+			rep := byHost[b.Host]
+			rep.Host = b.Host
+			rep.Breaker = b.State
+			rep.Consecutive = b.Consecutive
+			rep.Trips = b.Trips
+			rep.NextProbe = b.NextProbe
+			byHost[b.Host] = rep
+		}
+	}
+	out := make([]HostHealthReport, 0, len(byHost))
+	for _, rep := range byHost {
+		out = append(out, rep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
 }
 
 // Run collects immediately and then on every period tick until ctx is

@@ -14,6 +14,7 @@
 package nodestatus
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sync"
@@ -87,15 +88,46 @@ type Invoker interface {
 	Invoke(accessURI string) (Response, error)
 }
 
-// HTTPInvoker calls NodeStatus endpoints over real HTTP.
+// ContextInvoker is an Invoker whose invocations can be cancelled. The
+// collector prefers it when enforcing per-invocation deadlines, so a timed
+// out HTTP call releases its socket instead of leaking a goroutine for the
+// life of the connection.
+type ContextInvoker interface {
+	Invoker
+	InvokeContext(ctx context.Context, accessURI string) (Response, error)
+}
+
+// DefaultTimeout bounds NodeStatus HTTP invocations when the caller does
+// not supply a client. A status probe answers in milliseconds; anything
+// slower than this is indistinguishable from a hung host.
+const DefaultTimeout = 10 * time.Second
+
+// defaultClient backs HTTPInvoker when Client is nil. http.DefaultClient
+// would mean no timeout at all — a single unresponsive host could pin a
+// collector sweep slot forever.
+var defaultClient = &http.Client{Timeout: DefaultTimeout}
+
+// HTTPInvoker calls NodeStatus endpoints over real HTTP. A nil Client uses
+// a shared client with DefaultTimeout (never the timeout-less
+// http.DefaultClient).
 type HTTPInvoker struct {
 	Client *http.Client
 }
 
 // Invoke implements Invoker.
 func (h HTTPInvoker) Invoke(accessURI string) (Response, error) {
+	return h.InvokeContext(context.Background(), accessURI)
+}
+
+// InvokeContext implements ContextInvoker, threading the caller's deadline
+// through the SOAP transport.
+func (h HTTPInvoker) InvokeContext(ctx context.Context, accessURI string) (Response, error) {
+	client := h.Client
+	if client == nil {
+		client = defaultClient
+	}
 	var resp Response
-	if err := soap.Post(h.Client, accessURI, &Request{}, &resp); err != nil {
+	if err := soap.PostContext(ctx, client, accessURI, &Request{}, &resp); err != nil {
 		return Response{}, fmt.Errorf("nodestatus: invoke %s: %w", accessURI, err)
 	}
 	return resp, nil

@@ -51,7 +51,7 @@ func (c *Catalog) Table(name string) (sqlq.Table, error) {
 	case "adhocquery":
 		return &lazyTable{cols: append(baseCols[:len(baseCols):len(baseCols)], "querysyntax", "query"), build: c.queryRows}, nil
 	case "nodestate":
-		return &lazyTable{cols: []string{"host", "load", "memory", "swapmemory", "updated", "failures"}, build: c.nodeStateRows}, nil
+		return &lazyTable{cols: []string{"host", "load", "memory", "swapmemory", "updated", "failures", "health"}, build: c.nodeStateRows}, nil
 	default:
 		return nil, fmt.Errorf("qm: unknown table %q", name)
 	}
@@ -263,6 +263,7 @@ func (c *Catalog) nodeStateRows() []sqlq.Row {
 			"swapmemory": float64(ns.SwapB),
 			"updated":    ns.Updated.UTC().Format(time.RFC3339Nano),
 			"failures":   float64(ns.Failures),
+			"health":     ns.Health.String(),
 		})
 	}
 	return rows

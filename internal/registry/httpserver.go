@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lcm"
+	"repro/internal/nodestate"
 	"repro/internal/qm"
 	"repro/internal/rim"
 	"repro/internal/soap"
@@ -31,6 +32,7 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/registry/bindings", r.handleBindings)
 	mux.HandleFunc("/registry/query", r.handleQuery)
 	mux.HandleFunc("/registry/nodestate", r.handleNodeState)
+	mux.HandleFunc("/registry/health", r.handleHealth)
 	mux.HandleFunc("/registry/content", r.handleContent)
 	mux.HandleFunc("/ui", r.handleUI)
 	return mux
@@ -419,6 +421,16 @@ func (r *Registry) handleQuery(w http.ResponseWriter, req *http.Request) {
 
 func (r *Registry) handleNodeState(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, r.Store.NodeState().Rows())
+}
+
+// handleHealth reports the collector's per-host health and breaker state —
+// the machine-readable twin of the web UI's collector-health table.
+func (r *Registry) handleHealth(w http.ResponseWriter, req *http.Request) {
+	stats := r.Collector.FaultStats()
+	writeJSON(w, struct {
+		Stats nodestate.Stats
+		Hosts []nodestate.HostHealthReport
+	}{Stats: stats, Hosts: r.Collector.HealthSnapshot()})
 }
 
 // handleContent serves repository artifacts by ExtrinsicObject id — the

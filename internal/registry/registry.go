@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/auth"
+	"repro/internal/breaker"
 	"repro/internal/cataloger"
 	"repro/internal/core"
 	"repro/internal/events"
@@ -45,10 +46,23 @@ type Config struct {
 	Freshness time.Duration
 	// FallbackAll returns load-ordered URIs when nothing is eligible.
 	FallbackAll bool
+	// Degraded selects what discovery serves when filtering and fallback
+	// leave nothing at all (every host quarantined or stale).
+	Degraded core.DegradedMode
 	// CollectionPeriod overrides the 25 s NodeStatus poll period.
 	CollectionPeriod time.Duration
 	// Invoker performs NodeStatus invocations; nil means HTTP.
 	Invoker nodestatus.Invoker
+	// InvokeTimeout is the collector's per-invocation deadline; 0 means
+	// none.
+	InvokeTimeout time.Duration
+	// InvokeRetries re-attempts a failed invocation up to this many times
+	// per sweep, waiting RetryBackoff (jittered) between attempts.
+	InvokeRetries int
+	RetryBackoff  time.Duration
+	// Breaker enables per-host circuit breakers on the collector; nil
+	// disables them.
+	Breaker *breaker.Config
 	// Versioning enables automatic version bumps on update.
 	Versioning bool
 	// AccessPolicy overrides the default XACML policy.
@@ -66,6 +80,12 @@ type Registry struct {
 	Bus       *events.Bus
 	Registrar *auth.Registrar
 	Collector *nodestate.Collector
+	// Telemetry holds the collector's fault-tolerance counters and breaker
+	// gauges (always allocated).
+	Telemetry *nodestate.Telemetry
+	// Breakers is the collector's breaker set (nil when Config.Breaker was
+	// nil).
+	Breakers *breaker.Set
 
 	adminID string
 	catOnce sync.Once
@@ -88,6 +108,7 @@ func New(cfg Config) (*Registry, error) {
 		TimeMode:    cfg.TimeMode,
 		Freshness:   cfg.Freshness,
 		FallbackAll: cfg.FallbackAll,
+		Degraded:    cfg.Degraded,
 	}
 	trail := audit.New(s, clk)
 	bus := events.NewBus()
@@ -104,9 +125,21 @@ func New(cfg Config) (*Registry, error) {
 	if invoker == nil {
 		invoker = nodestatus.HTTPInvoker{}
 	}
-	var opts []nodestate.Option
+	telemetry := nodestate.NewTelemetry()
+	var breakers *breaker.Set
+	opts := []nodestate.Option{nodestate.WithTelemetry(telemetry)}
 	if cfg.CollectionPeriod > 0 {
 		opts = append(opts, nodestate.WithPeriod(cfg.CollectionPeriod))
+	}
+	if cfg.InvokeTimeout > 0 {
+		opts = append(opts, nodestate.WithTimeout(cfg.InvokeTimeout))
+	}
+	if cfg.InvokeRetries > 0 {
+		opts = append(opts, nodestate.WithRetries(cfg.InvokeRetries, cfg.RetryBackoff))
+	}
+	if cfg.Breaker != nil {
+		breakers = breaker.NewSet(*cfg.Breaker)
+		opts = append(opts, nodestate.WithBreakers(breakers))
 	}
 	collector := nodestate.New(s.NodeState(), invoker, clk, query.CollectionTargets, opts...)
 
@@ -120,6 +153,8 @@ func New(cfg Config) (*Registry, error) {
 		Bus:       bus,
 		Registrar: registrar,
 		Collector: collector,
+		Telemetry: telemetry,
+		Breakers:  breakers,
 	}
 
 	// Seed the canonical classification schemes (Table 1.2 + the

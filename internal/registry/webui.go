@@ -44,13 +44,24 @@ var uiTemplate = template.Must(template.New("ui").Parse(`<!DOCTYPE html>
 <h2>NodeState</h2>
 {{if .Nodes}}
 <table>
- <tr><th>Host</th><th>Load</th><th>Free memory</th><th>Free swap</th><th>Updated</th><th>Failures</th></tr>
+ <tr><th>Host</th><th>Load</th><th>Free memory</th><th>Free swap</th><th>Updated</th><th>Failures</th><th>Health</th></tr>
  {{range .Nodes}}
  <tr><td>{{.Host}}</td><td>{{printf "%.2f" .Load}}</td><td>{{.MemoryB}}</td>
-     <td>{{.SwapB}}</td><td>{{.Updated}}</td><td>{{.Failures}}</td></tr>
+     <td>{{.SwapB}}</td><td>{{.Updated}}</td><td>{{.Failures}}</td><td>{{.Health}}</td></tr>
  {{end}}
 </table>
 {{else}}<p class="muted">No NodeStatus data collected yet.</p>{{end}}
+<h2>Collector health</h2>
+{{if .Health}}
+<table>
+ <tr><th>Host</th><th>Health</th><th>Failures</th><th>Breaker</th><th>Consecutive</th><th>Trips</th><th>Next probe</th></tr>
+ {{range .Health}}
+ <tr><td>{{.Host}}</td><td>{{.Health}}</td><td>{{.Failures}}</td><td>{{.Breaker}}</td>
+     <td>{{.Consecutive}}</td><td>{{.Trips}}</td><td>{{.NextProbe}}</td></tr>
+ {{end}}
+</table>
+{{else}}<p class="muted">No collector health data yet.</p>{{end}}
+<p class="muted">{{.FaultLine}}</p>
 <p class="muted">{{.Count}} objects in the registry. Publishing requires the SOAP binding or the AccessRegistry API.</p>
 </body></html>`))
 
@@ -58,13 +69,21 @@ type uiRow struct {
 	Name, Description, Status, Version, ID string
 }
 
+// uiHealthRow is one pre-rendered row of the collector-health table.
+type uiHealthRow struct {
+	Host, Health, Breaker, NextProbe string
+	Failures, Consecutive, Trips     int
+}
+
 type uiData struct {
-	Kinds   []string
-	Kind    string
-	Pattern string
-	Objects []uiRow
-	Nodes   interface{}
-	Count   int
+	Kinds     []string
+	Kind      string
+	Pattern   string
+	Objects   []uiRow
+	Nodes     interface{}
+	Health    []uiHealthRow
+	FaultLine string
+	Count     int
 }
 
 var uiKinds = []string{
@@ -87,12 +106,30 @@ func (r *Registry) handleUI(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	stats := r.Collector.FaultStats()
 	data := uiData{
 		Kinds:   uiKinds,
 		Kind:    kind,
 		Pattern: pattern,
 		Nodes:   r.Store.NodeState().Rows(),
 		Count:   r.Store.Len(),
+		FaultLine: fmt.Sprintf("Collector: %d sweeps, %d errors, %d timeouts, %d retries, %d breaker skips.",
+			stats.Sweeps, stats.Errs, stats.Timeouts, stats.Retries, stats.Skipped),
+	}
+	for _, rep := range r.Collector.HealthSnapshot() {
+		row := uiHealthRow{
+			Host:        rep.Host,
+			Health:      rep.Health.String(),
+			Breaker:     rep.Breaker.String(),
+			Failures:    rep.Failures,
+			Consecutive: rep.Consecutive,
+			Trips:       rep.Trips,
+			NextProbe:   "-",
+		}
+		if !rep.NextProbe.IsZero() {
+			row.NextProbe = rep.NextProbe.UTC().Format("2006-01-02 15:04:05")
+		}
+		data.Health = append(data.Health, row)
 	}
 	for _, o := range r.QM.FindObjects(t, pattern) {
 		b := o.Base()

@@ -12,6 +12,7 @@ package soap
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -111,6 +112,13 @@ func min(a, b int) int {
 // Post sends req to url as a SOAP request and decodes the reply into resp
 // (which may be nil to ignore the body). Faults come back as *Fault errors.
 func Post(client *http.Client, url string, req, resp interface{}) error {
+	return PostContext(context.Background(), client, url, req, resp)
+}
+
+// PostContext is Post with a caller-supplied context so an in-flight
+// invocation can be cancelled (the collector's per-invocation deadline
+// tears the socket down through here).
+func PostContext(ctx context.Context, client *http.Client, url string, req, resp interface{}) error {
 	if client == nil {
 		client = http.DefaultClient
 	}
@@ -118,7 +126,12 @@ func Post(client *http.Client, url string, req, resp interface{}) error {
 	if err != nil {
 		return err
 	}
-	httpResp, err := client.Post(url, ContentType, bytes.NewReader(data))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("soap: build request for %s: %w", url, err)
+	}
+	httpReq.Header.Set("Content-Type", ContentType)
+	httpResp, err := client.Do(httpReq)
 	if err != nil {
 		return fmt.Errorf("soap: post %s: %w", url, err)
 	}

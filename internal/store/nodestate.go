@@ -6,6 +6,37 @@ import (
 	"time"
 )
 
+// HostHealth summarizes the collector's confidence in a host's row. The
+// zero value is HealthHealthy so rows written before the fault-tolerance
+// layer existed (snapshots, direct Upserts) read as healthy.
+type HostHealth int
+
+// Host health states, in decreasing order of trust.
+const (
+	// HealthHealthy means the latest collection succeeded.
+	HealthHealthy HostHealth = iota
+	// HealthDegraded means recent collections failed but the host's
+	// breaker (if any) is still closed — the row may be stale.
+	HealthDegraded
+	// HealthQuarantined means the host's breaker is open (or half-open):
+	// discovery should exclude it until a probe succeeds.
+	HealthQuarantined
+)
+
+// String names the health state for reports and the web UI.
+func (h HostHealth) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthQuarantined:
+		return "quarantined"
+	default:
+		return "unknown-health"
+	}
+}
+
 // NodeState is one row of the table in thesis Figure 3.2: the most recent
 // performance sample for a host. HOST (the hostname part of an access URI)
 // is the primary key; LOAD is the run-queue CPU load; MEMORY and SWAPMEMORY
@@ -23,6 +54,9 @@ type NodeState struct {
 	// Failures counts consecutive collection failures; a row with recent
 	// failures is treated as unknown by strict policies.
 	Failures int
+	// Health is the collector's verdict on the row (see HostHealth);
+	// quarantined hosts are excluded from discovery.
+	Health HostHealth
 }
 
 // NodeStateTable is the concurrent NodeState store keyed by host.
@@ -44,7 +78,8 @@ func (t *NodeStateTable) Upsert(row NodeState) {
 }
 
 // RecordFailure increments the failure counter for host, creating the row
-// if needed, and stamps the failure time.
+// if needed, and stamps the failure time. The row drops to HealthDegraded
+// (unless already quarantined).
 func (t *NodeStateTable) RecordFailure(host string, at time.Time) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -52,6 +87,21 @@ func (t *NodeStateTable) RecordFailure(host string, at time.Time) {
 	row.Host = host
 	row.Failures++
 	row.Updated = at
+	if row.Health == HealthHealthy {
+		row.Health = HealthDegraded
+	}
+	t.rows[host] = row
+}
+
+// SetHealth sets host's health verdict, creating the row if needed. The
+// Updated stamp is left untouched: health is the collector's judgement, not
+// a measurement.
+func (t *NodeStateTable) SetHealth(host string, h HostHealth) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row := t.rows[host]
+	row.Host = host
+	row.Health = h
 	t.rows[host] = row
 }
 

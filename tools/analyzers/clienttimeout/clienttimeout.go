@@ -1,0 +1,79 @@
+// Package clienttimeout flags http.Client composite literals without an
+// explicit Timeout.
+//
+// A zero-Timeout http.Client never gives up on an unresponsive peer: the
+// NodeStatus collector bug this analyzer grew out of had a nil-client
+// HTTPInvoker fall back to http.DefaultClient, so one hung host pinned a
+// sweep slot forever (see ISSUE 2). The repo's convention is that every
+// constructed client states its deadline budget — even `Timeout: 0` is
+// accepted, because writing it proves the author chose an unbounded
+// client deliberately (e.g. under a per-request context deadline).
+// Test files are exempt, as with the other repolint analyzers.
+package clienttimeout
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/analyzers/framework"
+)
+
+// Analyzer is the clienttimeout pass.
+var Analyzer = &framework.Analyzer{
+	Name: "clienttimeout",
+	Doc: "flags http.Client composite literals without an explicit Timeout " +
+		"field; a zero-Timeout client waits forever on a hung peer",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if !isHTTPClient(pass, lit) {
+				return true
+			}
+			if hasTimeoutKey(lit) {
+				return true
+			}
+			pass.Reportf(lit.Pos(), "http.Client literal without an explicit Timeout waits forever on a hung peer; set Timeout (0 only if deliberate)")
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isHTTPClient reports whether the composite literal's type is
+// net/http.Client (the literal itself, so &http.Client{...} and aliased
+// imports are covered by the type checker, not by syntax).
+func isHTTPClient(pass *framework.Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "net/http" && obj.Name() == "Client"
+}
+
+// hasTimeoutKey reports whether the literal sets Timeout. An all-positional
+// literal necessarily sets every field, Timeout included.
+func hasTimeoutKey(lit *ast.CompositeLit) bool {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return true // positional literal: every field present
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Timeout" {
+			return true
+		}
+	}
+	return false
+}

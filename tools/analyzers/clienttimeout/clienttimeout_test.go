@@ -1,0 +1,12 @@
+package clienttimeout_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/clienttimeout"
+)
+
+func TestClientTimeout(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), clienttimeout.Analyzer, "clienttimeout")
+}
