@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check clean
+# Discovery benchmarks run a fixed iteration count so allocs/op is
+# deterministic for a given code version and comparable across machines.
+BENCH_PATTERN = BenchmarkDiscovery
+BENCH_TIME    = 2000x
+BENCH_NOTE    = discovery fast path baseline; allocs/op gated at +25%
+
+.PHONY: all build test race vet lint check clean bench benchcheck
 
 all: check
 
@@ -26,5 +32,22 @@ lint: bin/repolint
 
 check: build test vet lint
 
+# bench regenerates the committed discovery baseline BENCH_discovery.json.
+# Collector variants are recorded but not gated (-gate-skip): a background
+# sweep's allocations land on the measured goroutine nondeterministically.
+bench:
+	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) . \
+		| $(GO) run ./cmd/benchjson emit -gate-skip collector -note '$(BENCH_NOTE)' -o BENCH_discovery.json
+	@echo wrote BENCH_discovery.json
+
+# benchcheck reruns the discovery benchmarks and fails on a >25% allocs/op
+# regression against the committed baseline, or when BENCH_discovery.json
+# has drifted from the benchmarks declared in bench_test.go.
+benchcheck:
+	$(GO) run ./cmd/benchjson sync -json BENCH_discovery.json -bench bench_test.go -prefix BenchmarkDiscovery
+	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) . \
+		| $(GO) run ./cmd/benchjson emit -gate-skip collector -o bench_current.json
+	$(GO) run ./cmd/benchjson compare -baseline BENCH_discovery.json -current bench_current.json -max-alloc-growth 0.25
+
 clean:
-	rm -rf bin
+	rm -rf bin bench_current.json

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -172,6 +173,123 @@ func BenchmarkDiscovery(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkDiscoveryFastPath isolates the lock-free discovery fast path:
+// cold (constraint cache invalidated every lookup), warm (cache and RCU
+// snapshot both hot — the steady state the optimisation targets), and
+// warm lookups under 1–64 concurrent readers while a live collector
+// rewrites the NodeState table. The warm/collector variants run with a
+// positive SnapshotMaxAge so readers stay on the published snapshot.
+// Collector variants are recorded in BENCH_discovery.json but not gated:
+// the background sweep's allocations land in the reader's allocs/op
+// nondeterministically.
+func BenchmarkDiscoveryFastPath(b *testing.B) {
+	const hosts = 8
+	setup := func(b *testing.B) (*registry.Registry, *rim.Service, *hostsim.Cluster) {
+		b.Helper()
+		clk := simclock.NewManual(benchEpoch)
+		cluster := hostsim.NewCluster()
+		ns := rim.NewService(nodestatus.ServiceName, "Service to monitor node status")
+		svc := rim.NewService("Adder", `<constraint><cpuLoad>load ls 1.0</cpuLoad><memory>memory gr 1GB</memory></constraint>`)
+		var names []string
+		for i := 0; i < hosts; i++ {
+			name := fmt.Sprintf("h%02d.sdsu.edu", i)
+			names = append(names, name)
+			cluster.Add(hostsim.NewHost(hostsim.Config{Name: name, Cores: 2, TotalMemB: 4 << 30, TotalSwapB: 2 << 30}, benchEpoch))
+			ns.AddBinding("http://" + name + ":8080/NodeStatus/NodeStatusService")
+			svc.AddBinding("http://" + name + ":8080/Adder/addService")
+		}
+		reg, err := registry.New(registry.Config{
+			Clock:          clk,
+			Policy:         core.PolicyFilter,
+			SnapshotMaxAge: 25 * time.Second,
+			Invoker:        nodestatus.LocalInvoker{Cluster: cluster, Clock: clk},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := reg.LCM.SubmitObjects(reg.AdminContext(), ns, svc); err != nil {
+			b.Fatal(err)
+		}
+		for i, name := range names {
+			reg.Store.NodeState().Upsert(store.NodeState{
+				Host: name, Load: float64(i%4) * 0.7, MemoryB: 4 << 30, SwapB: 1 << 30,
+				Updated: benchEpoch,
+			})
+		}
+		return reg, svc, cluster
+	}
+	lookup := func(b *testing.B, reg *registry.Registry, id string) {
+		b.Helper()
+		uris, _, err := reg.QM.GetServiceBindings(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(uris) == 0 {
+			b.Fatal("no uris")
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		reg, svc, _ := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reg.ConstraintCache.Invalidate(svc.ID)
+			lookup(b, reg, svc.ID)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		reg, svc, _ := setup(b)
+		lookup(b, reg, svc.ID) // populate cache + snapshot
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lookup(b, reg, svc.ID)
+		}
+	})
+	for _, readers := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("collector/readers=%d", readers), func(b *testing.B) {
+			reg, svc, _ := setup(b)
+			reg.Collector.CollectOnce() // seed rows + snapshot
+			lookup(b, reg, svc.ID)
+			done := make(chan struct{})
+			sweeping := make(chan struct{})
+			go func() {
+				defer close(sweeping)
+				for {
+					select {
+					case <-done:
+						return
+					default:
+						reg.Collector.CollectOnce()
+					}
+				}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N/readers + 1
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						uris, _, err := reg.QM.GetServiceBindings(svc.ID)
+						if err != nil || len(uris) == 0 {
+							b.Errorf("lookup: %v uris=%v", err, uris)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			close(done)
+			<-sweeping
+		})
 	}
 }
 

@@ -1,0 +1,139 @@
+// Command benchjson maintains BENCH_discovery.json, the committed
+// discovery-benchmark baseline.
+//
+//	go test -run XXX -bench BenchmarkDiscovery -benchmem -benchtime 2000x . \
+//	  | benchjson emit -gate-skip collector -note "..." -o BENCH_discovery.json
+//	benchjson compare -baseline BENCH_discovery.json -current fresh.json -max-alloc-growth 0.25
+//	benchjson sync -json BENCH_discovery.json -bench bench_test.go -prefix BenchmarkDiscovery
+//
+// emit parses `go test -bench -benchmem` output from stdin into JSON,
+// marking every result as gated except those whose name matches
+// -gate-skip. compare fails (exit 1) when a gated result's allocs/op grew
+// past the growth bound — only allocations are compared, because they are
+// machine-independent. sync fails when the JSON and the benchmark source
+// disagree about which benchmarks exist under the prefix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+
+	"repro/internal/benchjson"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: benchjson emit|compare|sync [flags]")
+	}
+	switch os.Args[1] {
+	case "emit":
+		emit(os.Args[2:])
+	case "compare":
+		compare(os.Args[2:])
+	case "sync":
+		syncCheck(os.Args[2:])
+	default:
+		log.Fatalf("unknown subcommand %q (want emit, compare, or sync)", os.Args[1])
+	}
+}
+
+func emit(args []string) {
+	fs := flag.NewFlagSet("emit", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	note := fs.String("note", "", "free-form note stored in the artifact")
+	gateSkip := fs.String("gate-skip", "", "regexp of benchmark names to record but not gate")
+	fs.Parse(args)
+
+	results, err := benchjson.Parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var skip *regexp.Regexp
+	if *gateSkip != "" {
+		if skip, err = regexp.Compile(*gateSkip); err != nil {
+			log.Fatalf("bad -gate-skip: %v", err)
+		}
+	}
+	for i := range results {
+		results[i].Gate = skip == nil || !skip.MatchString(results[i].Name)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := benchjson.Encode(w, benchjson.File{Note: *note, Results: results}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func compare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("baseline", "BENCH_discovery.json", "committed baseline artifact")
+	curPath := fs.String("current", "", "fresh artifact to check")
+	max := fs.Float64("max-alloc-growth", 0.25, "allowed allocs/op growth over baseline")
+	fs.Parse(args)
+	if *curPath == "" {
+		log.Fatal("compare: -current is required")
+	}
+	baseline := readFile(*basePath)
+	current := readFile(*curPath)
+	violations := benchjson.Compare(baseline.Results, current.Results, *max)
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "REGRESSION:", v)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("compare: %d gated benchmarks within +%.0f%% allocs of baseline\n",
+		gatedCount(baseline.Results), *max*100)
+}
+
+func syncCheck(args []string) {
+	fs := flag.NewFlagSet("sync", flag.ExitOnError)
+	jsonPath := fs.String("json", "BENCH_discovery.json", "committed baseline artifact")
+	benchPath := fs.String("bench", "bench_test.go", "benchmark source file")
+	prefix := fs.String("prefix", "BenchmarkDiscovery", "benchmark name prefix to check")
+	fs.Parse(args)
+	f := readFile(*jsonPath)
+	src, err := os.ReadFile(*benchPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := benchjson.CheckSync(f.Results, string(src), *prefix); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sync: %s and %s agree on %s*\n", *jsonPath, *benchPath, *prefix)
+}
+
+func readFile(path string) benchjson.File {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	parsed, err := benchjson.Decode(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return parsed
+}
+
+func gatedCount(rs []benchjson.Result) int {
+	n := 0
+	for _, r := range rs {
+		if r.Gate {
+			n++
+		}
+	}
+	return n
+}

@@ -16,6 +16,12 @@
 // -degraded picks what discovery serves when every candidate host is
 // quarantined or stale (empty = drop the request, static = fall back to
 // the stored binding order like a vanilla registry).
+//
+// Discovery fast path: -constraint-cache-size bounds the parsed-constraint
+// cache (0 = default 1024, negative = disable caching), and
+// -snapshot-staleness lets discovery serve a NodeState snapshot up to that
+// old without locking while the collector writes (0 = always coherent; the
+// collection period is a sensible value).
 package main
 
 import (
@@ -49,6 +55,9 @@ func main() {
 		brkBackoff    = flag.Duration("breaker-backoff", 50*time.Second, "first breaker open interval (doubles per trip)")
 		brkMax        = flag.Duration("breaker-max-backoff", 10*time.Minute, "cap on breaker backoff growth")
 		degraded      = flag.String("degraded", "empty", "discovery result when all hosts are quarantined/stale: empty|static")
+
+		cacheSize     = flag.Int("constraint-cache-size", 0, "parsed-constraint cache bound (0 = default, negative = disable)")
+		snapStaleness = flag.Duration("snapshot-staleness", 0, "serve NodeState snapshots up to this old without locking (0 = always coherent)")
 	)
 	flag.Parse()
 
@@ -69,6 +78,9 @@ func main() {
 		InvokeTimeout:    *invokeTimeout,
 		InvokeRetries:    *invokeRetries,
 		RetryBackoff:     *retryBackoff,
+
+		ConstraintCacheSize: *cacheSize,
+		SnapshotMaxAge:      *snapStaleness,
 	}
 	if *brkThreshold > 0 {
 		cfg.Breaker = &breaker.Config{

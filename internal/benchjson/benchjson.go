@@ -1,0 +1,170 @@
+// Package benchjson turns `go test -bench -benchmem` output into a small
+// committed JSON artifact (BENCH_discovery.json) and checks a fresh run
+// against it. Only allocs/op is gated: allocation counts are deterministic
+// for a fixed iteration count and code version, unlike ns/op, which moves
+// with the machine. ns/op and B/op are recorded for the human reader.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, with the -<GOMAXPROCS> suffix stripped
+// from the name. Gate marks results the alloc-regression check enforces;
+// ungated results (e.g. benchmarks with a concurrent background writer,
+// whose allocations land on the measured goroutine nondeterministically)
+// are recorded for the reader but never fail the check.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Gate        bool    `json:"gate,omitempty"`
+}
+
+// File is the committed artifact's shape.
+type File struct {
+	Note    string   `json:"note,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+//
+//	BenchmarkDiscovery/filter/hosts=8-8   2000   4074 ns/op   2209 B/op   18 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) B/op\s+([0-9]+) allocs/op)?`)
+
+// Parse extracts benchmark results from `go test -bench` output. Lines
+// that are not benchmark results are ignored; a benchmark run without
+// -benchmem (no B/op column) is an error, because the artifact exists to
+// gate allocations.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		if m[3] == "" {
+			return nil, fmt.Errorf("benchjson: %s has no allocation columns; run with -benchmem", m[1])
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: %s: %w", m[1], err)
+		}
+		bytesPer, _ := strconv.ParseInt(m[3], 10, 64)
+		allocs, _ := strconv.ParseInt(m[4], 10, 64)
+		out = append(out, Result{Name: m[1], NsPerOp: ns, BytesPerOp: bytesPer, AllocsPerOp: allocs})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: read: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark lines found")
+	}
+	return out, nil
+}
+
+// Encode writes f as stable, indented JSON with results sorted by name.
+func Encode(w io.Writer, f File) error {
+	sort.Slice(f.Results, func(i, j int) bool { return f.Results[i].Name < f.Results[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("benchjson: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a committed artifact.
+func Decode(r io.Reader) (File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return File{}, fmt.Errorf("benchjson: decode: %w", err)
+	}
+	return f, nil
+}
+
+// Compare checks current against baseline and returns one message per
+// violation: a gated baseline result missing from the current run, or a
+// gated result whose allocs/op grew by more than maxGrowth (0.25 = 25%).
+// Improvements and ungated drift are not violations.
+func Compare(baseline, current []Result, maxGrowth float64) []string {
+	cur := make(map[string]Result, len(current))
+	for _, r := range current {
+		cur[r.Name] = r
+	}
+	var violations []string
+	for _, base := range baseline {
+		if !base.Gate {
+			continue
+		}
+		got, ok := cur[base.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: in baseline but not in current run", base.Name))
+			continue
+		}
+		limit := float64(base.AllocsPerOp) * (1 + maxGrowth)
+		if float64(got.AllocsPerOp) > limit {
+			violations = append(violations,
+				fmt.Sprintf("%s: allocs/op %d exceeds baseline %d by more than %.0f%%",
+					base.Name, got.AllocsPerOp, base.AllocsPerOp, maxGrowth*100))
+		}
+	}
+	return violations
+}
+
+// benchFunc matches top-level benchmark declarations in a _test.go file.
+var benchFunc = regexp.MustCompile(`(?m)^func (Benchmark\w+)\(b \*testing\.B\)`)
+
+// CheckSync verifies the artifact and the benchmark source cover the same
+// top-level benchmarks under prefix: every BenchmarkX in src whose name
+// starts with prefix must appear in results (as X or X/sub), and every
+// result's top-level name must still be declared in src. This keeps
+// BENCH_discovery.json from silently drifting when benchmarks are added,
+// renamed, or removed.
+func CheckSync(results []Result, src, prefix string) error {
+	declared := make(map[string]bool)
+	for _, m := range benchFunc.FindAllStringSubmatch(src, -1) {
+		if strings.HasPrefix(m[1], prefix) {
+			declared[m[1]] = false
+		}
+	}
+	if len(declared) == 0 {
+		return fmt.Errorf("benchjson: no benchmarks with prefix %q declared in source", prefix)
+	}
+	for _, r := range results {
+		top := r.Name
+		if i := strings.IndexByte(top, '/'); i >= 0 {
+			top = top[:i]
+		}
+		if !strings.HasPrefix(top, prefix) {
+			continue
+		}
+		if _, ok := declared[top]; !ok {
+			return fmt.Errorf("benchjson: artifact records %s but no such benchmark is declared", top)
+		}
+		declared[top] = true
+	}
+	var missing []string
+	for name, seen := range declared {
+		if !seen {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("benchjson: declared benchmarks missing from artifact: %s; regenerate with `make bench`",
+			strings.Join(missing, ", "))
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package benchjson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOut = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDiscovery/filter/hosts=8-8         	    2000	      4074 ns/op	    2209 B/op	      18 allocs/op
+BenchmarkDiscoveryFastPath/warm-8           	    2000	      3772 ns/op	    2208 B/op	      18 allocs/op
+BenchmarkDiscoveryFastPath/collector/readers=4-8 	    2000	      3294 ns/op	    2102 B/op	      15 allocs/op
+PASS
+ok  	repro	0.109s
+`
+
+func TestParse(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sampleOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results", len(rs))
+	}
+	got := rs[0]
+	if got.Name != "BenchmarkDiscovery/filter/hosts=8" || got.NsPerOp != 4074 ||
+		got.BytesPerOp != 2209 || got.AllocsPerOp != 18 {
+		t.Fatalf("result = %+v", got)
+	}
+}
+
+func TestParseRejectsMissingBenchmem(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX-8  100  5 ns/op\n")); err == nil {
+		t.Fatal("want error for missing -benchmem columns")
+	}
+	if _, err := Parse(strings.NewReader("no benchmarks here\n")); err == nil {
+		t.Fatal("want error for empty output")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := File{Note: "n", Results: []Result{
+		{Name: "BenchmarkB", AllocsPerOp: 2, Gate: true},
+		{Name: "BenchmarkA", AllocsPerOp: 1},
+	}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 2 || got.Results[0].Name != "BenchmarkA" || !got.Results[1].Gate {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkA", AllocsPerOp: 100, Gate: true},
+		{Name: "BenchmarkB", AllocsPerOp: 10, Gate: true},
+		{Name: "BenchmarkC", AllocsPerOp: 10}, // ungated
+		{Name: "BenchmarkGone", AllocsPerOp: 5, Gate: true},
+	}
+	current := []Result{
+		{Name: "BenchmarkA", AllocsPerOp: 125}, // exactly +25%: allowed
+		{Name: "BenchmarkB", AllocsPerOp: 13},  // +30%: violation
+		{Name: "BenchmarkC", AllocsPerOp: 999}, // ungated drift: allowed
+	}
+	v := Compare(baseline, current, 0.25)
+	if len(v) != 2 {
+		t.Fatalf("violations = %v", v)
+	}
+	if !strings.Contains(v[0], "BenchmarkB") || !strings.Contains(v[1], "BenchmarkGone") {
+		t.Fatalf("violations = %v", v)
+	}
+	if v := Compare(baseline[:2], current[:1], 0.25); len(v) != 1 {
+		t.Fatalf("missing-result violations = %v", v)
+	}
+}
+
+const sampleSrc = `package repro_test
+
+import "testing"
+
+func BenchmarkDiscovery(b *testing.B) {}
+
+func BenchmarkDiscoveryFastPath(b *testing.B) {}
+
+func BenchmarkOther(b *testing.B) {}
+`
+
+func TestCheckSync(t *testing.T) {
+	ok := []Result{
+		{Name: "BenchmarkDiscovery/filter/hosts=8"},
+		{Name: "BenchmarkDiscoveryFastPath/warm"},
+		{Name: "BenchmarkUnrelated"}, // outside prefix: ignored
+	}
+	if err := CheckSync(ok, sampleSrc, "BenchmarkDiscovery"); err != nil {
+		t.Fatal(err)
+	}
+	// A declared benchmark missing from the artifact fails.
+	if err := CheckSync(ok[:1], sampleSrc, "BenchmarkDiscovery"); err == nil {
+		t.Fatal("want missing-benchmark error")
+	}
+	// An artifact entry whose benchmark was deleted fails.
+	stale := []Result{{Name: "BenchmarkDiscoveryDeleted/x"}}
+	if err := CheckSync(stale, sampleSrc, "BenchmarkDiscovery"); err == nil {
+		t.Fatal("want stale-artifact error")
+	}
+	if err := CheckSync(ok, sampleSrc, "BenchmarkNope"); err == nil {
+		t.Fatal("want no-benchmarks error")
+	}
+}

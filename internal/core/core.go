@@ -134,6 +134,16 @@ type Balancer struct {
 	// nothing (e.g. every host quarantined). The zero value keeps the
 	// strict empty answer.
 	Degraded DegradedMode
+	// Cache, when non-nil, memoizes parsed constraint blocks per service
+	// so FromDescription runs once per description version. Lookups made
+	// without a service id (plain ArrangeURIs) bypass the cache.
+	Cache *constraint.Cache
+	// SnapshotMaxAge is the staleness guard on the NodeState RCU
+	// snapshot: while the published snapshot is no older than this,
+	// discovery reads it lock-free even if the collector has written
+	// rows since it was taken. Zero keeps reads fully coherent — the
+	// snapshot is republished whenever the table has changed.
+	SnapshotMaxAge time.Duration
 }
 
 // Verdict classifies one binding's host against the constraints.
@@ -191,6 +201,14 @@ type Decision struct {
 	// Degraded is true when even the fallback produced nothing and the
 	// DegradedStatic policy served the stored binding order.
 	Degraded bool
+	// SnapshotGen is the publish generation of the NodeState snapshot
+	// the decision read, for audit: two decisions with the same gen saw
+	// the identical host-state world. Zero when resource filtering never
+	// consulted the table.
+	SnapshotGen uint64
+	// ConstraintCached is true when the constraint came from the parsed-
+	// constraint cache rather than a fresh parse.
+	ConstraintCached bool
 	// Bindings classifies every binding considered.
 	Bindings []BindingDecision
 }
@@ -230,7 +248,7 @@ func (b *Balancer) ArrangeService(svc *rim.Service, now time.Time) ([]*rim.Servi
 		uris = append(uris, bind.AccessURI)
 		byURI[bind.AccessURI] = bind
 	}
-	ordered, dec := b.ArrangeURIs(svc.Description.String(), uris, now)
+	ordered, dec := b.arrange(svc.ID, svc.Description.String(), uris, now)
 	out := make([]*rim.ServiceBinding, 0, len(ordered))
 	for _, u := range ordered {
 		out = append(out, byURI[u])
@@ -241,25 +259,42 @@ func (b *Balancer) ArrangeService(svc *rim.Service, now time.Time) ([]*rim.Servi
 // ArrangeURIs is the URI-level core of the scheme: given a service
 // description (which may embed a constraint block) and the stored-order
 // access URIs, it returns the URIs to present, plus the full decision.
+// With no service id the constraint cache is bypassed; callers that have
+// one should prefer ArrangeView.
 func (b *Balancer) ArrangeURIs(description string, uris []string, now time.Time) ([]string, Decision) {
+	return b.arrange("", description, uris, now)
+}
+
+// ArrangeView is the allocation-lean discovery entry point: it arranges a
+// store.DiscoveryView (id, description, and access URIs — no cloned object
+// graph), keying the constraint cache by the view's service id.
+func (b *Balancer) ArrangeView(view store.DiscoveryView, now time.Time) ([]string, Decision) {
+	return b.arrange(view.ID, view.Description, view.URIs, now)
+}
+
+func (b *Balancer) arrange(serviceID, description string, uris []string, now time.Time) ([]string, Decision) {
 	dec := Decision{TimeWindowOK: true}
-	stock := append([]string(nil), uris...)
+	// The stored-order copy is built only on the paths that serve it; the
+	// filtered steady state never pays for it.
+	stock := func() []string { return append([]string(nil), uris...) }
 
 	if b.Policy == PolicyStock {
-		return stock, dec
+		return stock(), dec
 	}
 
-	// Step 1: ServiceConstraint — extract and validate the block.
-	c, _, err := constraint.FromDescription(description)
+	// Step 1: ServiceConstraint — extract and validate the block. The
+	// cache call degrades to a plain parse on a nil cache or empty id.
+	c, cached, err := b.Cache.FromDescription(serviceID, description)
+	dec.ConstraintCached = cached
 	if err != nil {
 		// Invalid constraints behave like no constraints (§3.2:
 		// "ServiceConstraint returns false if no valid service
 		// constraints are specified").
 		dec.ConstraintErr = err
-		return stock, dec
+		return stock(), dec
 	}
 	if c.IsZero() {
-		return stock, dec
+		return stock(), dec
 	}
 	dec.Constraint = c
 
@@ -270,24 +305,35 @@ func (b *Balancer) ArrangeURIs(description string, uris []string, now time.Time)
 		case TimeWindowExclude:
 			return nil, dec
 		default:
-			return stock, dec
+			return stock(), dec
 		}
 	}
 	if !c.HasResourceClauses() {
 		// Window-only constraint and the window is open.
-		return stock, dec
+		return stock(), dec
 	}
 
-	// Step 3: LoadStatus — classify each host against NodeState.
+	// Step 3: LoadStatus — classify each host against NodeState. Hosts are
+	// read from an immutable RCU snapshot (one atomic load in the steady
+	// state) so discovery never contends with a collector sweep.
 	// Quarantined hosts (open collector breaker) are set aside first: they
 	// take no part in any arrangement, fallback included.
 	dec.Filtered = true
-	var eligible, unknown, ineligible, candidates []string
-	loadOf := make(map[string]float64, len(uris))
+	snap := b.Table.Snapshot(now, b.SnapshotMaxAge)
+	dec.SnapshotGen = snap.Gen()
+	var unknown, ineligible, candidates []string
+	eligible := make([]string, 0, len(uris))
+	dec.Bindings = make([]BindingDecision, 0, len(uris))
+	// Loads keyed by URI are only consulted by the sorting policies; the
+	// plain filter path skips the map entirely.
+	var loadOf map[string]float64
+	if b.Policy == PolicyLeastLoaded || b.FallbackAll {
+		loadOf = make(map[string]float64, len(uris))
+	}
 	for _, uri := range uris {
 		host := rim.HostOfURI(uri)
 		bd := BindingDecision{AccessURI: uri, Host: host}
-		row, ok := b.Table.Get(host)
+		row, ok := snap.Get(host)
 		if ok && row.Health == store.HealthQuarantined {
 			bd.Verdict = VerdictQuarantined
 			bd.HasRow = true
@@ -304,7 +350,9 @@ func (b *Balancer) ArrangeURIs(description string, uris []string, now time.Time)
 		} else {
 			bd.HasRow = true
 			bd.Load = row.Load
-			loadOf[uri] = row.Load
+			if loadOf != nil {
+				loadOf[uri] = row.Load
+			}
 			sample := constraint.Sample{Load: row.Load, MemoryB: row.MemoryB, SwapB: row.SwapB, NetDelayMs: row.NetDelayMs}
 			if c.SatisfiedBy(sample) {
 				bd.Verdict = VerdictEligible
@@ -329,7 +377,7 @@ func (b *Balancer) ArrangeURIs(description string, uris []string, now time.Time)
 		sort.SliceStable(byLoad, func(i, j int) bool { return loadOf[byLoad[i]] < loadOf[byLoad[j]] })
 		out = append(byLoad, unknown...)
 	default:
-		out = stock
+		out = stock()
 	}
 
 	if len(out) == 0 && b.FallbackAll && len(candidates) > 0 {
@@ -350,7 +398,7 @@ func (b *Balancer) ArrangeURIs(description string, uris []string, now time.Time)
 	// vanilla freebXML would, rather than an empty answer.
 	if len(out) == 0 && b.Degraded == DegradedStatic {
 		dec.Degraded = true
-		out = stock
+		out = stock()
 	}
 	return out, dec
 }

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/constraint"
+	"repro/internal/store"
+)
+
+func TestArrangeViewUsesCacheAndSnapshot(t *testing.T) {
+	cache := constraint.NewCache(8)
+	b := &Balancer{Table: table(), Policy: PolicyFilter, Cache: cache}
+	view := store.DiscoveryView{ID: "urn:uuid:adder", Description: constrained, URIs: uris()}
+
+	out, dec := b.ArrangeView(view, t0)
+	if len(out) != 1 || out[0] != uriThermo {
+		t.Fatalf("arranged = %v", out)
+	}
+	if dec.ConstraintCached {
+		t.Fatal("first arrange should parse, not hit the cache")
+	}
+	if dec.SnapshotGen == 0 {
+		t.Fatal("filtered decision should record the snapshot generation")
+	}
+
+	out2, dec2 := b.ArrangeView(view, t0)
+	if len(out2) != 1 || out2[0] != uriThermo {
+		t.Fatalf("second arrange = %v", out2)
+	}
+	if !dec2.ConstraintCached {
+		t.Fatal("second arrange should hit the constraint cache")
+	}
+	if dec2.SnapshotGen != dec.SnapshotGen {
+		t.Fatalf("unchanged table should reuse the snapshot: gen %d vs %d", dec2.SnapshotGen, dec.SnapshotGen)
+	}
+	if got := cache.Hits.Value(); got != 1 {
+		t.Fatalf("cache hits = %d, want 1", got)
+	}
+}
+
+func TestArrangeViewDescriptionEditReparses(t *testing.T) {
+	cache := constraint.NewCache(8)
+	b := &Balancer{Table: table(), Policy: PolicyFilter, Cache: cache}
+	view := store.DiscoveryView{ID: "urn:uuid:adder", Description: constrained, URIs: uris()}
+	if out, _ := b.ArrangeView(view, t0); len(out) != 1 {
+		t.Fatalf("arranged = %v", out)
+	}
+	// Edit the description without any invalidation: the hash key alone
+	// must force a reparse, so a stale constraint is never applied.
+	view.Description = `Adder <constraint><cpuLoad>load ls 0.1</cpuLoad></constraint>`
+	out, dec := b.ArrangeView(view, t0)
+	if dec.ConstraintCached {
+		t.Fatal("edited description must not be served from cache")
+	}
+	if len(out) != 0 {
+		t.Fatalf("tightened constraint should exclude every host, got %v", out)
+	}
+}
+
+func TestArrangeSnapshotStalenessGuard(t *testing.T) {
+	tab := table()
+	b := &Balancer{Table: tab, Policy: PolicyFilter, SnapshotMaxAge: 25 * time.Second}
+	view := store.DiscoveryView{ID: "urn:uuid:adder", Description: constrained, URIs: uris()}
+
+	_, dec := b.ArrangeView(view, t0)
+	gen := dec.SnapshotGen
+
+	// A collector write inside the staleness window is deliberately not
+	// observed: the published snapshot keeps serving lock-free.
+	tab.Upsert(store.NodeState{Host: "thermo.sdsu.edu", Load: 9.9, Updated: t0})
+	out, dec2 := b.ArrangeView(view, t0.Add(10*time.Second))
+	if dec2.SnapshotGen != gen {
+		t.Fatalf("gen = %d, want stale %d", dec2.SnapshotGen, gen)
+	}
+	if len(out) != 1 || out[0] != uriThermo {
+		t.Fatalf("stale arrange = %v", out)
+	}
+
+	// Past the window the write must be observed.
+	out3, dec3 := b.ArrangeView(view, t0.Add(30*time.Second))
+	if dec3.SnapshotGen == gen {
+		t.Fatal("expired guard should republish")
+	}
+	if len(out3) != 0 {
+		t.Fatalf("overloaded thermo should now be excluded, got %v", out3)
+	}
+}
+
+func TestArrangeStockSkipsTableAndCache(t *testing.T) {
+	cache := constraint.NewCache(8)
+	b := &Balancer{Table: table(), Policy: PolicyStock, Cache: cache}
+	view := store.DiscoveryView{ID: "urn:uuid:adder", Description: constrained, URIs: uris()}
+	out, dec := b.ArrangeView(view, t0)
+	if len(out) != 3 {
+		t.Fatalf("stock arrange = %v", out)
+	}
+	if dec.SnapshotGen != 0 || dec.ConstraintCached {
+		t.Fatalf("stock decision touched fast-path state: %+v", dec)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("stock policy must not populate the cache")
+	}
+}

@@ -51,6 +51,11 @@ type Manager struct {
 	// runs with "Versioning off" for its experiments (§3.4.4.1) but the
 	// capability is part of the registry (Table 1.1).
 	Versioning bool
+	// OnWrite, when non-nil, is called after every successful mutation
+	// with the ids of the objects written or removed. The registry wires
+	// it to the parsed-constraint cache's invalidation so a description
+	// edit or removal drops the service's cached parse.
+	OnWrite func(ids ...string)
 }
 
 // New wires a manager over the given store with default policy; trail and
@@ -77,12 +82,17 @@ func (m *Manager) authorize(ctx Context, action xacml.Action, o rim.Object) erro
 }
 
 func (m *Manager) record(kind rim.EventType, ctx Context, objs ...rim.Object) {
-	if m.Trail != nil {
+	if m.Trail != nil || m.OnWrite != nil {
 		ids := make([]string, len(objs))
 		for i, o := range objs {
 			ids[i] = o.Base().ID
 		}
-		m.Trail.Record(kind, ctx.UserID, ids...)
+		if m.Trail != nil {
+			m.Trail.Record(kind, ctx.UserID, ids...)
+		}
+		if m.OnWrite != nil {
+			m.OnWrite(ids...)
+		}
 	}
 	if m.Bus != nil {
 		m.Bus.Publish(kind, objs...)

@@ -249,6 +249,10 @@ func (c *Collector) CollectOnce() {
 	}
 	wg.Wait()
 
+	// Republish the RCU snapshot once per sweep so discovery reads the
+	// sweep's rows lock-free until the next one.
+	c.table.Publish(c.clock.Now())
+
 	sweep.Sweeps = 1
 	c.mu.Lock()
 	c.stats.Sweeps += sweep.Sweeps

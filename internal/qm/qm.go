@@ -151,37 +151,30 @@ func sortServices(ss []*rim.Service) {
 }
 
 // GetServiceBindings is the discovery call the thesis modifies: it loads
-// the service, runs its bindings through the balancer against the current
-// NodeState table, and returns the access URIs in the arranged order
-// together with the balancing decision.
+// the service's discovery view (id, description, access URIs — no object-
+// graph clone), runs it through the balancer against the current NodeState
+// table, and returns the access URIs in the arranged order together with
+// the balancing decision.
 func (m *Manager) GetServiceBindings(serviceID string) ([]string, core.Decision, error) {
-	o, err := m.Store.Get(serviceID)
+	view, err := m.Store.ServiceView(serviceID)
 	if err != nil {
 		return nil, core.Decision{}, err
 	}
-	svc, ok := o.(*rim.Service)
-	if !ok {
-		return nil, core.Decision{}, fmt.Errorf("qm: %s is not a service", serviceID)
-	}
-	return m.arrange(svc)
+	return m.arrangeView(view)
 }
 
 // GetServiceBindingsByName is GetServiceBindings keyed by service name —
 // the AccessRegistry API's access path (§4.6).
 func (m *Manager) GetServiceBindingsByName(name string) ([]string, core.Decision, error) {
-	svc, err := m.GetServiceByName(name)
+	view, err := m.Store.ServiceViewByName(name)
 	if err != nil {
 		return nil, core.Decision{}, err
 	}
-	return m.arrange(svc)
+	return m.arrangeView(view)
 }
 
-func (m *Manager) arrange(svc *rim.Service) ([]string, core.Decision, error) {
-	bindings, dec := m.Balancer.ArrangeService(svc, m.Clock.Now())
-	uris := make([]string, 0, len(bindings))
-	for _, b := range bindings {
-		uris = append(uris, b.AccessURI)
-	}
+func (m *Manager) arrangeView(view store.DiscoveryView) ([]string, core.Decision, error) {
+	uris, dec := m.Balancer.ArrangeView(view, m.Clock.Now())
 	return uris, dec, nil
 }
 

@@ -1,0 +1,69 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/rim"
+)
+
+// TestLCMWritesInvalidateConstraintCache checks the registry wiring of
+// the fast path: discovery populates the parsed-constraint cache, and an
+// LCM update or removal of the service drops its entry via the OnWrite
+// hook.
+func TestLCMWritesInvalidateConstraintCache(t *testing.T) {
+	reg := newRegistry(t)
+	ctx := reg.AdminContext()
+	svc := rim.NewService("Worker", `<constraint><cpuLoad>load ls 2.0</cpuLoad></constraint>`)
+	svc.AddBinding("http://thermo.sdsu.edu:8080/Worker/workerService")
+	if err := reg.LCM.SubmitObjects(ctx, svc); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.QM.GetServiceBindings(svc.ID); err != nil {
+		t.Fatal(err)
+	}
+	if reg.ConstraintCache.Len() != 1 {
+		t.Fatalf("cache len = %d after discovery, want 1", reg.ConstraintCache.Len())
+	}
+
+	up := rim.NewService("Worker", `<constraint><cpuLoad>load ls 3.0</cpuLoad></constraint>`)
+	up.ID = svc.ID
+	up.AddBinding("http://thermo.sdsu.edu:8080/Worker/workerService")
+	if err := reg.LCM.UpdateObjects(ctx, up); err != nil {
+		t.Fatal(err)
+	}
+	if reg.ConstraintCache.Invalidations.Value() != 1 {
+		t.Fatalf("invalidations = %d after update, want 1", reg.ConstraintCache.Invalidations.Value())
+	}
+
+	if _, _, err := reg.QM.GetServiceBindings(svc.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.LCM.RemoveObjects(ctx, svc.ID); err != nil {
+		t.Fatal(err)
+	}
+	if reg.ConstraintCache.Len() != 0 {
+		t.Fatalf("cache len = %d after remove, want 0", reg.ConstraintCache.Len())
+	}
+}
+
+// TestConstraintCacheDisabled checks the negative-size knob: discovery
+// still works, nothing is cached, and the lcm hook is a no-op.
+func TestConstraintCacheDisabled(t *testing.T) {
+	reg, err := New(Config{ConstraintCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.ConstraintCache != nil {
+		t.Fatal("negative size should disable the cache")
+	}
+	ctx := reg.AdminContext()
+	svc := rim.NewService("Worker", "plain")
+	svc.AddBinding("http://thermo.sdsu.edu:8080/Worker/workerService")
+	if err := reg.LCM.SubmitObjects(ctx, svc); err != nil {
+		t.Fatal(err)
+	}
+	uris, dec, err := reg.QM.GetServiceBindings(svc.ID)
+	if err != nil || len(uris) != 1 || dec.ConstraintCached {
+		t.Fatalf("uris=%v cached=%v err=%v", uris, dec.ConstraintCached, err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/auth"
 	"repro/internal/breaker"
 	"repro/internal/cataloger"
+	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/lcm"
@@ -67,6 +68,16 @@ type Config struct {
 	Versioning bool
 	// AccessPolicy overrides the default XACML policy.
 	AccessPolicy *xacml.Policy
+	// ConstraintCacheSize bounds the parsed-constraint cache: 0 means
+	// constraint.DefaultCacheSize, negative disables caching entirely
+	// (every discovery reparses the description).
+	ConstraintCacheSize int
+	// SnapshotMaxAge is the staleness guard on the NodeState RCU
+	// snapshot: discovery serves a published snapshot no older than this
+	// without locking even while the collector writes rows. 0 keeps reads
+	// fully coherent. A sensible production value is the collection
+	// period.
+	SnapshotMaxAge time.Duration
 }
 
 // Registry is an assembled registry server.
@@ -86,6 +97,9 @@ type Registry struct {
 	// Breakers is the collector's breaker set (nil when Config.Breaker was
 	// nil).
 	Breakers *breaker.Set
+	// ConstraintCache is the parsed-constraint cache on the discovery
+	// path (nil when Config.ConstraintCacheSize was negative).
+	ConstraintCache *constraint.Cache
 
 	adminID string
 	catOnce sync.Once
@@ -102,13 +116,19 @@ func New(cfg Config) (*Registry, error) {
 		clk = simclock.Real{}
 	}
 	s := store.New()
+	var cache *constraint.Cache
+	if cfg.ConstraintCacheSize >= 0 {
+		cache = constraint.NewCache(cfg.ConstraintCacheSize)
+	}
 	bal := &core.Balancer{
-		Table:       s.NodeState(),
-		Policy:      cfg.Policy,
-		TimeMode:    cfg.TimeMode,
-		Freshness:   cfg.Freshness,
-		FallbackAll: cfg.FallbackAll,
-		Degraded:    cfg.Degraded,
+		Table:          s.NodeState(),
+		Policy:         cfg.Policy,
+		TimeMode:       cfg.TimeMode,
+		Freshness:      cfg.Freshness,
+		FallbackAll:    cfg.FallbackAll,
+		Degraded:       cfg.Degraded,
+		Cache:          cache,
+		SnapshotMaxAge: cfg.SnapshotMaxAge,
 	}
 	trail := audit.New(s, clk)
 	bus := events.NewBus()
@@ -118,6 +138,9 @@ func New(cfg Config) (*Registry, error) {
 	}
 	lifecycle := lcm.New(s, policy, trail, bus)
 	lifecycle.Versioning = cfg.Versioning
+	// Any successful write drops the touched ids from the constraint
+	// cache so a description edit or removal is reparsed on next lookup.
+	lifecycle.OnWrite = cache.InvalidateIDs
 	query := qm.New(s, bal, clk)
 	registrar := auth.NewRegistrar(clk)
 
@@ -155,6 +178,8 @@ func New(cfg Config) (*Registry, error) {
 		Collector: collector,
 		Telemetry: telemetry,
 		Breakers:  breakers,
+
+		ConstraintCache: cache,
 	}
 
 	// Seed the canonical classification schemes (Table 1.2 + the

@@ -3,6 +3,7 @@ package store
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -59,10 +60,21 @@ type NodeState struct {
 	Health HostHealth
 }
 
-// NodeStateTable is the concurrent NodeState store keyed by host.
+// NodeStateTable is the concurrent NodeState store keyed by host. Writers
+// (the collector, snapshot restore) mutate rows under mu; the discovery
+// read path instead consumes an immutable RCU-style snapshot published via
+// an atomic pointer swap (see Snapshot), so lookups never contend with a
+// collector sweep in progress.
 type NodeStateTable struct {
 	mu   sync.RWMutex
 	rows map[string]NodeState // guarded by mu
+
+	// version counts row mutations; a snapshot remembers the version it
+	// was built at so readers can detect staleness without locking.
+	version atomic.Uint64
+	// gen counts publishes, for Decision audit trails.
+	gen  atomic.Uint64
+	snap atomic.Pointer[TableSnapshot]
 }
 
 // NewNodeStateTable creates an empty table.
@@ -75,6 +87,7 @@ func (t *NodeStateTable) Upsert(row NodeState) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.rows[row.Host] = row
+	t.version.Add(1)
 }
 
 // RecordFailure increments the failure counter for host, creating the row
@@ -91,6 +104,7 @@ func (t *NodeStateTable) RecordFailure(host string, at time.Time) {
 		row.Health = HealthDegraded
 	}
 	t.rows[host] = row
+	t.version.Add(1)
 }
 
 // SetHealth sets host's health verdict, creating the row if needed. The
@@ -103,6 +117,7 @@ func (t *NodeStateTable) SetHealth(host string, h HostHealth) {
 	row.Host = host
 	row.Health = h
 	t.rows[host] = row
+	t.version.Add(1)
 }
 
 // Get returns the row for host and whether it exists.
@@ -118,6 +133,7 @@ func (t *NodeStateTable) Delete(host string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.rows, host)
+	t.version.Add(1)
 }
 
 // Hosts returns the known hostnames in sorted order.
@@ -165,4 +181,82 @@ func (t *NodeStateTable) FreshRows(now time.Time, maxAge time.Duration) []NodeSt
 		}
 	}
 	return fresh
+}
+
+// TableSnapshot is an immutable point-in-time copy of a NodeStateTable,
+// published by Publish and read lock-free by the discovery path. Rows are
+// never mutated after the snapshot is built, so any number of concurrent
+// readers may consult it while the collector rewrites the live table.
+type TableSnapshot struct {
+	gen     uint64
+	version uint64
+	taken   time.Time
+	rows    map[string]NodeState // immutable after Publish
+}
+
+// Gen is the snapshot's publish generation number, recorded on discovery
+// Decisions for auditability.
+func (s *TableSnapshot) Gen() uint64 { return s.gen }
+
+// Taken is the time the snapshot was built.
+func (s *TableSnapshot) Taken() time.Time { return s.taken }
+
+// Len returns the number of rows in the snapshot.
+func (s *TableSnapshot) Len() int { return len(s.rows) }
+
+// Get returns the snapshot's row for host and whether it exists.
+func (s *TableSnapshot) Get(host string) (NodeState, bool) {
+	row, ok := s.rows[host]
+	return row, ok
+}
+
+// Publish builds an immutable snapshot of the current rows and installs it
+// with an atomic pointer swap. The collector calls this once per sweep;
+// discovery readers then consult the snapshot without taking any lock. A
+// concurrent Publish racing with a newer one never installs the older
+// snapshot over the newer.
+func (t *NodeStateTable) Publish(now time.Time) *TableSnapshot {
+	t.mu.RLock()
+	version := t.version.Load()
+	rows := make(map[string]NodeState, len(t.rows))
+	for k, v := range t.rows {
+		rows[k] = v
+	}
+	t.mu.RUnlock()
+	s := &TableSnapshot{gen: t.gen.Add(1), version: version, taken: now, rows: rows}
+	for {
+		old := t.snap.Load()
+		if old != nil && old.version > s.version {
+			return old
+		}
+		if t.snap.CompareAndSwap(old, s) {
+			return s
+		}
+	}
+}
+
+// Snapshot returns a snapshot suitable for a discovery read at time now.
+//
+//   - If the published snapshot is coherent (the table has not changed
+//     since it was built), it is returned with no locking at all — the
+//     steady-state fast path between collector sweeps.
+//   - If the table has changed but the published snapshot is no older
+//     than maxAge, the slightly stale snapshot is still served lock-free:
+//     this is the RCU tolerance window that keeps discovery from
+//     contending with an in-progress collector sweep. The collector
+//     publishes after every sweep, so staleness is bounded by the sweep
+//     period plus maxAge.
+//   - Otherwise (maxAge <= 0, or the guard expired) a fresh snapshot is
+//     built and published, so callers always observe committed writes.
+func (t *NodeStateTable) Snapshot(now time.Time, maxAge time.Duration) *TableSnapshot {
+	s := t.snap.Load()
+	if s != nil {
+		if s.version == t.version.Load() {
+			return s
+		}
+		if maxAge > 0 && now.Sub(s.taken) <= maxAge {
+			return s
+		}
+	}
+	return t.Publish(now)
 }

@@ -31,6 +31,9 @@ type Store struct {
 	objects map[string]rim.Object                  // guarded by mu
 	byType  map[rim.ObjectType]map[string]struct{} // guarded by mu
 	byOwner map[string]map[string]struct{}         // guarded by mu
+	// byName indexes type → lowercase name → ids, so exact-name lookups
+	// (FindOneByName, the discovery-by-name path) need not scan a type.
+	byName map[rim.ObjectType]map[string]map[string]struct{} // guarded by mu
 	// Association endpoint indexes: object id -> association ids.
 	assocBySource map[string]map[string]struct{} // guarded by mu
 	assocByTarget map[string]map[string]struct{} // guarded by mu
@@ -46,6 +49,7 @@ func New() *Store {
 		objects:       make(map[string]rim.Object),
 		byType:        make(map[rim.ObjectType]map[string]struct{}),
 		byOwner:       make(map[string]map[string]struct{}),
+		byName:        make(map[rim.ObjectType]map[string]map[string]struct{}),
 		assocBySource: make(map[string]map[string]struct{}),
 		assocByTarget: make(map[string]map[string]struct{}),
 		content:       make(map[string][]byte),
@@ -84,18 +88,26 @@ func (s *Store) Put(o rim.Object) error {
 	return nil
 }
 
-// Insert is Put that fails if the id already exists.
+// Insert is Put that fails if the id already exists. The existence check
+// and the insert happen under one critical section, so of two concurrent
+// Inserts of the same id exactly one succeeds.
 func (s *Store) Insert(o rim.Object) error {
 	if o == nil {
 		return fmt.Errorf("store: Insert(nil)")
 	}
-	s.mu.Lock()
-	_, exists := s.objects[o.Base().ID]
-	s.mu.Unlock()
-	if exists {
-		return fmt.Errorf("%w: %s", ErrExists, o.Base().ID)
+	base := o.Base()
+	if base.ID == "" {
+		return fmt.Errorf("store: object has no id")
 	}
-	return s.Put(o)
+	c := rim.CloneObject(o)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.objects[base.ID]; exists {
+		return fmt.Errorf("%w: %s", ErrExists, base.ID)
+	}
+	s.objects[base.ID] = c
+	s.indexLocked(c)
+	return nil
 }
 
 // Get returns a deep copy of the object with the given id.
@@ -136,6 +148,13 @@ func (s *Store) indexLocked(o rim.Object) {
 	if b.Owner != "" {
 		addIdx(s.byOwner, b.Owner, b.ID)
 	}
+	names, ok := s.byName[b.ObjectType]
+	if !ok {
+		names = make(map[string]map[string]struct{})
+		s.byName[b.ObjectType] = names
+	}
+	// Unnamed objects index under "" so wildcard scans still see them.
+	addIdx(names, strings.ToLower(b.Name.String()), b.ID)
 	if a, ok := o.(*rim.Association); ok {
 		addIdx(s.assocBySource, a.SourceID, a.ID)
 		addIdx(s.assocByTarget, a.TargetID, a.ID)
@@ -147,6 +166,12 @@ func (s *Store) unindexLocked(o rim.Object) {
 	delIdx(s.byType, b.ObjectType, b.ID)
 	if b.Owner != "" {
 		delIdx(s.byOwner, b.Owner, b.ID)
+	}
+	if names, ok := s.byName[b.ObjectType]; ok {
+		delIdx(names, strings.ToLower(b.Name.String()), b.ID)
+		if len(names) == 0 {
+			delete(s.byName, b.ObjectType)
+		}
 	}
 	if a, ok := o.(*rim.Association); ok {
 		delIdx(s.assocBySource, a.SourceID, a.ID)
@@ -173,20 +198,27 @@ func delIdx[K comparable](m map[K]map[string]struct{}, k K, id string) {
 }
 
 // ByType returns deep copies of all objects of type t, sorted by id for
-// deterministic iteration.
+// deterministic iteration. Sorting happens after the read lock is
+// released so large scans don't hold up writers.
 func (s *Store) ByType(t rim.ObjectType) []rim.Object {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.collectLocked(s.byType[t])
+	out := s.collectLocked(s.byType[t])
+	s.mu.RUnlock()
+	sortByID(out)
+	return out
 }
 
 // ByOwner returns deep copies of all objects owned by the given user id.
 func (s *Store) ByOwner(owner string) []rim.Object {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.collectLocked(s.byOwner[owner])
+	out := s.collectLocked(s.byOwner[owner])
+	s.mu.RUnlock()
+	sortByID(out)
+	return out
 }
 
+// collectLocked clones the objects for ids in map order; callers sort
+// outside the critical section.
 func (s *Store) collectLocked(ids map[string]struct{}) []rim.Object {
 	out := make([]rim.Object, 0, len(ids))
 	for id := range ids {
@@ -194,19 +226,22 @@ func (s *Store) collectLocked(ids map[string]struct{}) []rim.Object {
 			out = append(out, rim.CloneObject(o))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Base().ID < out[j].Base().ID })
 	return out
+}
+
+func sortByID(out []rim.Object) {
+	sort.Slice(out, func(i, j int) bool { return out[i].Base().ID < out[j].Base().ID })
 }
 
 // All returns deep copies of every object, sorted by id.
 func (s *Store) All() []rim.Object {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]rim.Object, 0, len(s.objects))
 	for _, o := range s.objects {
 		out = append(out, rim.CloneObject(o))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Base().ID < out[j].Base().ID })
+	s.mu.RUnlock()
+	sortByID(out)
 	return out
 }
 
@@ -245,59 +280,79 @@ func likeMatch(s, p string) bool {
 }
 
 // FindByName returns deep copies of objects of type t whose Name matches
-// the LIKE pattern.
+// the LIKE pattern. A pattern without wildcards resolves through the name
+// index; wildcard patterns walk the index's name buckets, so only matches
+// are cloned, and sorting happens after the lock is released.
 func (s *Store) FindByName(t rim.ObjectType, pattern string) []rim.Object {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []rim.Object
-	for id := range s.byType[t] {
-		o := s.objects[id]
-		if MatchLike(o.Base().Name.String(), pattern) {
-			out = append(out, rim.CloneObject(o))
+	s.mu.RLock()
+	if !strings.ContainsAny(pattern, "%_") {
+		out = s.collectLocked(s.byName[t][strings.ToLower(pattern)])
+	} else {
+		lowered := strings.ToLower(pattern)
+		for name, ids := range s.byName[t] {
+			if likeMatch(name, lowered) {
+				out = append(out, s.collectLocked(ids)...)
+			}
 		}
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Base().Name.String() < out[j].Base().Name.String() })
 	return out
 }
 
 // FindOneByName returns the unique object of type t with exactly the given
 // name (case-insensitive). It returns ErrNotFound if absent and an error if
-// the name is ambiguous.
+// the name is ambiguous. The lookup is a single name-index probe, not a
+// type scan.
 func (s *Store) FindOneByName(t rim.ObjectType, name string) (rim.Object, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var found rim.Object
-	for id := range s.byType[t] {
-		o := s.objects[id]
-		if strings.EqualFold(o.Base().Name.String(), name) {
-			if found != nil {
-				return nil, fmt.Errorf("store: name %q is ambiguous for %s", name, t.Short())
-			}
-			found = o
-		}
+	o, err := s.findOneByNameLocked(t, name)
+	if err != nil {
+		return nil, err
 	}
-	if found == nil {
+	return rim.CloneObject(o), nil
+}
+
+// findOneByNameLocked resolves the unique object of type t named name
+// (case-insensitive) without cloning. Callers hold mu.
+func (s *Store) findOneByNameLocked(t rim.ObjectType, name string) (rim.Object, error) {
+	ids := s.byName[t][strings.ToLower(name)]
+	if len(ids) == 0 {
 		return nil, fmt.Errorf("%w: %s named %q", ErrNotFound, t.Short(), name)
 	}
-	return rim.CloneObject(found), nil
+	if len(ids) > 1 {
+		return nil, fmt.Errorf("store: name %q is ambiguous for %s", name, t.Short())
+	}
+	for id := range ids {
+		return s.objects[id], nil
+	}
+	return nil, fmt.Errorf("%w: %s named %q", ErrNotFound, t.Short(), name)
 }
 
 // AssociationsFrom returns deep copies of the associations whose source is
 // the given object id.
 func (s *Store) AssociationsFrom(sourceID string) []*rim.Association {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.assocsLocked(s.assocBySource, sourceID)
+	out := s.assocsLocked(s.assocBySource, sourceID)
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // AssociationsTo returns deep copies of the associations whose target is
 // the given object id.
 func (s *Store) AssociationsTo(targetID string) []*rim.Association {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.assocsLocked(s.assocByTarget, targetID)
+	out := s.assocsLocked(s.assocByTarget, targetID)
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
+// assocsLocked clones the associations for key in map order; callers sort
+// outside the critical section.
 func (s *Store) assocsLocked(idx map[string]map[string]struct{}, key string) []*rim.Association {
 	var out []*rim.Association
 	for id := range idx[key] {
@@ -305,8 +360,60 @@ func (s *Store) assocsLocked(idx map[string]map[string]struct{}, key string) []*
 			out = append(out, a.Clone())
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// DiscoveryView is the minimal projection of a Service the discovery fast
+// path needs: id, description text (which may embed a constraint block),
+// and the access URIs in stored order. All fields are immutable strings,
+// so building a view never deep-clones the service's object graph — the
+// arena-free alternative to Get on the hot path.
+type DiscoveryView struct {
+	ID          string
+	Description string
+	URIs        []string
+}
+
+// ServiceView builds the discovery projection for the service with the
+// given id. It returns ErrNotFound for unknown ids and an error when the
+// object is not a Service.
+func (s *Store) ServiceView(id string) (DiscoveryView, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[id]
+	if !ok {
+		return DiscoveryView{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return s.viewLocked(o)
+}
+
+// ServiceViewByName builds the discovery projection for the unique service
+// with the given name (case-insensitive), resolved through the name index.
+func (s *Store) ServiceViewByName(name string) (DiscoveryView, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, err := s.findOneByNameLocked(rim.TypeService, name)
+	if err != nil {
+		return DiscoveryView{}, err
+	}
+	return s.viewLocked(o)
+}
+
+func (s *Store) viewLocked(o rim.Object) (DiscoveryView, error) {
+	svc, ok := o.(*rim.Service)
+	if !ok {
+		return DiscoveryView{}, fmt.Errorf("store: %s is not a service", o.Base().ID)
+	}
+	v := DiscoveryView{ID: svc.ID, Description: svc.Description.String()}
+	if len(svc.Bindings) > 0 {
+		v.URIs = make([]string, 0, len(svc.Bindings))
+		for _, b := range svc.Bindings {
+			if b.AccessURI != "" {
+				v.URIs = append(v.URIs, b.AccessURI)
+			}
+		}
+	}
+	return v, nil
 }
 
 // PutContent stores a repository payload under the given content id.
