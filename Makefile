@@ -6,7 +6,7 @@ BENCH_PATTERN = BenchmarkDiscovery
 BENCH_TIME    = 2000x
 BENCH_NOTE    = discovery fast path baseline; allocs/op gated at +25%
 
-.PHONY: all build test race vet lint check clean bench benchcheck
+.PHONY: all build test race vet lint check clean bench benchcheck smoke
 
 all: check
 
@@ -26,11 +26,17 @@ bin/repolint: $(shell find cmd/repolint tools/analyzers -name '*.go' -not -path 
 	$(GO) build -o $@ ./cmd/repolint
 
 # lint runs the repo's own invariant analyzers (wallclock, lockcheck,
-# errwrap, norand, clienttimeout) over every package via the go vet driver.
+# errwrap, norand, clienttimeout, structlog) over every package via the
+# go vet driver.
 lint: bin/repolint
 	$(GO) vet -vettool=$(CURDIR)/bin/repolint ./...
 
-check: build test vet lint
+# smoke boots a seeded in-process registry and fails on malformed
+# /registry/metrics exposition or an unretrievable discovery trace.
+smoke:
+	$(GO) run ./cmd/scrapesmoke
+
+check: build test vet lint smoke
 
 # bench regenerates the committed discovery baseline BENCH_discovery.json.
 # Collector variants are recorded but not gated (-gate-skip): a background

@@ -19,6 +19,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"strings"
@@ -36,9 +37,11 @@ import (
 	"repro/internal/jaxr"
 	"repro/internal/lbexp"
 	"repro/internal/lcm"
+	"repro/internal/metrics"
 	"repro/internal/mtc"
 	"repro/internal/nodestate"
 	"repro/internal/nodestatus"
+	"repro/internal/obs"
 	"repro/internal/qm"
 	"repro/internal/registry"
 	"repro/internal/rim"
@@ -593,4 +596,187 @@ func BenchmarkCPACompose(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- metrics primitives: atomic vs mutex baselines -----------------------
+//
+// internal/metrics.Counter and GaugeSet sit on the discovery fast path
+// (constraint-cache hit counters, breaker-state reads), so they were
+// converted from sync.Mutex to sync/atomic. The *Mutex variants below
+// reimplement the old guarded versions inline as the "before" baseline;
+// the *Atomic variants exercise the shipped types. Names deliberately do
+// not match the BenchmarkDiscovery prefix, so the allocs/op CI gate
+// (BENCH_PATTERN=BenchmarkDiscovery) ignores them.
+
+type mutexCounter struct {
+	mu sync.Mutex
+	n  int64 // guarded by mu
+}
+
+func (c *mutexCounter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *mutexCounter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+type mutexGaugeSet struct {
+	mu   sync.Mutex
+	vals map[string]float64 // guarded by mu
+}
+
+func (g *mutexGaugeSet) Set(label string, v float64) {
+	g.mu.Lock()
+	if g.vals == nil {
+		g.vals = make(map[string]float64)
+	}
+	g.vals[label] = v
+	g.mu.Unlock()
+}
+
+func (g *mutexGaugeSet) Value(label string) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.vals[label]
+}
+
+func BenchmarkMetricsCounterMutex(b *testing.B) {
+	var c mutexCounter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() == 0 {
+		b.Fatal("counter did not move")
+	}
+}
+
+func BenchmarkMetricsCounterAtomic(b *testing.B) {
+	var c metrics.Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() == 0 {
+		b.Fatal("counter did not move")
+	}
+}
+
+func BenchmarkMetricsGaugeSetMutex(b *testing.B) {
+	var g mutexGaugeSet
+	for i := 0; i < 8; i++ {
+		g.Set(fmt.Sprintf("host-%d:8080", i), float64(i))
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%16 == 0 {
+				g.Set("host-3:8080", float64(i))
+			} else {
+				_ = g.Value("host-3:8080")
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkMetricsGaugeSetAtomic(b *testing.B) {
+	var g metrics.GaugeSet
+	for i := 0; i < 8; i++ {
+		g.Set(fmt.Sprintf("host-%d:8080", i), float64(i))
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%16 == 0 {
+				g.Set("host-3:8080", float64(i))
+			} else {
+				_ = g.Value("host-3:8080")
+			}
+			i++
+		}
+	})
+}
+
+// --- tracing overhead on the discovery warm path --------------------------
+//
+// BenchmarkTracingOverhead quantifies what PR 4's observability costs the
+// PR 3 fast path. "disabled" is the production default — tracing compiled
+// in, sampling off — and must match BenchmarkDiscoveryFastPath/warm
+// (zero extra allocations: obs.TraceFrom returns nil and every span
+// method no-ops on the nil receiver). "sampled" traces every request, the
+// worst case; its cost is the one-time Trace allocation plus span
+// bookkeeping, and is deliberately NOT part of the allocs/op CI gate
+// (the name avoids the BenchmarkDiscovery prefix).
+func BenchmarkTracingOverhead(b *testing.B) {
+	const hosts = 8
+	setup := func(b *testing.B, sample int) (*registry.Registry, *rim.Service) {
+		b.Helper()
+		clk := simclock.NewManual(benchEpoch)
+		cluster := hostsim.NewCluster()
+		ns := rim.NewService(nodestatus.ServiceName, "Service to monitor node status")
+		svc := rim.NewService("Adder", `<constraint><cpuLoad>load ls 1.0</cpuLoad><memory>memory gr 1GB</memory></constraint>`)
+		for i := 0; i < hosts; i++ {
+			name := fmt.Sprintf("h%02d.sdsu.edu", i)
+			cluster.Add(hostsim.NewHost(hostsim.Config{Name: name, Cores: 2, TotalMemB: 4 << 30, TotalSwapB: 2 << 30}, benchEpoch))
+			ns.AddBinding("http://" + name + ":8080/NodeStatus/NodeStatusService")
+			svc.AddBinding("http://" + name + ":8080/Adder/addService")
+		}
+		reg, err := registry.New(registry.Config{
+			Clock:          clk,
+			Policy:         core.PolicyFilter,
+			SnapshotMaxAge: 25 * time.Second,
+			Invoker:        nodestatus.LocalInvoker{Cluster: cluster, Clock: clk},
+			TraceSample:    sample,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := reg.LCM.SubmitObjects(reg.AdminContext(), ns, svc); err != nil {
+			b.Fatal(err)
+		}
+		reg.Collector.CollectOnce()
+		if _, _, err := reg.QM.GetServiceBindings(svc.ID); err != nil {
+			b.Fatal(err) // warm the constraint cache + snapshot
+		}
+		return reg, svc
+	}
+
+	b.Run("disabled", func(b *testing.B) {
+		reg, svc := setup(b, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr := reg.Tracer.Start() // always nil at sample 0
+			uris, _, err := reg.QM.GetServiceBindingsCtx(obs.WithTrace(context.Background(), tr), svc.ID)
+			reg.Tracer.Finish(tr)
+			if err != nil || len(uris) == 0 {
+				b.Fatal(uris, err)
+			}
+		}
+	})
+	b.Run("sampled", func(b *testing.B) {
+		reg, svc := setup(b, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr := reg.Tracer.Start()
+			uris, _, err := reg.QM.GetServiceBindingsCtx(obs.WithTrace(context.Background(), tr), svc.ID)
+			reg.Tracer.Finish(tr)
+			if err != nil || len(uris) == 0 {
+				b.Fatal(uris, err)
+			}
+		}
+	})
 }

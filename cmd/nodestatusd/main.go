@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/hostsim"
 	"repro/internal/nodestatus"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -40,8 +42,18 @@ func main() {
 		ambient = flag.Float64("ambient", 0, "constant background load")
 		churn   = flag.Float64("churn", 0, "background task arrival rate per second (0 = static)")
 		seed    = flag.Int64("seed", 1, "churn randomness seed")
+
+		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "log format: text|json")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger = logger.With("component", "nodestatusd")
+	slog.SetDefault(logger)
 
 	clk := simclock.Real{}
 	host := hostsim.NewHost(hostsim.Config{
@@ -56,7 +68,7 @@ func main() {
 	defer stop()
 
 	if *churn > 0 {
-		go runChurn(ctx, host, clk, *churn, *seed)
+		go runChurn(ctx, host, clk, *churn, *seed, logger)
 	}
 
 	mux := http.NewServeMux()
@@ -73,16 +85,17 @@ func main() {
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("NodeStatus for %s listening on %s (cores=%d mem=%dMB churn=%.2f/s)",
-		*name, *addr, *cores, *memMB, *churn)
+	logger.Info("NodeStatus listening",
+		"host", *name, "addr", *addr, "cores", *cores, "memMB", *memMB, "churn", *churn)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatalf("nodestatusd: %v", err)
+		logger.Error("server failed", "error", err)
+		os.Exit(1)
 	}
 }
 
 // runChurn submits short background tasks at the given Poisson rate so the
 // host's load average moves over time.
-func runChurn(ctx context.Context, host *hostsim.Host, clk simclock.Clock, rate float64, seed int64) {
+func runChurn(ctx context.Context, host *hostsim.Host, clk simclock.Clock, rate float64, seed int64, logger *slog.Logger) {
 	rng := rand.New(rand.NewSource(seed))
 	n := 0
 	for {
@@ -101,7 +114,7 @@ func runChurn(ctx context.Context, host *hostsim.Host, clk simclock.Clock, rate 
 		now := clk.Now()
 		host.AdvanceTo(now)
 		if err := host.Submit(task, now); err != nil {
-			log.Printf("churn task rejected: %v", err)
+			logger.Debug("churn task rejected", "task", task.ID, "error", err)
 		}
 	}
 }

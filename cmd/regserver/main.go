@@ -22,6 +22,12 @@
 // -snapshot-staleness lets discovery serve a NodeState snapshot up to that
 // old without locking while the collector writes (0 = always coherent; the
 // collection period is a sensible value).
+//
+// Observability: /registry/metrics serves Prometheus text exposition and
+// /registry/traces the sampled discovery traces. -trace-sample N traces
+// every Nth discovery request (0 = off), -trace-ring bounds retained
+// traces, -log-level/-log-format configure structured logging, and -pprof
+// mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,6 +43,7 @@ import (
 
 	"repro/internal/breaker"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -58,8 +66,20 @@ func main() {
 
 		cacheSize     = flag.Int("constraint-cache-size", 0, "parsed-constraint cache bound (0 = default, negative = disable)")
 		snapStaleness = flag.Duration("snapshot-staleness", 0, "serve NodeState snapshots up to this old without locking (0 = always coherent)")
+
+		logLevel    = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logFormat   = flag.String("log-format", "text", "log format: text|json")
+		traceSample = flag.Int("trace-sample", 0, "trace every Nth discovery request (0 = tracing off)")
+		traceRing   = flag.Int("trace-ring", 0, "finished traces retained for /registry/traces (0 = default 256)")
+		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slog.SetDefault(logger)
 
 	p, err := parsePolicy(*policy)
 	if err != nil {
@@ -81,6 +101,11 @@ func main() {
 
 		ConstraintCacheSize: *cacheSize,
 		SnapshotMaxAge:      *snapStaleness,
+
+		Logger:      logger,
+		TraceSample: *traceSample,
+		TraceRing:   *traceRing,
+		Pprof:       *pprofFlag,
 	}
 	if *brkThreshold > 0 {
 		cfg.Breaker = &breaker.Config{
@@ -91,16 +116,18 @@ func main() {
 	}
 	reg, err := registry.New(cfg)
 	if err != nil {
-		log.Fatalf("regserver: %v", err)
+		logger.Error("registry construction failed", "error", err)
+		os.Exit(1)
 	}
 
 	if *snapshot != "" {
 		if f, err := os.Open(*snapshot); err == nil {
 			if err := reg.Store.Load(f); err != nil {
-				log.Fatalf("regserver: load snapshot: %v", err)
+				logger.Error("load snapshot failed", "file", *snapshot, "error", err)
+				os.Exit(1)
 			}
 			f.Close()
-			log.Printf("restored %d objects from %s", reg.Store.Len(), *snapshot)
+			logger.Info("snapshot restored", "objects", reg.Store.Len(), "file", *snapshot)
 		}
 	}
 
@@ -116,21 +143,26 @@ func main() {
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("ebXML registry listening on %s (policy=%s, collection period=%s)", *addr, p, *period)
+	logger.Info("ebXML registry listening",
+		"addr", *addr, "policy", p.String(), "period", period.String(),
+		"traceSample", *traceSample, "pprof", *pprofFlag)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatalf("regserver: %v", err)
+		logger.Error("server failed", "error", err)
+		os.Exit(1)
 	}
 
 	if *snapshot != "" {
 		f, err := os.Create(*snapshot)
 		if err != nil {
-			log.Fatalf("regserver: create snapshot: %v", err)
+			logger.Error("create snapshot failed", "file", *snapshot, "error", err)
+			os.Exit(1)
 		}
 		if err := reg.Store.Save(f); err != nil {
-			log.Fatalf("regserver: save snapshot: %v", err)
+			logger.Error("save snapshot failed", "file", *snapshot, "error", err)
+			os.Exit(1)
 		}
 		f.Close()
-		log.Printf("saved %d objects to %s", reg.Store.Len(), *snapshot)
+		logger.Info("snapshot saved", "objects", reg.Store.Len(), "file", *snapshot)
 	}
 }
 

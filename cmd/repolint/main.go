@@ -1,8 +1,9 @@
 // Command repolint is the repository's static-analysis vettool. It runs
-// the five invariant analyzers — wallclock, lockcheck, errwrap, norand,
-// clienttimeout — over Go packages, enforcing the conventions that keep
-// the registry reproduction deterministic, race-free, and fault-tolerant
-// (see DESIGN.md, "Static analysis & invariants").
+// the six invariant analyzers — wallclock, lockcheck, errwrap, norand,
+// clienttimeout, structlog — over Go packages, enforcing the conventions
+// that keep the registry reproduction deterministic, race-free,
+// fault-tolerant, and observably logged (see DESIGN.md, "Static analysis
+// & invariants").
 //
 // It speaks the `go vet -vettool` unit-checker protocol, so the usual
 // invocation is
@@ -40,6 +41,7 @@ import (
 	"repro/tools/analyzers/framework"
 	"repro/tools/analyzers/lockcheck"
 	"repro/tools/analyzers/norand"
+	"repro/tools/analyzers/structlog"
 	"repro/tools/analyzers/wallclock"
 )
 
@@ -50,6 +52,7 @@ var analyzers = []*framework.Analyzer{
 	errwrap.Analyzer,
 	norand.Analyzer,
 	clienttimeout.Analyzer,
+	structlog.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,237 @@
+// Command scrapesmoke is the CI scrape smoke: it boots a registry with a
+// seeded simulated host cluster, drives discovery over real HTTP, then
+// scrapes /registry/metrics and /registry/traces and fails (non-zero
+// exit) when the exposition is malformed, an expected metric family is
+// missing, or a discovery's X-Registry-Trace id cannot be retrieved from
+// the trace ring. It runs entirely in-process on a manual clock, so CI
+// needs no orchestration beyond `go run ./cmd/scrapesmoke`.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/breaker"
+	"repro/internal/core"
+	"repro/internal/hostsim"
+	"repro/internal/nodestatus"
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+)
+
+const hosts = 4
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatalf("scrapesmoke: %v", err)
+	}
+	fmt.Println("scrapesmoke: ok")
+}
+
+func run() error {
+	epoch := time.Date(2011, 4, 22, 9, 0, 0, 0, time.UTC)
+	clk := simclock.NewManual(epoch)
+	cluster := hostsim.NewCluster()
+	ns := rim.NewService(nodestatus.ServiceName, "Service to monitor node status")
+	svc := rim.NewService("Adder",
+		`<constraint><cpuLoad>load ls 1.0</cpuLoad><memory>memory gr 1GB</memory></constraint>`)
+	for i := 0; i < hosts; i++ {
+		name := fmt.Sprintf("h%02d.sdsu.edu", i)
+		cluster.Add(hostsim.NewHost(hostsim.Config{
+			Name: name, Cores: 2, TotalMemB: 4 << 30, TotalSwapB: 2 << 30,
+		}, epoch))
+		ns.AddBinding("http://" + name + ":8080/NodeStatus/NodeStatusService")
+		svc.AddBinding("http://" + name + ":8080/Adder/addService")
+	}
+
+	logger, err := obs.NewLogger(os.Stderr, "warn", "text")
+	if err != nil {
+		return err
+	}
+	reg, err := registry.New(registry.Config{
+		Clock:          clk,
+		Policy:         core.PolicyFilter,
+		SnapshotMaxAge: 25 * time.Second,
+		Invoker:        nodestatus.LocalInvoker{Cluster: cluster, Clock: clk},
+		Breaker:        &breaker.Config{Threshold: 3, BaseBackoff: 50 * time.Second, MaxBackoff: 10 * time.Minute},
+		Logger:         logger,
+		TraceSample:    1,
+	})
+	if err != nil {
+		return err
+	}
+	if err := reg.LCM.SubmitObjects(reg.AdminContext(), ns, svc); err != nil {
+		return err
+	}
+	reg.Collector.CollectOnce()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	srv := &http.Server{Handler: reg.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Drive a few discoveries; every one is sampled (TraceSample=1) and
+	// must echo a trace id.
+	var traceID string
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get(base + "/registry/bindings?service=Adder")
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("bindings status %d", resp.StatusCode)
+		}
+		traceID = resp.Header.Get("X-Registry-Trace")
+		if traceID == "" {
+			return fmt.Errorf("discovery response missing X-Registry-Trace header")
+		}
+	}
+
+	if err := checkHealth(client, base); err != nil {
+		return err
+	}
+	if err := checkMetrics(client, base); err != nil {
+		return err
+	}
+	return checkTraces(client, base, traceID)
+}
+
+func checkHealth(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/registry/health")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("health status %d", resp.StatusCode)
+	}
+	var v struct {
+		Stats struct{ Sweeps int }
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return fmt.Errorf("health is not valid JSON: %w", err)
+	}
+	if v.Stats.Sweeps < 1 {
+		return fmt.Errorf("health reports %d sweeps, want >= 1", v.Stats.Sweeps)
+	}
+	return nil
+}
+
+func checkMetrics(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/registry/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return fmt.Errorf("metrics content type %q", ct)
+	}
+	scrape, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return fmt.Errorf("malformed exposition: %w", err)
+	}
+	// Every family the dashboards rely on must be present and typed.
+	for _, want := range []struct{ name, typ string }{
+		{"registry_objects", "gauge"},
+		{"registry_constraint_cache_hits_total", "counter"},
+		{"registry_constraint_cache_misses_total", "counter"},
+		{"registry_constraint_cache_invalidations_total", "counter"},
+		{"registry_collector_sweeps_total", "counter"},
+		{"registry_collector_errors_total", "counter"},
+		{"registry_collector_timeouts_total", "counter"},
+		{"registry_collector_retries_total", "counter"},
+		{"registry_breaker_state", "gauge"},
+		{"registry_nodestate_rows", "gauge"},
+		{"registry_nodestate_snapshot_generation", "gauge"},
+		{"registry_nodestate_snapshot_age_seconds", "gauge"},
+		{"registry_discovery_total", "counter"},
+		{"registry_discovery_verdicts_total", "counter"},
+		{"registry_discovery_latency_seconds", "histogram"},
+		{"registry_traces_sampled_total", "counter"},
+	} {
+		f, ok := scrape.Families[want.name]
+		if !ok {
+			return fmt.Errorf("metrics missing family %s", want.name)
+		}
+		if f.Type != want.typ {
+			return fmt.Errorf("family %s has type %s, want %s", want.name, f.Type, want.typ)
+		}
+	}
+	if v, ok := scrape.Value("registry_discovery_total", nil); !ok || v < 5 {
+		return fmt.Errorf("registry_discovery_total = %v (ok=%v), want >= 5", v, ok)
+	}
+	if v, ok := scrape.Value("registry_nodestate_rows", nil); !ok || v != hosts {
+		return fmt.Errorf("registry_nodestate_rows = %v (ok=%v), want %d", v, ok, hosts)
+	}
+	if v, ok := scrape.Value("registry_discovery_latency_seconds_count", nil); !ok || v < 5 {
+		return fmt.Errorf("latency histogram count = %v (ok=%v), want >= 5", v, ok)
+	}
+	if v, ok := scrape.Value("registry_breaker_state", map[string]string{"host": "h00.sdsu.edu"}); !ok || v != 0 {
+		return fmt.Errorf("breaker state for h00 = %v (ok=%v), want 0 (closed)", v, ok)
+	}
+	return nil
+}
+
+func checkTraces(client *http.Client, base, traceID string) error {
+	resp, err := client.Get(base + "/registry/traces")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("traces status %d", resp.StatusCode)
+	}
+	var v struct {
+		SampleRate int               `json:"sampleRate"`
+		Traces     []obs.TraceExport `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return fmt.Errorf("traces is not valid JSON: %w", err)
+	}
+	if v.SampleRate != 1 {
+		return fmt.Errorf("traces sampleRate = %d, want 1", v.SampleRate)
+	}
+	for _, t := range v.Traces {
+		if t.ID != traceID {
+			continue
+		}
+		names := make([]string, 0, len(t.Spans))
+		for _, s := range t.Spans {
+			names = append(names, s.Name)
+		}
+		for _, want := range []string{"view", "constraint", "snapshot", "evaluate", "arrange"} {
+			found := false
+			for _, n := range names {
+				if n == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("trace %s missing span %q (has %v)", traceID, want, names)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("trace %s from X-Registry-Trace not found in /registry/traces", traceID)
+}

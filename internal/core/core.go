@@ -21,9 +21,11 @@ package core
 
 import (
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/constraint"
+	"repro/internal/obs"
 	"repro/internal/rim"
 	"repro/internal/store"
 )
@@ -248,7 +250,7 @@ func (b *Balancer) ArrangeService(svc *rim.Service, now time.Time) ([]*rim.Servi
 		uris = append(uris, bind.AccessURI)
 		byURI[bind.AccessURI] = bind
 	}
-	ordered, dec := b.arrange(svc.ID, svc.Description.String(), uris, now)
+	ordered, dec := b.arrange(svc.ID, svc.Description.String(), uris, now, nil)
 	out := make([]*rim.ServiceBinding, 0, len(ordered))
 	for _, u := range ordered {
 		out = append(out, byURI[u])
@@ -262,17 +264,24 @@ func (b *Balancer) ArrangeService(svc *rim.Service, now time.Time) ([]*rim.Servi
 // With no service id the constraint cache is bypassed; callers that have
 // one should prefer ArrangeView.
 func (b *Balancer) ArrangeURIs(description string, uris []string, now time.Time) ([]string, Decision) {
-	return b.arrange("", description, uris, now)
+	return b.arrange("", description, uris, now, nil)
 }
 
 // ArrangeView is the allocation-lean discovery entry point: it arranges a
 // store.DiscoveryView (id, description, and access URIs — no cloned object
 // graph), keying the constraint cache by the view's service id.
 func (b *Balancer) ArrangeView(view store.DiscoveryView, now time.Time) ([]string, Decision) {
-	return b.arrange(view.ID, view.Description, view.URIs, now)
+	return b.arrange(view.ID, view.Description, view.URIs, now, nil)
 }
 
-func (b *Balancer) arrange(serviceID, description string, uris []string, now time.Time) ([]string, Decision) {
+// ArrangeViewTraced is ArrangeView recording span timings onto tr. A nil
+// tr is the common case (sampling off) and costs only nil-receiver calls,
+// keeping the fast path's allocation budget intact.
+func (b *Balancer) ArrangeViewTraced(view store.DiscoveryView, now time.Time, tr *obs.Trace) ([]string, Decision) {
+	return b.arrange(view.ID, view.Description, view.URIs, now, tr)
+}
+
+func (b *Balancer) arrange(serviceID, description string, uris []string, now time.Time, tr *obs.Trace) ([]string, Decision) {
 	dec := Decision{TimeWindowOK: true}
 	// The stored-order copy is built only on the paths that serve it; the
 	// filtered steady state never pays for it.
@@ -284,8 +293,15 @@ func (b *Balancer) arrange(serviceID, description string, uris []string, now tim
 
 	// Step 1: ServiceConstraint — extract and validate the block. The
 	// cache call degrades to a plain parse on a nil cache or empty id.
+	span := tr.BeginSpan("constraint")
 	c, cached, err := b.Cache.FromDescription(serviceID, description)
+	tr.EndSpan(span)
 	dec.ConstraintCached = cached
+	if cached {
+		tr.SetAttr("constraint", "cache-hit")
+	} else {
+		tr.SetAttr("constraint", "parsed")
+	}
 	if err != nil {
 		// Invalid constraints behave like no constraints (§3.2:
 		// "ServiceConstraint returns false if no valid service
@@ -319,8 +335,14 @@ func (b *Balancer) arrange(serviceID, description string, uris []string, now tim
 	// Quarantined hosts (open collector breaker) are set aside first: they
 	// take no part in any arrangement, fallback included.
 	dec.Filtered = true
+	span = tr.BeginSpan("snapshot")
 	snap := b.Table.Snapshot(now, b.SnapshotMaxAge)
+	tr.EndSpan(span)
 	dec.SnapshotGen = snap.Gen()
+	if tr != nil {
+		tr.SetAttr("snapshotGen", strconv.FormatUint(snap.Gen(), 10))
+	}
+	span = tr.BeginSpan("evaluate")
 	var unknown, ineligible, candidates []string
 	eligible := make([]string, 0, len(uris))
 	dec.Bindings = make([]BindingDecision, 0, len(uris))
@@ -364,8 +386,10 @@ func (b *Balancer) arrange(serviceID, description string, uris []string, now tim
 		}
 		dec.Bindings = append(dec.Bindings, bd)
 	}
+	tr.EndSpan(span)
 
 	// Step 4: arrange per policy.
+	span = tr.BeginSpan("arrange")
 	var out []string
 	switch b.Policy {
 	case PolicyFilter:
@@ -399,6 +423,20 @@ func (b *Balancer) arrange(serviceID, description string, uris []string, now tim
 	if len(out) == 0 && b.Degraded == DegradedStatic {
 		dec.Degraded = true
 		out = stock()
+	}
+	tr.EndSpan(span)
+	if tr != nil {
+		tr.SetAttr("policy", b.Policy.String())
+		tr.SetAttr("eligible", strconv.Itoa(dec.Eligible()))
+		tr.SetAttr("unknown", strconv.Itoa(dec.Unknown()))
+		tr.SetAttr("ineligible", strconv.Itoa(dec.Ineligible()))
+		tr.SetAttr("quarantined", strconv.Itoa(dec.Quarantined()))
+		if dec.FellBack {
+			tr.SetAttr("fellBack", "true")
+		}
+		if dec.Degraded {
+			tr.SetAttr("degraded", "true")
+		}
 	}
 	return out, dec
 }

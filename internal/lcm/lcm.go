@@ -16,6 +16,7 @@ package lcm
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"strconv"
 	"strings"
 
@@ -56,6 +57,9 @@ type Manager struct {
 	// it to the parsed-constraint cache's invalidation so a description
 	// edit or removal drops the service's cached parse.
 	OnWrite func(ids ...string)
+	// Log, when non-nil, receives a structured debug record per
+	// successful mutation (kind, actor, object count).
+	Log *slog.Logger
 }
 
 // New wires a manager over the given store with default policy; trail and
@@ -96,6 +100,10 @@ func (m *Manager) record(kind rim.EventType, ctx Context, objs ...rim.Object) {
 	}
 	if m.Bus != nil {
 		m.Bus.Publish(kind, objs...)
+	}
+	if m.Log != nil {
+		m.Log.Debug("lifecycle event",
+			"event", string(kind), "user", ctx.UserID, "objects", len(objs))
 	}
 }
 

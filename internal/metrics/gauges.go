@@ -1,65 +1,100 @@
 package metrics
 
 import (
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Counter is a concurrency-safe monotonic event counter, used by the
 // collector's fault-tolerance telemetry (timeouts, retries, sweep errors,
-// breaker skips).
+// breaker skips) and the constraint cache. It sits on the discovery fast
+// path, so it is a bare atomic rather than a mutexed int: Inc is one
+// uncontended atomic add and Value one atomic load.
 type Counter struct {
-	mu sync.Mutex
-	n  int64 // guarded by mu
+	n atomic.Int64
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Add adds delta.
-func (c *Counter) Add(delta int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.n += delta
-}
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
+func (c *Counter) Value() int64 { return c.n.Load() }
 
 // GaugeSet is a concurrency-safe map of labelled gauges — one float per
 // label, last write wins — used for per-host breaker states.
+//
+// The label set is effectively fixed after the first collector sweep
+// (hosts come from CollectionTargets), while reads happen on every
+// breaker check and metrics scrape. The layout exploits that: an
+// atomic.Pointer holds an immutable map from label to a per-label atomic
+// cell, so Set on a known label and every read path are lock-free; the
+// mutex is taken only to grow the label set, by publishing a copied map.
 type GaugeSet struct {
-	mu   sync.Mutex
-	vals map[string]float64 // guarded by mu
+	mu   sync.Mutex // serialises label insertion only
+	vals atomic.Pointer[map[string]*atomic.Uint64]
+}
+
+func (g *GaugeSet) cell(label string) *atomic.Uint64 {
+	if m := g.vals.Load(); m != nil {
+		if c, ok := (*m)[label]; ok {
+			return c
+		}
+	}
+	return nil
 }
 
 // Set writes the gauge for label.
 func (g *GaugeSet) Set(label string, v float64) {
+	bits := math.Float64bits(v)
+	if c := g.cell(label); c != nil {
+		c.Store(bits)
+		return
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if g.vals == nil {
-		g.vals = make(map[string]float64)
+	// Re-check under the lock: another writer may have inserted the label.
+	if c := g.cell(label); c != nil {
+		c.Store(bits)
+		return
 	}
-	g.vals[label] = v
+	old := g.vals.Load()
+	var size int
+	if old != nil {
+		size = len(*old)
+	}
+	next := make(map[string]*atomic.Uint64, size+1)
+	if old != nil {
+		for l, c := range *old {
+			next[l] = c
+		}
+	}
+	c := new(atomic.Uint64)
+	c.Store(bits)
+	next[label] = c
+	g.vals.Store(&next)
 }
 
 // Value returns the gauge for label (zero when never set).
 func (g *GaugeSet) Value(label string) float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.vals[label]
+	if c := g.cell(label); c != nil {
+		return math.Float64frombits(c.Load())
+	}
+	return 0
 }
 
 // Labels returns the set labels in sorted order.
 func (g *GaugeSet) Labels() []string {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	out := make([]string, 0, len(g.vals))
-	for l := range g.vals {
+	m := g.vals.Load()
+	if m == nil {
+		return nil
+	}
+	out := make([]string, 0, len(*m))
+	for l := range *m {
 		out = append(out, l)
 	}
 	sort.Strings(out)
@@ -68,11 +103,13 @@ func (g *GaugeSet) Labels() []string {
 
 // Snapshot returns a copy of every labelled gauge.
 func (g *GaugeSet) Snapshot() map[string]float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	out := make(map[string]float64, len(g.vals))
-	for l, v := range g.vals {
-		out[l] = v
+	m := g.vals.Load()
+	if m == nil {
+		return map[string]float64{}
+	}
+	out := make(map[string]float64, len(*m))
+	for l, c := range *m {
+		out[l] = math.Float64frombits(c.Load())
 	}
 	return out
 }

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"hash/fnv"
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/breaker"
 	"repro/internal/metrics"
 	"repro/internal/nodestatus"
+	"repro/internal/obs"
 	"repro/internal/rim"
 	"repro/internal/simclock"
 	"repro/internal/store"
@@ -101,6 +103,7 @@ type Collector struct {
 	retryBackoff time.Duration // base backoff between attempts; 0 = immediate
 	breakers     *breaker.Set  // nil = breakers disabled
 	telemetry    *Telemetry    // nil = no telemetry
+	log          *slog.Logger  // never nil; nop by default
 
 	mu    sync.Mutex
 	stats Stats // guarded by mu
@@ -162,6 +165,17 @@ func WithTelemetry(t *Telemetry) Option {
 	return func(c *Collector) { c.telemetry = t }
 }
 
+// WithLogger attaches a structured logger; sweep failures, breaker
+// quarantines, and retry exhaustion are logged through it. Nil keeps the
+// default nop logger.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *Collector) {
+		if l != nil {
+			c.log = l
+		}
+	}
+}
+
 // New creates a collector writing to table, invoking via invoker, timed by
 // clock, polling the URIs returned by uris.
 func New(table *store.NodeStateTable, invoker nodestatus.Invoker, clock simclock.Clock, uris URIProvider, opts ...Option) *Collector {
@@ -175,6 +189,7 @@ func New(table *store.NodeStateTable, invoker nodestatus.Invoker, clock simclock
 		period:      DefaultPeriod,
 		uris:        uris,
 		parallelism: defaultParallelism,
+		log:         obs.NopLogger(),
 	}
 	for _, o := range opts {
 		o(c)
@@ -236,6 +251,7 @@ func (c *Collector) CollectOnce() {
 			}
 			if c.breakers != nil && !c.breakers.Allow(host, now) {
 				c.table.SetHealth(host, store.HealthQuarantined)
+				c.log.Debug("sweep skip: breaker open", "host", host)
 				count(func(s *Stats) { s.Skipped++ })
 				c.observeBreaker(host)
 				if c.telemetry != nil && c.telemetry.Skipped != nil {
@@ -296,10 +312,13 @@ func (c *Collector) collectHost(uri, host string, now time.Time, count func(func
 	}
 	if err != nil {
 		c.table.RecordFailure(host, now)
+		c.log.Warn("collection failed", "host", host, "uri", uri,
+			"attempts", c.maxRetries+1, "error", err)
 		if c.breakers != nil {
 			c.breakers.Failure(host, now)
-			if c.breakers.State(host) != breaker.Closed {
+			if st := c.breakers.State(host); st != breaker.Closed {
 				c.table.SetHealth(host, store.HealthQuarantined)
+				c.log.Warn("host quarantined", "host", host, "breaker", st.String())
 			}
 		}
 		count(func(s *Stats) { s.Errs++ })

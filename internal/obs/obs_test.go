@@ -1,0 +1,466 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func manualClock(t *testing.T) *simclock.Manual {
+	t.Helper()
+	return simclock.NewManual(time.Date(2011, 4, 22, 9, 0, 0, 0, time.UTC))
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	i := tr.BeginSpan("x")
+	if i != -1 {
+		t.Fatalf("nil BeginSpan = %d, want -1", i)
+	}
+	tr.EndSpan(i)
+	tr.SetAttr("k", "v")
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil Spans = %v, want nil", got)
+	}
+	if got := tr.Attrs(); got != nil {
+		t.Fatalf("nil Attrs = %v, want nil", got)
+	}
+	if d := tr.Duration(); d != 0 {
+		t.Fatalf("nil Duration = %v, want 0", d)
+	}
+	var tc *Tracer
+	if got := tc.Start(); got != nil {
+		t.Fatalf("nil tracer Start = %v, want nil", got)
+	}
+	tc.Finish(nil)
+	tc.SetSample(1)
+	if tc.Sample() != 0 || tc.SampledTotal() != 0 || tc.Recent(1) != nil || tc.Get("x") != nil {
+		t.Fatal("nil tracer accessors not zero-valued")
+	}
+}
+
+func TestTracerSamplingDisabledByDefault(t *testing.T) {
+	tc := NewTracer(manualClock(t), 4)
+	for i := 0; i < 10; i++ {
+		if tr := tc.Start(); tr != nil {
+			t.Fatalf("Start with sampling off returned %v", tr)
+		}
+	}
+}
+
+func TestTracerEveryNth(t *testing.T) {
+	tc := NewTracer(manualClock(t), 16)
+	tc.SetSample(3)
+	var got int
+	for i := 0; i < 9; i++ {
+		if tr := tc.Start(); tr != nil {
+			got++
+			tc.Finish(tr)
+		}
+	}
+	if got != 3 {
+		t.Fatalf("sample=3 over 9 requests traced %d, want 3", got)
+	}
+	if tc.SampledTotal() != 3 {
+		t.Fatalf("SampledTotal = %d, want 3", tc.SampledTotal())
+	}
+}
+
+func TestTraceSpansAndExport(t *testing.T) {
+	clk := manualClock(t)
+	tc := NewTracer(clk, 4)
+	tc.SetSample(1)
+	tr := tc.Start()
+	if tr == nil {
+		t.Fatal("Start returned nil with sample=1")
+	}
+	i := tr.BeginSpan("constraint")
+	clk.Advance(50 * time.Microsecond)
+	tr.EndSpan(i)
+	j := tr.BeginSpan("arrange")
+	clk.Advance(100 * time.Microsecond)
+	tr.EndSpan(j)
+	tr.SetAttr("service", "svc-1")
+	clk.Advance(25 * time.Microsecond)
+	tc.Finish(tr)
+
+	if tr.Duration() != 175*time.Microsecond {
+		t.Fatalf("Duration = %v, want 175µs", tr.Duration())
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "constraint" || spans[1].Name != "arrange" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	e := tr.Export()
+	if e.ID != tr.ID || len(e.Spans) != 2 || e.Spans[0].DurationUs != 50 || e.Spans[1].DurationUs != 100 {
+		t.Fatalf("export = %+v", e)
+	}
+	if _, err := json.Marshal(e); err != nil {
+		t.Fatalf("export marshal: %v", err)
+	}
+	if got := tc.Get(tr.ID); got != tr {
+		t.Fatalf("Get(%q) = %v, want the finished trace", tr.ID, got)
+	}
+}
+
+func TestTraceSpanOverflow(t *testing.T) {
+	tc := NewTracer(manualClock(t), 4)
+	tc.SetSample(1)
+	tr := tc.Start()
+	for i := 0; i < MaxSpans; i++ {
+		if idx := tr.BeginSpan("s"); idx != i {
+			t.Fatalf("span %d got index %d", i, idx)
+		}
+	}
+	if idx := tr.BeginSpan("overflow"); idx != -1 {
+		t.Fatalf("overflow span index = %d, want -1", idx)
+	}
+	tr.EndSpan(-1) // must not panic
+	for i := 0; i < MaxAttrs+3; i++ {
+		tr.SetAttr("k", "v")
+	}
+	if len(tr.Attrs()) != MaxAttrs {
+		t.Fatalf("attrs = %d, want capped at %d", len(tr.Attrs()), MaxAttrs)
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tc := NewTracer(manualClock(t), 4)
+	tc.SetSample(1)
+	var last *Trace
+	for i := 0; i < 10; i++ {
+		tr := tc.Start()
+		tc.Finish(tr)
+		last = tr
+	}
+	recent := tc.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(recent))
+	}
+	if recent[0] != last {
+		t.Fatalf("newest trace = %v, want %v", recent[0].ID, last.ID)
+	}
+	for i := 1; i < len(recent); i++ {
+		if recent[i-1].seq <= recent[i].seq {
+			t.Fatal("Recent not newest-first")
+		}
+	}
+	if got := tc.Recent(2); len(got) != 2 {
+		t.Fatalf("Recent(2) = %d traces", len(got))
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if tr := TraceFrom(ctx); tr != nil {
+		t.Fatalf("empty context trace = %v", tr)
+	}
+	if got := WithTrace(ctx, nil); got != ctx {
+		t.Fatal("WithTrace(nil) should return ctx unchanged")
+	}
+	tc := NewTracer(manualClock(t), 4)
+	tc.SetSample(1)
+	tr := tc.Start()
+	ctx = WithTrace(ctx, tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatalf("TraceFrom = %v, want %v", got, tr)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogramMetric(0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-55.65) > 1e-9 {
+		t.Fatalf("Sum = %v, want 55.65", h.Sum())
+	}
+	counts, _, _ := h.snapshot()
+	want := []int64{2, 1, 1, 1} // le=0.1 gets 0.05 and 0.1 (upper bounds inclusive)
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, c, want[i], counts)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogramMetric(DiscoveryLatencyBuckets()...)
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(1e-4)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != goroutines*each {
+		t.Fatalf("Count = %d, want %d", h.Count(), goroutines*each)
+	}
+	if math.Abs(h.Sum()-goroutines*each*1e-4) > 1e-6 {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	e := NewExposition()
+	e.Counter("registry_cache_hits_total", "Cache hits.", func() int64 { return 42 })
+	e.LabelledCounter("registry_verdicts_total", "Verdicts.", "verdict", "eligible", func() int64 { return 7 })
+	e.LabelledCounter("registry_verdicts_total", "Verdicts.", "verdict", "unknown", func() int64 { return 3 })
+	e.Gauge("registry_rows", "Rows.", func() float64 { return 12.5 })
+	e.GaugeVec("registry_breaker_state", "Breaker state per host.", "host", func() map[string]float64 {
+		return map[string]float64{"h1:8080": 0, `h"2\x`: 2}
+	})
+	h := NewHistogramMetric(0.001, 0.01)
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+	e.RegisterHistogram("registry_latency_seconds", "Latency.", h)
+
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	text := buf.String()
+	s, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, text)
+	}
+	check := func(name string, labels map[string]string, want float64) {
+		t.Helper()
+		got, ok := s.Value(name, labels)
+		if !ok {
+			t.Fatalf("missing sample %s %v in:\n%s", name, labels, text)
+		}
+		if got != want {
+			t.Fatalf("%s %v = %v, want %v", name, labels, got, want)
+		}
+	}
+	check("registry_cache_hits_total", nil, 42)
+	check("registry_verdicts_total", map[string]string{"verdict": "eligible"}, 7)
+	check("registry_verdicts_total", map[string]string{"verdict": "unknown"}, 3)
+	check("registry_rows", nil, 12.5)
+	check("registry_breaker_state", map[string]string{"host": "h1:8080"}, 0)
+	check("registry_breaker_state", map[string]string{"host": `h"2\x`}, 2)
+	check("registry_latency_seconds_bucket", map[string]string{"le": "0.001"}, 1)
+	check("registry_latency_seconds_bucket", map[string]string{"le": "0.01"}, 2)
+	check("registry_latency_seconds_bucket", map[string]string{"le": "+Inf"}, 3)
+	check("registry_latency_seconds_count", nil, 3)
+	if f := s.Families["registry_verdicts_total"]; f.Type != "counter" || f.Help != "Verdicts." {
+		t.Fatalf("family headers = %+v", f)
+	}
+	// One HELP/TYPE pair per family even with multiple children.
+	if n := strings.Count(text, "# TYPE registry_verdicts_total"); n != 1 {
+		t.Fatalf("TYPE header appears %d times", n)
+	}
+}
+
+func TestExpositionPanicsOnBadRegistration(t *testing.T) {
+	e := NewExposition()
+	e.Counter("ok_total", "ok", func() int64 { return 0 })
+	for _, fn := range []func(){
+		func() { e.Counter("bad name", "x", func() int64 { return 0 }) },
+		func() { e.Gauge("ok_total", "x", func() float64 { return 0 }) }, // type conflict
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "orphan_total 1\n",
+		"bad value":           "# TYPE m counter\nm abc\n",
+		"bad type":            "# TYPE m widget\nm 1\n",
+		"duplicate sample":    "# TYPE m counter\nm 1\nm 2\n",
+		"dup labelled":        "# TYPE m counter\nm{a=\"x\"} 1\nm{a=\"x\"} 2\n",
+		"unterminated label":  "# TYPE m counter\nm{a=\"x 1\n",
+		"unquoted label":      "# TYPE m counter\nm{a=x} 1\n",
+		"non-cumulative hist": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"inf mismatch":        "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+		"hist missing count":  "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\n",
+		"bucket without le":   "# TYPE h histogram\nh_bucket{x=\"1\"} 3\nh_sum 1\nh_count 3\n",
+		"type after samples":  "# HELP m x\nm 1\n# TYPE m counter\n",
+		"bad header name":     "# TYPE 9bad counter\n",
+	}
+	for name, doc := range cases {
+		if _, err := ParseExposition(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: parse accepted malformed input:\n%s", name, doc)
+		}
+	}
+}
+
+func TestParseAcceptsEscapesAndComments(t *testing.T) {
+	doc := "# scrape generated for test\n" +
+		"# HELP m A help with \\\\ backslash\n" +
+		"# TYPE m gauge\n" +
+		"m{path=\"a\\\\b\\\"c\\nd\"} 1 1650000000000\n" +
+		"\n" +
+		"# TYPE inf gauge\ninf +Inf\nneg -Inf\n"
+	// neg has no TYPE of its own — move it under a declared family instead.
+	doc = strings.Replace(doc, "neg -Inf\n", "", 1)
+	s, err := ParseExposition(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	v, ok := s.Value("m", map[string]string{"path": "a\\b\"c\nd"})
+	if !ok || v != 1 {
+		t.Fatalf("escaped label sample = %v, %v", v, ok)
+	}
+	if v, ok := s.Value("inf", nil); !ok || !math.IsInf(v, 1) {
+		t.Fatalf("inf sample = %v, %v", v, ok)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel(verbose) should fail")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "warn", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hidden")
+	lg.Warn("shown", "component", "test")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log output unparseable: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "shown" || rec["component"] != "test" {
+		t.Fatalf("record = %v", rec)
+	}
+	if strings.Contains(buf.String(), "hidden") {
+		t.Fatal("info record leaked past warn level")
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "info", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello")
+	if !strings.Contains(buf.String(), "msg=hello") {
+		t.Fatalf("text output = %q", buf.String())
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Fatal("bad format should fail")
+	}
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Fatal("bad level should fail")
+	}
+}
+
+func TestNopLoggerAndOrNop(t *testing.T) {
+	lg := NopLogger()
+	if lg.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("nop logger claims Enabled")
+	}
+	lg.Error("goes nowhere", "k", "v") // must not panic
+	if OrNop(nil) == nil {
+		t.Fatal("OrNop(nil) = nil")
+	}
+	real := slog.New(slog.NewTextHandler(&bytes.Buffer{}, nil))
+	if OrNop(real) != real {
+		t.Fatal("OrNop should pass through non-nil loggers")
+	}
+}
+
+func TestTracerIDsUnique(t *testing.T) {
+	tc := NewTracer(manualClock(t), 8)
+	tc.SetSample(1)
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		tr := tc.Start()
+		if seen[tr.ID] {
+			t.Fatalf("duplicate trace ID %s", tr.ID)
+		}
+		seen[tr.ID] = true
+		tc.Finish(tr)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tc := NewTracer(simclock.Real{}, 32)
+	tc.SetSample(2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := tc.Start()
+				if tr != nil {
+					s := tr.BeginSpan("work")
+					tr.EndSpan(s)
+					tc.Finish(tr)
+				}
+				_ = tc.Recent(4)
+			}
+		}()
+	}
+	wg.Wait()
+	if tc.SampledTotal() != 800 {
+		t.Fatalf("SampledTotal = %d, want 800", tc.SampledTotal())
+	}
+	for _, tr := range tc.Recent(0) {
+		if tr.ID == "" {
+			t.Fatal("ring holds unfinished trace")
+		}
+	}
+}
+
+var sinkTrace *Trace
+
+func BenchmarkTracerDisabledStart(b *testing.B) {
+	tc := NewTracer(simclock.Real{}, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkTrace = tc.Start()
+		sinkTrace.SetAttr("k", "v")
+		s := sinkTrace.BeginSpan("x")
+		sinkTrace.EndSpan(s)
+		tc.Finish(sinkTrace)
+	}
+	if testing.AllocsPerRun(100, func() {
+		tr := tc.Start()
+		s := tr.BeginSpan("x")
+		tr.EndSpan(s)
+		tc.Finish(tr)
+	}) != 0 {
+		b.Fatal("disabled tracer allocates")
+	}
+}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Span and attribute capacities are fixed so a sampled request records
+// into preallocated buffers: starting a trace is one allocation, and
+// recording a span or attribute is none.
+const (
+	// MaxSpans bounds the spans one trace can hold. The discovery path
+	// records four (constraint, snapshot, evaluate, arrange) plus the
+	// store view lookup; the headroom is for future instrumentation.
+	MaxSpans = 8
+	// MaxAttrs bounds the key/value attributes one trace can hold.
+	MaxAttrs = 16
+	// DefaultRingSize is the trace ring capacity when the caller does not
+	// choose one.
+	DefaultRingSize = 256
+)
+
+// Span is one timed step of a traced request.
+type Span struct {
+	Name  string
+	Start time.Time
+	End   time.Time
+}
+
+// Attr is one key/value annotation on a trace.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Trace records one sampled request: an identifier echoed to the client
+// in the X-Registry-Trace header, wall-or-sim-clock span timings, and
+// free-form attributes. A Trace is written by the single goroutine
+// serving its request and becomes visible to readers only after Finish
+// publishes it to the tracer's ring, so no internal locking is needed.
+//
+// All methods are safe on a nil receiver and do nothing, which is how
+// the fast path stays allocation-free when sampling is disabled: callers
+// thread a nil *Trace through unconditionally.
+type Trace struct {
+	// ID is the trace identifier ("<epoch>-<seq>", hex).
+	ID string
+	// Start and End delimit the whole request on the tracer's clock.
+	Start time.Time
+	End   time.Time
+
+	seq    uint64
+	clock  simclock.Clock
+	nspans int
+	spans  [MaxSpans]Span
+	nattrs int
+	attrs  [MaxAttrs]Attr
+}
+
+// BeginSpan starts a named span at the clock's current time and returns
+// its index for EndSpan. On a nil trace or a full span buffer it returns
+// -1, which EndSpan ignores.
+func (t *Trace) BeginSpan(name string) int {
+	if t == nil || t.nspans >= MaxSpans {
+		return -1
+	}
+	i := t.nspans
+	t.nspans++
+	t.spans[i] = Span{Name: name, Start: t.clock.Now()}
+	return i
+}
+
+// EndSpan closes the span opened by BeginSpan. Indices outside the open
+// range (notably -1) are ignored.
+func (t *Trace) EndSpan(i int) {
+	if t == nil || i < 0 || i >= t.nspans {
+		return
+	}
+	t.spans[i].End = t.clock.Now()
+}
+
+// SetAttr records a key/value annotation; extra attributes beyond
+// MaxAttrs are dropped. Safe on a nil trace.
+func (t *Trace) SetAttr(key, value string) {
+	if t == nil || t.nattrs >= MaxAttrs {
+		return
+	}
+	t.attrs[t.nattrs] = Attr{Key: key, Value: value}
+	t.nattrs++
+}
+
+// Spans returns the recorded spans in order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans[:t.nspans]
+}
+
+// Attrs returns the recorded attributes in order.
+func (t *Trace) Attrs() []Attr {
+	if t == nil {
+		return nil
+	}
+	return t.attrs[:t.nattrs]
+}
+
+// Duration is End-Start (zero before Finish).
+func (t *Trace) Duration() time.Duration {
+	if t == nil || t.End.IsZero() {
+		return 0
+	}
+	return t.End.Sub(t.Start)
+}
+
+// Tracer samples requests into Traces and retains the most recent ones in
+// a bounded lock-free ring buffer for the /registry/traces endpoint and
+// the web UI. The zero sampling rate (the default) disables tracing
+// entirely: Start returns nil and nothing is ever allocated or stored.
+type Tracer struct {
+	clock simclock.Clock
+	epoch uint32 // hash of construction time, distinguishes restarts
+
+	sample  atomic.Int64  // record every Nth request; 0 = off
+	reqs    atomic.Uint64 // requests offered to the sampler
+	seq     atomic.Uint64 // traces started
+	sampled atomic.Int64  // traces finished into the ring
+
+	ring []atomic.Pointer[Trace]
+}
+
+// NewTracer creates a tracer on the given clock with a ring of ringSize
+// finished traces (ringSize <= 0 means DefaultRingSize). Sampling starts
+// disabled; call SetSample to enable.
+func NewTracer(clock simclock.Clock, ringSize int) *Tracer {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%d", clock.Now().UnixNano())
+	return &Tracer{
+		clock: clock,
+		epoch: h.Sum32(),
+		ring:  make([]atomic.Pointer[Trace], ringSize),
+	}
+}
+
+// SetSample sets the sampling rate: every nth request is traced; n <= 0
+// disables tracing, n == 1 traces every request.
+func (tr *Tracer) SetSample(n int) {
+	if tr == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	tr.sample.Store(int64(n))
+}
+
+// Sample returns the current sampling rate (0 = disabled).
+func (tr *Tracer) Sample() int {
+	if tr == nil {
+		return 0
+	}
+	return int(tr.sample.Load())
+}
+
+// SampledTotal returns the number of traces finished into the ring.
+func (tr *Tracer) SampledTotal() int64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.sampled.Load()
+}
+
+// Start returns a new trace when the sampler admits this request, nil
+// otherwise (and always nil on a nil tracer). The nil result is usable:
+// every Trace method is a no-op on nil.
+func (tr *Tracer) Start() *Trace {
+	if tr == nil {
+		return nil
+	}
+	n := tr.sample.Load()
+	if n <= 0 {
+		return nil
+	}
+	if req := tr.reqs.Add(1); n > 1 && (req-1)%uint64(n) != 0 {
+		return nil
+	}
+	seq := tr.seq.Add(1)
+	return &Trace{
+		ID:    fmt.Sprintf("%08x-%06x", tr.epoch, seq),
+		seq:   seq,
+		clock: tr.clock,
+		Start: tr.clock.Now(),
+	}
+}
+
+// Finish stamps the trace's end time and publishes it to the ring,
+// overwriting the oldest entry once full. Safe with a nil tracer or
+// trace.
+func (tr *Tracer) Finish(t *Trace) {
+	if tr == nil || t == nil {
+		return
+	}
+	t.End = tr.clock.Now()
+	tr.ring[(t.seq-1)%uint64(len(tr.ring))].Store(t)
+	tr.sampled.Add(1)
+}
+
+// Recent returns up to n finished traces, newest first. n <= 0 means the
+// whole ring.
+func (tr *Tracer) Recent(n int) []*Trace {
+	if tr == nil {
+		return nil
+	}
+	out := make([]*Trace, 0, len(tr.ring))
+	for i := range tr.ring {
+		if t := tr.ring[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq > out[j].seq })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Get returns the finished trace with the given ID, or nil if it has
+// aged out of the ring (or never existed).
+func (tr *Tracer) Get(id string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	for i := range tr.ring {
+		if t := tr.ring[i].Load(); t != nil && t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// TraceExport is the JSON shape of one trace on /registry/traces.
+type TraceExport struct {
+	ID         string       `json:"id"`
+	Start      time.Time    `json:"start"`
+	End        time.Time    `json:"end"`
+	DurationUs float64      `json:"durationUs"`
+	Spans      []SpanExport `json:"spans"`
+	Attrs      []Attr       `json:"attrs,omitempty"`
+}
+
+// SpanExport is the JSON shape of one span.
+type SpanExport struct {
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationUs float64   `json:"durationUs"`
+}
+
+// Export renders the trace for JSON serving.
+func (t *Trace) Export() TraceExport {
+	e := TraceExport{
+		ID:         t.ID,
+		Start:      t.Start,
+		End:        t.End,
+		DurationUs: float64(t.Duration()) / float64(time.Microsecond),
+		Attrs:      append([]Attr(nil), t.Attrs()...),
+	}
+	for _, s := range t.Spans() {
+		e.Spans = append(e.Spans, SpanExport{
+			Name:       s.Name,
+			Start:      s.Start,
+			DurationUs: float64(s.End.Sub(s.Start)) / float64(time.Microsecond),
+		})
+	}
+	return e
+}

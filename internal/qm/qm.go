@@ -12,6 +12,7 @@
 package qm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/filterq"
+	"repro/internal/obs"
 	"repro/internal/rim"
 	"repro/internal/simclock"
 	"repro/internal/sqlq"
@@ -156,25 +158,46 @@ func sortServices(ss []*rim.Service) {
 // table, and returns the access URIs in the arranged order together with
 // the balancing decision.
 func (m *Manager) GetServiceBindings(serviceID string) ([]string, core.Decision, error) {
+	return m.GetServiceBindingsCtx(context.Background(), serviceID)
+}
+
+// GetServiceBindingsCtx is GetServiceBindings with request context: when
+// ctx carries an obs trace (a sampled HTTP discovery), the view load and
+// every balancer step record spans onto it. The untraced case costs one
+// context value lookup and nil-receiver calls — nothing allocates.
+func (m *Manager) GetServiceBindingsCtx(ctx context.Context, serviceID string) ([]string, core.Decision, error) {
+	tr := obs.TraceFrom(ctx)
+	span := tr.BeginSpan("view")
 	view, err := m.Store.ServiceView(serviceID)
+	tr.EndSpan(span)
 	if err != nil {
 		return nil, core.Decision{}, err
 	}
-	return m.arrangeView(view)
+	return m.arrangeView(view, tr)
 }
 
 // GetServiceBindingsByName is GetServiceBindings keyed by service name —
 // the AccessRegistry API's access path (§4.6).
 func (m *Manager) GetServiceBindingsByName(name string) ([]string, core.Decision, error) {
+	return m.GetServiceBindingsByNameCtx(context.Background(), name)
+}
+
+// GetServiceBindingsByNameCtx is GetServiceBindingsByName with request
+// context; see GetServiceBindingsCtx.
+func (m *Manager) GetServiceBindingsByNameCtx(ctx context.Context, name string) ([]string, core.Decision, error) {
+	tr := obs.TraceFrom(ctx)
+	span := tr.BeginSpan("view")
 	view, err := m.Store.ServiceViewByName(name)
+	tr.EndSpan(span)
 	if err != nil {
 		return nil, core.Decision{}, err
 	}
-	return m.arrangeView(view)
+	return m.arrangeView(view, tr)
 }
 
-func (m *Manager) arrangeView(view store.DiscoveryView) ([]string, core.Decision, error) {
-	uris, dec := m.Balancer.ArrangeView(view, m.Clock.Now())
+func (m *Manager) arrangeView(view store.DiscoveryView, tr *obs.Trace) ([]string, core.Decision, error) {
+	tr.SetAttr("service", view.ID)
+	uris, dec := m.Balancer.ArrangeViewTraced(view, m.Clock.Now(), tr)
 	return uris, dec, nil
 }
 

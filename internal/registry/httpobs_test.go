@@ -1,0 +1,312 @@
+package registry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/breaker"
+	"repro/internal/core"
+	"repro/internal/hostsim"
+	"repro/internal/nodestatus"
+	"repro/internal/obs"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+)
+
+// newObservedRegistry builds a registry over a simulated 4-host cluster
+// with tracing on (every request sampled), collects one sweep, and
+// serves it over httptest — the smallest deployment where every metric
+// family has data behind it.
+func newObservedRegistry(t *testing.T) (*Registry, *httptest.Server) {
+	t.Helper()
+	clk := simclock.NewManual(t0)
+	cluster := hostsim.NewCluster()
+	ns := rim.NewService(nodestatus.ServiceName, "Service to monitor node status")
+	svc := rim.NewService("Adder",
+		`<constraint><cpuLoad>load ls 1.0</cpuLoad><memory>memory gr 1GB</memory></constraint>`)
+	for _, name := range []string{"h00.sdsu.edu", "h01.sdsu.edu", "h02.sdsu.edu", "h03.sdsu.edu"} {
+		cluster.Add(hostsim.NewHost(hostsim.Config{
+			Name: name, Cores: 2, TotalMemB: 4 << 30, TotalSwapB: 2 << 30,
+		}, t0))
+		ns.AddBinding("http://" + name + ":8080/NodeStatus/NodeStatusService")
+		svc.AddBinding("http://" + name + ":8080/Adder/addService")
+	}
+	reg, err := New(Config{
+		Clock:          clk,
+		Policy:         core.PolicyFilter,
+		SnapshotMaxAge: 25 * time.Second,
+		Invoker:        nodestatus.LocalInvoker{Cluster: cluster, Clock: clk},
+		Breaker:        &breaker.Config{Threshold: 3, BaseBackoff: 50 * time.Second, MaxBackoff: 10 * time.Minute},
+		TraceSample:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.LCM.SubmitObjects(reg.AdminContext(), ns, svc); err != nil {
+		t.Fatal(err)
+	}
+	reg.Collector.CollectOnce()
+	srv := httptest.NewServer(reg.Handler())
+	t.Cleanup(srv.Close)
+	return reg, srv
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	_, srv := newObservedRegistry(t)
+	resp, err := srv.Client().Get(srv.URL + "/registry/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health status = %d", resp.StatusCode)
+	}
+	var v struct {
+		Stats struct {
+			Sweeps int
+			Errs   int
+		}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("health is not JSON: %v", err)
+	}
+	if v.Stats.Sweeps != 1 || v.Stats.Errs != 0 {
+		t.Fatalf("health stats = %+v, want 1 sweep and 0 errors", v.Stats)
+	}
+}
+
+// TestMetricsExpositionRoundTrip scrapes /registry/metrics after a few
+// discoveries and re-parses it through the strict exposition parser: a
+// malformed document, a missing family, or an implausible value fails.
+func TestMetricsExpositionRoundTrip(t *testing.T) {
+	_, srv := newObservedRegistry(t)
+	for i := 0; i < 3; i++ {
+		resp, err := srv.Client().Get(srv.URL + "/registry/bindings?service=Adder")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("bindings status = %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/registry/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text exposition 0.0.4", got)
+	}
+	scrape, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not round-trip: %v", err)
+	}
+
+	for _, fam := range []string{
+		"registry_objects",
+		"registry_constraint_cache_hits_total",
+		"registry_constraint_cache_misses_total",
+		"registry_constraint_cache_invalidations_total",
+		"registry_constraint_cache_entries",
+		"registry_collector_sweeps_total",
+		"registry_collector_errors_total",
+		"registry_collector_timeouts_total",
+		"registry_collector_retries_total",
+		"registry_collector_breaker_skips_total",
+		"registry_breaker_state",
+		"registry_nodestate_rows",
+		"registry_node_load",
+		"registry_node_health",
+		"registry_nodestate_snapshot_generation",
+		"registry_nodestate_snapshot_age_seconds",
+		"registry_discovery_total",
+		"registry_discovery_errors_total",
+		"registry_discovery_fallback_total",
+		"registry_discovery_degraded_total",
+		"registry_discovery_verdicts_total",
+		"registry_discovery_latency_seconds",
+		"registry_traces_sampled_total",
+		"registry_trace_sample_rate",
+	} {
+		if _, ok := scrape.Families[fam]; !ok {
+			t.Errorf("family %s missing from scrape", fam)
+		}
+	}
+
+	check := func(name string, labels map[string]string, want float64) {
+		t.Helper()
+		got, ok := scrape.Value(name, labels)
+		if !ok {
+			t.Errorf("%s%v missing", name, labels)
+			return
+		}
+		if got != want {
+			t.Errorf("%s%v = %v, want %v", name, labels, got, want)
+		}
+	}
+	// Three discoveries of one service: first parses the constraint,
+	// the other two hit the cache.
+	check("registry_discovery_total", nil, 3)
+	check("registry_constraint_cache_misses_total", nil, 1)
+	check("registry_constraint_cache_hits_total", nil, 2)
+	check("registry_collector_sweeps_total", nil, 1)
+	check("registry_nodestate_rows", nil, 4)
+	check("registry_breaker_state", map[string]string{"host": "h02.sdsu.edu"}, 0)
+	check("registry_discovery_latency_seconds_count", nil, 3)
+	check("registry_traces_sampled_total", nil, 3)
+	check("registry_trace_sample_rate", nil, 1)
+	if v, ok := scrape.Value("registry_node_load", map[string]string{"host": "h00.sdsu.edu"}); !ok || v < 0 {
+		t.Errorf("registry_node_load{host=h00} = %v (ok=%v), want >= 0", v, ok)
+	}
+}
+
+// TestDiscoveryTraceRetrievable is the tentpole acceptance check: the id
+// echoed in X-Registry-Trace must be fetchable from /registry/traces
+// with the discovery span sequence intact.
+func TestDiscoveryTraceRetrievable(t *testing.T) {
+	_, srv := newObservedRegistry(t)
+	resp, err := srv.Client().Get(srv.URL + "/registry/bindings?service=Adder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Registry-Trace")
+	if id == "" {
+		t.Fatal("no X-Registry-Trace header with sampling on")
+	}
+
+	tr, err := srv.Client().Get(srv.URL + "/registry/traces?id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("traces?id=%s status = %d", id, tr.StatusCode)
+	}
+	var exp obs.TraceExport
+	if err := json.NewDecoder(tr.Body).Decode(&exp); err != nil {
+		t.Fatalf("trace export is not JSON: %v", err)
+	}
+	if exp.ID != id {
+		t.Fatalf("trace id = %s, want %s", exp.ID, id)
+	}
+	got := make(map[string]bool, len(exp.Spans))
+	for _, s := range exp.Spans {
+		got[s.Name] = true
+	}
+	for _, want := range []string{"view", "constraint", "snapshot", "evaluate", "arrange"} {
+		if !got[want] {
+			t.Errorf("trace missing span %q (spans %v)", want, exp.Spans)
+		}
+	}
+
+	// The list endpoint must carry the same trace.
+	list, err := srv.Client().Get(srv.URL + "/registry/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer list.Body.Close()
+	var v struct {
+		SampleRate int               `json:"sampleRate"`
+		Traces     []obs.TraceExport `json:"traces"`
+	}
+	if err := json.NewDecoder(list.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.SampleRate != 1 {
+		t.Errorf("sampleRate = %d, want 1", v.SampleRate)
+	}
+	found := false
+	for _, e := range v.Traces {
+		found = found || e.ID == id
+	}
+	if !found {
+		t.Errorf("trace %s not in /registry/traces list", id)
+	}
+
+	if missing, err := srv.Client().Get(srv.URL + "/registry/traces?id=deadbeef-000000"); err == nil {
+		missing.Body.Close()
+		if missing.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown trace id status = %d, want 404", missing.StatusCode)
+		}
+	} else {
+		t.Fatal(err)
+	}
+}
+
+// TestTracingDisabledByDefault: with no TraceSample configured, discovery
+// responses carry no trace header and the ring stays empty — tracing is
+// strictly opt-in.
+func TestTracingDisabledByDefault(t *testing.T) {
+	reg := newRegistry(t)
+	svc := rim.NewService("Plain", "")
+	svc.AddBinding("http://h.example/x")
+	if err := reg.LCM.SubmitObjects(reg.AdminContext(), svc); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/registry/bindings?service=Plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bindings status = %d", resp.StatusCode)
+	}
+	if h := resp.Header.Get("X-Registry-Trace"); h != "" {
+		t.Fatalf("X-Registry-Trace = %q with sampling off", h)
+	}
+	list, err := srv.Client().Get(srv.URL + "/registry/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer list.Body.Close()
+	var v struct {
+		SampleRate int               `json:"sampleRate"`
+		Traces     []obs.TraceExport `json:"traces"`
+	}
+	if err := json.NewDecoder(list.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.SampleRate != 0 || len(v.Traces) != 0 {
+		t.Fatalf("sampleRate=%d traces=%d, want 0 and 0", v.SampleRate, len(v.Traces))
+	}
+}
+
+// TestPprofOptIn: /debug/pprof/ exists only when Config.Pprof is set.
+func TestPprofOptIn(t *testing.T) {
+	off := newRegistry(t)
+	srvOff := httptest.NewServer(off.Handler())
+	defer srvOff.Close()
+	resp, err := srvOff.Client().Get(srvOff.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof served without opt-in: status %d", resp.StatusCode)
+	}
+
+	on, err := New(Config{Clock: simclock.NewManual(t0), Policy: core.PolicyFilter, Pprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvOn := httptest.NewServer(on.Handler())
+	defer srvOn.Close()
+	resp, err = srvOn.Client().Get(srvOn.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d with -pprof", resp.StatusCode)
+	}
+}

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lcm"
 	"repro/internal/nodestate"
+	"repro/internal/obs"
 	"repro/internal/qm"
 	"repro/internal/rim"
 	"repro/internal/soap"
@@ -33,8 +35,13 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/registry/query", r.handleQuery)
 	mux.HandleFunc("/registry/nodestate", r.handleNodeState)
 	mux.HandleFunc("/registry/health", r.handleHealth)
+	mux.HandleFunc("/registry/metrics", r.handleMetrics)
+	mux.HandleFunc("/registry/traces", r.handleTraces)
 	mux.HandleFunc("/registry/content", r.handleContent)
 	mux.HandleFunc("/ui", r.handleUI)
+	if r.pprof {
+		mountPprof(mux)
+	}
 	return mux
 }
 
@@ -273,28 +280,38 @@ func (r *Registry) doQuery(req *AdhocQueryWireRequest) (interface{}, error) {
 }
 
 func (r *Registry) doBindings(req *GetBindingsRequest) (interface{}, error) {
+	start := r.Clock.Now()
+	tr := r.Tracer.Start()
+	ctx := obs.WithTrace(context.Background(), tr)
 	var uris []string
 	var dec core.Decision
 	var err error
 	switch {
 	case req.ServiceID != "":
-		uris, dec, err = r.QM.GetServiceBindings(req.ServiceID)
+		uris, dec, err = r.QM.GetServiceBindingsCtx(ctx, req.ServiceID)
 	case req.ServiceName != "":
-		uris, dec, err = r.QM.GetServiceBindingsByName(req.ServiceName)
+		uris, dec, err = r.QM.GetServiceBindingsByNameCtx(ctx, req.ServiceName)
 	default:
 		return nil, soap.ClientFault("GetBindingsRequest needs serviceId or serviceName")
 	}
+	r.Tracer.Finish(tr)
 	if err != nil {
+		r.discovery.errors.Inc()
 		return nil, soap.ClientFault("%v", err)
 	}
-	return &GetBindingsResponse{
+	r.discovery.observe(dec, r.Clock.Now().Sub(start).Seconds())
+	resp := &GetBindingsResponse{
 		URIs:       uris,
 		Filtered:   dec.Filtered,
 		Eligible:   dec.Eligible(),
 		Unknown:    dec.Unknown(),
 		Ineligible: dec.Ineligible(),
 		WindowOK:   dec.TimeWindowOK,
-	}, nil
+	}
+	if tr != nil {
+		resp.Trace = tr.ID
+	}
+	return resp, nil
 }
 
 // authRequest is the union body for /soap/auth.
@@ -385,11 +402,19 @@ func (r *Registry) handleBindings(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "missing service parameter", http.StatusBadRequest)
 		return
 	}
-	uris, dec, err := r.QM.GetServiceBindingsByName(name)
+	start := r.Clock.Now()
+	tr := r.Tracer.Start()
+	if tr != nil {
+		w.Header().Set("X-Registry-Trace", tr.ID)
+	}
+	uris, dec, err := r.QM.GetServiceBindingsByNameCtx(obs.WithTrace(req.Context(), tr), name)
+	r.Tracer.Finish(tr)
 	if err != nil {
+		r.discovery.errors.Inc()
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
+	r.discovery.observe(dec, r.Clock.Now().Sub(start).Seconds())
 	writeJSON(w, map[string]interface{}{
 		"uris":       uris,
 		"filtered":   dec.Filtered,

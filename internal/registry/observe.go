@@ -1,0 +1,242 @@
+package registry
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// discoveryMetrics are the counters the HTTP discovery handlers maintain
+// on top of what the balancer and collector already track: request
+// totals, per-verdict binding classifications, and a latency histogram.
+// They are observed after the response is computed, off the benched
+// QueryManager path.
+type discoveryMetrics struct {
+	total    metrics.Counter
+	errors   metrics.Counter
+	fallback metrics.Counter
+	degraded metrics.Counter
+
+	eligible    metrics.Counter
+	unknown     metrics.Counter
+	ineligible  metrics.Counter
+	quarantined metrics.Counter
+
+	latency *obs.Histogram
+}
+
+// observe folds one discovery decision into the counters. seconds is the
+// request's wall (or sim) duration.
+func (d *discoveryMetrics) observe(dec core.Decision, seconds float64) {
+	d.total.Inc()
+	if dec.FellBack {
+		d.fallback.Inc()
+	}
+	if dec.Degraded {
+		d.degraded.Inc()
+	}
+	d.eligible.Add(int64(dec.Eligible()))
+	d.unknown.Add(int64(dec.Unknown()))
+	d.ineligible.Add(int64(dec.Ineligible()))
+	d.quarantined.Add(int64(dec.Quarantined()))
+	d.latency.Observe(seconds)
+}
+
+// buildExposition registers every exported metric family against the live
+// component state. Closures read at scrape time, so the instrumented
+// components pay nothing between scrapes; nil components (no constraint
+// cache, no breakers) simply read as zero.
+func (r *Registry) buildExposition() *obs.Exposition {
+	e := obs.NewExposition()
+
+	e.Gauge("registry_objects",
+		"Registry objects currently stored.",
+		func() float64 { return float64(r.Store.Len()) })
+
+	// Constraint cache (PR 3 fast path).
+	cache := r.ConstraintCache
+	e.Counter("registry_constraint_cache_hits_total",
+		"Discovery constraint lookups served from the parsed-constraint cache.",
+		func() int64 {
+			if cache == nil {
+				return 0
+			}
+			return cache.Hits.Value()
+		})
+	e.Counter("registry_constraint_cache_misses_total",
+		"Discovery constraint lookups that parsed the description afresh.",
+		func() int64 {
+			if cache == nil {
+				return 0
+			}
+			return cache.Misses.Value()
+		})
+	e.Counter("registry_constraint_cache_invalidations_total",
+		"Constraint cache entries dropped by life-cycle writes.",
+		func() int64 {
+			if cache == nil {
+				return 0
+			}
+			return cache.Invalidations.Value()
+		})
+	e.Gauge("registry_constraint_cache_entries",
+		"Parsed constraints currently cached.",
+		func() float64 {
+			if cache == nil {
+				return 0
+			}
+			return float64(cache.Len())
+		})
+
+	// Collector fault tolerance.
+	e.Counter("registry_collector_sweeps_total",
+		"Completed NodeStatus collection sweeps.",
+		func() int64 { return int64(r.Collector.FaultStats().Sweeps) })
+	e.Counter("registry_collector_errors_total",
+		"NodeStatus invocations that exhausted their retries and failed.",
+		func() int64 { return int64(r.Collector.FaultStats().Errs) })
+	e.Counter("registry_collector_timeouts_total",
+		"NodeStatus invocation attempts that hit the per-invocation deadline.",
+		func() int64 { return r.Telemetry.Timeouts.Value() })
+	e.Counter("registry_collector_retries_total",
+		"NodeStatus invocation re-attempts after a failure.",
+		func() int64 { return r.Telemetry.Retries.Value() })
+	e.Counter("registry_collector_breaker_skips_total",
+		"Sweep slots skipped because the host's circuit breaker was open.",
+		func() int64 { return r.Telemetry.Skipped.Value() })
+	e.GaugeVec("registry_breaker_state",
+		"Per-host collector breaker state (0 closed, 1 open, 2 half-open).",
+		"host", func() map[string]float64 { return r.Telemetry.BreakerState.Snapshot() })
+
+	// NodeState table and its RCU snapshot.
+	table := r.Store.NodeState()
+	e.Gauge("registry_nodestate_rows",
+		"Rows in the NodeState table.",
+		func() float64 { return float64(table.Len()) })
+	e.GaugeVec("registry_node_load",
+		"Last collected CPU load per host.",
+		"host", func() map[string]float64 {
+			rows := table.Rows()
+			out := make(map[string]float64, len(rows))
+			for _, row := range rows {
+				out[row.Host] = row.Load
+			}
+			return out
+		})
+	e.GaugeVec("registry_node_health",
+		"Per-host health from the collector (0 healthy, 1 degraded, 2 quarantined).",
+		"host", func() map[string]float64 {
+			rows := table.Rows()
+			out := make(map[string]float64, len(rows))
+			for _, row := range rows {
+				out[row.Host] = float64(row.Health)
+			}
+			return out
+		})
+	e.Gauge("registry_nodestate_snapshot_generation",
+		"Publish generation of the installed NodeState snapshot.",
+		func() float64 {
+			if s := table.Published(); s != nil {
+				return float64(s.Gen())
+			}
+			return 0
+		})
+	e.Gauge("registry_nodestate_snapshot_age_seconds",
+		"Age of the installed NodeState snapshot on the registry clock.",
+		func() float64 {
+			if s := table.Published(); s != nil {
+				return r.Clock.Now().Sub(s.Taken()).Seconds()
+			}
+			return 0
+		})
+
+	// HTTP discovery path.
+	d := &r.discovery
+	e.Counter("registry_discovery_total",
+		"HTTP discovery (GetBindings) requests served.",
+		func() int64 { return d.total.Value() })
+	e.Counter("registry_discovery_errors_total",
+		"HTTP discovery requests that failed (unknown service).",
+		func() int64 { return d.errors.Value() })
+	e.Counter("registry_discovery_fallback_total",
+		"Discoveries where no host was eligible and FallbackAll served the load-ordered list.",
+		func() int64 { return d.fallback.Value() })
+	e.Counter("registry_discovery_degraded_total",
+		"Discoveries served in degraded-static mode (nothing survived filtering).",
+		func() int64 { return d.degraded.Value() })
+	e.LabelledCounter("registry_discovery_verdicts_total",
+		"Binding verdicts assigned by discovery.", "verdict", "eligible",
+		func() int64 { return d.eligible.Value() })
+	e.LabelledCounter("registry_discovery_verdicts_total",
+		"Binding verdicts assigned by discovery.", "verdict", "unknown",
+		func() int64 { return d.unknown.Value() })
+	e.LabelledCounter("registry_discovery_verdicts_total",
+		"Binding verdicts assigned by discovery.", "verdict", "ineligible",
+		func() int64 { return d.ineligible.Value() })
+	e.LabelledCounter("registry_discovery_verdicts_total",
+		"Binding verdicts assigned by discovery.", "verdict", "quarantined",
+		func() int64 { return d.quarantined.Value() })
+	e.RegisterHistogram("registry_discovery_latency_seconds",
+		"HTTP discovery request latency on the registry clock.", d.latency)
+
+	// Tracing.
+	e.Counter("registry_traces_sampled_total",
+		"Discovery traces finished into the trace ring.",
+		func() int64 { return r.Tracer.SampledTotal() })
+	e.Gauge("registry_trace_sample_rate",
+		"Trace sampling rate (every Nth request; 0 disabled).",
+		func() float64 { return float64(r.Tracer.Sample()) })
+
+	return e
+}
+
+// handleMetrics serves /registry/metrics in the Prometheus text
+// exposition format.
+func (r *Registry) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.expo.WriteTo(w)
+}
+
+// handleTraces serves /registry/traces: the most recent sampled discovery
+// traces, newest first; ?id= returns a single trace, ?n= bounds the list.
+func (r *Registry) handleTraces(w http.ResponseWriter, req *http.Request) {
+	if id := req.URL.Query().Get("id"); id != "" {
+		t := r.Tracer.Get(id)
+		if t == nil {
+			http.Error(w, "trace not found (aged out of the ring?)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, t.Export())
+		return
+	}
+	n, _ := strconv.Atoi(req.URL.Query().Get("n"))
+	recent := r.Tracer.Recent(n)
+	out := struct {
+		SampleRate int               `json:"sampleRate"`
+		Sampled    int64             `json:"sampledTotal"`
+		Traces     []obs.TraceExport `json:"traces"`
+	}{
+		SampleRate: r.Tracer.Sample(),
+		Sampled:    r.Tracer.SampledTotal(),
+		Traces:     make([]obs.TraceExport, 0, len(recent)),
+	}
+	for _, t := range recent {
+		out.Traces = append(out.Traces, t.Export())
+	}
+	writeJSON(w, out)
+}
+
+// mountPprof attaches net/http/pprof to the registry mux. The default
+// ServeMux registration in the pprof package is bypassed deliberately —
+// profiling endpoints appear only when the -pprof flag opted in.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

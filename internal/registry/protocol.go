@@ -151,6 +151,10 @@ type GetBindingsResponse struct {
 	Unknown    int      `xml:"unknown,attr"`
 	Ineligible int      `xml:"ineligible,attr"`
 	WindowOK   bool     `xml:"timeWindowOk,attr"`
+	// Trace is the sampled obs trace id for this discovery (empty when
+	// sampling skipped the request); the REST binding carries the same id
+	// in the X-Registry-Trace response header instead.
+	Trace string `xml:"trace,attr,omitempty"`
 }
 
 // RegisterRequest runs the user registration wizard over the wire.

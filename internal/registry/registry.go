@@ -8,6 +8,7 @@ package registry
 
 import (
 	"context"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/lcm"
 	"repro/internal/nodestate"
 	"repro/internal/nodestatus"
+	"repro/internal/obs"
 	"repro/internal/qm"
 	"repro/internal/rim"
 	"repro/internal/simclock"
@@ -78,6 +80,19 @@ type Config struct {
 	// fully coherent. A sensible production value is the collection
 	// period.
 	SnapshotMaxAge time.Duration
+	// Logger receives structured logs from the registry's components
+	// (collector, LCM, HTTP surface). Nil discards everything.
+	Logger *slog.Logger
+	// TraceSample samples every Nth HTTP discovery request into the trace
+	// ring (see /registry/traces). 0 disables tracing entirely: the fast
+	// path then sees only nil-trace no-ops and allocates nothing.
+	TraceSample int
+	// TraceRing bounds how many finished traces are retained; 0 means
+	// obs.DefaultRingSize.
+	TraceRing int
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the HTTP
+	// handler. Off by default; profiling endpoints are opt-in.
+	Pprof bool
 }
 
 // Registry is an assembled registry server.
@@ -100,6 +115,16 @@ type Registry struct {
 	// ConstraintCache is the parsed-constraint cache on the discovery
 	// path (nil when Config.ConstraintCacheSize was negative).
 	ConstraintCache *constraint.Cache
+	// Tracer samples HTTP discovery requests into a bounded ring served
+	// by /registry/traces (always allocated; sampling off by default).
+	Tracer *obs.Tracer
+	// Log is the registry's structured logger (never nil; a nop logger
+	// when Config.Logger was nil).
+	Log *slog.Logger
+
+	discovery discoveryMetrics
+	expo      *obs.Exposition
+	pprof     bool
 
 	adminID string
 	catOnce sync.Once
@@ -115,6 +140,7 @@ func New(cfg Config) (*Registry, error) {
 	if clk == nil {
 		clk = simclock.Real{}
 	}
+	logger := obs.OrNop(cfg.Logger)
 	s := store.New()
 	var cache *constraint.Cache
 	if cfg.ConstraintCacheSize >= 0 {
@@ -138,6 +164,7 @@ func New(cfg Config) (*Registry, error) {
 	}
 	lifecycle := lcm.New(s, policy, trail, bus)
 	lifecycle.Versioning = cfg.Versioning
+	lifecycle.Log = logger.With("component", "lcm")
 	// Any successful write drops the touched ids from the constraint
 	// cache so a description edit or removal is reparsed on next lookup.
 	lifecycle.OnWrite = cache.InvalidateIDs
@@ -150,7 +177,10 @@ func New(cfg Config) (*Registry, error) {
 	}
 	telemetry := nodestate.NewTelemetry()
 	var breakers *breaker.Set
-	opts := []nodestate.Option{nodestate.WithTelemetry(telemetry)}
+	opts := []nodestate.Option{
+		nodestate.WithTelemetry(telemetry),
+		nodestate.WithLogger(logger.With("component", "collector")),
+	}
 	if cfg.CollectionPeriod > 0 {
 		opts = append(opts, nodestate.WithPeriod(cfg.CollectionPeriod))
 	}
@@ -166,6 +196,9 @@ func New(cfg Config) (*Registry, error) {
 	}
 	collector := nodestate.New(s.NodeState(), invoker, clk, query.CollectionTargets, opts...)
 
+	tracer := obs.NewTracer(clk, cfg.TraceRing)
+	tracer.SetSample(cfg.TraceSample)
+
 	r := &Registry{
 		Store:     s,
 		Clock:     clk,
@@ -180,7 +213,12 @@ func New(cfg Config) (*Registry, error) {
 		Breakers:  breakers,
 
 		ConstraintCache: cache,
+		Tracer:          tracer,
+		Log:             logger.With("component", "registry"),
+		pprof:           cfg.Pprof,
 	}
+	r.discovery.latency = obs.NewHistogramMetric(obs.DiscoveryLatencyBuckets()...)
+	r.expo = r.buildExposition()
 
 	// Seed the canonical classification schemes (Table 1.2 + the
 	// registry's own ObjectType/AssociationType schemes).

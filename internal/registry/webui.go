@@ -61,6 +61,17 @@ var uiTemplate = template.Must(template.New("ui").Parse(`<!DOCTYPE html>
  {{end}}
 </table>
 {{else}}<p class="muted">No collector health data yet.</p>{{end}}
+<h2>Discovery traces</h2>
+{{if .Traces}}
+<table>
+ <tr><th>Trace</th><th>Start</th><th>Total µs</th><th>Spans</th><th>Attributes</th></tr>
+ {{range .Traces}}
+ <tr><td class="muted">{{.ID}}</td><td>{{.Start}}</td><td>{{printf "%.1f" .TotalUs}}</td>
+     <td>{{.Spans}}</td><td class="muted">{{.Attrs}}</td></tr>
+ {{end}}
+</table>
+<p class="muted">{{.TraceLine}} Full spans at <a href="/registry/traces">/registry/traces</a>.</p>
+{{else}}<p class="muted">{{.TraceLine}}</p>{{end}}
 <p class="muted">{{.FaultLine}}</p>
 <p class="muted">{{.Count}} objects in the registry. Publishing requires the SOAP binding or the AccessRegistry API.</p>
 </body></html>`))
@@ -75,6 +86,14 @@ type uiHealthRow struct {
 	Failures, Consecutive, Trips     int
 }
 
+// uiTraceRow is one pre-rendered row of the discovery-traces panel: the
+// span sequence is flattened to "name=µs" pairs so the template stays
+// dumb.
+type uiTraceRow struct {
+	ID, Start, Spans, Attrs string
+	TotalUs                 float64
+}
+
 type uiData struct {
 	Kinds     []string
 	Kind      string
@@ -82,8 +101,24 @@ type uiData struct {
 	Objects   []uiRow
 	Nodes     interface{}
 	Health    []uiHealthRow
+	Traces    []uiTraceRow
+	TraceLine string
 	FaultLine string
 	Count     int
+}
+
+// ordinal renders small sampling rates readably ("every 1st/2nd/Nth").
+func ordinal(n int) string {
+	switch n {
+	case 1:
+		return "1st"
+	case 2:
+		return "2nd"
+	case 3:
+		return "3rd"
+	default:
+		return fmt.Sprintf("%dth", n)
+	}
 }
 
 var uiKinds = []string{
@@ -115,6 +150,30 @@ func (r *Registry) handleUI(w http.ResponseWriter, req *http.Request) {
 		Count:   r.Store.Len(),
 		FaultLine: fmt.Sprintf("Collector: %d sweeps, %d errors, %d timeouts, %d retries, %d breaker skips.",
 			stats.Sweeps, stats.Errs, stats.Timeouts, stats.Retries, stats.Skipped),
+	}
+	if n := r.Tracer.Sample(); n > 0 {
+		data.TraceLine = fmt.Sprintf("Tracing every %s discovery request; %d sampled so far.",
+			ordinal(n), r.Tracer.SampledTotal())
+	} else {
+		data.TraceLine = "Trace sampling disabled (start the server with -trace-sample N to enable)."
+	}
+	for _, t := range r.Tracer.Recent(10) {
+		e := t.Export()
+		spans := make([]string, 0, len(e.Spans))
+		for _, s := range e.Spans {
+			spans = append(spans, fmt.Sprintf("%s=%.1fµs", s.Name, s.DurationUs))
+		}
+		attrs := make([]string, 0, len(e.Attrs))
+		for _, a := range e.Attrs {
+			attrs = append(attrs, a.Key+"="+a.Value)
+		}
+		data.Traces = append(data.Traces, uiTraceRow{
+			ID:      e.ID,
+			Start:   e.Start.UTC().Format("15:04:05.000"),
+			TotalUs: e.DurationUs,
+			Spans:   strings.Join(spans, " "),
+			Attrs:   strings.Join(attrs, " "),
+		})
 	}
 	for _, rep := range r.Collector.HealthSnapshot() {
 		row := uiHealthRow{

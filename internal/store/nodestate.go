@@ -248,6 +248,15 @@ func (t *NodeStateTable) Publish(now time.Time) *TableSnapshot {
 //     period plus maxAge.
 //   - Otherwise (maxAge <= 0, or the guard expired) a fresh snapshot is
 //     built and published, so callers always observe committed writes.
+//
+// Published returns the currently installed snapshot without building a
+// fresh one (nil before the first Publish). Metrics exposition uses it to
+// report snapshot generation and age without perturbing what it measures:
+// a scrape must not republish and thereby reset the age it is reading.
+func (t *NodeStateTable) Published() *TableSnapshot {
+	return t.snap.Load()
+}
+
 func (t *NodeStateTable) Snapshot(now time.Time, maxAge time.Duration) *TableSnapshot {
 	s := t.snap.Load()
 	if s != nil {

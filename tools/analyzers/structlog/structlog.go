@@ -1,0 +1,73 @@
+// Package structlog enforces structured logging in library packages:
+// fmt.Print / fmt.Printf / fmt.Println and every stdlib log.* output call
+// (log.Print*, log.Fatal*, log.Panic*, log.Output) are forbidden outside
+// main packages and tests. Libraries must either log through an injected
+// *slog.Logger (see internal/obs) so records carry component and trace
+// attributes and honour -log-level/-log-format, or write to an
+// explicitly injected io.Writer (fmt.Fprintf and friends stay legal —
+// the caller chose the destination).
+//
+// Main packages (cmd/) are exempt: binaries own the process and compose
+// user-facing output. Test files are exempt: t.Log already exists, but
+// debugging prints in tests harm nobody's production logs.
+package structlog
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/analyzers/framework"
+)
+
+// Analyzer is the structlog pass.
+var Analyzer = &framework.Analyzer{
+	Name: "structlog",
+	Doc: "forbids fmt.Print*/log.Print* (and log.Fatal*/Panic*/Output) in non-main packages; " +
+		"libraries log via an injected *slog.Logger or write to an injected io.Writer",
+	Run: run,
+}
+
+// banned maps the forbidden stdout/stderr-writing functions to the
+// replacement named in the diagnostic.
+var banned = map[string]string{
+	"fmt.Print":   "an injected *slog.Logger (or fmt.Fprint to an injected io.Writer)",
+	"fmt.Printf":  "an injected *slog.Logger (or fmt.Fprintf to an injected io.Writer)",
+	"fmt.Println": "an injected *slog.Logger (or fmt.Fprintln to an injected io.Writer)",
+	"log.Print":   "an injected *slog.Logger",
+	"log.Printf":  "an injected *slog.Logger",
+	"log.Println": "an injected *slog.Logger",
+	"log.Fatal":   "an injected *slog.Logger and an error return",
+	"log.Fatalf":  "an injected *slog.Logger and an error return",
+	"log.Fatalln": "an injected *slog.Logger and an error return",
+	"log.Panic":   "an injected *slog.Logger and an error return",
+	"log.Panicf":  "an injected *slog.Logger and an error return",
+	"log.Panicln": "an injected *slog.Logger and an error return",
+	"log.Output":  "an injected *slog.Logger",
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			if fix, bad := banned[fn.FullName()]; bad {
+				pass.Reportf(call.Pos(), "%s in library package; use %s", fn.FullName(), fix)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package structlog_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/structlog"
+)
+
+func TestStructlog(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), structlog.Analyzer, "structlog", "structlogmain")
+}
