@@ -6,7 +6,7 @@ BENCH_PATTERN = BenchmarkDiscovery
 BENCH_TIME    = 2000x
 BENCH_NOTE    = discovery fast path baseline; allocs/op gated at +25%
 
-.PHONY: all build test race vet lint check clean bench benchcheck smoke
+.PHONY: all build test race vet lint check clean bench benchcheck smoke crashcheck
 
 all: check
 
@@ -26,8 +26,8 @@ bin/repolint: $(shell find cmd/repolint tools/analyzers -name '*.go' -not -path 
 	$(GO) build -o $@ ./cmd/repolint
 
 # lint runs the repo's own invariant analyzers (wallclock, lockcheck,
-# errwrap, norand, clienttimeout, structlog) over every package via the
-# go vet driver.
+# errwrap, norand, clienttimeout, structlog, atomicwrite) over every
+# package via the go vet driver.
 lint: bin/repolint
 	$(GO) vet -vettool=$(CURDIR)/bin/repolint ./...
 
@@ -35,6 +35,12 @@ lint: bin/repolint
 # /registry/metrics exposition or an unretrievable discovery trace.
 smoke:
 	$(GO) run ./cmd/scrapesmoke
+
+# crashcheck runs the seeded crash-injection harness under the race
+# detector: every seed tears the in-flight WAL record at a random byte
+# offset and recovery must reproduce the acknowledged store exactly.
+crashcheck:
+	$(GO) test -race -count=1 -run 'Crash|WALEquivalent|Degraded|CheckpointRetention' ./internal/wal/ ./internal/registry/
 
 check: build test vet lint smoke
 

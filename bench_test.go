@@ -48,6 +48,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/soap"
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 var benchEpoch = time.Date(2011, 4, 22, 11, 0, 0, 0, time.UTC)
@@ -779,4 +780,34 @@ func BenchmarkTracingOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- WAL append cost ------------------------------------------------------
+//
+// BenchmarkWALAppend measures the durability tax per acknowledged write:
+// one length+CRC32C-framed record appended to the active segment, under
+// the two interesting flush policies. "never" isolates the framing and
+// buffer cost; "always" adds the fsync every acknowledged registry write
+// pays at the default -fsync setting. Deliberately NOT under the
+// BenchmarkDiscovery prefix — fsync latency is hardware-dependent and
+// must not feed the allocs/op CI gate.
+func BenchmarkWALAppend(b *testing.B) {
+	payload := []byte(strings.Repeat("x", 512))
+	for _, pol := range []wal.FsyncPolicy{wal.FsyncNever, wal.FsyncAlways} {
+		b.Run(pol.String(), func(b *testing.B) {
+			l, err := wal.Open(b.TempDir(), wal.Options{Fsync: pol, Clock: simclock.NewManual(benchEpoch)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

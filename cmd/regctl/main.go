@@ -11,6 +11,9 @@
 //	regctl -register <connection.xml>   (run the user registration wizard,
 //	                                     writing the keystore named in
 //	                                     connection.xml)
+//	regctl wal inspect <data-dir>       (summarize WAL segments and
+//	                                     checkpoints, offline)
+//	regctl wal dump <data-dir>          (print every logged mutation)
 package main
 
 import (
@@ -28,6 +31,13 @@ import (
 func main() {
 	register := flag.Bool("register", false, "register the connection.xml user and write its keystore")
 	flag.Parse()
+
+	if flag.NArg() > 0 && flag.Arg(0) == "wal" {
+		if err := runWAL(flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *register {
 		if flag.NArg() != 1 {

@@ -23,6 +23,15 @@
 // old without locking while the collector writes (0 = always coherent; the
 // collection period is a sensible value).
 //
+// Durability: -data-dir enables the write-ahead log + checkpoint
+// subsystem — every acknowledged LCM write is logged before the HTTP
+// response and boot recovers the newest checkpoint plus the WAL tail, so
+// a kill -9 loses nothing. -fsync picks the flush policy
+// (always|interval|never), -fsync-interval bounds loss under interval,
+// and -checkpoint-bytes/-checkpoint-records tune automatic checkpoints.
+// The legacy -snapshot flag (graceful-shutdown-only persistence) still
+// works for registries that can tolerate crash loss.
+//
 // Observability: /registry/metrics serves Prometheus text exposition and
 // /registry/traces the sampled discovery traces. -trace-sample N traces
 // every Nth discovery request (0 = off), -trace-ring bounds retained
@@ -45,6 +54,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/registry"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -53,8 +63,14 @@ func main() {
 		policy   = flag.String("policy", "filter", "balancing policy: stock|filter|rank-first|least-loaded")
 		period   = flag.Duration("period", 25*time.Second, "NodeStatus collection period")
 		snapshot = flag.String("snapshot", "", "snapshot file to load on start and save on shutdown")
-		fresh    = flag.Duration("freshness", 0, "NodeState staleness cutoff (0 = none)")
-		fallback = flag.Bool("fallback", false, "serve load-ordered URIs when no host satisfies constraints")
+
+		dataDir     = flag.String("data-dir", "", "durability directory: WAL + checkpoints; every write survives a crash")
+		fsyncPolicy = flag.String("fsync", "always", "WAL flush policy: always|interval|never")
+		fsyncEvery  = flag.Duration("fsync-interval", 0, "max time between fsyncs under -fsync interval (0 = default 100ms)")
+		ckptBytes   = flag.Int64("checkpoint-bytes", 0, "checkpoint after this many WAL bytes (0 = default 8MiB, negative = off)")
+		ckptRecords = flag.Int("checkpoint-records", 0, "checkpoint after this many WAL records (0 = default 10000, negative = off)")
+		fresh       = flag.Duration("freshness", 0, "NodeState staleness cutoff (0 = none)")
+		fallback    = flag.Bool("fallback", false, "serve load-ordered URIs when no host satisfies constraints")
 
 		invokeTimeout = flag.Duration("invoke-timeout", 10*time.Second, "deadline per NodeStatus invocation (0 = none)")
 		invokeRetries = flag.Int("invoke-retries", 1, "retries per failed NodeStatus invocation")
@@ -89,6 +105,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	fp, err := wal.ParseFsyncPolicy(*fsyncPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := registry.Config{
 		Policy:           p,
 		CollectionPeriod: *period,
@@ -106,6 +126,12 @@ func main() {
 		TraceSample: *traceSample,
 		TraceRing:   *traceRing,
 		Pprof:       *pprofFlag,
+
+		DataDir:           *dataDir,
+		Fsync:             fp,
+		FsyncInterval:     *fsyncEvery,
+		CheckpointBytes:   *ckptBytes,
+		CheckpointRecords: *ckptRecords,
 	}
 	if *brkThreshold > 0 {
 		cfg.Breaker = &breaker.Config{
@@ -120,14 +146,28 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *snapshot != "" && *dataDir != "" {
+		logger.Error("-snapshot and -data-dir are mutually exclusive: the data dir already restored state and a snapshot load would bypass the write-ahead log")
+		os.Exit(1)
+	}
 	if *snapshot != "" {
-		if f, err := os.Open(*snapshot); err == nil {
+		f, err := os.Open(*snapshot)
+		switch {
+		case err == nil:
 			if err := reg.Store.Load(f); err != nil {
 				logger.Error("load snapshot failed", "file", *snapshot, "error", err)
 				os.Exit(1)
 			}
 			f.Close()
 			logger.Info("snapshot restored", "objects", reg.Store.Len(), "file", *snapshot)
+		case os.IsNotExist(err):
+			// First boot: no snapshot yet, start empty.
+			logger.Info("no snapshot yet, starting empty", "file", *snapshot)
+		default:
+			// Permission or I/O trouble is not "start empty" — booting an
+			// empty registry over an unreadable snapshot loses data.
+			logger.Error("open snapshot failed", "file", *snapshot, "error", err)
+			os.Exit(1)
 		}
 	}
 
@@ -151,17 +191,21 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *snapshot != "" {
-		f, err := os.Create(*snapshot)
-		if err != nil {
-			logger.Error("create snapshot failed", "file", *snapshot, "error", err)
+	if reg.Durable != nil {
+		// Graceful shutdown: checkpoint and seal the WAL so the next boot
+		// replays nothing.
+		if err := reg.Durable.Close(); err != nil {
+			logger.Error("durability shutdown failed", "error", err)
 			os.Exit(1)
 		}
-		if err := reg.Store.Save(f); err != nil {
+		logger.Info("durability closed", "objects", reg.Store.Len(), "dir", *dataDir)
+	}
+	if *snapshot != "" {
+		err := wal.WriteFileAtomic(*snapshot, reg.Store.Save)
+		if err != nil {
 			logger.Error("save snapshot failed", "file", *snapshot, "error", err)
 			os.Exit(1)
 		}
-		f.Close()
 		logger.Info("snapshot saved", "objects", reg.Store.Len(), "file", *snapshot)
 	}
 }

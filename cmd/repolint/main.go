@@ -1,9 +1,9 @@
 // Command repolint is the repository's static-analysis vettool. It runs
-// the six invariant analyzers — wallclock, lockcheck, errwrap, norand,
-// clienttimeout, structlog — over Go packages, enforcing the conventions
-// that keep the registry reproduction deterministic, race-free,
-// fault-tolerant, and observably logged (see DESIGN.md, "Static analysis
-// & invariants").
+// the seven invariant analyzers — wallclock, lockcheck, errwrap, norand,
+// clienttimeout, structlog, atomicwrite — over Go packages, enforcing the
+// conventions that keep the registry reproduction deterministic,
+// race-free, fault-tolerant, crash-safe, and observably logged (see
+// DESIGN.md, "Static analysis & invariants").
 //
 // It speaks the `go vet -vettool` unit-checker protocol, so the usual
 // invocation is
@@ -36,6 +36,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/tools/analyzers/atomicwrite"
 	"repro/tools/analyzers/clienttimeout"
 	"repro/tools/analyzers/errwrap"
 	"repro/tools/analyzers/framework"
@@ -53,6 +54,7 @@ var analyzers = []*framework.Analyzer{
 	norand.Analyzer,
 	clienttimeout.Analyzer,
 	structlog.Analyzer,
+	atomicwrite.Analyzer,
 }
 
 func main() {

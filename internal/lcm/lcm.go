@@ -57,6 +57,10 @@ type Manager struct {
 	// it to the parsed-constraint cache's invalidation so a description
 	// edit or removal drops the service's cached parse.
 	OnWrite func(ids ...string)
+	// Durability, when non-nil, write-ahead-logs every mutation before it
+	// is acknowledged (see the Durability interface). A nil value keeps
+	// the manager purely in-memory with zero overhead.
+	Durability Durability
 	// Log, when non-nil, receives a structured debug record per
 	// successful mutation (kind, actor, object count).
 	Log *slog.Logger
@@ -85,18 +89,36 @@ func (m *Manager) authorize(ctx Context, action xacml.Action, o rim.Object) erro
 	return nil
 }
 
-func (m *Manager) record(kind rim.EventType, ctx Context, objs ...rim.Object) {
-	if m.Trail != nil || m.OnWrite != nil {
-		ids := make([]string, len(objs))
-		for i, o := range objs {
-			ids[i] = o.Base().ID
+// record finishes one acknowledged mutation: audit, write-ahead log,
+// cache invalidation, event publication. A durability failure is returned
+// so the operation is not acknowledged to the client.
+func (m *Manager) record(kind rim.EventType, ctx Context, objs ...rim.Object) error {
+	ids := make([]string, len(objs))
+	for i, o := range objs {
+		ids[i] = o.Base().ID
+	}
+	var ev *rim.AuditableEvent
+	if m.Trail != nil {
+		ev = m.Trail.Record(kind, ctx.UserID, ids...)
+	}
+	if m.Durability != nil {
+		mut := Mutation{Op: string(kind)}
+		if kind == rim.EventDeleted {
+			mut.Deletes = ids
+		} else {
+			mut.Puts = append(mut.Puts, objs...)
 		}
-		if m.Trail != nil {
-			m.Trail.Record(kind, ctx.UserID, ids...)
+		// The audit event is itself a stored object; log it with the
+		// mutation so the trail survives recovery too.
+		if ev != nil {
+			mut.Puts = append(mut.Puts, ev)
 		}
-		if m.OnWrite != nil {
-			m.OnWrite(ids...)
+		if err := m.commit(mut); err != nil {
+			return err
 		}
+	}
+	if m.OnWrite != nil {
+		m.OnWrite(ids...)
 	}
 	if m.Bus != nil {
 		m.Bus.Publish(kind, objs...)
@@ -105,6 +127,7 @@ func (m *Manager) record(kind rim.EventType, ctx Context, objs ...rim.Object) {
 		m.Log.Debug("lifecycle event",
 			"event", string(kind), "user", ctx.UserID, "objects", len(objs))
 	}
+	return nil
 }
 
 // validator is satisfied by every concrete rim class.
@@ -115,6 +138,11 @@ type validator interface{ Validate() error }
 // validation and authorization, mirroring a transactional
 // SubmitObjectsRequest.
 func (m *Manager) SubmitObjects(ctx Context, objs ...rim.Object) error {
+	end, err := m.beginWrite()
+	if err != nil {
+		return err
+	}
+	defer end()
 	for _, o := range objs {
 		b := o.Base()
 		if b.Owner == "" {
@@ -140,14 +168,18 @@ func (m *Manager) SubmitObjects(ctx Context, objs ...rim.Object) error {
 			return fmt.Errorf("lcm: submit: %w", err)
 		}
 	}
-	m.record(rim.EventCreated, ctx, objs...)
-	return nil
+	return m.record(rim.EventCreated, ctx, objs...)
 }
 
 // UpdateObjects replaces previously submitted objects. The stored owner
 // and status are preserved; with Versioning on, the version name's minor
 // component is incremented and a Versioned event recorded.
 func (m *Manager) UpdateObjects(ctx Context, objs ...rim.Object) error {
+	end, err := m.beginWrite()
+	if err != nil {
+		return err
+	}
+	defer end()
 	prepared := make([]rim.Object, 0, len(objs))
 	for _, o := range objs {
 		b := o.Base()
@@ -177,9 +209,11 @@ func (m *Manager) UpdateObjects(ctx Context, objs ...rim.Object) error {
 			return fmt.Errorf("lcm: update: %w", err)
 		}
 	}
-	m.record(rim.EventUpdated, ctx, prepared...)
+	if err := m.record(rim.EventUpdated, ctx, prepared...); err != nil {
+		return err
+	}
 	if m.Versioning {
-		m.record(rim.EventVersioned, ctx, prepared...)
+		return m.record(rim.EventVersioned, ctx, prepared...)
 	}
 	return nil
 }
@@ -198,6 +232,11 @@ func bumpVersion(v string) string {
 
 // setStatus drives one life-cycle transition for a batch of ids.
 func (m *Manager) setStatus(ctx Context, action xacml.Action, kind rim.EventType, want rim.Status, allowedFrom []rim.Status, ids ...string) error {
+	end, err := m.beginWrite()
+	if err != nil {
+		return err
+	}
+	defer end()
 	var changed []rim.Object
 	for _, id := range ids {
 		o, err := m.Store.Get(id)
@@ -226,8 +265,7 @@ func (m *Manager) setStatus(ctx Context, action xacml.Action, kind rim.EventType
 			return fmt.Errorf("lcm: %s: %w", kind, err)
 		}
 	}
-	m.record(kind, ctx, changed...)
-	return nil
+	return m.record(kind, ctx, changed...)
 }
 
 // ApproveObjects moves Submitted (or re-approves Deprecated via
@@ -254,6 +292,11 @@ func (m *Manager) UndeprecateObjects(ctx Context, ids ...string) error {
 // Services are deleted with it, and associations touching any removed
 // object are removed too.
 func (m *Manager) RemoveObjects(ctx Context, ids ...string) error {
+	end, err := m.beginWrite()
+	if err != nil {
+		return err
+	}
+	defer end()
 	// Expand the target set by cascades first so authorization covers
 	// every object actually removed.
 	targets := make(map[string]rim.Object)
@@ -311,12 +354,16 @@ func (m *Manager) RemoveObjects(ctx Context, ids ...string) error {
 		}
 		removed = append(removed, targets[id])
 	}
-	m.record(rim.EventDeleted, ctx, removed...)
-	return nil
+	return m.record(rim.EventDeleted, ctx, removed...)
 }
 
 // AddSlots adds (or replaces) slots on one object.
 func (m *Manager) AddSlots(ctx Context, id string, slots ...rim.Slot) error {
+	end, err := m.beginWrite()
+	if err != nil {
+		return err
+	}
+	defer end()
 	o, err := m.Store.Get(id)
 	if err != nil {
 		return fmt.Errorf("lcm: addSlots: %w", err)
@@ -333,12 +380,16 @@ func (m *Manager) AddSlots(ctx Context, id string, slots ...rim.Slot) error {
 	if err := m.Store.Put(o); err != nil {
 		return fmt.Errorf("lcm: addSlots: %w", err)
 	}
-	m.record(rim.EventUpdated, ctx, o)
-	return nil
+	return m.record(rim.EventUpdated, ctx, o)
 }
 
 // RemoveSlots deletes named slots from one object.
 func (m *Manager) RemoveSlots(ctx Context, id string, names ...string) error {
+	end, err := m.beginWrite()
+	if err != nil {
+		return err
+	}
+	defer end()
 	o, err := m.Store.Get(id)
 	if err != nil {
 		return fmt.Errorf("lcm: removeSlots: %w", err)
@@ -352,13 +403,17 @@ func (m *Manager) RemoveSlots(ctx Context, id string, names ...string) error {
 	if err := m.Store.Put(o); err != nil {
 		return fmt.Errorf("lcm: removeSlots: %w", err)
 	}
-	m.record(rim.EventUpdated, ctx, o)
-	return nil
+	return m.record(rim.EventUpdated, ctx, o)
 }
 
 // RelocateObjects retargets the Home registry of the given objects — the
 // RelocateObjectsRequestProtocol (§2.2.3).
 func (m *Manager) RelocateObjects(ctx Context, homeURL string, ids ...string) error {
+	end, err := m.beginWrite()
+	if err != nil {
+		return err
+	}
+	defer end()
 	var moved []rim.Object
 	for _, id := range ids {
 		o, err := m.Store.Get(id)
@@ -376,6 +431,5 @@ func (m *Manager) RelocateObjects(ctx Context, homeURL string, ids ...string) er
 			return fmt.Errorf("lcm: relocate: %w", err)
 		}
 	}
-	m.record(rim.EventRelocated, ctx, moved...)
-	return nil
+	return m.record(rim.EventRelocated, ctx, moved...)
 }

@@ -1,0 +1,135 @@
+package registry
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+	"repro/internal/wal"
+)
+
+func newDurableRegistry(t *testing.T, dir string) *Registry {
+	t.Helper()
+	reg, err := New(Config{
+		Clock:   simclock.NewManual(t0),
+		DataDir: dir,
+		Fsync:   wal.FsyncAlways,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestRegistryCrashRecovery is the end-to-end acceptance check: a
+// registry with -data-dir recovers every acknowledged write after the
+// process dies without any shutdown path running, and bootstrap does not
+// duplicate the built-in operator account across boots.
+func TestRegistryCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	regA := newDurableRegistry(t, dir)
+	svc := rim.NewService("CrashSurvivor", "submitted just before the crash")
+	if err := regA.LCM.SubmitObjects(regA.AdminContext(), svc); err != nil {
+		t.Fatal(err)
+	}
+	// kill -9: regA is abandoned with no Close, no checkpoint.
+
+	regB := newDurableRegistry(t, dir)
+	got, err := regB.Store.Get(svc.ID)
+	if err != nil {
+		t.Fatalf("acknowledged service lost across crash: %v", err)
+	}
+	if got.Base().Name.String() != "CrashSurvivor" {
+		t.Fatalf("recovered service name = %q", got.Base().Name)
+	}
+	if admins := regB.Store.FindByName(rim.TypeUser, AdminAlias); len(admins) != 1 {
+		t.Fatalf("%d operator accounts after recovery, want exactly 1", len(admins))
+	}
+
+	// And a third boot after a graceful close replays from the checkpoint.
+	if err := regB.Durable.Close(); err != nil {
+		t.Fatal(err)
+	}
+	regC := newDurableRegistry(t, dir)
+	if _, err := regC.Store.Get(svc.ID); err != nil {
+		t.Fatalf("service lost across graceful restart: %v", err)
+	}
+}
+
+func scrapeMetrics(t *testing.T, srv *httptest.Server) *obs.Scrape {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + "/registry/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	scrape, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse strictly: %v", err)
+	}
+	return scrape
+}
+
+// TestDurabilityMetricsExposition verifies the wal_*/checkpoint_* families
+// parse under the strict exposition parser and reflect WAL activity,
+// including the degraded gauge flipping when durability fails.
+func TestDurabilityMetricsExposition(t *testing.T) {
+	dir := t.TempDir()
+	regA := newDurableRegistry(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := regA.LCM.SubmitObjects(regA.AdminContext(), rim.NewService(fmt.Sprintf("svc-%d", i), "")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Abandon regA so the next boot has a WAL tail to replay.
+
+	reg := newDurableRegistry(t, dir)
+	srv := httptest.NewServer(reg.Handler())
+	t.Cleanup(srv.Close)
+
+	scrape := scrapeMetrics(t, srv)
+	if v, ok := scrape.Value("registry_wal_replay_records_total", nil); !ok || v <= 0 {
+		t.Fatalf("registry_wal_replay_records_total = %v, %v; want > 0 after a crash boot", v, ok)
+	}
+	if v, ok := scrape.Value("registry_wal_segment_count", nil); !ok || v < 1 {
+		t.Fatalf("registry_wal_segment_count = %v, %v", v, ok)
+	}
+	if v, ok := scrape.Value("registry_checkpoints_total", nil); !ok || v < 1 {
+		t.Fatalf("registry_checkpoints_total = %v, %v; want the boot checkpoint counted", v, ok)
+	}
+	if v, ok := scrape.Value("registry_wal_degraded", nil); !ok || v != 0 {
+		t.Fatalf("registry_wal_degraded = %v, %v; want healthy 0", v, ok)
+	}
+	if err := reg.LCM.SubmitObjects(reg.AdminContext(), rim.NewService("counted", "")); err != nil {
+		t.Fatal(err)
+	}
+	after := scrapeMetrics(t, srv)
+	if v, ok := after.Value("registry_wal_appends_total", nil); !ok || v < 1 {
+		t.Fatalf("registry_wal_appends_total = %v, %v after a write", v, ok)
+	}
+	if v, ok := after.Value("registry_wal_fsyncs_total", nil); !ok || v < 1 {
+		t.Fatalf("registry_wal_fsyncs_total = %v, %v under fsync=always", v, ok)
+	}
+
+	reg.Durable.ForceReadOnly(fmt.Errorf("simulated disk failure"))
+	degraded := scrapeMetrics(t, srv)
+	if v, ok := degraded.Value("registry_wal_degraded", nil); !ok || v != 1 {
+		t.Fatalf("registry_wal_degraded = %v, %v after ForceReadOnly; want 1", v, ok)
+	}
+	// Discovery/read paths keep serving while writes are refused.
+	resp, err := srv.Client().Get(srv.URL + "/registry/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health status %d in degraded mode, want 200", resp.StatusCode)
+	}
+}

@@ -330,7 +330,9 @@ func (r *Registry) handleAuthSOAP(req *authRequest) (interface{}, error) {
 		if err != nil {
 			return nil, soap.ClientFault("%v", err)
 		}
-		if err := r.Store.Put(user); err != nil {
+		// PutDirect, not Store.Put: the User row must be in the WAL or a
+		// crash would orphan the registered account.
+		if err := r.LCM.PutDirect(user); err != nil {
 			return nil, err
 		}
 		return &RegisterResponse{UserID: user.ID, CertPEM: string(creds.CertPEM), KeyPEM: string(creds.KeyPEM)}, nil

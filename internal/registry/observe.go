@@ -183,6 +183,74 @@ func (r *Registry) buildExposition() *obs.Exposition {
 	e.RegisterHistogram("registry_discovery_latency_seconds",
 		"HTTP discovery request latency on the registry clock.", d.latency)
 
+	// Durability (WAL + checkpoints). With no -data-dir the Durable is
+	// nil and every series reads zero.
+	durable := r.Durable
+	e.Counter("registry_wal_appends_total",
+		"Mutation records appended to the write-ahead log.",
+		func() int64 {
+			if durable == nil {
+				return 0
+			}
+			return durable.WAL().Appends()
+		})
+	e.Counter("registry_wal_fsyncs_total",
+		"fsync calls issued by the write-ahead log.",
+		func() int64 {
+			if durable == nil {
+				return 0
+			}
+			return durable.WAL().Fsyncs()
+		})
+	e.Counter("registry_wal_bytes_total",
+		"Bytes appended to the write-ahead log, framing included.",
+		func() int64 {
+			if durable == nil {
+				return 0
+			}
+			return durable.WAL().Bytes()
+		})
+	e.Gauge("registry_wal_segment_count",
+		"Live write-ahead-log segment files on disk.",
+		func() float64 {
+			if durable == nil {
+				return 0
+			}
+			return float64(durable.WAL().SegmentCount())
+		})
+	e.Counter("registry_wal_replay_records_total",
+		"WAL records replayed by boot recovery.",
+		func() int64 {
+			if durable == nil {
+				return 0
+			}
+			return durable.ReplayedRecords()
+		})
+	e.Counter("registry_checkpoints_total",
+		"Atomic checkpoints written since boot.",
+		func() int64 {
+			if durable == nil {
+				return 0
+			}
+			return durable.Checkpoints()
+		})
+	e.Gauge("registry_checkpoint_duration_seconds",
+		"Wall time of the most recent checkpoint on the registry clock.",
+		func() float64 {
+			if durable == nil {
+				return 0
+			}
+			return durable.LastCheckpointSeconds()
+		})
+	e.Gauge("registry_wal_degraded",
+		"1 when a disk-write failure has flipped the registry read-only.",
+		func() float64 {
+			if durable != nil && durable.Degraded() {
+				return 1
+			}
+			return 0
+		})
+
 	// Tracing.
 	e.Counter("registry_traces_sampled_total",
 		"Discovery traces finished into the trace ring.",

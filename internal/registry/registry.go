@@ -28,6 +28,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/store"
 	"repro/internal/taxonomy"
+	"repro/internal/wal"
 	"repro/internal/xacml"
 )
 
@@ -93,6 +94,23 @@ type Config struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/ on the HTTP
 	// handler. Off by default; profiling endpoints are opt-in.
 	Pprof bool
+	// DataDir enables crash-safe durability: every acknowledged LCM
+	// mutation is write-ahead-logged there and boot recovers the newest
+	// checkpoint plus the WAL tail. Empty keeps the registry in-memory
+	// (the pre-durability behaviour).
+	DataDir string
+	// Fsync is the WAL flush policy (always/interval/never); the zero
+	// value is wal.FsyncAlways.
+	Fsync wal.FsyncPolicy
+	// FsyncInterval bounds loss under wal.FsyncInterval; 0 means
+	// wal.DefaultFsyncInterval.
+	FsyncInterval time.Duration
+	// SegmentBytes caps a WAL segment; 0 means wal.DefaultSegmentBytes.
+	SegmentBytes int64
+	// CheckpointBytes / CheckpointRecords trigger automatic checkpoints;
+	// 0 means the wal defaults, negative disables that trigger.
+	CheckpointBytes   int64
+	CheckpointRecords int
 }
 
 // Registry is an assembled registry server.
@@ -121,6 +139,9 @@ type Registry struct {
 	// Log is the registry's structured logger (never nil; a nop logger
 	// when Config.Logger was nil).
 	Log *slog.Logger
+	// Durable is the WAL-backed durability manager (nil when
+	// Config.DataDir was empty: the registry is then purely in-memory).
+	Durable *wal.Durable
 
 	discovery discoveryMetrics
 	expo      *obs.Exposition
@@ -171,6 +192,29 @@ func New(cfg Config) (*Registry, error) {
 	query := qm.New(s, bal, clk)
 	registrar := auth.NewRegistrar(clk)
 
+	// Durability comes up before any bootstrap write so recovery (newest
+	// checkpoint + WAL tail) restores into an empty store, and before the
+	// first client request so every acknowledged mutation is logged.
+	var durable *wal.Durable
+	if cfg.DataDir != "" {
+		var err error
+		durable, err = wal.OpenDurable(cfg.DataDir, s, wal.DurableOptions{
+			Log: wal.Options{
+				SegmentBytes:  cfg.SegmentBytes,
+				Fsync:         cfg.Fsync,
+				FsyncInterval: cfg.FsyncInterval,
+				Clock:         clk,
+				Logger:        logger.With("component", "wal"),
+			},
+			CheckpointBytes:   cfg.CheckpointBytes,
+			CheckpointRecords: cfg.CheckpointRecords,
+		})
+		if err != nil {
+			return nil, err
+		}
+		lifecycle.Durability = durable
+	}
+
 	invoker := cfg.Invoker
 	if invoker == nil {
 		invoker = nodestatus.HTTPInvoker{}
@@ -215,27 +259,48 @@ func New(cfg Config) (*Registry, error) {
 		ConstraintCache: cache,
 		Tracer:          tracer,
 		Log:             logger.With("component", "registry"),
+		Durable:         durable,
 		pprof:           cfg.Pprof,
 	}
 	r.discovery.latency = obs.NewHistogramMetric(obs.DiscoveryLatencyBuckets()...)
 	r.expo = r.buildExposition()
 
 	// Seed the canonical classification schemes (Table 1.2 + the
-	// registry's own ObjectType/AssociationType schemes).
-	if _, err := taxonomy.Seed(s); err != nil {
-		return nil, err
+	// registry's own ObjectType/AssociationType schemes) — unless recovery
+	// already restored them: Seed refuses to overwrite existing schemes.
+	if len(s.ByType(rim.TypeClassificationScheme)) == 0 {
+		if _, err := taxonomy.Seed(s); err != nil {
+			return nil, err
+		}
 	}
 
-	// Bootstrap the registry operator account.
+	// Bootstrap the registry operator account. Registrar state (keystore,
+	// sessions) is in-memory, so the operator re-registers on every boot
+	// with a fresh id; operator User rows recovered from previous boots
+	// are superseded here.
 	_, adminUser, err := registrar.Register(AdminAlias, auth.DefaultKeystorePassword,
 		rim.PersonName{FirstName: "Registry", LastName: "Operator"})
 	if err != nil {
 		return nil, err
 	}
+	for _, old := range s.FindByName(rim.TypeUser, AdminAlias) {
+		if err := s.Delete(old.Base().ID); err != nil {
+			return nil, err
+		}
+	}
 	if err := s.Put(adminUser); err != nil {
 		return nil, err
 	}
 	r.adminID = adminUser.ID
+
+	// Cover the bootstrap writes (taxonomy, operator account) with a
+	// checkpoint so a crash before the first client mutation still boots
+	// into a well-formed registry.
+	if durable != nil {
+		if err := durable.Checkpoint(); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
 }
 

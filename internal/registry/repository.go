@@ -44,8 +44,8 @@ func (r *Registry) SubmitRepositoryItem(ctx lcm.Context, eo *rim.ExtrinsicObject
 	if err := r.LCM.SubmitObjects(ctx, eo); err != nil {
 		return err
 	}
-	r.Store.PutContent(eo.ContentID, content)
-	return nil
+	// Through LCM, not the store, so the bytes are write-ahead-logged.
+	return r.LCM.PutContent(eo.ContentID, content)
 }
 
 // GetRepositoryItem retrieves an artifact's metadata and bytes by object
@@ -79,8 +79,7 @@ func (r *Registry) RemoveRepositoryItem(ctx lcm.Context, id string) error {
 	if err := r.LCM.RemoveObjects(ctx, id); err != nil {
 		return err
 	}
-	r.Store.DeleteContent(eo.ContentID)
-	return nil
+	return r.LCM.DeleteContent(eo.ContentID)
 }
 
 // FindRepositoryItemsByWSDLNamespace is one of freebXML's predefined WSDL

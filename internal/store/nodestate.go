@@ -120,6 +120,19 @@ func (t *NodeStateTable) SetHealth(host string, h HostHealth) {
 	t.version.Add(1)
 }
 
+// Reset replaces every row with the given set, keeping the table's
+// identity so holders of the pointer (balancer, collector) observe the
+// restored rows. Snapshot restore and WAL recovery use it.
+func (t *NodeStateTable) Reset(rows []NodeState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = make(map[string]NodeState, len(rows))
+	for _, r := range rows {
+		t.rows[r.Host] = r
+	}
+	t.version.Add(1)
+}
+
 // Get returns the row for host and whether it exists.
 func (t *NodeStateTable) Get(host string) (NodeState, bool) {
 	t.mu.RLock()

@@ -10,47 +10,79 @@ import (
 
 // snapshot is the on-disk JSON layout of a Store.
 type snapshot struct {
-	Objects   []objectEnvelope  `json:"objects"`
+	Objects   []Envelope        `json:"objects"`
 	Content   map[string][]byte `json:"content,omitempty"`
 	NodeState []NodeState       `json:"nodeState,omitempty"`
 }
 
-// objectEnvelope tags each serialized object with its concrete class so the
-// decoder can rebuild the right Go type.
-type objectEnvelope struct {
+// Envelope tags a serialized object with its concrete class so a decoder
+// can rebuild the right Go type. It is the unit of object persistence
+// shared by the snapshot format and the write-ahead log's mutation
+// records.
+type Envelope struct {
 	Kind string          `json:"kind"`
 	Data json.RawMessage `json:"data"`
 }
 
 func kindOf(o rim.Object) string { return o.Base().ObjectType.Short() }
 
-// Save writes a JSON snapshot of the store to w. The snapshot contains
-// every registry object, all repository content, and the NodeState table.
-func (s *Store) Save(w io.Writer) error {
-	var snap snapshot
-	for _, o := range s.All() {
-		data, err := json.Marshal(o)
-		if err != nil {
-			return fmt.Errorf("store: marshal %s: %w", o.Base().ID, err)
-		}
-		snap.Objects = append(snap.Objects, objectEnvelope{Kind: kindOf(o), Data: data})
+// EncodeObject marshals o into a kind-tagged envelope.
+func EncodeObject(o rim.Object) (Envelope, error) {
+	data, err := json.Marshal(o)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("store: marshal %s: %w", o.Base().ID, err)
 	}
-	s.mu.RLock()
-	if len(s.content) > 0 {
-		snap.Content = make(map[string][]byte, len(s.content))
-		for k, v := range s.content {
-			snap.Content[k] = append([]byte(nil), v...)
-		}
-	}
-	s.mu.RUnlock()
-	snap.NodeState = s.nodeState.Rows()
+	return Envelope{Kind: kindOf(o), Data: data}, nil
+}
 
+// Decode rebuilds the concrete rim object the envelope carries.
+func (e Envelope) Decode() (rim.Object, error) {
+	return decodeObject(e)
+}
+
+// Save writes a JSON snapshot of the store to w. The snapshot contains
+// every registry object, all repository content, and the NodeState table,
+// all captured in a single critical section so a snapshot taken while LCM
+// writes are in flight is still a point-in-time view: it can never pair an
+// object list from one instant with the content map of a later one.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	objs := make([]rim.Object, 0, len(s.objects))
+	for _, o := range s.objects {
+		objs = append(objs, rim.CloneObject(o))
+	}
+	var content map[string][]byte
+	if len(s.content) > 0 {
+		content = make(map[string][]byte, len(s.content))
+		for k, v := range s.content {
+			content[k] = append([]byte(nil), v...)
+		}
+	}
+	// The NodeState table locks itself; acquiring it inside s.mu keeps the
+	// three captures at one instant. Nothing acquires these locks in the
+	// reverse order.
+	rows := s.nodeState.Rows()
+	s.mu.RUnlock()
+
+	// Sorting and marshalling happen outside the critical section.
+	sortByID(objs)
+	snap := snapshot{Content: content, NodeState: rows}
+	for _, o := range objs {
+		env, err := EncodeObject(o)
+		if err != nil {
+			return err
+		}
+		snap.Objects = append(snap.Objects, env)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(&snap)
 }
 
-// Load replaces the store's contents with the snapshot read from r.
+// Load replaces the store's contents with the snapshot read from r. The
+// NodeStateTable keeps its identity — components holding the table pointer
+// (the balancer, the collector) observe the restored rows rather than
+// writing to an orphaned table.
 func (s *Store) Load(r io.Reader) error {
 	var snap snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
@@ -69,23 +101,21 @@ func (s *Store) Load(r io.Reader) error {
 	for k, v := range snap.Content {
 		fresh.PutContent(k, v)
 	}
-	for _, row := range snap.NodeState {
-		fresh.nodeState.Upsert(row)
-	}
 
 	s.mu.Lock()
 	s.objects = fresh.objects
 	s.byType = fresh.byType
 	s.byOwner = fresh.byOwner
+	s.byName = fresh.byName
 	s.assocBySource = fresh.assocBySource
 	s.assocByTarget = fresh.assocByTarget
 	s.content = fresh.content
-	s.nodeState = fresh.nodeState
+	s.nodeState.Reset(snap.NodeState)
 	s.mu.Unlock()
 	return nil
 }
 
-func decodeObject(env objectEnvelope) (rim.Object, error) {
+func decodeObject(env Envelope) (rim.Object, error) {
 	var o rim.Object
 	switch env.Kind {
 	case "Organization":

@@ -1,0 +1,354 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lcm"
+	"repro/internal/simclock"
+	"repro/internal/store"
+)
+
+// ErrReadOnly is the typed error LCM operations surface once durability
+// has degraded: a disk-write failure flips the registry read-only rather
+// than crashing it, so discovery keeps serving while writes are refused.
+var ErrReadOnly = errors.New("wal: registry is read-only: durability degraded")
+
+// DurableOptions tunes a Durable.
+type DurableOptions struct {
+	// Log tunes the underlying segmented log.
+	Log Options
+	// CheckpointBytes triggers a checkpoint once this many WAL bytes have
+	// accumulated since the last one; 0 means DefaultCheckpointBytes,
+	// negative disables the byte trigger.
+	CheckpointBytes int64
+	// CheckpointRecords likewise for record count; 0 means
+	// DefaultCheckpointRecords, negative disables.
+	CheckpointRecords int
+}
+
+// Checkpoint trigger defaults.
+const (
+	DefaultCheckpointBytes   = 8 << 20
+	DefaultCheckpointRecords = 10000
+)
+
+// checkpointFormat versions the checkpoint file layout.
+const checkpointFormat = 1
+
+// checkpointFile is the JSON layout of a checkpoint-<seq>.json file: a
+// store snapshot stamped with the WAL position it covers. Recovery loads
+// the snapshot and replays only records strictly after (Segment, Offset).
+type checkpointFile struct {
+	Format   int             `json:"format"`
+	Segment  uint64          `json:"segment"`
+	Offset   int64           `json:"offset"`
+	Snapshot json.RawMessage `json:"snapshot"`
+}
+
+func checkpointName(seq uint64) string { return fmt.Sprintf("checkpoint-%010d.json", seq) }
+
+// listCheckpoints returns the ascending checkpoint sequence numbers in dir.
+func listCheckpoints(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	var out []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "checkpoint-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "checkpoint-%010d.json", &seq); err != nil || seq == 0 {
+			continue
+		}
+		out = append(out, seq)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+func readCheckpoint(path string) (checkpointFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return checkpointFile{}, fmt.Errorf("wal: read checkpoint: %w", err)
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return checkpointFile{}, fmt.Errorf("wal: decode checkpoint: %w", err)
+	}
+	if cf.Format != checkpointFormat {
+		return checkpointFile{}, fmt.Errorf("wal: checkpoint format %d unsupported", cf.Format)
+	}
+	return cf, nil
+}
+
+// Durable is the registry's durability manager: the lcm.Durability
+// implementation backed by a segmented WAL plus atomic checkpoints. One
+// mutex serializes every registry write (the BeginWrite/EndWrite bracket)
+// so the log's record order always equals the store's apply order.
+type Durable struct {
+	dir   string
+	store *store.Store
+	log   *Log
+	clock simclock.Clock
+	slog  *slog.Logger
+	opts  DurableOptions
+
+	mu           sync.Mutex
+	recordsSince int      // guarded by mu — records appended since last checkpoint
+	bytesSince   int64    // guarded by mu — bytes appended since last checkpoint
+	ckptSeq      uint64   // guarded by mu — newest checkpoint's sequence number
+	ckptPos      Position // guarded by mu — WAL position the newest checkpoint covers
+
+	degraded    atomic.Bool
+	replayed    atomic.Int64
+	checkpoints atomic.Int64
+	ckptSecBits atomic.Uint64
+}
+
+// OpenDurable opens the data directory, recovers the store from the
+// newest valid checkpoint (older retained checkpoints are the fallback if
+// the newest fails to decode), replays the WAL tail, and returns a
+// manager ready for lcm.Manager.Durability. The store should be freshly
+// constructed; recovery replaces its contents.
+func OpenDurable(dir string, s *store.Store, opts DurableOptions) (*Durable, error) {
+	if opts.CheckpointBytes == 0 {
+		opts.CheckpointBytes = DefaultCheckpointBytes
+	}
+	if opts.CheckpointRecords == 0 {
+		opts.CheckpointRecords = DefaultCheckpointRecords
+	}
+	l, err := Open(dir, opts.Log)
+	if err != nil {
+		return nil, err
+	}
+	d := &Durable{dir: dir, store: s, log: l, clock: l.clock, slog: l.slog, opts: opts}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	seqs, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	var start Position
+	for i := len(seqs) - 1; i >= 0; i-- {
+		cf, err := readCheckpoint(filepath.Join(dir, checkpointName(seqs[i])))
+		if err != nil {
+			d.slog.Warn("skipping unreadable checkpoint", "seq", seqs[i], "err", err)
+			continue
+		}
+		if err := s.Load(bytes.NewReader(cf.Snapshot)); err != nil {
+			d.slog.Warn("skipping undecodable checkpoint", "seq", seqs[i], "err", err)
+			continue
+		}
+		start = Position{Segment: cf.Segment, Offset: cf.Offset}
+		d.ckptSeq, d.ckptPos = seqs[i], start
+		break
+	}
+	if len(seqs) > 0 {
+		d.ckptSeq = seqs[len(seqs)-1] // never reuse a sequence number
+	}
+
+	var count, replayBytes int64
+	err = l.Replay(start, func(pos Position, payload []byte) error {
+		if err := applyRecord(s, payload); err != nil {
+			return err
+		}
+		count++
+		replayBytes += int64(len(payload)) + recordHeaderLen
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.replayed.Store(count)
+	d.recordsSince = int(count)
+	d.bytesSince = replayBytes
+	d.slog.Info("wal recovery complete",
+		"dir", dir, "checkpoint", d.ckptSeq, "replayedRecords", count, "objects", s.Len())
+	return d, nil
+}
+
+// BeginWrite opens the global write bracket. It fails fast with
+// ErrReadOnly once durability has degraded.
+func (d *Durable) BeginWrite() error {
+	if d.degraded.Load() {
+		return ErrReadOnly
+	}
+	d.mu.Lock()
+	if d.degraded.Load() {
+		d.mu.Unlock()
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// EndWrite closes the bracket opened by a successful BeginWrite.
+func (d *Durable) EndWrite() { d.mu.Unlock() }
+
+// Commit appends one mutation record inside an open bracket. When it
+// returns nil the record is on disk per the fsync policy and the write
+// may be acknowledged; an append failure degrades the registry.
+func (d *Durable) Commit(m lcm.Mutation) error { return d.commitLocked(m) }
+
+func (d *Durable) commitLocked(m lcm.Mutation) error {
+	if d.degraded.Load() {
+		return ErrReadOnly
+	}
+	payload, err := encodeMutation(m)
+	if err != nil {
+		return err
+	}
+	if _, err := d.log.Append(payload); err != nil {
+		d.degrade("append", err)
+		return fmt.Errorf("wal: %w: %w", ErrReadOnly, err)
+	}
+	d.recordsSince++
+	d.bytesSince += int64(len(payload)) + recordHeaderLen
+	if d.shouldCheckpointLocked() {
+		// The mutation itself is durable; a checkpoint failure degrades
+		// the registry (checkpointLocked does) but this write stands.
+		if err := d.checkpointLocked(); err != nil {
+			d.slog.Error("automatic checkpoint failed", "err", err)
+		}
+	}
+	return nil
+}
+
+func (d *Durable) shouldCheckpointLocked() bool {
+	if d.opts.CheckpointRecords > 0 && d.recordsSince >= d.opts.CheckpointRecords {
+		return true
+	}
+	if d.opts.CheckpointBytes > 0 && d.bytesSince >= d.opts.CheckpointBytes {
+		return true
+	}
+	return false
+}
+
+// Checkpoint forces a checkpoint now — boot (to cover bootstrap writes)
+// and graceful shutdown use this.
+func (d *Durable) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.checkpointLocked()
+}
+
+// checkpointLocked snapshots the store, writes it atomically stamped with
+// the current WAL position, then applies retention: the previous
+// checkpoint is kept as the recovery fallback, anything older is deleted,
+// and WAL segments wholly covered by the previous checkpoint are pruned.
+func (d *Durable) checkpointLocked() error {
+	started := d.clock.Now()
+	pos := d.log.Pos()
+	var buf bytes.Buffer
+	if err := d.store.Save(&buf); err != nil {
+		d.degrade("checkpoint snapshot", err)
+		return fmt.Errorf("wal: checkpoint snapshot: %w", err)
+	}
+	data, err := json.Marshal(&checkpointFile{
+		Format: checkpointFormat, Segment: pos.Segment, Offset: pos.Offset, Snapshot: buf.Bytes(),
+	})
+	if err != nil {
+		return fmt.Errorf("wal: encode checkpoint: %w", err)
+	}
+	seq := d.ckptSeq + 1
+	if err := WriteFileAtomic(filepath.Join(d.dir, checkpointName(seq)), func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	}); err != nil {
+		d.degrade("checkpoint write", err)
+		return err
+	}
+	prevSeq, prunePos := d.ckptSeq, d.ckptPos
+	d.ckptSeq, d.ckptPos = seq, pos
+	d.recordsSince, d.bytesSince = 0, 0
+	d.checkpoints.Add(1)
+	d.ckptSecBits.Store(math.Float64bits(d.clock.Now().Sub(started).Seconds()))
+	// Retention is best-effort: a failure here loses disk space, not data.
+	if err := removeCheckpointsBelow(d.dir, prevSeq); err != nil {
+		d.slog.Warn("stale checkpoint removal failed", "err", err)
+	}
+	if _, err := d.log.Prune(prunePos); err != nil {
+		d.slog.Warn("wal segment prune failed", "err", err)
+	}
+	d.slog.Info("checkpoint written", "seq", seq, "pos", pos.String(), "bytes", len(data))
+	return nil
+}
+
+// removeCheckpointsBelow deletes checkpoint files with sequence < keep.
+func removeCheckpointsBelow(dir string, keep uint64) error {
+	seqs, err := listCheckpoints(dir)
+	if err != nil {
+		return err
+	}
+	for _, seq := range seqs {
+		if seq >= keep {
+			break
+		}
+		if err := os.Remove(filepath.Join(dir, checkpointName(seq))); err != nil {
+			return fmt.Errorf("wal: remove checkpoint %d: %w", seq, err)
+		}
+	}
+	return nil
+}
+
+// degrade flips the registry read-only after a disk-write failure.
+func (d *Durable) degrade(op string, err error) {
+	if d.degraded.CompareAndSwap(false, true) {
+		d.slog.Error("durability degraded: registry is now read-only", "op", op, "err", err)
+	}
+}
+
+// ForceReadOnly degrades durability by hand — the operator's big red
+// button and the degraded-mode test hook.
+func (d *Durable) ForceReadOnly(err error) { d.degrade("forced", err) }
+
+// Degraded reports whether the registry has been flipped read-only.
+func (d *Durable) Degraded() bool { return d.degraded.Load() }
+
+// WAL exposes the underlying log for metrics.
+func (d *Durable) WAL() *Log { return d.log }
+
+// ReplayedRecords returns how many WAL records boot recovery applied.
+func (d *Durable) ReplayedRecords() int64 { return d.replayed.Load() }
+
+// Checkpoints returns how many checkpoints were written since open.
+func (d *Durable) Checkpoints() int64 { return d.checkpoints.Load() }
+
+// LastCheckpointSeconds returns the wall time of the latest checkpoint.
+func (d *Durable) LastCheckpointSeconds() float64 {
+	return math.Float64frombits(d.ckptSecBits.Load())
+}
+
+// CheckpointPos returns the WAL position covered by the newest checkpoint.
+func (d *Durable) CheckpointPos() Position {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ckptPos
+}
+
+// Close checkpoints (unless degraded) and closes the log.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.degraded.Load() {
+		if err := d.checkpointLocked(); err != nil {
+			return err
+		}
+	}
+	return d.log.Close()
+}

@@ -1,0 +1,280 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func mustAppend(t *testing.T, l *Log, payload []byte) Position {
+	t.Helper()
+	pos, err := l.Append(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pos
+}
+
+func replayAll(t *testing.T, l *Log) [][]byte {
+	t.Helper()
+	var out [][]byte
+	err := l.Replay(Position{}, func(pos Position, payload []byte) error {
+		out = append(out, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		p := []byte(fmt.Sprintf("record-%d", i))
+		want = append(want, p)
+		mustAppend(t, l, p)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := replayAll(t, l2)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if a := l2.Appends(); a != 0 {
+		t.Fatalf("fresh log reports %d appends", a)
+	}
+}
+
+func TestOpenTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, []byte("alpha"))
+	mustAppend(t, l, []byte("beta"))
+	valid := l.Pos()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-write: garbage that is not a complete record.
+	path := filepath.Join(dir, segmentName(1))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0, 0, 0, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := replayAll(t, l2); len(got) != 2 {
+		t.Fatalf("replayed %d records after torn tail, want 2", len(got))
+	}
+	if p := l2.Pos(); p != valid {
+		t.Fatalf("cursor after truncation = %v, want %v", p, valid)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != valid.Offset {
+		t.Fatalf("file size %d, want truncated to %d", fi.Size(), valid.Offset)
+	}
+	// The log must accept appends on the clean boundary.
+	mustAppend(t, l2, []byte("gamma"))
+	if got := replayAll(t, l2); len(got) != 3 || string(got[2]) != "gamma" {
+		t.Fatalf("after post-truncation append got %q", got)
+	}
+}
+
+func TestOpenDropsCorruptTailRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, []byte("keep-me"))
+	mid := l.Pos()
+	mustAppend(t, l, []byte("corrupt-me"))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte of the last record; its CRC must catch it.
+	path := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[mid.Offset+recordHeaderLen] ^= 0xff
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := replayAll(t, l2)
+	if len(got) != 1 || string(got[0]) != "keep-me" {
+		t.Fatalf("replay after corruption = %q, want only keep-me", got)
+	}
+}
+
+func TestRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 40)
+	for i := 0; i < 6; i++ {
+		mustAppend(t, l, payload)
+	}
+	if n := l.SegmentCount(); n < 3 {
+		t.Fatalf("segment count %d, want rotation to at least 3", n)
+	}
+	if got := replayAll(t, l); len(got) != 6 {
+		t.Fatalf("replayed %d records across segments, want 6", len(got))
+	}
+	tail := l.Pos()
+	removed, err := l.Prune(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("prune removed nothing")
+	}
+	if n := l.SegmentCount(); n != 1 {
+		t.Fatalf("segment count after prune = %d, want 1 (the tail)", n)
+	}
+	// Records after the prune point still replay.
+	mustAppend(t, l, []byte("tail"))
+	err = l.Replay(tail, func(pos Position, p []byte) error {
+		if string(p) != "tail" {
+			return fmt.Errorf("unexpected record %q", p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		l, err := Open(t.TempDir(), Options{Fsync: FsyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		for i := 0; i < 5; i++ {
+			mustAppend(t, l, []byte("p"))
+		}
+		if f := l.Fsyncs(); f != 5 {
+			t.Fatalf("fsyncs = %d, want one per append", f)
+		}
+	})
+	t.Run("never", func(t *testing.T) {
+		l, err := Open(t.TempDir(), Options{Fsync: FsyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		for i := 0; i < 5; i++ {
+			mustAppend(t, l, []byte("p"))
+		}
+		if f := l.Fsyncs(); f != 0 {
+			t.Fatalf("fsyncs = %d, want 0 before Close", f)
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		clk := simclock.NewManual(time.Unix(1_700_000_000, 0))
+		l, err := Open(t.TempDir(), Options{Fsync: FsyncInterval, FsyncInterval: time.Second, Clock: clk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		mustAppend(t, l, []byte("a"))
+		mustAppend(t, l, []byte("b"))
+		if f := l.Fsyncs(); f != 0 {
+			t.Fatalf("fsyncs before interval elapsed = %d, want 0", f)
+		}
+		clk.Advance(time.Second)
+		mustAppend(t, l, []byte("c"))
+		if f := l.Fsyncs(); f != 1 {
+			t.Fatalf("fsyncs after interval elapsed = %d, want 1", f)
+		}
+		mustAppend(t, l, []byte("d"))
+		if f := l.Fsyncs(); f != 1 {
+			t.Fatalf("fsyncs = %d, want still 1 inside the new window", f)
+		}
+	})
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snapshot.json")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("v1"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A failing writer must leave the previous file intact and no temp
+	// files behind.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		return fmt.Errorf("simulated write failure")
+	}); err == nil {
+		t.Fatal("expected the failing write to error")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v1" {
+		t.Fatalf("file content after failed rewrite = %q, want v1", data)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries (temp leak?), want 1", len(entries))
+	}
+}

@@ -1,0 +1,75 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/lcm"
+	"repro/internal/store"
+)
+
+// walRecord is the JSON payload framed into one WAL record: a logical
+// mutation carrying full post-state (see lcm.Mutation). Replay is
+// idempotent — Puts overwrite, Deletes ignore already-missing ids — so a
+// record also covered by a checkpoint applies harmlessly.
+type walRecord struct {
+	Op            string           `json:"op"`
+	Puts          []store.Envelope `json:"puts,omitempty"`
+	Deletes       []string         `json:"deletes,omitempty"`
+	ContentPut    string           `json:"contentPut,omitempty"`
+	Content       []byte           `json:"content,omitempty"`
+	ContentDelete string           `json:"contentDelete,omitempty"`
+}
+
+// encodeMutation serializes an acknowledged mutation for appending.
+func encodeMutation(m lcm.Mutation) ([]byte, error) {
+	rec := walRecord{
+		Op:            m.Op,
+		Deletes:       m.Deletes,
+		ContentPut:    m.ContentPutID,
+		Content:       m.Content,
+		ContentDelete: m.ContentDeleteID,
+	}
+	for _, o := range m.Puts {
+		env, err := store.EncodeObject(o)
+		if err != nil {
+			return nil, fmt.Errorf("wal: encode mutation: %w", err)
+		}
+		rec.Puts = append(rec.Puts, env)
+	}
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encode mutation: %w", err)
+	}
+	return data, nil
+}
+
+// applyRecord replays one record's payload into the store.
+func applyRecord(s *store.Store, payload []byte) error {
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return fmt.Errorf("wal: decode record: %w", err)
+	}
+	for _, env := range rec.Puts {
+		o, err := env.Decode()
+		if err != nil {
+			return fmt.Errorf("wal: replay %s: %w", rec.Op, err)
+		}
+		if err := s.Put(o); err != nil {
+			return fmt.Errorf("wal: replay %s: %w", rec.Op, err)
+		}
+	}
+	for _, id := range rec.Deletes {
+		if err := s.Delete(id); err != nil && !errors.Is(err, store.ErrNotFound) {
+			return fmt.Errorf("wal: replay %s: %w", rec.Op, err)
+		}
+	}
+	if rec.ContentPut != "" {
+		s.PutContent(rec.ContentPut, rec.Content)
+	}
+	if rec.ContentDelete != "" {
+		s.DeleteContent(rec.ContentDelete)
+	}
+	return nil
+}

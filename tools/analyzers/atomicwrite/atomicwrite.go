@@ -1,0 +1,57 @@
+// Package atomicwrite flags non-atomic writes of snapshot and checkpoint
+// files in non-test code.
+//
+// Durability state must never be rewritten in place: a crash between
+// os.Create (which truncates) and the final Write destroys the previous
+// good copy, which is exactly the failure the WAL + checkpoint subsystem
+// exists to rule out. The sanctioned writer is wal.WriteFileAtomic, which
+// stages into a temp file in the same directory, fsyncs, and renames over
+// the target so readers observe either the old or the new file, never a
+// torn one. The analyzer diagnoses os.Create and os.WriteFile calls whose
+// path argument mentions a snapshot or checkpoint; package wal itself is
+// exempt (it implements the atomic writer), as are test files. Package
+// main is deliberately NOT exempt — cmd/regserver's snapshot save was the
+// original offender.
+package atomicwrite
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/tools/analyzers/framework"
+)
+
+// Analyzer is the atomicwrite pass.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicwrite",
+	Doc: "flags os.Create/os.WriteFile of snapshot or checkpoint files in non-test code; " +
+		"use wal.WriteFileAtomic (temp file + fsync + rename) so a crash cannot destroy the previous copy",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "wal" {
+		// internal/wal implements WriteFileAtomic and owns its file layout.
+		return nil, nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			_, name, ok := pass.SelectorOnPackage(call.Fun, "os")
+			if !ok || (name != "Create" && name != "WriteFile") || len(call.Args) == 0 {
+				return true
+			}
+			arg := strings.ToLower(types.ExprString(call.Args[0]))
+			if strings.Contains(arg, "snapshot") || strings.Contains(arg, "checkpoint") {
+				pass.Reportf(call.Pos(),
+					"os.%s writes snapshot/checkpoint state non-atomically; use wal.WriteFileAtomic (temp file + rename)", name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

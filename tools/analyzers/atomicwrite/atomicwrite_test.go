@@ -1,0 +1,12 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/atomicwrite"
+)
+
+func TestAtomicwrite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), atomicwrite.Analyzer, "atomicwrite", "wal")
+}

@@ -1,0 +1,23 @@
+// Package atomicwrite is the fixture for the atomicwrite analyzer:
+// in-place writes of snapshot/checkpoint paths are diagnosed, unrelated
+// files stay clean.
+package atomicwrite
+
+import "os"
+
+func bad(snapshotPath string, dir string) {
+	f, _ := os.Create(snapshotPath) // want `os\.Create writes snapshot/checkpoint state non-atomically`
+	f.Close()
+	g, _ := os.Create(dir + "/checkpoint-0000000001.json") // want `os\.Create writes snapshot/checkpoint state non-atomically`
+	g.Close()
+	_ = os.WriteFile(registrySnapshotFile(), nil, 0o644) // want `os\.WriteFile writes snapshot/checkpoint state non-atomically`
+}
+
+func good(logPath string) {
+	// Unrelated files may be created in place.
+	f, _ := os.Create(logPath)
+	f.Close()
+	_ = os.WriteFile("report.txt", nil, 0o644)
+}
+
+func registrySnapshotFile() string { return "registry.json" }

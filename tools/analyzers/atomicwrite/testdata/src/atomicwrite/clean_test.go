@@ -1,0 +1,9 @@
+package atomicwrite
+
+import "os"
+
+// Test files may stage snapshot fixtures however they like.
+func writeSnapshotFixture(snapshotPath string) {
+	f, _ := os.Create(snapshotPath)
+	f.Close()
+}

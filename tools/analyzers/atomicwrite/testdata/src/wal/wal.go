@@ -1,0 +1,11 @@
+// Package wal is the exemption fixture: the real internal/wal implements
+// WriteFileAtomic and manages checkpoint files directly, so nothing in a
+// package named wal is diagnosed.
+package wal
+
+import "os"
+
+func writeCheckpointDirect(checkpointPath string) {
+	f, _ := os.Create(checkpointPath)
+	f.Close()
+}
