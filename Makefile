@@ -6,7 +6,7 @@ BENCH_PATTERN = BenchmarkDiscovery
 BENCH_TIME    = 2000x
 BENCH_NOTE    = discovery fast path baseline; allocs/op gated at +25%
 
-.PHONY: all build test race vet lint check clean bench benchcheck smoke crashcheck
+.PHONY: all build test race vet lint check clean bench benchcheck smoke crashcheck escapecheck escapecheck-emit
 
 all: check
 
@@ -26,8 +26,8 @@ bin/repolint: $(shell find cmd/repolint tools/analyzers -name '*.go' -not -path 
 	$(GO) build -o $@ ./cmd/repolint
 
 # lint runs the repo's own invariant analyzers (wallclock, lockcheck,
-# errwrap, norand, clienttimeout, structlog, atomicwrite) over every
-# package via the go vet driver.
+# errwrap, norand, clienttimeout, structlog, atomicwrite, lockorder,
+# ctxprop, gorolife, hotalloc) over every package via the go vet driver.
 lint: bin/repolint
 	$(GO) vet -vettool=$(CURDIR)/bin/repolint ./...
 
@@ -41,6 +41,17 @@ smoke:
 # offset and recovery must reproduce the acknowledged store exactly.
 crashcheck:
 	$(GO) test -race -count=1 -run 'Crash|WALEquivalent|Degraded|CheckpointRetention' ./internal/wal/ ./internal/registry/
+
+# escapecheck recompiles the //repolint:hotpath packages with
+# -gcflags=-m and fails on any heap escape inside an annotated function
+# that is not in the committed ESCAPES_discovery.txt, or when the
+# annotated-function set has drifted from the baseline.
+escapecheck:
+	$(GO) run ./cmd/escapecheck compare -baseline ESCAPES_discovery.txt
+
+# escapecheck-emit regenerates the committed escape baseline.
+escapecheck-emit:
+	$(GO) run ./cmd/escapecheck emit -o ESCAPES_discovery.txt
 
 check: build test vet lint smoke
 

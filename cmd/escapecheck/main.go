@@ -1,0 +1,337 @@
+// Command escapecheck gates heap escapes inside //repolint:hotpath
+// functions against the committed ESCAPES_discovery.txt baseline. It is
+// the compiler-level counterpart of the hotalloc analyzer: hotalloc bans
+// constructs that always allocate; escapecheck catches everything else
+// the escape analysis decides to heap-allocate, so a regression shows up
+// as a diff instead of a slower benchmark.
+//
+//	escapecheck emit -o ESCAPES_discovery.txt     # rebuild the baseline
+//	escapecheck compare -baseline ESCAPES_discovery.txt
+//	escapecheck sync -baseline ESCAPES_discovery.txt
+//
+// All subcommands scan internal/ for functions carrying the
+// //repolint:hotpath directive. emit and compare then compile the
+// annotated packages with `go build -a -gcflags=-m` (-a defeats the
+// build cache, which would otherwise swallow the diagnostics) and keep
+// the "escapes to heap" / "moved to heap" lines that fall inside an
+// annotated function. compare fails on any escape absent from the
+// baseline and on drift in the annotated-function set; escapes that
+// disappeared merely suggest re-emitting. sync checks only the
+// function set, without compiling, so it is cheap enough for every CI
+// run.
+//
+// Baseline format, one record per line, '#' comments ignored:
+//
+//	func <import-path>.<Func>              # annotated function (set)
+//	escape <import-path>.<Func>: <msg>     # accepted escape (multiset)
+//
+// Messages are keyed without file:line so the baseline survives
+// unrelated edits that shift line numbers.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	modulePath   = "repro"
+	hotDirective = "//repolint:hotpath"
+	scanRoot     = "internal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("escapecheck: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: escapecheck emit|compare|sync [flags]")
+	}
+	switch os.Args[1] {
+	case "emit":
+		emit(os.Args[2:])
+	case "compare":
+		compare(os.Args[2:])
+	case "sync":
+		syncCheck(os.Args[2:])
+	default:
+		log.Fatalf("unknown subcommand %q (want emit, compare, or sync)", os.Args[1])
+	}
+}
+
+// hotFunc is one //repolint:hotpath-annotated function.
+type hotFunc struct {
+	name  string // "<import-path>.<Recv.>Name"
+	file  string // path relative to the module root, slash-separated
+	start int    // first line of the declaration (doc comment excluded)
+	end   int    // last line of the body
+}
+
+// discover walks scanRoot for non-test Go files and returns every
+// annotated function, sorted by name.
+func discover() []hotFunc {
+	var out []hotFunc
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(scanRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		pkgPath := modulePath + "/" + filepath.ToSlash(filepath.Dir(path))
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			annotated := false
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, hotDirective) {
+					annotated = true
+					break
+				}
+			}
+			if !annotated {
+				continue
+			}
+			out = append(out, hotFunc{
+				name:  pkgPath + "." + funcDisplayName(fd),
+				file:  filepath.ToSlash(path),
+				start: fset.Position(fd.Pos()).Line,
+				end:   fset.Position(fd.Body.End()).Line,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// funcDisplayName renders "Name" for functions and "Recv.Name" for
+// methods, with any receiver pointer stripped.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// packagesOf returns the sorted unique "./dir" patterns containing the
+// annotated functions.
+func packagesOf(funcs []hotFunc) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, hf := range funcs {
+		p := "./" + filepath.ToSlash(filepath.Dir(hf.file))
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// escapes compiles the annotated packages with -gcflags=-m and returns
+// the heap-escape diagnostics that land inside an annotated function,
+// as "name: msg" strings (duplicates preserved).
+func escapes(funcs []hotFunc) []string {
+	// file -> annotated ranges, for attributing diagnostic lines.
+	byFile := make(map[string][]hotFunc)
+	for _, hf := range funcs {
+		byFile[hf.file] = append(byFile[hf.file], hf)
+	}
+	args := append([]string{"build", "-a", "-gcflags=-m"}, packagesOf(funcs)...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	var sb strings.Builder
+	cmd.Stderr = &sb
+	if err := cmd.Run(); err != nil {
+		log.Fatalf("go %s: %v\n%s", strings.Join(args, " "), err, sb.String())
+	}
+	var out []string
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 {
+			continue
+		}
+		lineNo, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		file := filepath.ToSlash(strings.TrimPrefix(parts[0], "./"))
+		for _, hf := range byFile[file] {
+			if lineNo >= hf.start && lineNo <= hf.end {
+				out = append(out, hf.name+": "+strings.TrimSpace(parts[3]))
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func emit(args []string) {
+	fs := flag.NewFlagSet("emit", flag.ExitOnError)
+	out := fs.String("o", "ESCAPES_discovery.txt", "output baseline file")
+	fs.Parse(args)
+
+	funcs := discover()
+	if len(funcs) == 0 {
+		log.Fatal("no //repolint:hotpath functions found under " + scanRoot)
+	}
+	esc := escapes(funcs)
+
+	var b strings.Builder
+	b.WriteString("# Heap escapes inside //repolint:hotpath functions, from `go build -gcflags=-m`.\n")
+	b.WriteString("# Regenerate with `make escapecheck-emit`; `make escapecheck` diffs against this.\n")
+	for _, hf := range funcs {
+		fmt.Fprintf(&b, "func %s\n", hf.name)
+	}
+	for _, e := range esc {
+		fmt.Fprintf(&b, "escape %s\n", e)
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("escapecheck: wrote %s (%d hotpath functions, %d accepted escapes)\n",
+		*out, len(funcs), len(esc))
+}
+
+func compare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	baseline := fs.String("baseline", "ESCAPES_discovery.txt", "committed baseline file")
+	fs.Parse(args)
+
+	baseFuncs, baseEsc := readBaseline(*baseline)
+	funcs := discover()
+	fail := checkFuncSet(*baseline, baseFuncs, funcs)
+
+	current := escapes(funcs)
+	remaining := make(map[string]int, len(baseEsc))
+	for k, n := range baseEsc {
+		remaining[k] = n
+	}
+	for _, e := range current {
+		if remaining[e] > 0 {
+			remaining[e]--
+			continue
+		}
+		fmt.Printf("escapecheck: NEW escape not in %s:\n  %s\n", *baseline, e)
+		fail = true
+	}
+	var gone []string
+	for k, n := range remaining {
+		for i := 0; i < n; i++ {
+			gone = append(gone, k)
+		}
+	}
+	sort.Strings(gone)
+	for _, e := range gone {
+		fmt.Printf("escapecheck: baseline escape no longer produced (improvement — consider `make escapecheck-emit`):\n  %s\n", e)
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Printf("escapecheck: ok (%d hotpath functions, %d escapes match baseline)\n",
+		len(funcs), len(current))
+}
+
+func syncCheck(args []string) {
+	fs := flag.NewFlagSet("sync", flag.ExitOnError)
+	baseline := fs.String("baseline", "ESCAPES_discovery.txt", "committed baseline file")
+	fs.Parse(args)
+
+	baseFuncs, _ := readBaseline(*baseline)
+	funcs := discover()
+	if checkFuncSet(*baseline, baseFuncs, funcs) {
+		os.Exit(1)
+	}
+	fmt.Printf("escapecheck: baseline covers all %d hotpath functions\n", len(funcs))
+}
+
+// checkFuncSet reports (and returns true on) drift between the baseline's
+// `func` lines and the annotated functions in the tree.
+func checkFuncSet(baseline string, baseFuncs map[string]bool, funcs []hotFunc) bool {
+	fail := false
+	seen := make(map[string]bool, len(funcs))
+	for _, hf := range funcs {
+		seen[hf.name] = true
+		if !baseFuncs[hf.name] {
+			fmt.Printf("escapecheck: %s is annotated //repolint:hotpath but missing from %s; run `make escapecheck-emit`\n",
+				hf.name, baseline)
+			fail = true
+		}
+	}
+	var stale []string
+	for name := range baseFuncs {
+		if !seen[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		fmt.Printf("escapecheck: %s is in %s but no longer annotated; run `make escapecheck-emit`\n",
+			name, baseline)
+		fail = true
+	}
+	return fail
+}
+
+// readBaseline parses the baseline into the function set and the escape
+// multiset.
+func readBaseline(path string) (map[string]bool, map[string]int) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	funcs := make(map[string]bool)
+	esc := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "func "):
+			funcs[strings.TrimSpace(strings.TrimPrefix(line, "func "))] = true
+		case strings.HasPrefix(line, "escape "):
+			esc[strings.TrimSpace(strings.TrimPrefix(line, "escape "))]++
+		default:
+			log.Fatalf("%s: unrecognized line %q", path, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	return funcs, esc
+}

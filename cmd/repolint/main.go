@@ -1,6 +1,7 @@
 // Command repolint is the repository's static-analysis vettool. It runs
-// the seven invariant analyzers — wallclock, lockcheck, errwrap, norand,
-// clienttimeout, structlog, atomicwrite — over Go packages, enforcing the
+// the eleven invariant analyzers — wallclock, lockcheck, errwrap, norand,
+// clienttimeout, structlog, atomicwrite, lockorder, ctxprop, gorolife,
+// hotalloc — over Go packages, enforcing the
 // conventions that keep the registry reproduction deterministic,
 // race-free, fault-tolerant, crash-safe, and observably logged (see
 // DESIGN.md, "Static analysis & invariants").
@@ -38,9 +39,13 @@ import (
 
 	"repro/tools/analyzers/atomicwrite"
 	"repro/tools/analyzers/clienttimeout"
+	"repro/tools/analyzers/ctxprop"
 	"repro/tools/analyzers/errwrap"
 	"repro/tools/analyzers/framework"
+	"repro/tools/analyzers/gorolife"
+	"repro/tools/analyzers/hotalloc"
 	"repro/tools/analyzers/lockcheck"
+	"repro/tools/analyzers/lockorder"
 	"repro/tools/analyzers/norand"
 	"repro/tools/analyzers/structlog"
 	"repro/tools/analyzers/wallclock"
@@ -55,6 +60,10 @@ var analyzers = []*framework.Analyzer{
 	clienttimeout.Analyzer,
 	structlog.Analyzer,
 	atomicwrite.Analyzer,
+	lockorder.Analyzer,
+	ctxprop.Analyzer,
+	gorolife.Analyzer,
+	hotalloc.Analyzer,
 }
 
 func main() {

@@ -118,6 +118,8 @@ var openTags = []struct{ open, close string }{
 //   - (nil, desc, err) when a block is present but malformed; the thesis's
 //     ServiceConstraint treats this as "no valid service constraints" and
 //     callers decide whether to surface or swallow err.
+//
+//repolint:coldpath cache-miss parser; the hot path hits Cache.FromDescription
 func FromDescription(desc string) (*Constraint, string, error) {
 	for _, tag := range openTags {
 		start := strings.Index(desc, tag.open)

@@ -20,7 +20,6 @@
 package core
 
 import (
-	"sort"
 	"strconv"
 	"time"
 
@@ -270,6 +269,8 @@ func (b *Balancer) ArrangeURIs(description string, uris []string, now time.Time)
 // ArrangeView is the allocation-lean discovery entry point: it arranges a
 // store.DiscoveryView (id, description, and access URIs — no cloned object
 // graph), keying the constraint cache by the view's service id.
+//
+//repolint:hotpath warm discovery chain: the balancer's serving edge
 func (b *Balancer) ArrangeView(view store.DiscoveryView, now time.Time) ([]string, Decision) {
 	return b.arrange(view.ID, view.Description, view.URIs, now, nil)
 }
@@ -277,18 +278,19 @@ func (b *Balancer) ArrangeView(view store.DiscoveryView, now time.Time) ([]strin
 // ArrangeViewTraced is ArrangeView recording span timings onto tr. A nil
 // tr is the common case (sampling off) and costs only nil-receiver calls,
 // keeping the fast path's allocation budget intact.
+//
+//repolint:hotpath warm discovery chain: traced serving edge
 func (b *Balancer) ArrangeViewTraced(view store.DiscoveryView, now time.Time, tr *obs.Trace) ([]string, Decision) {
 	return b.arrange(view.ID, view.Description, view.URIs, now, tr)
 }
 
 func (b *Balancer) arrange(serviceID, description string, uris []string, now time.Time, tr *obs.Trace) ([]string, Decision) {
 	dec := Decision{TimeWindowOK: true}
-	// The stored-order copy is built only on the paths that serve it; the
-	// filtered steady state never pays for it.
-	stock := func() []string { return append([]string(nil), uris...) }
+	// The stored-order copy (stockOrder) is built only on the paths that
+	// serve it; the filtered steady state never pays for it.
 
 	if b.Policy == PolicyStock {
-		return stock(), dec
+		return stockOrder(uris), dec
 	}
 
 	// Step 1: ServiceConstraint — extract and validate the block. The
@@ -307,10 +309,10 @@ func (b *Balancer) arrange(serviceID, description string, uris []string, now tim
 		// "ServiceConstraint returns false if no valid service
 		// constraints are specified").
 		dec.ConstraintErr = err
-		return stock(), dec
+		return stockOrder(uris), dec
 	}
 	if c.IsZero() {
-		return stock(), dec
+		return stockOrder(uris), dec
 	}
 	dec.Constraint = c
 
@@ -321,12 +323,12 @@ func (b *Balancer) arrange(serviceID, description string, uris []string, now tim
 		case TimeWindowExclude:
 			return nil, dec
 		default:
-			return stock(), dec
+			return stockOrder(uris), dec
 		}
 	}
 	if !c.HasResourceClauses() {
 		// Window-only constraint and the window is open.
-		return stock(), dec
+		return stockOrder(uris), dec
 	}
 
 	// Step 3: LoadStatus — classify each host against NodeState. Hosts are
@@ -395,26 +397,20 @@ func (b *Balancer) arrange(serviceID, description string, uris []string, now tim
 	case PolicyFilter:
 		out = eligible
 	case PolicyRankFirst:
-		out = append(append(append([]string{}, eligible...), unknown...), ineligible...)
+		out = make([]string, 0, len(eligible)+len(unknown)+len(ineligible))
+		out = append(append(append(out, eligible...), unknown...), ineligible...)
 	case PolicyLeastLoaded:
 		byLoad := append([]string(nil), eligible...)
-		sort.SliceStable(byLoad, func(i, j int) bool { return loadOf[byLoad[i]] < loadOf[byLoad[j]] })
+		sortByLoad(byLoad, loadOf)
 		out = append(byLoad, unknown...)
 	default:
-		out = stock()
+		out = stockOrder(uris)
 	}
 
 	if len(out) == 0 && b.FallbackAll && len(candidates) > 0 {
 		dec.FellBack = true
 		out = append([]string(nil), candidates...)
-		sort.SliceStable(out, func(i, j int) bool {
-			li, iOK := loadOrInf(loadOf, out[i])
-			lj, jOK := loadOrInf(loadOf, out[j])
-			if iOK != jOK {
-				return iOK // known loads before unknown
-			}
-			return li < lj
-		})
+		sortByLoad(out, loadOf)
 	}
 
 	// Step 5: graceful degradation — when nothing at all survived (e.g.
@@ -422,7 +418,7 @@ func (b *Balancer) arrange(serviceID, description string, uris []string, now tim
 	// vanilla freebXML would, rather than an empty answer.
 	if len(out) == 0 && b.Degraded == DegradedStatic {
 		dec.Degraded = true
-		out = stock()
+		out = stockOrder(uris)
 	}
 	tr.EndSpan(span)
 	if tr != nil {
@@ -444,4 +440,46 @@ func (b *Balancer) arrange(serviceID, description string, uris []string, now tim
 func loadOrInf(m map[string]float64, uri string) (float64, bool) {
 	l, ok := m[uri]
 	return l, ok
+}
+
+// stockOrder copies uris so callers can serve the stored order without
+// aliasing the (shared, immutable) view slice.
+func stockOrder(uris []string) []string {
+	return append([]string(nil), uris...)
+}
+
+// sortByLoad stable-sorts uris in place: URIs with a known load first, in
+// ascending load order; URIs without a NodeState row keep their stored
+// relative order after them. An insertion sort keeps the hot path free of
+// sort.SliceStable's interface boxing and less-func closure — candidate
+// sets are a service's bindings (a handful), where it also beats the
+// general algorithm outright.
+func sortByLoad(uris []string, load map[string]float64) {
+	for i := 1; i < len(uris); i++ {
+		cur := uris[i]
+		li, iOK := loadOrInf(load, cur)
+		j := i
+		for j > 0 {
+			lj, jOK := loadOrInf(load, uris[j-1])
+			if !lessLoad(li, iOK, lj, jOK) {
+				break
+			}
+			uris[j] = uris[j-1]
+			j--
+		}
+		uris[j] = cur
+	}
+}
+
+// lessLoad orders (a known-ness aOK, load a) strictly before (bOK, b):
+// known loads precede unknown, known loads ascend, unknowns tie (so the
+// insertion sort leaves their stored order untouched — stability).
+func lessLoad(a float64, aOK bool, b float64, bOK bool) bool {
+	if aOK != bOK {
+		return aOK
+	}
+	if !aOK {
+		return false
+	}
+	return a < b
 }

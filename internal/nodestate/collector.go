@@ -217,13 +217,22 @@ func (c *Collector) FaultStats() Stats {
 	return c.stats
 }
 
-// CollectOnce performs one sweep at the clock's current time: it invokes
+// CollectOnce performs one sweep without an external context; cancelling
+// an in-flight sweep requires CollectOnceCtx.
+//
+//repolint:ctxprop-allow context-free compatibility wrapper for callers without a sweep context
+func (c *Collector) CollectOnce() {
+	c.CollectOnceCtx(context.Background())
+}
+
+// CollectOnceCtx performs one sweep at the clock's current time: it invokes
 // NodeStatus on every deployment URI (boundedly in parallel) and upserts a
 // NodeState row per host; failed invocations record a failure on the row
 // instead so stale data is distinguishable from fresh (strict policies can
 // then exclude the host). Hosts with an open breaker are skipped and left
-// quarantined.
-func (c *Collector) CollectOnce() {
+// quarantined. ctx bounds every invocation in the sweep: cancelling it
+// makes context-aware invokers release their sockets mid-flight.
+func (c *Collector) CollectOnceCtx(ctx context.Context) {
 	uris := c.uris()
 	now := c.clock.Now()
 
@@ -251,7 +260,7 @@ func (c *Collector) CollectOnce() {
 			}
 			if c.breakers != nil && !c.breakers.Allow(host, now) {
 				c.table.SetHealth(host, store.HealthQuarantined)
-				c.log.Debug("sweep skip: breaker open", "host", host)
+				c.log.DebugContext(ctx, "sweep skip: breaker open", "host", host)
 				count(func(s *Stats) { s.Skipped++ })
 				c.observeBreaker(host)
 				if c.telemetry != nil && c.telemetry.Skipped != nil {
@@ -259,7 +268,7 @@ func (c *Collector) CollectOnce() {
 				}
 				return
 			}
-			c.collectHost(uri, host, now, count)
+			c.collectHost(ctx, uri, host, now, count)
 			c.observeBreaker(host)
 		}(uri)
 	}
@@ -283,7 +292,7 @@ func (c *Collector) CollectOnce() {
 }
 
 // collectHost runs the retry loop for one host within a sweep.
-func (c *Collector) collectHost(uri, host string, now time.Time, count func(func(*Stats))) {
+func (c *Collector) collectHost(ctx context.Context, uri, host string, now time.Time, count func(func(*Stats))) {
 	var resp nodestatus.Response
 	var err error
 	for attempt := 0; attempt <= c.maxRetries; attempt++ {
@@ -296,7 +305,7 @@ func (c *Collector) collectHost(uri, host string, now time.Time, count func(func
 				c.clock.Sleep(jitteredBackoff(c.retryBackoff, host, attempt))
 			}
 		}
-		resp, err = c.invokeOnce(uri)
+		resp, err = c.invokeOnce(ctx, uri)
 		if err == nil {
 			err = validate(resp)
 		}
@@ -312,13 +321,13 @@ func (c *Collector) collectHost(uri, host string, now time.Time, count func(func
 	}
 	if err != nil {
 		c.table.RecordFailure(host, now)
-		c.log.Warn("collection failed", "host", host, "uri", uri,
+		c.log.WarnContext(ctx, "collection failed", "host", host, "uri", uri,
 			"attempts", c.maxRetries+1, "error", err)
 		if c.breakers != nil {
 			c.breakers.Failure(host, now)
 			if st := c.breakers.State(host); st != breaker.Closed {
 				c.table.SetHealth(host, store.HealthQuarantined)
-				c.log.Warn("host quarantined", "host", host, "breaker", st.String())
+				c.log.WarnContext(ctx, "host quarantined", "host", host, "breaker", st.String())
 			}
 		}
 		count(func(s *Stats) { s.Errs++ })
@@ -341,12 +350,16 @@ func (c *Collector) collectHost(uri, host string, now time.Time, count func(func
 // invokeOnce performs one invocation attempt under the per-invocation
 // deadline. With no deadline it calls the invoker inline; otherwise the
 // invocation runs in a goroutine raced against clock.After, and on expiry
-// the context is cancelled so a ContextInvoker releases its socket.
-func (c *Collector) invokeOnce(uri string) (nodestatus.Response, error) {
+// (or when the sweep context is cancelled) the derived context is
+// cancelled so a ContextInvoker releases its socket.
+func (c *Collector) invokeOnce(ctx context.Context, uri string) (nodestatus.Response, error) {
 	if c.timeout <= 0 {
+		if ci, ok := c.invoker.(nodestatus.ContextInvoker); ok {
+			return ci.InvokeContext(ctx, uri)
+		}
 		return c.invoker.Invoke(uri)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type result struct {
 		resp nodestatus.Response
@@ -448,7 +461,7 @@ func (c *Collector) HealthSnapshot() []HostHealthReport {
 // simclock.Manual.
 func (c *Collector) Run(ctx context.Context) {
 	for {
-		c.CollectOnce()
+		c.CollectOnceCtx(ctx)
 		select {
 		case <-ctx.Done():
 			return

@@ -115,6 +115,8 @@ type HTTPInvoker struct {
 }
 
 // Invoke implements Invoker.
+//
+//repolint:ctxprop-allow context-free compatibility wrapper for callers without a request context
 func (h HTTPInvoker) Invoke(accessURI string) (Response, error) {
 	return h.InvokeContext(context.Background(), accessURI)
 }

@@ -32,6 +32,8 @@ func WithTrace(ctx context.Context, tr *Trace) context.Context {
 
 // TraceFrom returns the trace carried by ctx, or nil. All Trace methods
 // are nil-safe, so callers use the result without checking.
+//
+//repolint:hotpath warm discovery chain: one context value lookup
 func TraceFrom(ctx context.Context) *Trace {
 	tr, _ := ctx.Value(traceKey).(*Trace)
 	return tr

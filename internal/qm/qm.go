@@ -157,6 +157,8 @@ func sortServices(ss []*rim.Service) {
 // graph clone), runs it through the balancer against the current NodeState
 // table, and returns the access URIs in the arranged order together with
 // the balancing decision.
+//
+//repolint:ctxprop-allow context-free compatibility wrapper for callers without a request context
 func (m *Manager) GetServiceBindings(serviceID string) ([]string, core.Decision, error) {
 	return m.GetServiceBindingsCtx(context.Background(), serviceID)
 }
@@ -165,6 +167,8 @@ func (m *Manager) GetServiceBindings(serviceID string) ([]string, core.Decision,
 // ctx carries an obs trace (a sampled HTTP discovery), the view load and
 // every balancer step record spans onto it. The untraced case costs one
 // context value lookup and nil-receiver calls — nothing allocates.
+//
+//repolint:hotpath warm discovery chain: view load + balancer arrange
 func (m *Manager) GetServiceBindingsCtx(ctx context.Context, serviceID string) ([]string, core.Decision, error) {
 	tr := obs.TraceFrom(ctx)
 	span := tr.BeginSpan("view")
@@ -178,12 +182,16 @@ func (m *Manager) GetServiceBindingsCtx(ctx context.Context, serviceID string) (
 
 // GetServiceBindingsByName is GetServiceBindings keyed by service name —
 // the AccessRegistry API's access path (§4.6).
+//
+//repolint:ctxprop-allow context-free compatibility wrapper for callers without a request context
 func (m *Manager) GetServiceBindingsByName(name string) ([]string, core.Decision, error) {
 	return m.GetServiceBindingsByNameCtx(context.Background(), name)
 }
 
 // GetServiceBindingsByNameCtx is GetServiceBindingsByName with request
 // context; see GetServiceBindingsCtx.
+//
+//repolint:hotpath warm discovery chain: name-keyed view load + balancer arrange
 func (m *Manager) GetServiceBindingsByNameCtx(ctx context.Context, name string) ([]string, core.Decision, error) {
 	tr := obs.TraceFrom(ctx)
 	span := tr.BeginSpan("view")

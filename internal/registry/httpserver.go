@@ -27,7 +27,7 @@ import (
 //	                        (QueryManager only, no publishing)
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/soap/registry", soap.Endpoint(r.handleRegistrySOAP))
+	mux.Handle("/soap/registry", soap.EndpointCtx(r.handleRegistrySOAP))
 	mux.Handle("/soap/auth", soap.Endpoint(r.handleAuthSOAP))
 	mux.HandleFunc("/registry/object", r.handleGetObject)
 	mux.HandleFunc("/registry/find", r.handleFind)
@@ -64,42 +64,42 @@ type soapRequest struct {
 	Unsubscribe *UnsubscribeRequest        `xml:"UnsubscribeRequest"`
 }
 
-func (r *Registry) handleRegistrySOAP(req *soapRequest) (interface{}, error) {
+func (r *Registry) handleRegistrySOAP(ctx context.Context, req *soapRequest) (interface{}, error) {
 	switch {
 	case req.Submit != nil:
 		return r.doSubmit(req.Submit)
 	case req.Update != nil:
 		return r.doUpdate(req.Update)
 	case req.Approve != nil:
-		ctx, err := r.sessionOrFault(req.Approve.Session)
+		sess, err := r.sessionOrFault(req.Approve.Session)
 		if err != nil {
 			return nil, err
 		}
-		return ack(req.Approve.IDs, r.LCM.ApproveObjects(ctx, req.Approve.IDs...))
+		return ack(req.Approve.IDs, r.LCM.ApproveObjects(sess, req.Approve.IDs...))
 	case req.Deprecate != nil:
-		ctx, err := r.sessionOrFault(req.Deprecate.Session)
+		sess, err := r.sessionOrFault(req.Deprecate.Session)
 		if err != nil {
 			return nil, err
 		}
-		return ack(req.Deprecate.IDs, r.LCM.DeprecateObjects(ctx, req.Deprecate.IDs...))
+		return ack(req.Deprecate.IDs, r.LCM.DeprecateObjects(sess, req.Deprecate.IDs...))
 	case req.Undeprecate != nil:
-		ctx, err := r.sessionOrFault(req.Undeprecate.Session)
+		sess, err := r.sessionOrFault(req.Undeprecate.Session)
 		if err != nil {
 			return nil, err
 		}
-		return ack(req.Undeprecate.IDs, r.LCM.UndeprecateObjects(ctx, req.Undeprecate.IDs...))
+		return ack(req.Undeprecate.IDs, r.LCM.UndeprecateObjects(sess, req.Undeprecate.IDs...))
 	case req.Remove != nil:
-		ctx, err := r.sessionOrFault(req.Remove.Session)
+		sess, err := r.sessionOrFault(req.Remove.Session)
 		if err != nil {
 			return nil, err
 		}
-		return ack(req.Remove.IDs, r.LCM.RemoveObjects(ctx, req.Remove.IDs...))
+		return ack(req.Remove.IDs, r.LCM.RemoveObjects(sess, req.Remove.IDs...))
 	case req.Relocate != nil:
-		ctx, err := r.sessionOrFault(req.Relocate.Session)
+		sess, err := r.sessionOrFault(req.Relocate.Session)
 		if err != nil {
 			return nil, err
 		}
-		return ack(req.Relocate.IDs, r.LCM.RelocateObjects(ctx, req.Relocate.Home, req.Relocate.IDs...))
+		return ack(req.Relocate.IDs, r.LCM.RelocateObjects(sess, req.Relocate.Home, req.Relocate.IDs...))
 	case req.GetObject != nil:
 		return r.doGetObject(req.GetObject)
 	case req.Find != nil:
@@ -107,7 +107,7 @@ func (r *Registry) handleRegistrySOAP(req *soapRequest) (interface{}, error) {
 	case req.Query != nil:
 		return r.doQuery(req.Query)
 	case req.Bindings != nil:
-		return r.doBindings(req.Bindings)
+		return r.doBindings(ctx, req.Bindings)
 	case req.Subscribe != nil:
 		return r.doSubscribe(req.Subscribe)
 	case req.Unsubscribe != nil:
@@ -279,10 +279,13 @@ func (r *Registry) doQuery(req *AdhocQueryWireRequest) (interface{}, error) {
 	return wire, nil
 }
 
-func (r *Registry) doBindings(req *GetBindingsRequest) (interface{}, error) {
+// doBindings runs a discovery request under the caller's context: the
+// HTTP request's deadline and cancellation reach the view load, and a
+// sampled trace rides the same context into the balancer.
+func (r *Registry) doBindings(ctx context.Context, req *GetBindingsRequest) (interface{}, error) {
 	start := r.Clock.Now()
 	tr := r.Tracer.Start()
-	ctx := obs.WithTrace(context.Background(), tr)
+	ctx = obs.WithTrace(ctx, tr)
 	var uris []string
 	var dec core.Decision
 	var err error

@@ -111,6 +111,8 @@ func min(a, b int) int {
 
 // Post sends req to url as a SOAP request and decodes the reply into resp
 // (which may be nil to ignore the body). Faults come back as *Fault errors.
+//
+//repolint:ctxprop-allow context-free compatibility wrapper for callers without a request context
 func Post(client *http.Client, url string, req, resp interface{}) error {
 	return PostContext(context.Background(), client, url, req, resp)
 }
@@ -152,8 +154,18 @@ func PostContext(ctx context.Context, client *http.Client, url string, req, resp
 // Endpoint adapts a typed handler to http.Handler. The handler receives
 // the decoded request and returns a response payload or an error; errors
 // that are not already *Fault become Server faults. Req must be a struct
-// type decodable from the request body.
+// type decodable from the request body. Handlers that need the request's
+// context (deadline, cancellation, trace) use EndpointCtx instead.
 func Endpoint[Req any](handle func(*Req) (interface{}, error)) http.Handler {
+	return EndpointCtx(func(_ context.Context, req *Req) (interface{}, error) {
+		return handle(req)
+	})
+}
+
+// EndpointCtx is Endpoint for context-aware handlers: the handler receives
+// the HTTP request's context, so per-request deadlines, client
+// disconnects, and trace values propagate into the SOAP dispatch.
+func EndpointCtx[Req any](handle func(context.Context, *Req) (interface{}, error)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeFault(w, http.StatusMethodNotAllowed, ClientFault("method %s not allowed", r.Method))
@@ -169,7 +181,7 @@ func Endpoint[Req any](handle func(*Req) (interface{}, error)) http.Handler {
 			writeFault(w, http.StatusBadRequest, ClientFault("decode request: %v", err))
 			return
 		}
-		resp, err := handle(&req)
+		resp, err := handle(r.Context(), &req)
 		if err != nil {
 			f, ok := err.(*Fault)
 			if !ok {

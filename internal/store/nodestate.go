@@ -218,6 +218,8 @@ func (s *TableSnapshot) Taken() time.Time { return s.taken }
 func (s *TableSnapshot) Len() int { return len(s.rows) }
 
 // Get returns the snapshot's row for host and whether it exists.
+//
+//repolint:hotpath warm discovery chain: per-binding row lookup, lock-free
 func (s *TableSnapshot) Get(host string) (NodeState, bool) {
 	row, ok := s.rows[host]
 	return row, ok
@@ -270,6 +272,7 @@ func (t *NodeStateTable) Published() *TableSnapshot {
 	return t.snap.Load()
 }
 
+//repolint:hotpath warm discovery chain: steady state is one atomic load
 func (t *NodeStateTable) Snapshot(now time.Time, maxAge time.Duration) *TableSnapshot {
 	s := t.snap.Load()
 	if s != nil {

@@ -320,15 +320,30 @@ func (s *Store) FindOneByName(t rim.ObjectType, name string) (rim.Object, error)
 func (s *Store) findOneByNameLocked(t rim.ObjectType, name string) (rim.Object, error) {
 	ids := s.byName[t][strings.ToLower(name)]
 	if len(ids) == 0 {
-		return nil, fmt.Errorf("%w: %s named %q", ErrNotFound, t.Short(), name)
+		return nil, notFoundByNameErr(t, name)
 	}
 	if len(ids) > 1 {
-		return nil, fmt.Errorf("store: name %q is ambiguous for %s", name, t.Short())
+		return nil, ambiguousNameErr(t, name)
 	}
 	for id := range ids {
 		return s.objects[id], nil
 	}
-	return nil, fmt.Errorf("%w: %s named %q", ErrNotFound, t.Short(), name)
+	return nil, notFoundByNameErr(t, name)
+}
+
+// notFoundByNameErr builds the ErrNotFound for a name lookup. Error
+// construction lives off the discovery hot path.
+//
+//repolint:coldpath error construction, off the measured discovery path
+func notFoundByNameErr(t rim.ObjectType, name string) error {
+	return fmt.Errorf("%w: %s named %q", ErrNotFound, t.Short(), name)
+}
+
+// ambiguousNameErr reports a name resolving to more than one object.
+//
+//repolint:coldpath error construction, off the measured discovery path
+func ambiguousNameErr(t rim.ObjectType, name string) error {
+	return fmt.Errorf("store: name %q is ambiguous for %s", name, t.Short())
 }
 
 // AssociationsFrom returns deep copies of the associations whose source is
@@ -377,18 +392,29 @@ type DiscoveryView struct {
 // ServiceView builds the discovery projection for the service with the
 // given id. It returns ErrNotFound for unknown ids and an error when the
 // object is not a Service.
+//
+//repolint:hotpath warm discovery chain: id-keyed view load under RLock
 func (s *Store) ServiceView(id string) (DiscoveryView, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	o, ok := s.objects[id]
 	if !ok {
-		return DiscoveryView{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+		return DiscoveryView{}, notFoundIDErr(id)
 	}
 	return s.viewLocked(o)
 }
 
+// notFoundIDErr builds the ErrNotFound for an id lookup, off the hot path.
+//
+//repolint:coldpath error construction, off the measured discovery path
+func notFoundIDErr(id string) error {
+	return fmt.Errorf("%w: %s", ErrNotFound, id)
+}
+
 // ServiceViewByName builds the discovery projection for the unique service
 // with the given name (case-insensitive), resolved through the name index.
+//
+//repolint:hotpath warm discovery chain: name-keyed view load under RLock
 func (s *Store) ServiceViewByName(name string) (DiscoveryView, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -402,7 +428,7 @@ func (s *Store) ServiceViewByName(name string) (DiscoveryView, error) {
 func (s *Store) viewLocked(o rim.Object) (DiscoveryView, error) {
 	svc, ok := o.(*rim.Service)
 	if !ok {
-		return DiscoveryView{}, fmt.Errorf("store: %s is not a service", o.Base().ID)
+		return DiscoveryView{}, notServiceErr(o)
 	}
 	v := DiscoveryView{ID: svc.ID, Description: svc.Description.String()}
 	if len(svc.Bindings) > 0 {
@@ -414,6 +440,13 @@ func (s *Store) viewLocked(o rim.Object) (DiscoveryView, error) {
 		}
 	}
 	return v, nil
+}
+
+// notServiceErr reports a non-service object on the discovery path.
+//
+//repolint:coldpath error construction, off the measured discovery path
+func notServiceErr(o rim.Object) error {
+	return fmt.Errorf("store: %s is not a service", o.Base().ID)
 }
 
 // PutContent stores a repository payload under the given content id.

@@ -1,0 +1,226 @@
+// Package ctxprop enforces context propagation in library packages. A
+// request's context carries its deadline, cancellation, and trace; any
+// call that silently swaps in context.Background() detaches the callee
+// from all three, so a cancelled request keeps burning sockets and its
+// spans vanish from the trace tree.
+//
+// Two rules, both skipped in main packages and test files:
+//
+//  1. context.Background() and context.TODO() are banned. The only
+//     legitimate sites are explicitly annotated compatibility shims —
+//     context-free wrappers kept for API stability — marked with a
+//     `//repolint:ctxprop-allow` directive on the function's doc comment.
+//
+//  2. A function that receives a context (a context.Context parameter, or
+//     an *http.Request whose Context() is one call away) must thread it:
+//     calling F(...) or x.M(...) when an FCtx/FContext (MCtx/MContext)
+//     variant with a context.Context first parameter exists in the same
+//     scope/method set drops the caller's context on the floor and is
+//     reported.
+package ctxprop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/analyzers/framework"
+)
+
+// Analyzer is the ctxprop pass.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxprop",
+	Doc: "bans context.Background/TODO in library packages outside //repolint:ctxprop-allow shims, " +
+		"and requires functions holding a context to call the Ctx/Context variant of any callee that has one",
+	Run: run,
+}
+
+// AllowDirective marks a compatibility shim that may call
+// context.Background.
+const AllowDirective = "ctxprop-allow"
+
+func run(pass *framework.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc applies both rules to one function declaration, tracking
+// whether a context is in scope (the declaration's own parameters plus
+// any enclosing func literal's parameters as the walk descends).
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	allowBackground := pass.FuncHasDirective(fd, AllowDirective)
+	var walk func(n ast.Node, hasCtx bool)
+	walk = func(n ast.Node, hasCtx bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			inner := hasCtx || fieldListHasContext(pass, n.Type.Params)
+			walk(n.Body, inner)
+			return
+		case *ast.CallExpr:
+			checkCall(pass, n, hasCtx, allowBackground)
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			walk(c, hasCtx)
+			return false
+		})
+	}
+	walk(fd.Body, funcDeclHasContext(pass, fd))
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr, hasCtx, allowBackground bool) {
+	// Rule 1: context.Background / context.TODO.
+	if _, name, ok := pass.SelectorOnPackage(call.Fun, "context"); ok {
+		if name == "Background" || name == "TODO" {
+			if !allowBackground {
+				pass.Reportf(call.Pos(),
+					"context.%s in library code detaches the call from the request's deadline, cancellation, and trace; "+
+						"thread the caller's context, or annotate the enclosing function //repolint:%s if it is a compatibility shim",
+					name, AllowDirective)
+			}
+			return
+		}
+	}
+	if !hasCtx {
+		return
+	}
+	// Rule 2: a context is in scope — if the callee has a Ctx/Context
+	// variant taking a context, this call drops the context.
+	callee, recv := staticCallee(pass, call)
+	if callee == nil || takesContext(callee) {
+		return
+	}
+	for _, suffix := range []string{"Ctx", "Context"} {
+		variant := lookupVariant(pass, callee, recv, callee.Name()+suffix)
+		if variant != nil && takesContext(variant) {
+			pass.Reportf(call.Pos(),
+				"call to %s drops the in-scope context; use %s and pass it through",
+				callee.Name(), variant.Name())
+			return
+		}
+	}
+}
+
+// staticCallee resolves call to the *types.Func it invokes (any package)
+// plus the receiver type for method calls, or nil for function values,
+// builtins, and conversions.
+func staticCallee(pass *framework.Pass, call *ast.CallExpr) (fn *types.Func, recv types.Type) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn, nil
+	case *ast.SelectorExpr:
+		fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil, nil
+		}
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			return fn, sel.Recv() // method call
+		}
+		return fn, nil // package-qualified function
+	}
+	return nil, nil
+}
+
+// lookupVariant finds a function named name alongside callee: in the
+// receiver's method set for methods, in the defining package's scope for
+// package-level functions.
+func lookupVariant(pass *framework.Pass, callee *types.Func, recv types.Type, name string) *types.Func {
+	if recv != nil {
+		// Search the method set of the receiver's static type.
+		ms := types.NewMethodSet(recv)
+		if sel := ms.Lookup(callee.Pkg(), name); sel != nil {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+		// Pointer method sets are broader; retry through a pointer when the
+		// static receiver is addressable-typed.
+		if _, isPtr := recv.(*types.Pointer); !isPtr {
+			ms = types.NewMethodSet(types.NewPointer(recv))
+			if sel := ms.Lookup(callee.Pkg(), name); sel != nil {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					return fn
+				}
+			}
+		}
+		return nil
+	}
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	if fn, ok := pkg.Scope().Lookup(name).(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+// takesContext reports whether fn has a context.Context parameter.
+func takesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func funcDeclHasContext(pass *framework.Pass, fd *ast.FuncDecl) bool {
+	return fieldListHasContext(pass, fd.Type.Params)
+}
+
+// fieldListHasContext reports whether params contains a context.Context
+// or an *http.Request (whose Context method makes the request context one
+// call away — an HTTP handler has no excuse for Background()).
+func fieldListHasContext(pass *framework.Pass, params *ast.FieldList) bool {
+	if params == nil {
+		return false
+	}
+	for _, field := range params.List {
+		t := pass.TypesInfo.Types[field.Type].Type
+		if isContextType(t) || isHTTPRequest(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}
+
+func isHTTPRequest(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isNamed(t, "net/http", "Request")
+}
+
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,12 @@
+package ctxprop_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/ctxprop"
+)
+
+func TestCtxprop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxprop.Analyzer, "ctxprop", "ctxpropclean")
+}

@@ -1,0 +1,51 @@
+// Package ctxprop is the positive fixture: unsanctioned
+// context.Background/TODO calls and functions that hold a context but
+// call the context-free variant of a callee that has a Ctx/Context one.
+package ctxprop
+
+import (
+	"context"
+	"net/http"
+)
+
+type Client struct{}
+
+func (c *Client) Fetch(url string) error                          { return nil }
+func (c *Client) FetchCtx(ctx context.Context, url string) error  { return nil }
+func (c *Client) Send(body string) error                          { return nil }
+func (c *Client) SendContext(ctx context.Context, s string) error { return nil }
+
+func Query(q string) error                         { return nil }
+func QueryCtx(ctx context.Context, q string) error { return nil }
+
+// bareBackground manufactures a context with no shim annotation.
+func bareBackground(c *Client) error {
+	ctx := context.Background() // want `context\.Background in library code detaches`
+	return c.FetchCtx(ctx, "x")
+}
+
+func bareTODO() context.Context {
+	return context.TODO() // want `context\.TODO in library code detaches`
+}
+
+// dropsMethodCtx holds a context but calls the context-free method.
+func dropsMethodCtx(ctx context.Context, c *Client) error {
+	return c.Fetch("x") // want `call to Fetch drops the in-scope context; use FetchCtx`
+}
+
+// dropsFuncCtx holds a context but calls the context-free package function.
+func dropsFuncCtx(ctx context.Context) error {
+	return Query("q") // want `call to Query drops the in-scope context; use QueryCtx`
+}
+
+// dropsInHandler: an *http.Request parameter counts as having a context.
+func dropsInHandler(w http.ResponseWriter, r *http.Request, c *Client) {
+	_ = c.Send("x") // want `call to Send drops the in-scope context; use SendContext`
+}
+
+// dropsInClosure: the closure inherits the enclosing context parameter.
+func dropsInClosure(ctx context.Context, c *Client) func() error {
+	return func() error {
+		return c.Fetch("x") // want `call to Fetch drops the in-scope context; use FetchCtx`
+	}
+}

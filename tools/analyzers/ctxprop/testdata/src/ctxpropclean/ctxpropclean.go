@@ -1,0 +1,37 @@
+// Package ctxpropclean is the negative fixture: annotated compatibility
+// shims may call context.Background, threading the context is clean, and
+// functions without a context in scope may call context-free APIs freely.
+package ctxpropclean
+
+import "context"
+
+type Client struct{}
+
+func (c *Client) Fetch(url string) error                         { return nil }
+func (c *Client) FetchCtx(ctx context.Context, url string) error { return nil }
+
+func Query(q string) error                         { return nil }
+func QueryCtx(ctx context.Context, q string) error { return nil }
+
+// Fetch1 is a compatibility shim kept for API stability.
+//
+//repolint:ctxprop-allow context-free wrapper retained for callers without a context
+func Fetch1(c *Client) error {
+	return c.FetchCtx(context.Background(), "x")
+}
+
+// threads passes the context to the Ctx variants: clean.
+func threads(ctx context.Context, c *Client) error {
+	if err := c.FetchCtx(ctx, "x"); err != nil {
+		return err
+	}
+	return QueryCtx(ctx, "q")
+}
+
+// noCtxInScope has no context, so the context-free calls are fine.
+func noCtxInScope(c *Client) error {
+	if err := c.Fetch("x"); err != nil {
+		return err
+	}
+	return Query("q")
+}

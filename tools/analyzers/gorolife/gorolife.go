@@ -1,0 +1,251 @@
+// Package gorolife requires every goroutine spawned in library code to
+// have a visible shutdown path. A bare `go func() { for { ... } }()` has
+// no owner: nothing can join it, nothing can cancel it, and each
+// startup/shutdown cycle of the enclosing component leaks one more
+// stack. The analyzer accepts a spawn when the goroutine is evidently
+// tied to a lifecycle:
+//
+//   - it observes a context.Context (cancellation propagates),
+//   - it signals a sync.WaitGroup (the owner joins it),
+//   - it closes or sends on a channel that the spawning function also
+//     receives from (completion handshake),
+//   - it receives from or ranges over a channel declared outside the
+//     goroutine (closing the channel terminates it).
+//
+// Spawns whose lifecycle is managed somewhere the analyzer cannot see
+// carry a `//repolint:gorolife-allow <why>` directive on the go
+// statement's line or the line above. Main packages and tests are
+// exempt: binaries die with the process, tests die with the test binary.
+package gorolife
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/analyzers/framework"
+)
+
+// Analyzer is the gorolife pass.
+var Analyzer = &framework.Analyzer{
+	Name: "gorolife",
+	Doc: "requires every go statement in library packages to have a visible shutdown path " +
+		"(context, WaitGroup, or channel handshake) or a //repolint:gorolife-allow directive",
+	Run: run,
+}
+
+// AllowDirective exempts a go statement whose lifecycle is managed out of
+// the analyzer's sight.
+const AllowDirective = "gorolife-allow"
+
+func run(pass *framework.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			file := f
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if pass.NodeHasDirective(file, gs, AllowDirective) {
+					return true
+				}
+				if hasLifecycleEvidence(pass, fd, gs) {
+					return true
+				}
+				pass.Reportf(gs.Pos(),
+					"goroutine has no visible shutdown path (no context, WaitGroup, or channel handshake); "+
+						"tie it to the owner's lifecycle or annotate //repolint:%s <why>", AllowDirective)
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// hasLifecycleEvidence scans the go statement for any of the accepted
+// lifecycle signals.
+func hasLifecycleEvidence(pass *framework.Pass, fd *ast.FuncDecl, gs *ast.GoStmt) bool {
+	// Channels the goroutine closes or sends on; if the enclosing function
+	// receives from one of them, the spawn has a completion handshake.
+	signalled := make(map[types.Object]bool)
+	evident := false
+
+	// Inspect the full go statement: the called expression, its arguments,
+	// and (for func literals) the body.
+	ast.Inspect(gs, func(n ast.Node) bool {
+		if evident {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil {
+				if isContextVar(obj) {
+					evident = true // goroutine observes a context
+				}
+			}
+		case *ast.CallExpr:
+			// wg.Done() / wg.Add / wg.Wait on a sync.WaitGroup, or close(ch).
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if isWaitGroupMethod(pass, sel) {
+					evident = true
+				}
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if obj := chanObj(pass, n.Args[0]); obj != nil {
+					signalled[obj] = true
+				}
+			}
+		case *ast.SendStmt:
+			if obj := chanObj(pass, n.Chan); obj != nil {
+				signalled[obj] = true
+			}
+		case *ast.UnaryExpr:
+			// A receive inside the goroutine from an externally declared
+			// channel: the owner can close it to stop the goroutine.
+			if obj := receiveFromExternal(pass, n, gs); obj != nil {
+				evident = true
+			}
+		case *ast.RangeStmt:
+			if obj := chanObj(pass, n.X); obj != nil && declaredOutside(pass, obj, gs) {
+				evident = true
+			}
+		}
+		return !evident
+	})
+	if evident {
+		return true
+	}
+	if len(signalled) == 0 {
+		return false
+	}
+	// Does the enclosing function (outside this go statement) receive from
+	// any channel the goroutine signals?
+	received := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if received {
+			return false
+		}
+		if n != nil && n.Pos() >= gs.Pos() && n.End() <= gs.End() {
+			return false // inside the go statement itself
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if obj := chanObj(pass, recvOperand(n)); obj != nil && signalled[obj] {
+				received = true
+			}
+		case *ast.RangeStmt:
+			if obj := chanObj(pass, n.X); obj != nil && signalled[obj] {
+				received = true
+			}
+		case *ast.ReturnStmt:
+			// Returning the signalled channel hands the handshake to the
+			// caller (the `done := make(chan ...); go ...; return done` idiom).
+			for _, res := range n.Results {
+				if obj := chanObj(pass, res); obj != nil && signalled[obj] {
+					received = true
+				}
+			}
+		}
+		return !received
+	})
+	return received
+}
+
+// recvOperand returns n's operand when n is a receive expression (<-ch).
+func recvOperand(n *ast.UnaryExpr) ast.Expr {
+	if n.Op.String() == "<-" {
+		return n.X
+	}
+	return nil
+}
+
+// receiveFromExternal reports the channel object when n is a receive from
+// a channel declared outside the go statement.
+func receiveFromExternal(pass *framework.Pass, n *ast.UnaryExpr, gs *ast.GoStmt) types.Object {
+	x := recvOperand(n)
+	if x == nil {
+		return nil
+	}
+	obj := chanObj(pass, x)
+	if obj == nil || !declaredOutside(pass, obj, gs) {
+		return nil
+	}
+	return obj
+}
+
+// chanObj resolves expr to the object of a channel-typed identifier or
+// field selector, or nil.
+func chanObj(pass *framework.Pass, expr ast.Expr) types.Object {
+	if expr == nil {
+		return nil
+	}
+	var obj types.Object
+	switch x := expr.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[x]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[x]
+		}
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[x.Sel]
+	default:
+		return nil
+	}
+	if obj == nil || obj.Type() == nil {
+		return nil
+	}
+	if _, ok := obj.Type().Underlying().(*types.Chan); !ok {
+		return nil
+	}
+	return obj
+}
+
+// declaredOutside reports whether obj's declaration lies outside the go
+// statement's source range.
+func declaredOutside(pass *framework.Pass, obj types.Object, gs *ast.GoStmt) bool {
+	p := obj.Pos()
+	return p < gs.Pos() || p >= gs.End()
+}
+
+// isContextVar reports whether obj is a context.Context-typed variable.
+func isContextVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	n, ok := v.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := n.Obj()
+	return tn.Pkg() != nil && tn.Pkg().Path() == "context" && tn.Name() == "Context"
+}
+
+// isWaitGroupMethod reports whether sel names a method on sync.WaitGroup.
+func isWaitGroupMethod(pass *framework.Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := n.Obj()
+	return tn.Pkg() != nil && tn.Pkg().Path() == "sync" && tn.Name() == "WaitGroup"
+}

@@ -1,0 +1,12 @@
+package gorolife_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/gorolife"
+)
+
+func TestGorolife(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), gorolife.Analyzer, "gorolife", "gorolifeclean")
+}

@@ -1,0 +1,23 @@
+// Package gorolife is the positive fixture: goroutines with no visible
+// shutdown path.
+package gorolife
+
+type Server struct {
+	counter int
+}
+
+// leakyLoop spawns an unjoinable, uncancellable loop.
+func (s *Server) leakyLoop() {
+	go func() { // want `goroutine has no visible shutdown path`
+		for {
+			s.counter++
+		}
+	}()
+}
+
+// fireAndForget spawns a named function with no lifecycle tie.
+func (s *Server) fireAndForget() {
+	go s.work() // want `goroutine has no visible shutdown path`
+}
+
+func (s *Server) work() { s.counter++ }

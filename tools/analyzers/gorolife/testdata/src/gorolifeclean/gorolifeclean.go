@@ -1,0 +1,77 @@
+// Package gorolifeclean is the negative fixture: every spawn has a
+// visible shutdown path or an explicit allow directive.
+package gorolifeclean
+
+import (
+	"context"
+	"sync"
+)
+
+type Server struct {
+	counter int
+	stop    chan struct{}
+}
+
+// withContext: the goroutine observes ctx, so cancellation reaches it.
+func (s *Server) withContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		s.counter++
+	}()
+}
+
+// withWaitGroup: the owner joins the workers.
+func (s *Server) withWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.counter++
+		}()
+	}
+	wg.Wait()
+}
+
+// withHandshake: the spawner receives the goroutine's completion signal.
+func (s *Server) withHandshake() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.counter++
+	}()
+	<-done
+}
+
+// returnsHandshake hands the completion channel to the caller.
+func (s *Server) returnsHandshake() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.counter++
+	}()
+	return done
+}
+
+// stopChannel: the goroutine receives from an owner-held channel, so
+// closing s.stop terminates it.
+func (s *Server) stopChannel() {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			default:
+				s.counter++
+			}
+		}
+	}()
+}
+
+// allowed: lifecycle is managed by a supervisor the analyzer cannot see.
+func (s *Server) allowed() {
+	//repolint:gorolife-allow joined by the process supervisor at shutdown
+	go s.work()
+}
+
+func (s *Server) work() { s.counter++ }

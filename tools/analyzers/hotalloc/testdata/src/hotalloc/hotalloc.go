@@ -1,0 +1,43 @@
+// Package hotalloc is the positive fixture: one annotated hot root whose
+// body — and an un-annotated intra-package callee's body — use each of
+// the allocation-prone constructs.
+package hotalloc
+
+import "fmt"
+
+type record struct {
+	key  string
+	load float64
+}
+
+func sink(v interface{}) {}
+
+// Lookup is the annotated hot entry point.
+//
+//repolint:hotpath warm discovery chain fixture
+func Lookup(keys []string, loads map[string]float64) []string {
+	out := make([]string, 0) // zero capacity: every append below reallocates
+	for _, k := range keys {
+		out = append(out, k) // want `hot path: append in a loop grows out from zero capacity`
+	}
+	idx := map[string]int{} // want `hot path: map literal allocates`
+	_ = idx
+	scratch := make(map[string]bool) // want `hot path: unsized make\(map\) allocates`
+	_ = scratch
+	msg := fmt.Sprintf("%d keys", len(keys)) // want `hot path: fmt\.Sprintf allocates`
+	_ = msg
+	sink(record{key: "a"}) // want `hot path: passing a struct value to an interface parameter boxes it`
+	sink(42)               // want `hot path: passing a int value to an interface parameter boxes it`
+	b := []byte(keys[0])   // want `hot path: string/\[\]byte conversion copies the bytes`
+	_ = b
+	total := 0.0
+	f := func() float64 { return total } // want `hot path: closure captures total`
+	_ = f
+	return helper(out)
+}
+
+// helper is hot by reachability from Lookup, not by annotation.
+func helper(uris []string) []string {
+	_ = fmt.Errorf("no hosts in %v", uris) // want `hot path: fmt\.Errorf allocates`
+	return uris
+}

@@ -1,0 +1,47 @@
+// Package hotallocclean is the negative fixture: a hot root written the
+// allocation-conscious way, a coldpath helper that may allocate freely,
+// and an unannotated function whose constructs are out of scope.
+package hotallocclean
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errNotFound = errors.New("not found")
+
+// Lookup stays allocation-clean: presized append, nil-until-needed
+// slices, pointer arguments, and errors built in a coldpath helper.
+//
+//repolint:hotpath warm discovery chain fixture
+func Lookup(keys []string, loads map[string]float64) ([]string, error) {
+	if len(keys) == 0 {
+		return nil, lookupErr("empty key set")
+	}
+	out := make([]string, 0, len(keys)) // presized: grows once
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	var rare []string // nil slice: allocates only on the rare branch
+	for _, k := range keys {
+		if loads[k] > 0.99 {
+			rare = append(rare, k)
+		}
+	}
+	_ = rare
+	return out, nil
+}
+
+// lookupErr builds errors off the measured path.
+//
+//repolint:coldpath error construction is off the measured path
+func lookupErr(why string) error {
+	return fmt.Errorf("lookup: %s: %w", why, errNotFound)
+}
+
+// report is not reachable from any hotpath root, so its allocations are
+// out of scope.
+func report(v interface{}) string {
+	m := map[string]interface{}{"v": v}
+	return fmt.Sprintf("%v", m)
+}

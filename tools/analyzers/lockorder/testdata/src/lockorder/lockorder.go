@@ -1,0 +1,38 @@
+// Package lockorder is the positive fixture: two code paths acquire the
+// same pair of mutexes in opposite orders, directly and through an
+// intra-package call, so the acquisition graph has an A <-> B cycle.
+package lockorder
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.RWMutex
+	m  int
+}
+
+// lockAB takes A.mu then B.mu.
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.RLock() // want `lock-order cycle: B\.mu is acquired while A\.mu is held here`
+	b.m++
+	b.mu.RUnlock()
+}
+
+// lockBA takes B.mu then — through a helper — A.mu: the reverse order.
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	touchA(a) // want `lock-order cycle: A\.mu is acquired while B\.mu is held here`
+}
+
+func touchA(a *A) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}

@@ -1,0 +1,58 @@
+// Package lockorderclean is the negative fixture: every path that holds
+// both mutexes takes them in the same global order (A.mu before B.mu), a
+// lock released before the next acquisition creates no edge, and a
+// package-level mutex nested consistently is fine too.
+package lockorderclean
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.RWMutex
+	m  int
+}
+
+var regMu sync.Mutex
+
+// lockAB and lockABIndirect both order A.mu before B.mu.
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.RLock()
+	b.m++
+	b.mu.RUnlock()
+}
+
+func lockABIndirect(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	touchB(b)
+}
+
+func touchB(b *B) {
+	b.mu.Lock()
+	b.m++
+	b.mu.Unlock()
+}
+
+// sequential releases A.mu before taking B.mu: no ordering constraint.
+func sequential(a *A, b *B) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.m++
+	b.mu.Unlock()
+}
+
+// global nests the package mutex inside A.mu, consistently.
+func global(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	regMu.Lock()
+	defer regMu.Unlock()
+}
