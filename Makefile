@@ -6,7 +6,7 @@ BENCH_PATTERN = BenchmarkDiscovery
 BENCH_TIME    = 2000x
 BENCH_NOTE    = discovery fast path baseline; allocs/op gated at +25%
 
-.PHONY: all build test race vet lint check clean bench benchcheck smoke crashcheck escapecheck escapecheck-emit
+.PHONY: all build test race vet lint check clean bench benchcheck smoke crashcheck escapecheck escapecheck-emit overloadcheck
 
 all: check
 
@@ -27,7 +27,8 @@ bin/repolint: $(shell find cmd/repolint tools/analyzers -name '*.go' -not -path 
 
 # lint runs the repo's own invariant analyzers (wallclock, lockcheck,
 # errwrap, norand, clienttimeout, structlog, atomicwrite, lockorder,
-# ctxprop, gorolife, hotalloc) over every package via the go vet driver.
+# ctxprop, gorolife, hotalloc, deadline) over every package via the go
+# vet driver.
 lint: bin/repolint
 	$(GO) vet -vettool=$(CURDIR)/bin/repolint ./...
 
@@ -41,6 +42,14 @@ smoke:
 # offset and recovery must reproduce the acknowledged store exactly.
 crashcheck:
 	$(GO) test -race -count=1 -run 'Crash|WALEquivalent|Degraded|CheckpointRetention' ./internal/wal/ ./internal/registry/
+
+# overloadcheck exercises the overload-resilience edge under the race
+# detector: the admission controller's decision core, the shedding ×
+# degraded-mode composition tests, the live-collector HTTP burst, and
+# the seeded flash-crowd experiment (goodput, brownout ladder, replay).
+overloadcheck:
+	$(GO) test -race -count=1 -run 'Admit|Queue|AIMD|Brownout|Deadline|Wrap|Budget|Overload|DegradedStatic|FlashCrowd' \
+		./internal/admit/ ./internal/registry/ ./internal/lbexp/
 
 # escapecheck recompiles the //repolint:hotpath packages with
 # -gcflags=-m and fails on any heap escape inside an annotated function

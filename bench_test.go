@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/accessregistry"
+	"repro/internal/admit"
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/cpa"
@@ -55,7 +56,11 @@ var benchEpoch = time.Date(2011, 4, 22, 11, 0, 0, 0, time.UTC)
 
 func benchRegistry(b *testing.B, policy core.Policy) (*registry.Registry, lcm.Context) {
 	b.Helper()
-	reg, err := registry.New(registry.Config{Clock: simclock.NewManual(benchEpoch), Policy: policy})
+	reg, err := registry.New(registry.Config{
+		Clock:     simclock.NewManual(benchEpoch),
+		Policy:    policy,
+		Admission: &admit.Config{}, // production defaults; never sheds at bench load
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -148,7 +153,10 @@ func BenchmarkDeleteService(b *testing.B) {
 // BenchmarkDiscovery measures E4.6: resolving a service to its arranged
 // access URIs under each policy and several deployment sizes. This is the
 // per-lookup cost the load-balancing scheme adds to the registry's hot
-// path.
+// path. The admission controller's TryAdmit/Release bracket every lookup
+// — the same bracket the HTTP middleware applies — so the allocs/op gate
+// covers the serving edge, not just the balancer. An uncontended
+// admission is ticketless (nil) and must cost zero allocations.
 func BenchmarkDiscovery(b *testing.B) {
 	for _, policy := range []core.Policy{core.PolicyStock, core.PolicyFilter, core.PolicyRankFirst, core.PolicyLeastLoaded} {
 		for _, hosts := range []int{2, 8, 32} {
@@ -166,14 +174,19 @@ func BenchmarkDiscovery(b *testing.B) {
 				if err := reg.LCM.SubmitObjects(ctx, svc); err != nil {
 					b.Fatal(err)
 				}
+				now := benchEpoch
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
+					if out, _ := reg.Admission.TryAdmit(admit.ClassDiscovery, now); out != admit.Admitted {
+						b.Fatal(out)
+					}
 					uris, _, err := reg.QM.GetServiceBindings(svc.ID)
 					if err != nil {
 						b.Fatal(err)
 					}
 					_ = uris
+					reg.Admission.Release(admit.ClassDiscovery, now, now)
 				}
 			})
 		}
@@ -210,6 +223,7 @@ func BenchmarkDiscoveryFastPath(b *testing.B) {
 			Policy:         core.PolicyFilter,
 			SnapshotMaxAge: 25 * time.Second,
 			Invoker:        nodestatus.LocalInvoker{Cluster: cluster, Clock: clk},
+			Admission:      &admit.Config{},
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -225,9 +239,16 @@ func BenchmarkDiscoveryFastPath(b *testing.B) {
 		}
 		return reg, svc, cluster
 	}
+	// lookup brackets the query with the admission edge, exactly as the
+	// HTTP middleware does: uncontended TryAdmit is ticketless, so the
+	// warm path must stay allocation-free with admission in the loop.
 	lookup := func(b *testing.B, reg *registry.Registry, id string) {
 		b.Helper()
+		if out, _ := reg.Admission.TryAdmit(admit.ClassDiscovery, benchEpoch); out != admit.Admitted {
+			b.Fatal(out)
+		}
 		uris, _, err := reg.QM.GetServiceBindings(id)
+		reg.Admission.Release(admit.ClassDiscovery, benchEpoch, benchEpoch)
 		if err != nil {
 			b.Fatal(err)
 		}

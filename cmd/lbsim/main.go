@@ -8,6 +8,7 @@
 //	lbsim -exp scale     deployment-size sweep
 //	lbsim -exp ablation  filter/rank/fallback/freshness design choices
 //	lbsim -exp flaky     NodeStatus drop faults, breakers, quarantine (H7)
+//	lbsim -exp flashcrowd  overload resilience under a 10x surge (H8)
 //	lbsim -exp all       everything above
 //
 // All experiments run on the simulated SDSU cluster under a deterministic
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: h1|period|timeofday|netdelay|failure|scale|ablation|flaky|all")
+		exp   = flag.String("exp", "all", "experiment: h1|period|timeofday|netdelay|failure|scale|ablation|flaky|flashcrowd|all")
 		hosts = flag.Int("hosts", 4, "number of simulated hosts")
 		tasks = flag.Int("tasks", 300, "MTC tasks per run")
 		seed  = flag.Int64("seed", 42, "workload seed")
@@ -222,6 +223,24 @@ func main() {
 			return err
 		}
 		w.printf("replay check (drop 0.3, seed %d): byte-identical = %v\n", *seed, same)
+		return nil
+	})
+
+	run("flashcrowd", func() error {
+		cfg := lbexp.DefaultFlashCrowd(*seed)
+		w.printf("H8: overload resilience — %d baseline clients, %d-client flash crowd\n",
+			cfg.BaselineClients, cfg.SurgeClients)
+		w.printf("for %s; admission control, AIMD shedding, brownout ladder\n\n", cfg.Surge)
+		baseline, surge, err := lbexp.FlashCrowd(cfg)
+		if err != nil {
+			return err
+		}
+		w.printf("%s\n", lbexp.FlashCrowdTable(baseline, surge))
+		same, err := lbexp.FlashCrowdReplayIdentical(cfg)
+		if err != nil {
+			return err
+		}
+		w.printf("replay check (seed %d): byte-identical = %v\n", *seed, same)
 		return nil
 	})
 }

@@ -77,7 +77,16 @@ func main() {
 		fmt.Fprintf(w, "ok load=%.2f queue=%d\n", host.LoadAvg(), host.RunQueue())
 	})
 
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	// Edge hardening: the daemon is polled by registries, not browsers,
+	// so slow-client allowances can be tight.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    64 << 10,
+	}
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)

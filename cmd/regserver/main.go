@@ -32,6 +32,21 @@
 // The legacy -snapshot flag (graceful-shutdown-only persistence) still
 // works for registries that can tolerate crash loss.
 //
+// Overload resilience: -admission (default on) puts every serving route
+// behind per-class admission control — bounded in-flight and wait-queue
+// limits for discovery reads (-discovery-inflight, -discovery-queue,
+// -discovery-queue-timeout) and LCM/SOAP writes (-lcm-*), adaptive AIMD
+// load shedding (-shed-tick, -shed-latency-target, -shed-min-accept)
+// that rejects excess load early with 503 + Retry-After (-retry-after),
+// server-side deadline budgets per class (-discovery-deadline,
+// -lcm-deadline; clients can tighten them via the X-Registry-Deadline-Ms
+// header), and a brownout ladder (-brownout-escalate, -brownout-calm,
+// -brownout-staleness) that sheds quality stepwise under sustained
+// pressure: tracing off, then stale snapshots, then static fallback.
+// -max-body-bytes caps request bodies on admitted routes. Health,
+// metrics, traces, and the UI always answer. -admission=false restores
+// the unconditional pre-admission edge.
+//
 // Observability: /registry/metrics serves Prometheus text exposition and
 // /registry/traces the sampled discovery traces. -trace-sample N traces
 // every Nth discovery request (0 = off), -trace-ring bounds retained
@@ -50,6 +65,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/breaker"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -82,6 +98,25 @@ func main() {
 
 		cacheSize     = flag.Int("constraint-cache-size", 0, "parsed-constraint cache bound (0 = default, negative = disable)")
 		snapStaleness = flag.Duration("snapshot-staleness", 0, "serve NodeState snapshots up to this old without locking (0 = always coherent)")
+
+		admission    = flag.Bool("admission", true, "admission-controlled serving edge: shedding, deadlines, brownout")
+		discInflight = flag.Int("discovery-inflight", 0, "max concurrent discovery requests (0 = default 64)")
+		discQueue    = flag.Int("discovery-queue", 0, "discovery wait-queue bound (0 = default 128, negative = no queue)")
+		discQWait    = flag.Duration("discovery-queue-timeout", 0, "max discovery queue wait (0 = default 1s)")
+		discDeadline = flag.Duration("discovery-deadline", 0, "server-side discovery budget (0 = default 2s, negative = none)")
+		lcmInflight  = flag.Int("lcm-inflight", 0, "max concurrent LCM/SOAP writes (0 = default 16)")
+		lcmQueue     = flag.Int("lcm-queue", 0, "LCM wait-queue bound (0 = default 32, negative = no queue)")
+		lcmQWait     = flag.Duration("lcm-queue-timeout", 0, "max LCM queue wait (0 = default 2s)")
+		lcmDeadline  = flag.Duration("lcm-deadline", 0, "server-side LCM budget (0 = default 5s, negative = none)")
+
+		shedTick      = flag.Duration("shed-tick", 0, "AIMD shedder adjustment interval (0 = default 250ms)")
+		shedTarget    = flag.Duration("shed-latency-target", 0, "latency above which a class counts overloaded (0 = deadline/4)")
+		shedMinAccept = flag.Float64("shed-min-accept", 0, "accept-rate floor under overload (0 = default 0.05)")
+		retryAfter    = flag.Duration("retry-after", 0, "advisory Retry-After on shed responses (0 = default 1s)")
+		brownEscalate = flag.Duration("brownout-escalate", 0, "sustained pressure before the ladder climbs (0 = default 5s)")
+		brownCalm     = flag.Duration("brownout-calm", 0, "sustained calm before the ladder steps down (0 = default 10s)")
+		brownStale    = flag.Duration("brownout-staleness", 0, "extra snapshot age tolerated at tier stale+ (0 = default 2m)")
+		maxBodyBytes  = flag.Int64("max-body-bytes", 0, "request body cap on admitted routes (0 = default 8MiB)")
 
 		logLevel    = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		logFormat   = flag.String("log-format", "text", "log format: text|json")
@@ -133,6 +168,30 @@ func main() {
 		CheckpointBytes:   *ckptBytes,
 		CheckpointRecords: *ckptRecords,
 	}
+	if *admission {
+		cfg.Admission = &admit.Config{
+			Discovery: admit.ClassLimits{
+				MaxInFlight:  *discInflight,
+				MaxQueue:     *discQueue,
+				QueueTimeout: *discQWait,
+				Deadline:     *discDeadline,
+			},
+			LCM: admit.ClassLimits{
+				MaxInFlight:  *lcmInflight,
+				MaxQueue:     *lcmQueue,
+				QueueTimeout: *lcmQWait,
+				Deadline:     *lcmDeadline,
+			},
+			Tick:              *shedTick,
+			LatencyTarget:     *shedTarget,
+			MinAccept:         *shedMinAccept,
+			RetryAfter:        *retryAfter,
+			BrownoutEscalate:  *brownEscalate,
+			BrownoutCalm:      *brownCalm,
+			BrownoutStaleness: *brownStale,
+			MaxBodyBytes:      *maxBodyBytes,
+		}
+	}
 	if *brkThreshold > 0 {
 		cfg.Breaker = &breaker.Config{
 			Threshold:   *brkThreshold,
@@ -175,7 +234,7 @@ func main() {
 	defer stop()
 	go reg.RunCollector(ctx)
 
-	srv := &http.Server{Addr: *addr, Handler: reg.Handler()}
+	srv := registry.HardenedServer(*addr, reg.Handler())
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -185,7 +244,7 @@ func main() {
 
 	logger.Info("ebXML registry listening",
 		"addr", *addr, "policy", p.String(), "period", period.String(),
-		"traceSample", *traceSample, "pprof", *pprofFlag)
+		"admission", *admission, "traceSample", *traceSample, "pprof", *pprofFlag)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		logger.Error("server failed", "error", err)
 		os.Exit(1)

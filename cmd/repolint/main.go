@@ -1,7 +1,7 @@
 // Command repolint is the repository's static-analysis vettool. It runs
-// the eleven invariant analyzers — wallclock, lockcheck, errwrap, norand,
+// the twelve invariant analyzers — wallclock, lockcheck, errwrap, norand,
 // clienttimeout, structlog, atomicwrite, lockorder, ctxprop, gorolife,
-// hotalloc — over Go packages, enforcing the
+// hotalloc, deadline — over Go packages, enforcing the
 // conventions that keep the registry reproduction deterministic,
 // race-free, fault-tolerant, crash-safe, and observably logged (see
 // DESIGN.md, "Static analysis & invariants").
@@ -40,6 +40,7 @@ import (
 	"repro/tools/analyzers/atomicwrite"
 	"repro/tools/analyzers/clienttimeout"
 	"repro/tools/analyzers/ctxprop"
+	"repro/tools/analyzers/deadline"
 	"repro/tools/analyzers/errwrap"
 	"repro/tools/analyzers/framework"
 	"repro/tools/analyzers/gorolife"
@@ -64,6 +65,7 @@ var analyzers = []*framework.Analyzer{
 	ctxprop.Analyzer,
 	gorolife.Analyzer,
 	hotalloc.Analyzer,
+	deadline.Analyzer,
 }
 
 func main() {

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/breaker"
 	"repro/internal/core"
 	"repro/internal/hostsim"
@@ -65,6 +66,7 @@ func run() error {
 		Breaker:        &breaker.Config{Threshold: 3, BaseBackoff: 50 * time.Second, MaxBackoff: 10 * time.Minute},
 		Logger:         logger,
 		TraceSample:    1,
+		Admission:      &admit.Config{},
 	})
 	if err != nil {
 		return err
@@ -79,7 +81,7 @@ func run() error {
 		return err
 	}
 	defer ln.Close()
-	srv := &http.Server{Handler: reg.Handler()}
+	srv := registry.HardenedServer("", reg.Handler())
 	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
@@ -168,6 +170,16 @@ func checkMetrics(client *http.Client, base string) error {
 		{"registry_discovery_verdicts_total", "counter"},
 		{"registry_discovery_latency_seconds", "histogram"},
 		{"registry_traces_sampled_total", "counter"},
+		{"registry_admission_admitted_total", "counter"},
+		{"registry_admission_shed_total", "counter"},
+		{"registry_admission_queued_total", "counter"},
+		{"registry_admission_queue_timeouts_total", "counter"},
+		{"registry_admission_deadline_exceeded_total", "counter"},
+		{"registry_admission_inflight", "gauge"},
+		{"registry_admission_queue_depth", "gauge"},
+		{"registry_admission_accept_rate", "gauge"},
+		{"registry_brownout_tier", "gauge"},
+		{"registry_brownout_transitions_total", "counter"},
 	} {
 		f, ok := scrape.Families[want.name]
 		if !ok {
@@ -188,6 +200,22 @@ func checkMetrics(client *http.Client, base string) error {
 	}
 	if v, ok := scrape.Value("registry_breaker_state", map[string]string{"host": "h00.sdsu.edu"}); !ok || v != 0 {
 		return fmt.Errorf("breaker state for h00 = %v (ok=%v), want 0 (closed)", v, ok)
+	}
+	// The discoveries above all passed through the admission controller:
+	// every one admitted, nothing shed, ladder at nominal, shedder wide
+	// open.
+	disc := map[string]string{"class": "discovery"}
+	if v, ok := scrape.Value("registry_admission_admitted_total", disc); !ok || v < 5 {
+		return fmt.Errorf("admission admitted = %v (ok=%v), want >= 5", v, ok)
+	}
+	if v, ok := scrape.Value("registry_admission_shed_total", disc); !ok || v != 0 {
+		return fmt.Errorf("admission shed = %v (ok=%v), want 0", v, ok)
+	}
+	if v, ok := scrape.Value("registry_admission_accept_rate", disc); !ok || v != 1 {
+		return fmt.Errorf("admission accept rate = %v (ok=%v), want 1", v, ok)
+	}
+	if v, ok := scrape.Value("registry_brownout_tier", nil); !ok || v != 0 {
+		return fmt.Errorf("brownout tier = %v (ok=%v), want 0 (nominal)", v, ok)
 	}
 	return nil
 }

@@ -21,6 +21,7 @@ package core
 
 import (
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/constraint"
@@ -145,6 +146,44 @@ type Balancer struct {
 	// rows since it was taken. Zero keeps reads fully coherent — the
 	// snapshot is republished whenever the table has changed.
 	SnapshotMaxAge time.Duration
+	// Brownout, when non-nil, carries the runtime degradation overrides
+	// the admission controller's brownout ladder flips under sustained
+	// overload (see internal/admit). Nil means no overrides.
+	Brownout *BrownoutState
+}
+
+// BrownoutState holds the degradation overrides of the brownout ladder:
+// extra tolerated NodeState snapshot staleness at TierStale and a forced
+// static fallback at TierStatic. The fields are atomics — arrange reads
+// them lock-free on the discovery hot path — and a nil *BrownoutState
+// reads as "no overrides" so the wiring costs nothing when admission
+// control is off.
+type BrownoutState struct {
+	extraStaleness atomic.Int64 // extra snapshot age tolerated, in nanoseconds
+	forceStatic    atomic.Bool
+}
+
+// SetExtraStaleness grants d of additional snapshot staleness (0 revokes).
+func (s *BrownoutState) SetExtraStaleness(d time.Duration) { s.extraStaleness.Store(int64(d)) }
+
+// ExtraStaleness returns the current staleness grant.
+func (s *BrownoutState) ExtraStaleness() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.extraStaleness.Load())
+}
+
+// SetForceStatic toggles the forced static fallback.
+func (s *BrownoutState) SetForceStatic(v bool) { s.forceStatic.Store(v) }
+
+// ForceStatic reports whether empty arrangements must degrade to the
+// stored order regardless of the configured DegradedMode.
+func (s *BrownoutState) ForceStatic() bool {
+	if s == nil {
+		return false
+	}
+	return s.forceStatic.Load()
 }
 
 // Verdict classifies one binding's host against the constraints.
@@ -338,7 +377,7 @@ func (b *Balancer) arrange(serviceID, description string, uris []string, now tim
 	// take no part in any arrangement, fallback included.
 	dec.Filtered = true
 	span = tr.BeginSpan("snapshot")
-	snap := b.Table.Snapshot(now, b.SnapshotMaxAge)
+	snap := b.Table.Snapshot(now, b.SnapshotMaxAge+b.Brownout.ExtraStaleness())
 	tr.EndSpan(span)
 	dec.SnapshotGen = snap.Gen()
 	if tr != nil {
@@ -415,8 +454,10 @@ func (b *Balancer) arrange(serviceID, description string, uris []string, now tim
 
 	// Step 5: graceful degradation — when nothing at all survived (e.g.
 	// every host quarantined), DegradedStatic serves the stored order as
-	// vanilla freebXML would, rather than an empty answer.
-	if len(out) == 0 && b.Degraded == DegradedStatic {
+	// vanilla freebXML would, rather than an empty answer. The brownout
+	// ladder's TierStatic forces the same behaviour under sustained
+	// overload; the two compose idempotently (one degradation, not two).
+	if len(out) == 0 && (b.Degraded == DegradedStatic || b.Brownout.ForceStatic()) {
 		dec.Degraded = true
 		out = stockOrder(uris)
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/breaker"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -78,6 +79,11 @@ type Config struct {
 	// Degraded forwards to core.Balancer: what discovery serves when every
 	// candidate is quarantined or stale.
 	Degraded core.DegradedMode
+	// Admission, when set, enables the overload-resilient serving edge on
+	// the assembled registry (admission control, shedding, deadlines, and
+	// the brownout ladder — see internal/admit). The flash-crowd
+	// experiment (H8) drives it.
+	Admission *admit.Config
 }
 
 // DefaultConstraint is the worker constraint used when none is given.
@@ -120,6 +126,7 @@ func NewSetup(cfg Config) (*Setup, error) {
 		Freshness:   cfg.Freshness,
 		FallbackAll: cfg.FallbackAll,
 		Degraded:    cfg.Degraded,
+		Admission:   cfg.Admission,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,39 @@
+package lcm
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/rim"
+)
+
+// guardCtx rejects a write whose request budget is already spent — a
+// deadline that fired while the request sat in the admission queue must
+// not start a mutation the client has given up on. Writes are
+// all-or-nothing transactions, so the check runs once up front; an
+// in-progress transaction is never torn down halfway.
+func guardCtx(rctx context.Context, op string) error {
+	if err := rctx.Err(); err != nil {
+		return fmt.Errorf("lcm: %s: request context done before write: %w", op, err)
+	}
+	return nil
+}
+
+// SubmitObjectsCtx is SubmitObjects guarded by the request context: the
+// SOAP surface threads its per-class deadline budget through here so an
+// expired budget is refused before any state changes.
+func (m *Manager) SubmitObjectsCtx(rctx context.Context, ctx Context, objs ...rim.Object) error {
+	if err := guardCtx(rctx, "submit"); err != nil {
+		return err
+	}
+	return m.submitObjects(ctx, objs...)
+}
+
+// UpdateObjectsCtx is UpdateObjects guarded by the request context; see
+// SubmitObjectsCtx.
+func (m *Manager) UpdateObjectsCtx(rctx context.Context, ctx Context, objs ...rim.Object) error {
+	if err := guardCtx(rctx, "update"); err != nil {
+		return err
+	}
+	return m.updateObjects(ctx, objs...)
+}

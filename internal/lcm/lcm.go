@@ -138,6 +138,12 @@ type validator interface{ Validate() error }
 // validation and authorization, mirroring a transactional
 // SubmitObjectsRequest.
 func (m *Manager) SubmitObjects(ctx Context, objs ...rim.Object) error {
+	return m.submitObjects(ctx, objs...)
+}
+
+// submitObjects is the shared implementation behind SubmitObjects and
+// SubmitObjectsCtx.
+func (m *Manager) submitObjects(ctx Context, objs ...rim.Object) error {
 	end, err := m.beginWrite()
 	if err != nil {
 		return err
@@ -175,6 +181,12 @@ func (m *Manager) SubmitObjects(ctx Context, objs ...rim.Object) error {
 // and status are preserved; with Versioning on, the version name's minor
 // component is incremented and a Versioned event recorded.
 func (m *Manager) UpdateObjects(ctx Context, objs ...rim.Object) error {
+	return m.updateObjects(ctx, objs...)
+}
+
+// updateObjects is the shared implementation behind UpdateObjects and
+// UpdateObjectsCtx.
+func (m *Manager) updateObjects(ctx Context, objs ...rim.Object) error {
 	end, err := m.beginWrite()
 	if err != nil {
 		return err

@@ -177,6 +177,12 @@ func (m *Manager) GetServiceBindingsCtx(ctx context.Context, serviceID string) (
 	if err != nil {
 		return nil, core.Decision{}, err
 	}
+	// A deadline that fired while the view loaded (or while the request
+	// waited in the admission queue) stops the arrangement mid-flight;
+	// ctx.Err is one atomic-free check on the unexpired path.
+	if err := ctx.Err(); err != nil {
+		return nil, core.Decision{}, err
+	}
 	return m.arrangeView(view, tr)
 }
 
@@ -198,6 +204,11 @@ func (m *Manager) GetServiceBindingsByNameCtx(ctx context.Context, name string) 
 	view, err := m.Store.ServiceViewByName(name)
 	tr.EndSpan(span)
 	if err != nil {
+		return nil, core.Decision{}, err
+	}
+	// See GetServiceBindingsCtx: honor a mid-flight deadline before the
+	// balancer arrange.
+	if err := ctx.Err(); err != nil {
 		return nil, core.Decision{}, err
 	}
 	return m.arrangeView(view, tr)

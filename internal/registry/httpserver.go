@@ -4,10 +4,13 @@ import (
 	"context"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/lcm"
 	"repro/internal/nodestate"
@@ -25,24 +28,74 @@ import (
 //	GET  /registry/...    — the mandatory HTTP (REST) binding, which per
 //	                        thesis §2.2.3 "only supports search queries"
 //	                        (QueryManager only, no publishing)
+//
+// Every route passes through the admission controller (a nil controller
+// wraps nothing): the SOAP surface under the LCM class, the REST reads
+// under the discovery class. Health, metrics, traces, nodestate, and the
+// UI are always-admit — operators must be able to see in precisely when
+// the edge is shedding — and carry //repolint:admit-exempt for the
+// deadline analyzer.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/soap/registry", soap.EndpointCtx(r.handleRegistrySOAP))
-	mux.Handle("/soap/auth", soap.Endpoint(r.handleAuthSOAP))
-	mux.HandleFunc("/registry/object", r.handleGetObject)
-	mux.HandleFunc("/registry/find", r.handleFind)
-	mux.HandleFunc("/registry/bindings", r.handleBindings)
-	mux.HandleFunc("/registry/query", r.handleQuery)
+	adm := r.Admission
+	var maxBody int64
+	if adm != nil {
+		maxBody = adm.Config().MaxBodyBytes
+	}
+	mux.Handle("/soap/registry", adm.Wrap(admit.ClassLCM, admit.RejectSOAP,
+		limitBody(maxBody, soap.EndpointCtx(r.handleRegistrySOAP))))
+	mux.Handle("/soap/auth", adm.Wrap(admit.ClassLCM, admit.RejectSOAP,
+		limitBody(maxBody, soap.Endpoint(r.handleAuthSOAP))))
+	mux.Handle("/registry/object", adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleGetObject)))
+	mux.Handle("/registry/find", adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleFind)))
+	mux.Handle("/registry/bindings", adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleBindings)))
+	mux.Handle("/registry/query", adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleQuery)))
+	mux.Handle("/registry/content", adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleContent)))
+	//repolint:admit-exempt nodestate is the operator's view of collector state
 	mux.HandleFunc("/registry/nodestate", r.handleNodeState)
+	//repolint:admit-exempt health must answer while the edge sheds
 	mux.HandleFunc("/registry/health", r.handleHealth)
+	//repolint:admit-exempt metrics must answer while the edge sheds
 	mux.HandleFunc("/registry/metrics", r.handleMetrics)
+	//repolint:admit-exempt trace retrieval is an operator diagnostic
 	mux.HandleFunc("/registry/traces", r.handleTraces)
-	mux.HandleFunc("/registry/content", r.handleContent)
+	//repolint:admit-exempt the operator UI stays reachable during incidents
 	mux.HandleFunc("/ui", r.handleUI)
 	if r.pprof {
 		mountPprof(mux)
 	}
 	return mux
+}
+
+// HardenedServer builds an http.Server with conservative edge limits so
+// slow or malicious clients cannot hold connections open for free:
+// bounded header read, bounded whole-request read, bounded keep-alive
+// idle, and a small header cap (request bodies are bounded separately by
+// limitBody under the admission controller's MaxBodyBytes). WriteTimeout
+// stays unset deliberately — /debug/pprof/profile streams for its whole
+// sampling window and a write cap would sever it.
+func HardenedServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    64 << 10,
+	}
+}
+
+// limitBody caps request bodies with http.MaxBytesReader so a giant SOAP
+// envelope cannot hold the connection and exhaust memory; reads past n
+// fail and poison the connection. n <= 0 leaves the body unbounded.
+func limitBody(n int64, next http.Handler) http.Handler {
+	if n <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		req.Body = http.MaxBytesReader(w, req.Body, n)
+		next.ServeHTTP(w, req)
+	})
 }
 
 // soapRequest is the union envelope body for /soap/registry: exactly one
@@ -65,11 +118,17 @@ type soapRequest struct {
 }
 
 func (r *Registry) handleRegistrySOAP(ctx context.Context, req *soapRequest) (interface{}, error) {
+	// A per-class deadline that fired while the request waited in the
+	// admission queue fails fast with a typed fault before any work (or
+	// write) starts.
+	if err := ctx.Err(); err != nil {
+		return nil, &soap.Fault{Code: "Server.Timeout", String: "request deadline exceeded before dispatch", Detail: err.Error()}
+	}
 	switch {
 	case req.Submit != nil:
-		return r.doSubmit(req.Submit)
+		return r.doSubmit(ctx, req.Submit)
 	case req.Update != nil:
-		return r.doUpdate(req.Update)
+		return r.doUpdate(ctx, req.Update)
 	case req.Approve != nil:
 		sess, err := r.sessionOrFault(req.Approve.Session)
 		if err != nil {
@@ -137,8 +196,8 @@ func ack(ids []string, err error) (interface{}, error) {
 	return &RegistryResponse{Status: "Success", IDs: ids}, nil
 }
 
-func (r *Registry) doSubmit(req *SubmitObjectsRequest) (interface{}, error) {
-	ctx, err := r.sessionOrFault(req.Session)
+func (r *Registry) doSubmit(ctx context.Context, req *SubmitObjectsRequest) (interface{}, error) {
+	sess, err := r.sessionOrFault(req.Session)
 	if err != nil {
 		return nil, err
 	}
@@ -146,14 +205,14 @@ func (r *Registry) doSubmit(req *SubmitObjectsRequest) (interface{}, error) {
 	if err != nil {
 		return nil, soap.ClientFault("%v", err)
 	}
-	if err := r.LCM.SubmitObjects(ctx, objs...); err != nil {
+	if err := r.LCM.SubmitObjectsCtx(ctx, sess, objs...); err != nil {
 		return nil, err
 	}
 	return &RegistryResponse{Status: "Success", IDs: ids}, nil
 }
 
-func (r *Registry) doUpdate(req *UpdateObjectsRequest) (interface{}, error) {
-	ctx, err := r.sessionOrFault(req.Session)
+func (r *Registry) doUpdate(ctx context.Context, req *UpdateObjectsRequest) (interface{}, error) {
+	sess, err := r.sessionOrFault(req.Session)
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +220,7 @@ func (r *Registry) doUpdate(req *UpdateObjectsRequest) (interface{}, error) {
 	if err != nil {
 		return nil, soap.ClientFault("%v", err)
 	}
-	if err := r.LCM.UpdateObjects(ctx, objs...); err != nil {
+	if err := r.LCM.UpdateObjectsCtx(ctx, sess, objs...); err != nil {
 		return nil, err
 	}
 	return &RegistryResponse{Status: "Success", IDs: ids}, nil
@@ -300,6 +359,9 @@ func (r *Registry) doBindings(ctx context.Context, req *GetBindingsRequest) (int
 	r.Tracer.Finish(tr)
 	if err != nil {
 		r.discovery.errors.Inc()
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return nil, &soap.Fault{Code: "Server.Timeout", String: "discovery deadline exceeded", Detail: err.Error()}
+		}
 		return nil, soap.ClientFault("%v", err)
 	}
 	r.discovery.observe(dec, r.Clock.Now().Sub(start).Seconds())
@@ -416,7 +478,11 @@ func (r *Registry) handleBindings(w http.ResponseWriter, req *http.Request) {
 	r.Tracer.Finish(tr)
 	if err != nil {
 		r.discovery.errors.Inc()
-		http.Error(w, err.Error(), http.StatusNotFound)
+		status := http.StatusNotFound
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status = http.StatusGatewayTimeout
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 	r.discovery.observe(dec, r.Clock.Now().Sub(start).Seconds())

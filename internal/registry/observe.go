@@ -5,6 +5,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -259,6 +260,75 @@ func (r *Registry) buildExposition() *obs.Exposition {
 		"Trace sampling rate (every Nth request; 0 disabled).",
 		func() float64 { return float64(r.Tracer.Sample()) })
 
+	// Admission control and the brownout ladder. A nil controller (no
+	// Config.Admission) reads every series as zero.
+	ctrl := r.Admission
+	stats := func(class admit.Class) admit.ClassStats {
+		if ctrl == nil {
+			return admit.ClassStats{}
+		}
+		return ctrl.ClassStats(class)
+	}
+	for _, class := range []admit.Class{admit.ClassDiscovery, admit.ClassLCM} {
+		class := class
+		label := class.String()
+		e.LabelledCounter("registry_admission_admitted_total",
+			"Requests granted an in-flight slot, immediately or via the wait queue.", "class", label,
+			func() int64 { return stats(class).Admitted })
+		e.LabelledCounter("registry_admission_shed_total",
+			"Requests rejected early with 503 + Retry-After.", "class", label,
+			func() int64 { return stats(class).Shed })
+		e.LabelledCounter("registry_admission_queued_total",
+			"Requests that waited in the bounded FIFO queue for a slot.", "class", label,
+			func() int64 { return stats(class).Queued })
+		e.LabelledCounter("registry_admission_queue_timeouts_total",
+			"Queued requests shed because no slot freed within the queue timeout.", "class", label,
+			func() int64 { return stats(class).QueueTimeouts })
+		e.LabelledCounter("registry_admission_deadline_exceeded_total",
+			"Admitted requests that blew their per-class deadline budget.", "class", label,
+			func() int64 { return stats(class).DeadlineExceeded })
+	}
+	e.GaugeVec("registry_admission_inflight",
+		"Requests currently executing, per admission class.",
+		"class", func() map[string]float64 {
+			return map[string]float64{
+				admit.ClassDiscovery.String(): float64(stats(admit.ClassDiscovery).InFlight),
+				admit.ClassLCM.String():       float64(stats(admit.ClassLCM).InFlight),
+			}
+		})
+	e.GaugeVec("registry_admission_queue_depth",
+		"Requests currently waiting for a slot, per admission class.",
+		"class", func() map[string]float64 {
+			return map[string]float64{
+				admit.ClassDiscovery.String(): float64(stats(admit.ClassDiscovery).QueueDepth),
+				admit.ClassLCM.String():       float64(stats(admit.ClassLCM).QueueDepth),
+			}
+		})
+	e.GaugeVec("registry_admission_accept_rate",
+		"AIMD shedder accept rate for saturated arrivals, per admission class.",
+		"class", func() map[string]float64 {
+			return map[string]float64{
+				admit.ClassDiscovery.String(): stats(admit.ClassDiscovery).AcceptRate,
+				admit.ClassLCM.String():       stats(admit.ClassLCM).AcceptRate,
+			}
+		})
+	e.Gauge("registry_brownout_tier",
+		"Current brownout ladder tier (0 nominal, 1 no-trace, 2 stale, 3 static).",
+		func() float64 {
+			if ctrl == nil {
+				return 0
+			}
+			return float64(ctrl.Tier())
+		})
+	e.Counter("registry_brownout_transitions_total",
+		"Brownout ladder transitions since boot.",
+		func() int64 {
+			if ctrl == nil {
+				return 0
+			}
+			return ctrl.TierChanges()
+		})
+
 	return e
 }
 
@@ -300,11 +370,17 @@ func (r *Registry) handleTraces(w http.ResponseWriter, req *http.Request) {
 
 // mountPprof attaches net/http/pprof to the registry mux. The default
 // ServeMux registration in the pprof package is bypassed deliberately —
-// profiling endpoints appear only when the -pprof flag opted in.
+// profiling endpoints appear only when the -pprof flag opted in. They
+// bypass admission: profiling an overloaded process is the whole point.
 func mountPprof(mux *http.ServeMux) {
+	//repolint:admit-exempt profiling must work while the edge sheds
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	//repolint:admit-exempt profiling must work while the edge sheds
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	//repolint:admit-exempt profiling must work while the edge sheds
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	//repolint:admit-exempt profiling must work while the edge sheds
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	//repolint:admit-exempt profiling must work while the edge sheds
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/audit"
 	"repro/internal/auth"
 	"repro/internal/breaker"
@@ -111,6 +112,12 @@ type Config struct {
 	// 0 means the wal defaults, negative disables that trigger.
 	CheckpointBytes   int64
 	CheckpointRecords int
+	// Admission enables the overload-resilient serving edge: per-class
+	// in-flight/queue bounds, adaptive shedding, deadline budgets, and
+	// the brownout ladder (see internal/admit). The zero-value
+	// &admit.Config{} selects the production defaults; nil serves every
+	// request unconditionally (the pre-admission behaviour).
+	Admission *admit.Config
 }
 
 // Registry is an assembled registry server.
@@ -142,6 +149,10 @@ type Registry struct {
 	// Durable is the WAL-backed durability manager (nil when
 	// Config.DataDir was empty: the registry is then purely in-memory).
 	Durable *wal.Durable
+	// Admission is the serving edge's admission controller (nil when
+	// Config.Admission was nil: every request is then served
+	// unconditionally).
+	Admission *admit.Controller
 
 	discovery discoveryMetrics
 	expo      *obs.Exposition
@@ -243,6 +254,32 @@ func New(cfg Config) (*Registry, error) {
 	tracer := obs.NewTracer(clk, cfg.TraceRing)
 	tracer.SetSample(cfg.TraceSample)
 
+	// Admission control and the brownout ladder: each ladder transition
+	// flips the corresponding degradation overrides — trace sampling off
+	// at TierNoTrace, stale snapshots at TierStale, forced static
+	// fallback at TierStatic — and restores them on the way back down.
+	var ctrl *admit.Controller
+	if cfg.Admission != nil {
+		ctrl = admit.NewController(*cfg.Admission, clk, logger.With("component", "admit"))
+		brown := &core.BrownoutState{}
+		bal.Brownout = brown
+		sample := cfg.TraceSample
+		staleness := ctrl.Config().BrownoutStaleness
+		ctrl.OnTierChange(func(t admit.Tier) {
+			if t >= admit.TierNoTrace {
+				tracer.SetSample(0)
+			} else {
+				tracer.SetSample(sample)
+			}
+			if t >= admit.TierStale {
+				brown.SetExtraStaleness(staleness)
+			} else {
+				brown.SetExtraStaleness(0)
+			}
+			brown.SetForceStatic(t >= admit.TierStatic)
+		})
+	}
+
 	r := &Registry{
 		Store:     s,
 		Clock:     clk,
@@ -260,6 +297,7 @@ func New(cfg Config) (*Registry, error) {
 		Tracer:          tracer,
 		Log:             logger.With("component", "registry"),
 		Durable:         durable,
+		Admission:       ctrl,
 		pprof:           cfg.Pprof,
 	}
 	r.discovery.latency = obs.NewHistogramMetric(obs.DiscoveryLatencyBuckets()...)

@@ -1,0 +1,147 @@
+// Package deadline enforces the serving edge's admission invariant: every
+// route registered on the registry's ServeMux must pass its handler
+// through the admission controller (a call whose callee is named Wrap,
+// conventionally Admission.Wrap) or carry an explicit
+// `//repolint:admit-exempt <reason>` directive on the registration line
+// or the line above it.
+//
+// The admission middleware is where per-class in-flight bounds, load
+// shedding, and — the analyzer's namesake — server-side deadline budgets
+// are applied; a route registered around it silently serves without any
+// of them, which is exactly the unbounded pre-admission edge PR 7
+// removed. Exemptions are deliberate and must say why (health and
+// metrics must answer while the edge sheds; pprof must work during
+// incidents), so a bare directive without a reason is also flagged.
+//
+// The pass is scoped to packages named "registry" — the serving surface
+// — so other packages may assemble muxes freely. Test files are exempt
+// as with the other repolint analyzers.
+package deadline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/tools/analyzers/framework"
+)
+
+// Analyzer is the deadline pass.
+var Analyzer = &framework.Analyzer{
+	Name: "deadline",
+	Doc: "flags registry ServeMux registrations whose handler bypasses the admission middleware " +
+		"(no Wrap call and no //repolint:admit-exempt reason)",
+	Run: run,
+}
+
+// exemptDirective is the annotation that deliberately opts a route out of
+// admission control.
+const exemptDirective = framework.DirectivePrefix + "admit-exempt"
+
+func run(pass *framework.Pass) (interface{}, error) {
+	if pass.Pkg.Name() != "registry" {
+		return nil, nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			method := sel.Sel.Name
+			if method != "Handle" && method != "HandleFunc" {
+				return true
+			}
+			if !isServeMux(pass, sel.X) || len(call.Args) != 2 {
+				return true
+			}
+			if isAdmissionWrapped(call.Args[1]) {
+				return true
+			}
+			reason, exempt := exemptionAt(pass, f, call)
+			switch {
+			case exempt && reason == "":
+				pass.Reportf(call.Pos(), "route %s: //repolint:admit-exempt needs a reason (why may this route bypass admission?)",
+					routeName(call))
+			case !exempt:
+				pass.Reportf(call.Pos(), "route %s registered without admission control: wrap the handler in Admission.Wrap or annotate //repolint:admit-exempt <reason>",
+					routeName(call))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isServeMux reports whether expr's type is net/http.ServeMux or a
+// pointer to it.
+func isServeMux(pass *framework.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "net/http" && obj.Name() == "ServeMux"
+}
+
+// isAdmissionWrapped reports whether the handler argument is a call whose
+// callee is a method or function named Wrap — the admission middleware's
+// constructor. The check is by name, not by type: fixture packages are
+// typechecked against the standard library only, and any same-named
+// wrapper in the registry package is by convention the admission one.
+func isAdmissionWrapped(arg ast.Expr) bool {
+	call, ok := arg.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Wrap"
+	case *ast.Ident:
+		return fun.Name == "Wrap"
+	}
+	return false
+}
+
+// exemptionAt looks for an admit-exempt directive on the registration's
+// line or the line immediately above it, returning its reason text.
+func exemptionAt(pass *framework.Pass, f *ast.File, n ast.Node) (reason string, ok bool) {
+	line := pass.Fset.Position(n.Pos()).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, exemptDirective) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, exemptDirective)
+			if rest != "" && !strings.HasPrefix(rest, " ") {
+				continue // a different, longer directive name
+			}
+			cl := pass.Fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return strings.TrimSpace(rest), true
+			}
+		}
+	}
+	return "", false
+}
+
+// routeName renders the registration's pattern argument for diagnostics.
+func routeName(call *ast.CallExpr) string {
+	if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+		return lit.Value
+	}
+	return "<dynamic>"
+}

@@ -1,0 +1,12 @@
+package deadline_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/deadline"
+)
+
+func TestDeadline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), deadline.Analyzer, "registry", "other")
+}

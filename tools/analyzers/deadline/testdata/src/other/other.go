@@ -1,0 +1,13 @@
+// Package other proves the deadline pass is scoped to the serving
+// surface: a package not named "registry" may register bare handlers on
+// a ServeMux freely.
+package other
+
+import "net/http"
+
+func routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/anything", http.NotFoundHandler())
+	mux.HandleFunc("/else", func(w http.ResponseWriter, r *http.Request) {})
+	return mux
+}

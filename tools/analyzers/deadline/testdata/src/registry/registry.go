@@ -1,0 +1,56 @@
+// Package registry is the deadline analyzer's positive fixture: the
+// package name matches the serving surface, so every mux registration
+// must wrap its handler in the admission middleware or carry a reasoned
+// admit-exempt directive.
+package registry
+
+import "net/http"
+
+// admitter stands in for the admission controller; the analyzer matches
+// the Wrap callee by name.
+type admitter struct{}
+
+func (admitter) Wrap(class int, next http.Handler) http.Handler { return next }
+
+// Wrap is a package-level variant: plain-identifier callees count too.
+func Wrap(next http.Handler) http.Handler { return next }
+
+func routes() *http.ServeMux {
+	var adm admitter
+	mux := http.NewServeMux()
+
+	// Wrapped registrations pass.
+	mux.Handle("/soap/registry", adm.Wrap(1, http.NotFoundHandler()))
+	mux.Handle("/registry/bindings", Wrap(http.NotFoundHandler()))
+
+	// Bypassing the middleware is the defect this analyzer exists for.
+	mux.Handle("/registry/find", http.NotFoundHandler()) // want `route "/registry/find" registered without admission control`
+	mux.HandleFunc("/registry/query", serve)             // want `route "/registry/query" registered without admission control`
+
+	// A reasoned exemption is a deliberate decision and passes.
+	//repolint:admit-exempt health must answer while the edge sheds
+	mux.HandleFunc("/registry/health", serve)
+	//repolint:admit-exempt metrics must answer while the edge sheds
+	mux.HandleFunc("/registry/metrics", serve)
+
+	// A bare exemption hides the decision; it must say why.
+	//repolint:admit-exempt
+	mux.HandleFunc("/registry/traces", serve) // want `admit-exempt needs a reason`
+
+	return mux
+}
+
+// notMux has Handle/HandleFunc methods but is not a net/http.ServeMux;
+// the analyzer must leave it alone.
+type notMux struct{}
+
+func (notMux) Handle(pattern string, h http.Handler)                                 {}
+func (notMux) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) {}
+
+func otherRegistrations() {
+	var m notMux
+	m.Handle("/x", http.NotFoundHandler())
+	m.HandleFunc("/y", serve)
+}
+
+func serve(w http.ResponseWriter, r *http.Request) {}
