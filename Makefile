@@ -2,9 +2,12 @@ GO ?= go
 
 # Discovery benchmarks run a fixed iteration count so allocs/op is
 # deterministic for a given code version and comparable across machines.
-BENCH_PATTERN = BenchmarkDiscovery
+# BenchmarkHTTPDiscovery covers the end-to-end serving edge; its entries
+# are gated at a tightened +5% (and the warm variant's zero-allocation
+# baseline admits no growth at all).
+BENCH_PATTERN = BenchmarkDiscovery|BenchmarkHTTPDiscovery
 BENCH_TIME    = 2000x
-BENCH_NOTE    = discovery fast path baseline; allocs/op gated at +25%
+BENCH_NOTE    = discovery fast path baseline; allocs/op gated at +25%, serving edge at +5%
 
 .PHONY: all build test race vet lint check clean bench benchcheck smoke crashcheck escapecheck escapecheck-emit overloadcheck
 
@@ -69,14 +72,18 @@ check: build test vet lint smoke
 # sweep's allocations land on the measured goroutine nondeterministically.
 bench:
 	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) . \
-		| $(GO) run ./cmd/benchjson emit -gate-skip collector -note '$(BENCH_NOTE)' -o BENCH_discovery.json
+		| $(GO) run ./cmd/benchjson emit -gate-skip collector -tighten BenchmarkHTTPDiscovery -tighten-growth 0.05 \
+			-note '$(BENCH_NOTE)' -o BENCH_discovery.json
 	@echo wrote BENCH_discovery.json
 
 # benchcheck reruns the discovery benchmarks and fails on a >25% allocs/op
-# regression against the committed baseline, or when BENCH_discovery.json
-# has drifted from the benchmarks declared in bench_test.go.
+# regression against the committed baseline (+5% for the serving-edge
+# entries, recorded per-entry in the artifact), or when
+# BENCH_discovery.json has drifted from the benchmarks declared in
+# bench_test.go under either prefix.
 benchcheck:
 	$(GO) run ./cmd/benchjson sync -json BENCH_discovery.json -bench bench_test.go -prefix BenchmarkDiscovery
+	$(GO) run ./cmd/benchjson sync -json BENCH_discovery.json -bench bench_test.go -prefix BenchmarkHTTPDiscovery
 	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) . \
 		| $(GO) run ./cmd/benchjson emit -gate-skip collector -o bench_current.json
 	$(GO) run ./cmd/benchjson compare -baseline BENCH_discovery.json -current bench_current.json -max-alloc-growth 0.25

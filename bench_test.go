@@ -21,6 +21,7 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -799,6 +800,114 @@ func BenchmarkTracingOverhead(b *testing.B) {
 			if err != nil || len(uris) == 0 {
 				b.Fatal(uris, err)
 			}
+		}
+	})
+}
+
+// --- end-to-end HTTP discovery: the zero-allocation serving edge ---------
+
+// benchHTTPWriter is a reusable ResponseWriter: the header map is
+// allocated once and the body is discarded, so the measured loop sees
+// only the serving edge's own allocations — exactly what a real server
+// amortizes across a keep-alive connection.
+type benchHTTPWriter struct {
+	header http.Header
+	status int
+	n      int
+}
+
+func (w *benchHTTPWriter) Header() http.Header         { return w.header }
+func (w *benchHTTPWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+func (w *benchHTTPWriter) WriteHeader(s int)           { w.status = s }
+
+// BenchmarkHTTPDiscovery measures the full HTTP discovery round trip —
+// frozen-router dispatch, admission bracket, response-cache consult,
+// response bytes — with tracing compiled in but unsampled (the
+// production default). The warm variant serves the preserialized entry
+// through admit's FastServe hook and must report 0 allocs/op; its
+// BENCH_discovery.json entry carries a tightened 5% growth bound (which
+// at a zero baseline admits no regression at all). miss re-renders every
+// iteration by bumping the write epoch; nocache disables the subsystem
+// and shows what every request cost before this PR.
+func BenchmarkHTTPDiscovery(b *testing.B) {
+	const hosts = 8
+	setup := func(b *testing.B, cacheSize int) (http.Handler, *registry.Registry) {
+		b.Helper()
+		reg, err := registry.New(registry.Config{
+			Clock:          simclock.NewManual(benchEpoch),
+			Policy:         core.PolicyFilter,
+			SnapshotMaxAge: 25 * time.Second,
+			Admission:      &admit.Config{}, // production defaults; never sheds at bench load
+			RespCacheSize:  cacheSize,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc := rim.NewService("Adder", `<constraint><cpuLoad>load ls 1.0</cpuLoad><memory>memory gr 1GB</memory></constraint>`)
+		for i := 0; i < hosts; i++ {
+			host := fmt.Sprintf("h%02d.sdsu.edu", i)
+			svc.AddBinding("http://" + host + ":8080/Adder/addService")
+			reg.Store.NodeState().Upsert(store.NodeState{
+				Host: host, Load: float64(i%4) * 0.7, MemoryB: 4 << 30, SwapB: 1 << 30,
+				Updated: benchEpoch,
+			})
+		}
+		if err := reg.LCM.SubmitObjects(reg.AdminContext(), svc); err != nil {
+			b.Fatal(err)
+		}
+		return reg.Handler(), reg
+	}
+	serve := func(b *testing.B, h http.Handler, w *benchHTTPWriter, req *http.Request) {
+		b.Helper()
+		w.n, w.status = 0, 0
+		h.ServeHTTP(w, req)
+		if w.status != 0 && w.status != http.StatusOK {
+			b.Fatalf("status %d", w.status)
+		}
+		if w.n == 0 {
+			b.Fatal("empty response")
+		}
+	}
+
+	b.Run("filter/hosts=8/warm", func(b *testing.B) {
+		h, reg := setup(b, 0)
+		req := httptest.NewRequest(http.MethodGet, "/registry/bindings?service=Adder", nil)
+		w := &benchHTTPWriter{header: make(http.Header, 4)}
+		serve(b, h, w, req) // render + store
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serve(b, h, w, req)
+		}
+		b.StopTimer()
+		if hits := reg.RespCache.Hits.Value(); hits < int64(b.N) {
+			b.Fatalf("hits = %d over %d warm requests", hits, b.N)
+		}
+	})
+	b.Run("filter/hosts=8/miss", func(b *testing.B) {
+		h, reg := setup(b, 0)
+		req := httptest.NewRequest(http.MethodGet, "/registry/bindings?service=Adder", nil)
+		w := &benchHTTPWriter{header: make(http.Header, 4)}
+		serve(b, h, w, req)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reg.RespCache.BumpEpoch() // every request re-renders and re-stores
+			serve(b, h, w, req)
+		}
+	})
+	b.Run("filter/hosts=8/nocache", func(b *testing.B) {
+		h, reg := setup(b, -1)
+		if reg.RespCache != nil {
+			b.Fatal("cache built despite negative size")
+		}
+		req := httptest.NewRequest(http.MethodGet, "/registry/bindings?service=Adder", nil)
+		w := &benchHTTPWriter{header: make(http.Header, 4)}
+		serve(b, h, w, req)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serve(b, h, w, req)
 		}
 	})
 }

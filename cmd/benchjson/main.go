@@ -8,10 +8,13 @@
 //
 // emit parses `go test -bench -benchmem` output from stdin into JSON,
 // marking every result as gated except those whose name matches
-// -gate-skip. compare fails (exit 1) when a gated result's allocs/op grew
-// past the growth bound — only allocations are compared, because they are
-// machine-independent. sync fails when the JSON and the benchmark source
-// disagree about which benchmarks exist under the prefix.
+// -gate-skip; gated results matching -tighten additionally record a
+// per-entry growth bound of -tighten-growth (the serving-edge benchmarks
+// use 0.05 instead of compare's default). compare fails (exit 1) when a
+// gated result's allocs/op grew past its growth bound — only allocations
+// are compared, because they are machine-independent. sync fails when
+// the JSON and the benchmark source disagree about which benchmarks
+// exist under the prefix.
 package main
 
 import (
@@ -47,6 +50,8 @@ func emit(args []string) {
 	out := fs.String("o", "", "output file (default stdout)")
 	note := fs.String("note", "", "free-form note stored in the artifact")
 	gateSkip := fs.String("gate-skip", "", "regexp of benchmark names to record but not gate")
+	tighten := fs.String("tighten", "", "regexp of benchmark names gated at -tighten-growth instead of the compare default")
+	tightenGrowth := fs.Float64("tighten-growth", 0.05, "per-entry allocs/op growth bound for -tighten matches")
 	fs.Parse(args)
 
 	results, err := benchjson.Parse(os.Stdin)
@@ -59,8 +64,17 @@ func emit(args []string) {
 			log.Fatalf("bad -gate-skip: %v", err)
 		}
 	}
+	var tight *regexp.Regexp
+	if *tighten != "" {
+		if tight, err = regexp.Compile(*tighten); err != nil {
+			log.Fatalf("bad -tighten: %v", err)
+		}
+	}
 	for i := range results {
 		results[i].Gate = skip == nil || !skip.MatchString(results[i].Name)
+		if results[i].Gate && tight != nil && tight.MatchString(results[i].Name) {
+			results[i].MaxGrowth = *tightenGrowth
+		}
 	}
 	w := os.Stdout
 	if *out != "" {

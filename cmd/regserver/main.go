@@ -23,6 +23,14 @@
 // old without locking while the collector writes (0 = always coherent; the
 // collection period is a sensible value).
 //
+// Serving edge: all routes dispatch through a frozen static router —
+// -edge-max-path-length (414 past it) and -edge-max-depth (400 past it)
+// bound abusive request paths — and -edge-respcache-size bounds the
+// preserialized discovery response cache (0 = default 1024, negative =
+// disable), which serves repeat GetBindings answers with zero allocation
+// until a write, brownout transition, snapshot republish, or
+// constraint-window/freshness boundary invalidates them.
+//
 // Durability: -data-dir enables the write-ahead log + checkpoint
 // subsystem — every acknowledged LCM write is logged before the HTTP
 // response and boot recovers the newest checkpoint plus the WAL tail, so
@@ -99,6 +107,10 @@ func main() {
 		cacheSize     = flag.Int("constraint-cache-size", 0, "parsed-constraint cache bound (0 = default, negative = disable)")
 		snapStaleness = flag.Duration("snapshot-staleness", 0, "serve NodeState snapshots up to this old without locking (0 = always coherent)")
 
+		edgeRespCache = flag.Int("edge-respcache-size", 0, "preserialized discovery response cache bound (0 = default 1024, negative = disable)")
+		edgeMaxPath   = flag.Int("edge-max-path-length", 0, "frozen router: request paths longer than this answer 414 (0 = default 1024)")
+		edgeMaxDepth  = flag.Int("edge-max-depth", 0, "frozen router: request paths deeper than this many segments answer 400 (0 = default 8)")
+
 		admission    = flag.Bool("admission", true, "admission-controlled serving edge: shedding, deadlines, brownout")
 		discInflight = flag.Int("discovery-inflight", 0, "max concurrent discovery requests (0 = default 64)")
 		discQueue    = flag.Int("discovery-queue", 0, "discovery wait-queue bound (0 = default 128, negative = no queue)")
@@ -156,6 +168,10 @@ func main() {
 
 		ConstraintCacheSize: *cacheSize,
 		SnapshotMaxAge:      *snapStaleness,
+
+		RespCacheSize:     *edgeRespCache,
+		EdgeMaxPathLength: *edgeMaxPath,
+		EdgeMaxDepth:      *edgeMaxDepth,
 
 		Logger:      logger,
 		TraceSample: *traceSample,

@@ -3,8 +3,11 @@
 // scrapes /registry/metrics and /registry/traces and fails (non-zero
 // exit) when the exposition is malformed, an expected metric family is
 // missing, or a discovery's X-Registry-Trace id cannot be retrieved from
-// the trace ring. It runs entirely in-process on a manual clock, so CI
-// needs no orchestration beyond `go run ./cmd/scrapesmoke`.
+// the trace ring. A final phase turns sampling off and exercises the
+// response cache end to end: hit/miss/entry counts must scrape exactly,
+// the frozen router's 404 counter must tick, and an LCM write must
+// invalidate. It runs entirely in-process on a manual clock, so CI needs
+// no orchestration beyond `go run ./cmd/scrapesmoke`.
 package main
 
 import (
@@ -112,7 +115,119 @@ func run() error {
 	if err := checkMetrics(client, base); err != nil {
 		return err
 	}
-	return checkTraces(client, base, traceID)
+	if err := checkTraces(client, base, traceID); err != nil {
+		return err
+	}
+	return checkRespCache(client, base, reg)
+}
+
+// checkRespCache turns sampling off (the response cache only engages
+// while tracing is unsampled), drives a miss + two hits, ticks the
+// frozen router's 404 counter, and asserts the registry_respcache_* and
+// registry_edge_rejected_total families scrape with the exact expected
+// values — then proves an LCM write invalidates by watching the next
+// request miss.
+func checkRespCache(client *http.Client, base string, reg *registry.Registry) error {
+	reg.Tracer.SetSample(0)
+	get := func(path string, want int) error {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			return fmt.Errorf("GET %s status %d, want %d", path, resp.StatusCode, want)
+		}
+		return nil
+	}
+	for i := 0; i < 3; i++ { // one miss renders + stores, two hits serve preserialized
+		if err := get("/registry/bindings?service=Adder", http.StatusOK); err != nil {
+			return err
+		}
+	}
+	if err := get("/registry/no-such-route", http.StatusNotFound); err != nil {
+		return err
+	}
+
+	scrape, err := scrapeMetrics(client, base)
+	if err != nil {
+		return err
+	}
+	for _, want := range []struct{ name, typ string }{
+		{"registry_respcache_hits_total", "counter"},
+		{"registry_respcache_misses_total", "counter"},
+		{"registry_respcache_invalidations_total", "counter"},
+		{"registry_respcache_entries", "gauge"},
+		{"registry_edge_rejected_total", "counter"},
+	} {
+		f, ok := scrape.Families[want.name]
+		if !ok {
+			return fmt.Errorf("metrics missing family %s", want.name)
+		}
+		if f.Type != want.typ {
+			return fmt.Errorf("family %s has type %s, want %s", want.name, f.Type, want.typ)
+		}
+	}
+	for _, want := range []struct {
+		name   string
+		labels map[string]string
+		value  float64
+	}{
+		{"registry_respcache_hits_total", nil, 2},
+		{"registry_respcache_misses_total", nil, 1},
+		{"registry_respcache_entries", nil, 1},
+		{"registry_edge_rejected_total", map[string]string{"reason": "not-found"}, 1},
+	} {
+		if v, ok := scrape.Value(want.name, want.labels); !ok || v != want.value {
+			return fmt.Errorf("%s%v = %v (ok=%v), want %v", want.name, want.labels, v, ok, want.value)
+		}
+	}
+	invalidations, ok := scrape.Value("registry_respcache_invalidations_total", nil)
+	if !ok {
+		return fmt.Errorf("registry_respcache_invalidations_total missing a sample")
+	}
+
+	// Any life-cycle write flushes the cache: the counter moves and the
+	// next request re-renders.
+	noise := rim.NewService("Noise", "")
+	noise.AddBinding("http://noise.sdsu.edu:8080/Noise/n")
+	if err := reg.LCM.SubmitObjects(reg.AdminContext(), noise); err != nil {
+		return err
+	}
+	if err := get("/registry/bindings?service=Adder", http.StatusOK); err != nil {
+		return err
+	}
+	scrape, err = scrapeMetrics(client, base)
+	if err != nil {
+		return err
+	}
+	if v, ok := scrape.Value("registry_respcache_invalidations_total", nil); !ok || v != invalidations+1 {
+		return fmt.Errorf("invalidations after LCM write = %v (ok=%v), want %v", v, ok, invalidations+1)
+	}
+	if v, ok := scrape.Value("registry_respcache_misses_total", nil); !ok || v != 2 {
+		return fmt.Errorf("misses after LCM write = %v (ok=%v), want 2 (write must invalidate)", v, ok)
+	}
+	if v, ok := scrape.Value("registry_respcache_hits_total", nil); !ok || v != 2 {
+		return fmt.Errorf("hits after LCM write = %v (ok=%v), want 2", v, ok)
+	}
+	return nil
+}
+
+func scrapeMetrics(client *http.Client, base string) (*obs.Scrape, error) {
+	resp, err := client.Get(base + "/registry/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	scrape, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("malformed exposition: %w", err)
+	}
+	return scrape, nil
 }
 
 func checkHealth(client *http.Client, base string) error {

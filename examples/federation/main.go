@@ -91,7 +91,7 @@ func main() {
 	// Idempotency: a second run copies nothing.
 	report, _ = fed.Replicate("campus", "partner", "Service", "Public%")
 	fmt.Printf("second replication: copied %d, skipped %d\n", len(report.Copied), len(report.Skipped))
-	if partnerReg.QM.FindObjects(rim.TypeService, "InternalPayroll") != nil {
+	if len(partnerReg.QM.FindObjects(rim.TypeService, "InternalPayroll")) > 0 {
 		log.Fatal("internal service leaked!")
 	}
 	fmt.Println("InternalPayroll stayed private, as intended")

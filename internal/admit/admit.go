@@ -29,6 +29,7 @@ import (
 	"log/slog"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -358,6 +359,7 @@ type Controller struct {
 	overSince   time.Time    // guarded by tierMu
 	calmSince   time.Time    // guarded by tierMu
 	onTier      []func(Tier) // guarded by tierMu
+	tierNow     atomic.Int32 // lock-free mirror of tier for hot-path reads
 	tierChanges metrics.Counter
 
 	// Preserialized shed responses: the reject path must not allocate
@@ -623,6 +625,7 @@ func (c *Controller) noteTier(now time.Time) {
 		}
 	}
 	tier = c.tier
+	c.tierNow.Store(int32(tier))
 	if changed {
 		c.tierChanges.Inc()
 		fire = c.onTier
@@ -643,11 +646,12 @@ func (c *Controller) logTier(t Tier) {
 	c.log.Info("brownout tier change", "tier", t.String())
 }
 
-// Tier returns the current brownout tier.
+// Tier returns the current brownout tier from a lock-free mirror, so the
+// response cache can key every request by tier without touching tierMu.
+//
+//repolint:hotpath read per request by the response-cache fast path
 func (c *Controller) Tier() Tier {
-	c.tierMu.Lock()
-	defer c.tierMu.Unlock()
-	return c.tier
+	return Tier(c.tierNow.Load())
 }
 
 // TierChanges returns how many ladder transitions have happened.

@@ -81,18 +81,32 @@ func (c *Controller) Reject(w http.ResponseWriter, format RejectFormat) {
 	w.Write(c.rejectJSON)
 }
 
+// FastHandler is the optional zero-allocation escape hatch a wrapped
+// handler can implement. After a request is admitted — and before the
+// deadline budget derives a context (which allocates) — Wrap offers the
+// request to FastServe. Returning true means the response was written in
+// full (typically from a preserialized cache) and the slot is released
+// immediately; returning false falls through to the normal path. A fast
+// path must not block, so running it without a deadline budget is sound.
+type FastHandler interface {
+	FastServe(w http.ResponseWriter, r *http.Request) bool
+}
+
 // Wrap guards next with admission control and deadline enforcement for
 // class. A nil *Controller wraps nothing, so callers can build their mux
 // unconditionally and flip admission with one config field.
 //
 // The request flow: TryAdmit → (possibly) wait FIFO for a slot, bounded
-// by the class queue timeout and the client disconnecting → run next
-// with the class deadline budget on the request context → Release the
-// slot, promoting the next waiter.
+// by the class queue timeout and the client disconnecting → offer the
+// request to next's FastServe if it implements FastHandler → otherwise
+// run next with the class deadline budget on the request context →
+// Release the slot, promoting the next waiter. The FastHandler assertion
+// happens once here, not per request.
 func (c *Controller) Wrap(class Class, format RejectFormat, next http.Handler) http.Handler {
 	if c == nil {
 		return next
 	}
+	fast, _ := next.(FastHandler)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		now := c.clock.Now()
 		out, t := c.TryAdmit(class, now)
@@ -105,6 +119,12 @@ func (c *Controller) Wrap(class Class, format RejectFormat, next http.Handler) h
 				c.Reject(w, format)
 				return
 			}
+		}
+		// The fast path runs before the defer below is registered, so a
+		// hit never pays for the deferred closure either.
+		if fast != nil && fast.FastServe(w, r) {
+			c.Release(class, now, c.clock.Now())
+			return
 		}
 		defer func() {
 			c.Release(class, now, c.clock.Now())

@@ -27,6 +27,11 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Gate        bool    `json:"gate,omitempty"`
+	// MaxGrowth, when positive, overrides Compare's default growth bound
+	// for this entry. The serving-edge benchmarks are recorded with a
+	// tight 5% bound instead of the repo-wide default, so a hot-path
+	// regression trips the gate even when it would fit under 25%.
+	MaxGrowth float64 `json:"max_growth,omitempty"`
 }
 
 // File is the committed artifact's shape.
@@ -96,7 +101,8 @@ func Decode(r io.Reader) (File, error) {
 
 // Compare checks current against baseline and returns one message per
 // violation: a gated baseline result missing from the current run, or a
-// gated result whose allocs/op grew by more than maxGrowth (0.25 = 25%).
+// gated result whose allocs/op grew by more than its growth bound —
+// the entry's own MaxGrowth when set, maxGrowth (0.25 = 25%) otherwise.
 // Improvements and ungated drift are not violations.
 func Compare(baseline, current []Result, maxGrowth float64) []string {
 	cur := make(map[string]Result, len(current))
@@ -113,11 +119,15 @@ func Compare(baseline, current []Result, maxGrowth float64) []string {
 			violations = append(violations, fmt.Sprintf("%s: in baseline but not in current run", base.Name))
 			continue
 		}
-		limit := float64(base.AllocsPerOp) * (1 + maxGrowth)
+		growth := maxGrowth
+		if base.MaxGrowth > 0 {
+			growth = base.MaxGrowth
+		}
+		limit := float64(base.AllocsPerOp) * (1 + growth)
 		if float64(got.AllocsPerOp) > limit {
 			violations = append(violations,
 				fmt.Sprintf("%s: allocs/op %d exceeds baseline %d by more than %.0f%%",
-					base.Name, got.AllocsPerOp, base.AllocsPerOp, maxGrowth*100))
+					base.Name, got.AllocsPerOp, base.AllocsPerOp, growth*100))
 		}
 	}
 	return violations

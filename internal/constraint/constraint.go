@@ -290,6 +290,43 @@ func (c *Constraint) TimeSatisfied(now time.Time) bool {
 	return minutes >= start || minutes <= end
 }
 
+// NextWindowChange returns the next instant strictly after now at which
+// TimeSatisfied's answer could flip: the window's daily opening minute
+// (Start) or the minute after its daily closing minute (End), whichever
+// comes first. A constraint without a time window returns the zero time,
+// meaning the answer never changes. TimeSatisfied truncates to whole
+// minutes, so boundaries land on minute granularity; callers using the
+// result as a cache expiry get a conservative (never-late) bound.
+func (c *Constraint) NextWindowChange(now time.Time) time.Time {
+	if c == nil || (c.Start == nil && c.End == nil) {
+		return time.Time{}
+	}
+	start, end := 0, 24*60-1
+	if c.Start != nil {
+		start = c.Start.Minutes()
+	}
+	if c.End != nil {
+		end = c.End.Minutes()
+	}
+	open := nextDailyMinute(now, start)
+	close := nextDailyMinute(now, (end+1)%(24*60))
+	if open.Before(close) {
+		return open
+	}
+	return close
+}
+
+// nextDailyMinute returns the first instant strictly after now whose
+// time-of-day equals the given minutes past midnight, in now's location.
+func nextDailyMinute(now time.Time, minutes int) time.Time {
+	day := time.Date(now.Year(), now.Month(), now.Day(), 0, 0, 0, 0, now.Location())
+	t := day.Add(time.Duration(minutes) * time.Minute)
+	if !t.After(now) {
+		t = t.Add(24 * time.Hour)
+	}
+	return t
+}
+
 // String renders the constraint in the thesis's XML syntax.
 func (c *Constraint) String() string { return c.XML() }
 

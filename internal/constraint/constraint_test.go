@@ -193,6 +193,48 @@ func TestTimeSatisfied(t *testing.T) {
 	}
 }
 
+func TestNextWindowChange(t *testing.T) {
+	at := func(h, m int) time.Time {
+		return time.Date(2011, 4, 22, h, m, 0, 0, time.UTC)
+	}
+	c, _ := ParseXML(thesisExample) // window 1000-1200
+	cases := []struct {
+		now  time.Time
+		want time.Time
+	}{
+		{at(9, 0), at(10, 0)},  // before the window: next change is the opening
+		{at(10, 0), at(12, 1)}, // inside: next change is the minute after endtime
+		{at(11, 59), at(12, 1)},
+		{at(13, 0), at(10, 0).Add(24 * time.Hour)}, // after: tomorrow's opening
+	}
+	for _, tc := range cases {
+		if got := c.NextWindowChange(tc.now); !got.Equal(tc.want) {
+			t.Errorf("NextWindowChange(%v) = %v, want %v", tc.now, got, tc.want)
+		}
+	}
+	// Wrap-around window 2200-0600: boundaries at 22:00 and 06:01.
+	w, _ := ParseXML("<constraint><starttime>2200</starttime><endtime>0600</endtime></constraint>")
+	if got := w.NextWindowChange(at(23, 0)); !got.Equal(at(6, 1).Add(24 * time.Hour)) {
+		t.Errorf("wrap NextWindowChange(23:00) = %v", got)
+	}
+	if got := w.NextWindowChange(at(7, 0)); !got.Equal(at(22, 0)) {
+		t.Errorf("wrap NextWindowChange(07:00) = %v", got)
+	}
+	// The boundary itself is strictly after now, never now.
+	if got := c.NextWindowChange(at(10, 0)); !got.After(at(10, 0)) {
+		t.Error("NextWindowChange returned a non-future instant")
+	}
+	// No window: zero time, answer never changes.
+	n, _ := ParseXML("<constraint><cpuLoad>load ls 1.0</cpuLoad></constraint>")
+	if !n.NextWindowChange(at(3, 0)).IsZero() {
+		t.Error("windowless constraint reported a window change")
+	}
+	var nilC *Constraint
+	if !nilC.NextWindowChange(at(3, 0)).IsZero() {
+		t.Error("nil constraint reported a window change")
+	}
+}
+
 func TestStartWithoutEndRejected(t *testing.T) {
 	if _, err := ParseXML("<constraint><starttime>0700</starttime></constraint>"); err == nil {
 		t.Fatal("lone starttime accepted")

@@ -220,6 +220,9 @@ type BindingDecision struct {
 	Verdict   Verdict
 	Load      float64
 	HasRow    bool
+	// Updated is the NodeState row's collection instant when HasRow; the
+	// response cache derives a freshness-horizon expiry from it.
+	Updated time.Time
 }
 
 // Decision reports what the balancer did for one discovery, for audit and
@@ -323,6 +326,19 @@ func (b *Balancer) ArrangeViewTraced(view store.DiscoveryView, now time.Time, tr
 	return b.arrange(view.ID, view.Description, view.URIs, now, tr)
 }
 
+// SnapshotGen returns the generation the NodeState snapshot would have if
+// a discovery ran at now, republishing a dirty or stale table exactly as
+// arrange would. The response cache keys entries by this value so a hit
+// can be served without consulting the table at all.
+//
+//repolint:hotpath runs on every discovery request before the cache lookup
+func (b *Balancer) SnapshotGen(now time.Time) uint64 {
+	if b.Table == nil {
+		return 0
+	}
+	return b.Table.Snapshot(now, b.SnapshotMaxAge+b.Brownout.ExtraStaleness()).Gen()
+}
+
 func (b *Balancer) arrange(serviceID, description string, uris []string, now time.Time, tr *obs.Trace) ([]string, Decision) {
 	dec := Decision{TimeWindowOK: true}
 	// The stored-order copy (stockOrder) is built only on the paths that
@@ -397,6 +413,9 @@ func (b *Balancer) arrange(serviceID, description string, uris []string, now tim
 		host := rim.HostOfURI(uri)
 		bd := BindingDecision{AccessURI: uri, Host: host}
 		row, ok := snap.Get(host)
+		if ok {
+			bd.Updated = row.Updated
+		}
 		if ok && row.Health == store.HealthQuarantined {
 			bd.Verdict = VerdictQuarantined
 			bd.HasRow = true

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/admit"
@@ -16,7 +17,9 @@ import (
 	"repro/internal/nodestate"
 	"repro/internal/obs"
 	"repro/internal/qm"
+	"repro/internal/respcache"
 	"repro/internal/rim"
+	"repro/internal/router"
 	"repro/internal/soap"
 	"repro/internal/sqlq"
 )
@@ -35,8 +38,18 @@ import (
 // UI are always-admit — operators must be able to see in precisely when
 // the edge is shedding — and carry //repolint:admit-exempt for the
 // deadline analyzer.
+//
+// The routes live in a frozen-mode static router: every pattern is
+// registered here, then the table is frozen before the first request, so
+// dispatch is a single map read with no locking. Handler is built once
+// and cached; repeated calls return the same frozen edge.
 func (r *Registry) Handler() http.Handler {
-	mux := http.NewServeMux()
+	r.handlerOnce.Do(func() { r.handler = r.buildHandler() })
+	return r.handler
+}
+
+func (r *Registry) buildHandler() http.Handler {
+	mux := router.New(r.edgeCfg)
 	adm := r.Admission
 	var maxBody int64
 	if adm != nil {
@@ -48,7 +61,7 @@ func (r *Registry) Handler() http.Handler {
 		limitBody(maxBody, soap.Endpoint(r.handleAuthSOAP))))
 	mux.Handle("/registry/object", adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleGetObject)))
 	mux.Handle("/registry/find", adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleFind)))
-	mux.Handle("/registry/bindings", adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleBindings)))
+	mux.Handle("/registry/bindings", adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, &bindingsEdge{reg: r}))
 	mux.Handle("/registry/query", adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleQuery)))
 	mux.Handle("/registry/content", adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleContent)))
 	//repolint:admit-exempt nodestate is the operator's view of collector state
@@ -64,6 +77,8 @@ func (r *Registry) Handler() http.Handler {
 	if r.pprof {
 		mountPprof(mux)
 	}
+	mux.Freeze()
+	r.edge.Store(mux)
 	return mux
 }
 
@@ -340,21 +355,43 @@ func (r *Registry) doQuery(req *AdhocQueryWireRequest) (interface{}, error) {
 
 // doBindings runs a discovery request under the caller's context: the
 // HTTP request's deadline and cancellation reach the view load, and a
-// sampled trace rides the same context into the balancer.
+// sampled trace rides the same context into the balancer. When the
+// response cache is live and tracing is unsampled, the preserialized
+// SOAP envelope is served (or rendered and stored) instead of
+// re-marshalling the binding list per request.
 func (r *Registry) doBindings(ctx context.Context, req *GetBindingsRequest) (interface{}, error) {
 	start := r.Clock.Now()
+	space, key := respcache.SpaceName, req.ServiceName
+	if req.ServiceID != "" {
+		space, key = respcache.SpaceID, req.ServiceID
+	}
+	if key == "" {
+		return nil, soap.ClientFault("GetBindingsRequest needs serviceId or serviceName")
+	}
+	// Sampled tracing writes a per-request trace id into the response, so
+	// caching only engages while sampling is off (brownout TierNoTrace
+	// re-enables it under load, exactly when it matters most).
+	cacheable := r.RespCache != nil && r.Tracer.Sample() == 0
+	var epoch, gen uint64
+	var tier uint32
+	if cacheable {
+		epoch = r.RespCache.Epoch()
+		gen = r.Balancer.SnapshotGen(start)
+		tier = r.edgeTier()
+		if e := r.RespCache.Lookup(space, key, gen, tier, start); e != nil && len(e.SOAP) > 0 {
+			r.discovery.observe(e.Decision, r.Clock.Now().Sub(start).Seconds())
+			return soap.Raw(e.SOAP), nil
+		}
+	}
 	tr := r.Tracer.Start()
 	ctx = obs.WithTrace(ctx, tr)
 	var uris []string
 	var dec core.Decision
 	var err error
-	switch {
-	case req.ServiceID != "":
-		uris, dec, err = r.QM.GetServiceBindingsCtx(ctx, req.ServiceID)
-	case req.ServiceName != "":
-		uris, dec, err = r.QM.GetServiceBindingsByNameCtx(ctx, req.ServiceName)
-	default:
-		return nil, soap.ClientFault("GetBindingsRequest needs serviceId or serviceName")
+	if space == respcache.SpaceID {
+		uris, dec, err = r.QM.GetServiceBindingsCtx(ctx, key)
+	} else {
+		uris, dec, err = r.QM.GetServiceBindingsByNameCtx(ctx, key)
 	}
 	r.Tracer.Finish(tr)
 	if err != nil {
@@ -365,6 +402,12 @@ func (r *Registry) doBindings(ctx context.Context, req *GetBindingsRequest) (int
 		return nil, soap.ClientFault("%v", err)
 	}
 	r.discovery.observe(dec, r.Clock.Now().Sub(start).Seconds())
+	if cacheable && tr == nil {
+		if e := r.renderBindingsEntry(uris, dec, gen, tier, start); e != nil {
+			r.RespCache.StoreAt(space, key, e, epoch)
+			return soap.Raw(e.SOAP), nil
+		}
+	}
 	resp := &GetBindingsResponse{
 		URIs:       uris,
 		Filtered:   dec.Filtered,
@@ -424,11 +467,26 @@ func (r *Registry) handleAuthSOAP(req *authRequest) (interface{}, error) {
 
 // --- HTTP GET (REST) binding: QueryManager only --------------------------
 
+// jsonCT is the shared Content-Type header slice: assigning it by key
+// into an existing header map allocates nothing, unlike Header().Set.
+var jsonCT = []string{"application/json"}
+
+// writeJSON renders v into a pooled buffer and writes the response with
+// a single Write — always-hot endpoints like /registry/health used to
+// pay a fresh encoder writing straight to the connection per request.
 func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	buf := respcache.GetBuffer()
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", " ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		respcache.PutBuffer(buf)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h["Content-Type"] = jsonCT
+	w.Write(buf.Bytes())
+	respcache.PutBuffer(buf)
 }
 
 func (r *Registry) handleGetObject(w http.ResponseWriter, req *http.Request) {
@@ -463,13 +521,78 @@ func (r *Registry) handleFind(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, out)
 }
 
-func (r *Registry) handleBindings(w http.ResponseWriter, req *http.Request) {
+// bindingsBody is the REST discovery response shape, rendered through
+// one encoder configuration on both the cached and uncached paths so the
+// bytes are identical either way.
+type bindingsBody struct {
+	URIs       []string `json:"uris"`
+	Filtered   bool     `json:"filtered"`
+	Eligible   int      `json:"eligible"`
+	Unknown    int      `json:"unknown"`
+	Ineligible int      `json:"ineligible"`
+	WindowOK   bool     `json:"windowOk"`
+}
+
+// bindingsEdge serves GET /registry/bindings. It implements
+// admit.FastHandler: an admitted request whose answer is already
+// preserialized is written straight from the cache — no context derive,
+// no tracing, no marshalling, zero allocations — while misses fall
+// through to ServeHTTP, which renders, stores, and answers.
+type bindingsEdge struct {
+	reg *Registry
+}
+
+// FastServe writes a cached response if one validates against the
+// current write epoch, snapshot generation, brownout tier, and expiry.
+// It must not block and must not allocate on a hit.
+//
+//repolint:hotpath the warm discovery round-trip's 0-alloc serving path
+func (e *bindingsEdge) FastServe(w http.ResponseWriter, req *http.Request) bool {
+	r := e.reg
+	if r.RespCache == nil || r.Tracer.Sample() != 0 {
+		return false
+	}
+	name, ok := serviceParam(req.URL.RawQuery)
+	if !ok {
+		return false
+	}
+	now := r.Clock.Now()
+	ent := r.RespCache.Lookup(respcache.SpaceName, name, r.Balancer.SnapshotGen(now), r.edgeTier(), now)
+	if ent == nil {
+		return false
+	}
+	h := w.Header()
+	h["Content-Type"] = jsonCT
+	w.Write(ent.JSON)
+	r.discovery.observe(ent.Decision, r.Clock.Now().Sub(now).Seconds())
+	return true
+}
+
+// ServeHTTP is the miss path: run the balancer, render once into the
+// cache, answer from the rendered bytes.
+func (e *bindingsEdge) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r := e.reg
+	// Without an admission controller nothing calls FastServe for us.
+	if r.Admission == nil && e.FastServe(w, req) {
+		return
+	}
 	name := req.URL.Query().Get("service")
 	if name == "" {
 		http.Error(w, "missing service parameter", http.StatusBadRequest)
 		return
 	}
 	start := r.Clock.Now()
+	cacheable := r.RespCache != nil && r.Tracer.Sample() == 0
+	var epoch, gen uint64
+	var tier uint32
+	if cacheable {
+		// Read the validity tuple before the decision is computed: a
+		// write or tier change landing mid-flight leaves the stored
+		// entry permanently invalid rather than ever stale.
+		epoch = r.RespCache.Epoch()
+		gen = r.Balancer.SnapshotGen(start)
+		tier = r.edgeTier()
+	}
 	tr := r.Tracer.Start()
 	if tr != nil {
 		w.Header().Set("X-Registry-Trace", tr.ID)
@@ -486,14 +609,140 @@ func (r *Registry) handleBindings(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	r.discovery.observe(dec, r.Clock.Now().Sub(start).Seconds())
-	writeJSON(w, map[string]interface{}{
-		"uris":       uris,
-		"filtered":   dec.Filtered,
-		"eligible":   dec.Eligible(),
-		"unknown":    dec.Unknown(),
-		"ineligible": dec.Ineligible(),
-		"windowOk":   dec.TimeWindowOK,
+	if cacheable && tr == nil {
+		if ent := r.renderBindingsEntry(uris, dec, gen, tier, start); ent != nil {
+			r.RespCache.StoreAt(respcache.SpaceName, name, ent, epoch)
+			h := w.Header()
+			h["Content-Type"] = jsonCT
+			w.Write(ent.JSON)
+			return
+		}
+	}
+	writeJSON(w, bindingsBody{
+		URIs:       uris,
+		Filtered:   dec.Filtered,
+		Eligible:   dec.Eligible(),
+		Unknown:    dec.Unknown(),
+		Ineligible: dec.Ineligible(),
+		WindowOK:   dec.TimeWindowOK,
 	})
+}
+
+// serviceParam extracts the service query parameter without allocating:
+// a plain substring of RawQuery is returned when the value needs no
+// decoding. Percent escapes, '+', and semicolon-separated pairs (which
+// url.ParseQuery rejects outright) bail to the slow path so the fast
+// path can never disagree with req.URL.Query().
+//
+//repolint:hotpath runs on every discovery request before the cache lookup
+func serviceParam(raw string) (string, bool) {
+	for len(raw) > 0 {
+		var pair string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			pair, raw = raw[:i], raw[i+1:]
+		} else {
+			pair, raw = raw, ""
+		}
+		if strings.IndexByte(pair, ';') >= 0 ||
+			strings.IndexByte(pair, '%') >= 0 ||
+			strings.IndexByte(pair, '+') >= 0 {
+			return "", false
+		}
+		key, val := pair, ""
+		if i := strings.IndexByte(pair, '='); i >= 0 {
+			key, val = pair[:i], pair[i+1:]
+		}
+		if key == "service" {
+			if val == "" {
+				return "", false
+			}
+			return val, true
+		}
+	}
+	return "", false
+}
+
+// edgeTier reads the brownout tier for response-cache keying; a registry
+// without admission control is permanently at tier 0.
+//
+//repolint:hotpath runs on every discovery request before the cache lookup
+func (r *Registry) edgeTier() uint32 {
+	if r.Admission == nil {
+		return 0
+	}
+	return uint32(r.Admission.Tier())
+}
+
+// renderBindingsEntry preserializes both encodings of one discovery
+// answer. The JSON bytes go through the same encoder configuration as
+// writeJSON, and the SOAP envelope through soap.Marshal, so cached and
+// fresh responses are byte-identical. Returns nil when either encoding
+// fails (the caller then answers uncached).
+func (r *Registry) renderBindingsEntry(uris []string, dec core.Decision, gen uint64, tier uint32, now time.Time) *respcache.Entry {
+	body := bindingsBody{
+		URIs:       uris,
+		Filtered:   dec.Filtered,
+		Eligible:   dec.Eligible(),
+		Unknown:    dec.Unknown(),
+		Ineligible: dec.Ineligible(),
+		WindowOK:   dec.TimeWindowOK,
+	}
+	buf := respcache.GetBuffer()
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(body); err != nil {
+		respcache.PutBuffer(buf)
+		return nil
+	}
+	jsonBytes := append([]byte(nil), buf.Bytes()...)
+	respcache.PutBuffer(buf)
+	env, err := soap.Marshal(&GetBindingsResponse{
+		URIs:       uris,
+		Filtered:   dec.Filtered,
+		Eligible:   dec.Eligible(),
+		Unknown:    dec.Unknown(),
+		Ineligible: dec.Ineligible(),
+		WindowOK:   dec.TimeWindowOK,
+	})
+	if err != nil {
+		return nil
+	}
+	return &respcache.Entry{
+		Gen:      gen,
+		Tier:     tier,
+		Expires:  r.respExpiry(dec, now),
+		JSON:     jsonBytes,
+		SOAP:     env,
+		Decision: dec,
+	}
+}
+
+// respExpiry computes the first instant the cached decision could
+// change for time-based reasons: the constraint window's next boundary,
+// or the earliest freshness horizon of a row that is currently fresh
+// (past it the row's verdict flips to unknown without any write or
+// snapshot movement). Zero means the answer is time-independent.
+func (r *Registry) respExpiry(dec core.Decision, now time.Time) time.Time {
+	var exp time.Time
+	if dec.Constraint != nil {
+		exp = dec.Constraint.NextWindowChange(now)
+	}
+	if f := r.Balancer.Freshness; f > 0 {
+		for i := range dec.Bindings {
+			b := &dec.Bindings[i]
+			if !b.HasRow || b.Updated.IsZero() {
+				continue
+			}
+			if b.Verdict != core.VerdictEligible && b.Verdict != core.VerdictIneligible {
+				continue
+			}
+			horizon := b.Updated.Add(f)
+			if exp.IsZero() || horizon.Before(exp) {
+				exp = horizon
+			}
+		}
+	}
+	return exp
 }
 
 func (r *Registry) handleQuery(w http.ResponseWriter, req *http.Request) {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/router"
 )
 
 // discoveryMetrics are the counters the HTTP discovery handlers maintain
@@ -92,6 +93,57 @@ func (r *Registry) buildExposition() *obs.Exposition {
 			}
 			return float64(cache.Len())
 		})
+
+	// Preserialized response cache (the zero-allocation serving edge).
+	// A registry built without the cache reads every series as zero.
+	rc := r.RespCache
+	e.Counter("registry_respcache_hits_total",
+		"Discovery requests answered from a preserialized cached response.",
+		func() int64 {
+			if rc == nil {
+				return 0
+			}
+			return rc.Hits.Value()
+		})
+	e.Counter("registry_respcache_misses_total",
+		"Discovery cache lookups that fell through to the balancer.",
+		func() int64 {
+			if rc == nil {
+				return 0
+			}
+			return rc.Misses.Value()
+		})
+	e.Counter("registry_respcache_invalidations_total",
+		"Response-cache epoch bumps (life-cycle writes and brownout transitions).",
+		func() int64 {
+			if rc == nil {
+				return 0
+			}
+			return rc.Invalidations.Value()
+		})
+	e.Gauge("registry_respcache_entries",
+		"Preserialized responses currently cached.",
+		func() float64 { return float64(rc.Len()) })
+
+	// The frozen router's request-limit rejects. The router is built
+	// lazily by Handler(), so the pointer may be nil at scrape time.
+	edgeCount := func(pick func(*router.Router) int64) func() int64 {
+		return func() int64 {
+			if edge := r.edge.Load(); edge != nil {
+				return pick(edge)
+			}
+			return 0
+		}
+	}
+	e.LabelledCounter("registry_edge_rejected_total",
+		"Requests rejected by the frozen router's request limits.", "reason", "path-too-long",
+		edgeCount(func(rt *router.Router) int64 { return rt.TooLong.Value() }))
+	e.LabelledCounter("registry_edge_rejected_total",
+		"Requests rejected by the frozen router's request limits.", "reason", "too-deep",
+		edgeCount(func(rt *router.Router) int64 { return rt.TooDeep.Value() }))
+	e.LabelledCounter("registry_edge_rejected_total",
+		"Requests rejected by the frozen router's request limits.", "reason", "not-found",
+		edgeCount(func(rt *router.Router) int64 { return rt.NotFound.Value() }))
 
 	// Collector fault tolerance.
 	e.Counter("registry_collector_sweeps_total",
@@ -368,13 +420,15 @@ func (r *Registry) handleTraces(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, out)
 }
 
-// mountPprof attaches net/http/pprof to the registry mux. The default
-// ServeMux registration in the pprof package is bypassed deliberately —
-// profiling endpoints appear only when the -pprof flag opted in. They
-// bypass admission: profiling an overloaded process is the whole point.
-func mountPprof(mux *http.ServeMux) {
+// mountPprof attaches net/http/pprof to the registry's frozen router.
+// The default ServeMux registration in the pprof package is bypassed
+// deliberately — profiling endpoints appear only when the -pprof flag
+// opted in. They bypass admission: profiling an overloaded process is
+// the whole point. The index serves a subtree (named profiles live under
+// /debug/pprof/<name>), so it registers as the one prefix route.
+func mountPprof(mux *router.Router) {
 	//repolint:admit-exempt profiling must work while the edge sheds
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandlePrefixFunc("/debug/pprof/", pprof.Index)
 	//repolint:admit-exempt profiling must work while the edge sheds
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	//repolint:admit-exempt profiling must work while the edge sheds

@@ -9,7 +9,9 @@ package registry
 import (
 	"context"
 	"log/slog"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/admit"
@@ -25,7 +27,9 @@ import (
 	"repro/internal/nodestatus"
 	"repro/internal/obs"
 	"repro/internal/qm"
+	"repro/internal/respcache"
 	"repro/internal/rim"
+	"repro/internal/router"
 	"repro/internal/simclock"
 	"repro/internal/store"
 	"repro/internal/taxonomy"
@@ -118,6 +122,16 @@ type Config struct {
 	// &admit.Config{} selects the production defaults; nil serves every
 	// request unconditionally (the pre-admission behaviour).
 	Admission *admit.Config
+	// RespCacheSize bounds the preserialized discovery response cache:
+	// 0 means respcache.DefaultSize, negative disables the cache (every
+	// discovery re-marshals its response).
+	RespCacheSize int
+	// EdgeMaxPathLength / EdgeMaxDepth are the frozen router's request
+	// limits: paths longer than EdgeMaxPathLength bytes answer 414,
+	// paths nested deeper than EdgeMaxDepth segments answer 400. 0 means
+	// the router defaults.
+	EdgeMaxPathLength int
+	EdgeMaxDepth      int
 }
 
 // Registry is an assembled registry server.
@@ -153,10 +167,18 @@ type Registry struct {
 	// Config.Admission was nil: every request is then served
 	// unconditionally).
 	Admission *admit.Controller
+	// RespCache is the preserialized discovery response cache (nil when
+	// Config.RespCacheSize was negative).
+	RespCache *respcache.Cache
 
 	discovery discoveryMetrics
 	expo      *obs.Exposition
 	pprof     bool
+
+	edgeCfg     router.Config
+	handlerOnce sync.Once
+	handler     http.Handler                  // built once by Handler()
+	edge        atomic.Pointer[router.Router] // the frozen router, for scrape-time reads
 
 	adminID string
 	catOnce sync.Once
@@ -197,9 +219,18 @@ func New(cfg Config) (*Registry, error) {
 	lifecycle := lcm.New(s, policy, trail, bus)
 	lifecycle.Versioning = cfg.Versioning
 	lifecycle.Log = logger.With("component", "lcm")
+	var respCache *respcache.Cache
+	if cfg.RespCacheSize >= 0 {
+		respCache = respcache.New(cfg.RespCacheSize)
+	}
 	// Any successful write drops the touched ids from the constraint
-	// cache so a description edit or removal is reparsed on next lookup.
-	lifecycle.OnWrite = cache.InvalidateIDs
+	// cache so a description edit or removal is reparsed on next lookup,
+	// and advances the response cache's write epoch so no preserialized
+	// answer can outlive the write. Both caches are nil-safe.
+	lifecycle.OnWrite = func(ids ...string) {
+		cache.InvalidateIDs(ids...)
+		respCache.BumpEpoch()
+	}
 	query := qm.New(s, bal, clk)
 	registrar := auth.NewRegistrar(clk)
 
@@ -277,6 +308,11 @@ func New(cfg Config) (*Registry, error) {
 				brown.SetExtraStaleness(0)
 			}
 			brown.SetForceStatic(t >= admit.TierStatic)
+			// The tier is part of every response-cache key, but a
+			// transition also flips degradation overrides that feed the
+			// decision itself — flush outright rather than reason about
+			// which tiers share answers.
+			respCache.BumpEpoch()
 		})
 	}
 
@@ -298,7 +334,12 @@ func New(cfg Config) (*Registry, error) {
 		Log:             logger.With("component", "registry"),
 		Durable:         durable,
 		Admission:       ctrl,
+		RespCache:       respCache,
 		pprof:           cfg.Pprof,
+		edgeCfg: router.Config{
+			MaxPathLength: cfg.EdgeMaxPathLength,
+			MaxDepth:      cfg.EdgeMaxDepth,
+		},
 	}
 	r.discovery.latency = obs.NewHistogramMetric(obs.DiscoveryLatencyBuckets()...)
 	r.expo = r.buildExposition()

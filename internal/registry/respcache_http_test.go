@@ -1,0 +1,362 @@
+package registry
+
+// Response-cache integration suite: byte-identical answers before and
+// after a cache hit on both the REST and SOAP bindings surfaces, epoch
+// invalidation on LCM writes, generation keying on NodeState movement
+// (quarantine), tier keying across the brownout ladder, and a concurrent
+// hammer for -race. The cache only engages with tracing unsampled, so
+// every registry here runs TraceSample 0.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/core"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+	"repro/internal/soap"
+	"repro/internal/store"
+)
+
+// newCachedRegistry builds a registry with the response cache live
+// (tracing off), a 4-host "Adder" service, and deterministic NodeState
+// rows so every host is eligible. adm may be nil; cacheSize follows
+// Config.RespCacheSize semantics (0 default, negative disables).
+func newCachedRegistry(t *testing.T, adm *admit.Config, cacheSize int) (*Registry, *httptest.Server, *rim.Service) {
+	t.Helper()
+	reg, err := New(Config{
+		Clock:          simclock.NewManual(t0),
+		Policy:         core.PolicyFilter,
+		SnapshotMaxAge: 25 * time.Second,
+		Admission:      adm,
+		RespCacheSize:  cacheSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := rim.NewService("Adder",
+		`<constraint><cpuLoad>load ls 1.0</cpuLoad><memory>memory gr 1GB</memory></constraint>`)
+	for _, name := range []string{"h00.sdsu.edu", "h01.sdsu.edu", "h02.sdsu.edu", "h03.sdsu.edu"} {
+		svc.AddBinding("http://" + name + ":8080/Adder/addService")
+		reg.Store.NodeState().Upsert(store.NodeState{
+			Host: name, Load: 0.2, MemoryB: 4 << 30, SwapB: 1 << 30, Updated: t0,
+		})
+	}
+	if err := reg.LCM.SubmitObjects(reg.AdminContext(), svc); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+	t.Cleanup(srv.Close)
+	return reg, srv, svc
+}
+
+// getBindings fetches the REST discovery endpoint and returns the body.
+func getBindings(t *testing.T, srv *httptest.Server, service string) (string, *http.Response) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + "/registry/bindings?service=" + service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bindings status = %d (body %q)", resp.StatusCode, body)
+	}
+	return string(body), resp
+}
+
+// postBindingsRaw POSTs a GetBindingsRequest envelope and returns the raw
+// response bytes, so byte-identity can be asserted on the SOAP surface.
+func postBindingsRaw(t *testing.T, srv *httptest.Server, req *GetBindingsRequest) []byte {
+	t.Helper()
+	env, err := soap.Marshal(&soapRequest{Bindings: req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+"/soap/registry", soap.ContentType, bytes.NewReader(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("soap bindings status = %d (body %q)", resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestRESTCacheHitIsByteIdentical: the first GET renders and stores, the
+// second is served from the preserialized entry — and the client cannot
+// tell them apart.
+func TestRESTCacheHitIsByteIdentical(t *testing.T) {
+	reg, srv, _ := newCachedRegistry(t, nil, 0)
+
+	first, resp1 := getBindings(t, srv, "Adder")
+	if got, want := reg.RespCache.Misses.Value(), int64(1); got != want {
+		t.Fatalf("misses after cold GET = %d, want %d", got, want)
+	}
+	second, resp2 := getBindings(t, srv, "Adder")
+	if got, want := reg.RespCache.Hits.Value(), int64(1); got != want {
+		t.Fatalf("hits after warm GET = %d, want %d", got, want)
+	}
+	if first != second {
+		t.Fatalf("cached response differs from fresh:\nfresh: %q\ncached: %q", first, second)
+	}
+	if ct1, ct2 := resp1.Header.Get("Content-Type"), resp2.Header.Get("Content-Type"); ct1 != ct2 || ct1 != "application/json" {
+		t.Fatalf("content types differ: fresh %q cached %q", ct1, ct2)
+	}
+	for _, host := range []string{"h00", "h01", "h02", "h03"} {
+		if !strings.Contains(second, host) {
+			t.Errorf("cached body missing %s: %q", host, second)
+		}
+	}
+	if got, want := reg.RespCache.Len(), 1; got != want {
+		t.Fatalf("cache entries = %d, want %d", got, want)
+	}
+}
+
+// TestSOAPCacheHitIsByteIdentical covers both key spaces (by-name and
+// by-id) and the cross-protocol entry: the envelope preserialized on the
+// SOAP miss also answers the REST edge, and vice versa.
+func TestSOAPCacheHitIsByteIdentical(t *testing.T) {
+	reg, srv, svc := newCachedRegistry(t, nil, 0)
+
+	byName := &GetBindingsRequest{ServiceName: "Adder"}
+	fresh := postBindingsRaw(t, srv, byName)
+	cached := postBindingsRaw(t, srv, byName)
+	if !bytes.Equal(fresh, cached) {
+		t.Fatalf("SOAP by-name cached envelope differs:\nfresh: %q\ncached: %q", fresh, cached)
+	}
+	if got, want := reg.RespCache.Hits.Value(), int64(1); got != want {
+		t.Fatalf("hits after by-name pair = %d, want %d", got, want)
+	}
+
+	byID := &GetBindingsRequest{ServiceID: svc.ID}
+	freshID := postBindingsRaw(t, srv, byID)
+	cachedID := postBindingsRaw(t, srv, byID)
+	if !bytes.Equal(freshID, cachedID) {
+		t.Fatalf("SOAP by-id cached envelope differs:\nfresh: %q\ncached: %q", freshID, cachedID)
+	}
+	if got, want := reg.RespCache.Len(), 2; got != want {
+		t.Fatalf("cache entries = %d, want %d (name + id spaces)", got, want)
+	}
+
+	// The by-name entry carries both encodings: the REST edge answers
+	// from the same entry without a second balancer run.
+	misses := reg.RespCache.Misses.Value()
+	body, _ := getBindings(t, srv, "Adder")
+	if got := reg.RespCache.Misses.Value(); got != misses {
+		t.Fatalf("REST after SOAP by-name missed (misses %d -> %d), want shared hit", misses, got)
+	}
+	if !strings.Contains(body, "h00.sdsu.edu") {
+		t.Fatalf("cross-protocol REST body = %q", body)
+	}
+}
+
+// TestLCMWriteInvalidates: a life-cycle write bumps the epoch, so the
+// next request re-renders and reflects the new binding list even though
+// the snapshot generation never moved.
+func TestLCMWriteInvalidates(t *testing.T) {
+	reg, srv, svc := newCachedRegistry(t, nil, 0)
+
+	// Row first, so the later write is the only cache-relevant event.
+	reg.Store.NodeState().Upsert(store.NodeState{
+		Host: "h04.sdsu.edu", Load: 0.2, MemoryB: 4 << 30, SwapB: 1 << 30, Updated: t0,
+	})
+	before, _ := getBindings(t, srv, "Adder")
+	if strings.Contains(before, "h04") {
+		t.Fatalf("h04 bound before the update: %q", before)
+	}
+	invalidations := reg.RespCache.Invalidations.Value()
+
+	svc.AddBinding("http://h04.sdsu.edu:8080/Adder/addService")
+	if err := reg.LCM.UpdateObjects(reg.AdminContext(), svc); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.RespCache.Invalidations.Value(); got != invalidations+1 {
+		t.Fatalf("invalidations after LCM write: %d -> %d, want one bump", invalidations, got)
+	}
+
+	after, _ := getBindings(t, srv, "Adder")
+	if !strings.Contains(after, "h04.sdsu.edu") {
+		t.Fatalf("stale cache served after LCM write: %q", after)
+	}
+	if got, want := reg.RespCache.Misses.Value(), int64(2); got != want {
+		t.Fatalf("misses = %d, want %d (epoch invalidated the entry)", got, want)
+	}
+	if got, want := reg.RespCache.Hits.Value(), int64(0); got != want {
+		t.Fatalf("hits = %d, want %d", got, want)
+	}
+}
+
+// TestQuarantineInvalidatesViaGeneration: a NodeState write never touches
+// the epoch — the snapshot generation key alone must retire the entry, and
+// the recomputed answer must exclude the quarantined host.
+func TestQuarantineInvalidatesViaGeneration(t *testing.T) {
+	reg, srv, _ := newCachedRegistry(t, nil, 0)
+
+	before, _ := getBindings(t, srv, "Adder")
+	if !strings.Contains(before, "h00.sdsu.edu") {
+		t.Fatalf("h00 missing before quarantine: %q", before)
+	}
+	invalidations := reg.RespCache.Invalidations.Value()
+
+	reg.Store.NodeState().Upsert(store.NodeState{
+		Host: "h00.sdsu.edu", Load: 0.2, MemoryB: 4 << 30, SwapB: 1 << 30,
+		Updated: t0, Health: store.HealthQuarantined,
+	})
+	// Within SnapshotMaxAge the balancer itself tolerates the stale
+	// snapshot (RCU window) — and so, correctly, does the cache. Step past
+	// the window so the next read republishes and the generation moves.
+	reg.Clock.(*simclock.Manual).Advance(26 * time.Second)
+	after, _ := getBindings(t, srv, "Adder")
+	if strings.Contains(after, "h00.sdsu.edu") {
+		t.Fatalf("quarantined host served from stale cache: %q", after)
+	}
+	if !strings.Contains(after, "h01.sdsu.edu") {
+		t.Fatalf("healthy host missing after quarantine: %q", after)
+	}
+	if got, want := reg.RespCache.Misses.Value(), int64(2); got != want {
+		t.Fatalf("misses = %d, want %d (generation key must invalidate)", got, want)
+	}
+	if got := reg.RespCache.Invalidations.Value(); got != invalidations {
+		t.Fatalf("invalidations %d -> %d, want unchanged (no epoch bump on NodeState writes)", invalidations, got)
+	}
+}
+
+// TestBrownoutTierKeysCache: entries are keyed by the brownout tier, and
+// every tier transition flushes the epoch outright — a response rendered
+// under nominal conditions is never served during a brownout, and one
+// rendered during the brownout is never served after recovery.
+func TestBrownoutTierKeysCache(t *testing.T) {
+	adm := admitTestConfig()
+	reg, srv, _ := newCachedRegistry(t, &adm, 0)
+
+	// Warm path through the admission middleware's FastServe hook.
+	getBindings(t, srv, "Adder")
+	getBindings(t, srv, "Adder")
+	if got, want := reg.RespCache.Hits.Value(), int64(1); got != want {
+		t.Fatalf("hits at nominal tier = %d, want %d", got, want)
+	}
+
+	driveDiscoveryOverload(reg, 5*time.Second)
+	if got := reg.Admission.Tier(); got < admit.TierStale {
+		t.Fatalf("tier after overload = %v, want >= TierStale", got)
+	}
+	if got := reg.RespCache.Invalidations.Value(); got < 1 {
+		t.Fatalf("invalidations after tier climb = %d, want >= 1", got)
+	}
+
+	// The brownout answer is computed fresh (and re-cached under the new
+	// tier key), then served warm while the tier holds.
+	misses := reg.RespCache.Misses.Value()
+	getBindings(t, srv, "Adder")
+	if got := reg.RespCache.Misses.Value(); got != misses+1 {
+		t.Fatalf("first brownout GET: misses %d -> %d, want a miss under the new tier", misses, got)
+	}
+	hits := reg.RespCache.Hits.Value()
+	getBindings(t, srv, "Adder")
+	if got := reg.RespCache.Hits.Value(); got != hits+1 {
+		t.Fatalf("second brownout GET: hits %d -> %d, want a hit at the held tier", hits, got)
+	}
+
+	// Recovery is itself a tier transition: the brownout-era entry dies.
+	calmDiscovery(reg, 200)
+	if got := reg.Admission.Tier(); got != admit.TierNominal {
+		t.Fatalf("tier after calm = %v, want TierNominal", got)
+	}
+	misses = reg.RespCache.Misses.Value()
+	getBindings(t, srv, "Adder")
+	if got := reg.RespCache.Misses.Value(); got != misses+1 {
+		t.Fatalf("post-recovery GET: misses %d -> %d, want a fresh render", misses, got)
+	}
+}
+
+// TestRespCacheDisabled: RespCacheSize < 0 turns the whole subsystem off —
+// both surfaces still answer, deterministically, with no cache wired.
+func TestRespCacheDisabled(t *testing.T) {
+	reg, srv, _ := newCachedRegistry(t, nil, -1)
+	if reg.RespCache != nil {
+		t.Fatal("RespCache built despite RespCacheSize < 0")
+	}
+	first, _ := getBindings(t, srv, "Adder")
+	second, _ := getBindings(t, srv, "Adder")
+	if first != second {
+		t.Fatalf("uncached responses differ:\n%q\n%q", first, second)
+	}
+	env := postBindingsRaw(t, srv, &GetBindingsRequest{ServiceName: "Adder"})
+	if !bytes.Contains(env, []byte("h00.sdsu.edu")) {
+		t.Fatalf("SOAP answer without cache = %q", env)
+	}
+}
+
+// TestCachedDiscoveryConcurrent hammers the cached edge from many clients
+// while writes churn both invalidation keys underneath it: LCM submissions
+// bump the epoch and NodeState upserts move the snapshot generation. Run
+// with -race; every response must be complete and well-formed.
+func TestCachedDiscoveryConcurrent(t *testing.T) {
+	reg, srv, _ := newCachedRegistry(t, nil, 0)
+
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := srv.Client()
+			for j := 0; j < perWorker; j++ {
+				resp, err := client.Get(srv.URL + "/registry/bindings?service=Adder")
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "h01.sdsu.edu") {
+					errs <- &soap.Fault{Code: "test", String: string(body)}
+					return
+				}
+			}
+		}()
+	}
+	// Churn both cache keys while the readers run.
+	for k := 0; k < 25; k++ {
+		noise := rim.NewService("Noise", "")
+		noise.AddBinding("http://noise.sdsu.edu:8080/Noise/n")
+		if err := reg.LCM.SubmitObjects(reg.AdminContext(), noise); err != nil {
+			t.Error(err)
+			break
+		}
+		reg.Store.NodeState().Upsert(store.NodeState{
+			Host: "h03.sdsu.edu", Load: 0.2 + float64(k)*0.01,
+			MemoryB: 4 << 30, SwapB: 1 << 30, Updated: t0,
+		})
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if hits, misses := reg.RespCache.Hits.Value(), reg.RespCache.Misses.Value(); hits+misses < workers*perWorker {
+		t.Fatalf("hits %d + misses %d < %d requests", hits, misses, workers*perWorker)
+	}
+}

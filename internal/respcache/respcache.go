@@ -1,0 +1,195 @@
+// Package respcache caches preserialized discovery responses. The JSON
+// and SOAP encodings of a per-service binding list are rendered once, on
+// the first request after a change, and then served with a single Write
+// until something that could alter the answer moves:
+//
+//   - a registry write (lcm.Manager.OnWrite chains into BumpEpoch),
+//   - a brownout tier change (tier is part of the entry key, and the
+//     registry also bumps the epoch on transitions),
+//   - an RCU snapshot republish (the balancer's snapshot generation is
+//     part of the entry key),
+//   - wall-clock movement across a constraint time-window boundary or a
+//     freshness horizon (entries carry an Expires instant).
+//
+// Entries are stamped with the epoch observed *before* the decision was
+// computed, so a write that lands mid-flight leaves a stamp that never
+// validates — conservative, never stale. Eviction is a deterministic
+// whole-cache flush when the entry cap is reached (no RNG, per the
+// repo's norand invariant); the cap exists to bound memory under a
+// service-name scan, not to approximate an LRU.
+package respcache
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// DefaultSize is the entry cap used when New is given a non-positive max.
+const DefaultSize = 1024
+
+// Space separates the cache's key namespaces: discovery by service name
+// (REST and SOAP GetServiceBindingsByName) and by service id (SOAP
+// GetServiceBindings). The same string could legally be both a name and
+// an id, so the spaces never share keys.
+type Space int
+
+const (
+	SpaceName Space = iota
+	SpaceID
+	numSpaces
+)
+
+// Entry is one preserialized response. Gen, Tier, and Expires record the
+// world the entry was rendered in; Lookup revalidates all three plus the
+// write epoch. Decision is retained so a cache hit can feed the same
+// discovery metrics a rendered response would.
+type Entry struct {
+	Gen      uint64
+	Tier     uint32
+	Expires  time.Time // zero means no time-dependent constraint or freshness horizon
+	JSON     []byte
+	SOAP     []byte
+	Decision core.Decision
+
+	epoch uint64 // write epoch observed before the decision was computed
+}
+
+// Cache is a write-epoch-validated map of preserialized responses. All
+// methods are safe for concurrent use and safe on a nil receiver, so a
+// registry configured without a cache needs no branches at call sites.
+type Cache struct {
+	max   int
+	epoch atomic.Uint64
+
+	mu     sync.RWMutex
+	spaces [numSpaces]map[string]*Entry // guarded by mu
+
+	Hits          metrics.Counter
+	Misses        metrics.Counter
+	Invalidations metrics.Counter
+}
+
+// New creates a cache holding at most max entries across all spaces;
+// max <= 0 means DefaultSize.
+func New(max int) *Cache {
+	if max <= 0 {
+		max = DefaultSize
+	}
+	c := &Cache{max: max}
+	c.mu.Lock()
+	for i := range c.spaces {
+		c.spaces[i] = make(map[string]*Entry)
+	}
+	c.mu.Unlock()
+	return c
+}
+
+// Epoch returns the current write epoch. Callers read it before
+// computing a decision and pass it back to StoreAt, so entries rendered
+// across a concurrent write can never validate.
+func (c *Cache) Epoch() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.epoch.Load()
+}
+
+// BumpEpoch invalidates every live entry by advancing the write epoch.
+// Chained into lcm.Manager.OnWrite and fired on brownout transitions.
+func (c *Cache) BumpEpoch() {
+	if c == nil {
+		return
+	}
+	c.epoch.Add(1)
+	c.Invalidations.Inc()
+}
+
+// Lookup returns the cached entry for (space, key) if it was rendered in
+// the current world: same write epoch, same snapshot generation, same
+// brownout tier, and not past its expiry. Misses and invalid entries
+// count as misses.
+//
+//repolint:hotpath runs on every discovery request before the balancer
+func (c *Cache) Lookup(space Space, key string, gen uint64, tier uint32, now time.Time) *Entry {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	e := c.spaces[space][key]
+	c.mu.RUnlock()
+	if e == nil || e.epoch != c.epoch.Load() || e.Gen != gen || e.Tier != tier ||
+		(!e.Expires.IsZero() && !now.Before(e.Expires)) {
+		c.Misses.Inc()
+		return nil
+	}
+	c.Hits.Inc()
+	return e
+}
+
+// StoreAt inserts an entry stamped with the epoch the caller read before
+// computing it. When the cache is full the whole table is flushed first —
+// a deterministic reset rather than a randomized eviction.
+func (c *Cache) StoreAt(space Space, key string, e *Entry, epoch uint64) {
+	if c == nil || e == nil {
+		return
+	}
+	e.epoch = epoch
+	c.mu.Lock()
+	if _, exists := c.spaces[space][key]; !exists && c.lenLocked() >= c.max {
+		for i := range c.spaces {
+			c.spaces[i] = make(map[string]*Entry)
+		}
+	}
+	c.spaces[space][key] = e
+	c.mu.Unlock()
+}
+
+// Len reports the live entry count across all spaces.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	n := c.lenLocked()
+	c.mu.RUnlock()
+	return n
+}
+
+// lenLocked sums the space sizes; callers hold mu.
+func (c *Cache) lenLocked() int {
+	n := 0
+	for i := range c.spaces {
+		n += len(c.spaces[i])
+	}
+	return n
+}
+
+// bufPool recycles the scratch buffers used to render responses (and by
+// the registry's pooled JSON writer). Oversized buffers are dropped on
+// return so one pathological response cannot pin memory forever.
+var bufPool = sync.Pool{
+	New: func() interface{} { return new(bytes.Buffer) },
+}
+
+const maxPooledBuffer = 1 << 20
+
+// GetBuffer returns a reset scratch buffer from the pool.
+func GetBuffer() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// PutBuffer returns a buffer to the pool unless it has grown past the
+// pooling cap.
+func PutBuffer(b *bytes.Buffer) {
+	if b == nil || b.Cap() > maxPooledBuffer {
+		return
+	}
+	bufPool.Put(b)
+}

@@ -1,0 +1,181 @@
+package respcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+var testEpoch = time.Date(2011, 4, 22, 11, 0, 0, 0, time.UTC)
+
+func TestLookupHitAndMiss(t *testing.T) {
+	c := New(8)
+	now := testEpoch
+	if e := c.Lookup(SpaceName, "Adder", 1, 0, now); e != nil {
+		t.Fatal("empty cache returned an entry")
+	}
+	if c.Misses.Value() != 1 {
+		t.Fatalf("Misses = %d, want 1", c.Misses.Value())
+	}
+
+	epoch := c.Epoch()
+	c.StoreAt(SpaceName, "Adder", &Entry{Gen: 1, JSON: []byte(`{"a":1}`)}, epoch)
+	e := c.Lookup(SpaceName, "Adder", 1, 0, now)
+	if e == nil {
+		t.Fatal("stored entry not returned")
+	}
+	if string(e.JSON) != `{"a":1}` {
+		t.Fatalf("JSON = %q", e.JSON)
+	}
+	if c.Hits.Value() != 1 {
+		t.Fatalf("Hits = %d, want 1", c.Hits.Value())
+	}
+}
+
+func TestSpacesAreDisjoint(t *testing.T) {
+	c := New(8)
+	c.StoreAt(SpaceName, "k", &Entry{Gen: 1}, c.Epoch())
+	if e := c.Lookup(SpaceID, "k", 1, 0, testEpoch); e != nil {
+		t.Fatal("SpaceID lookup found a SpaceName entry")
+	}
+}
+
+func TestEpochInvalidation(t *testing.T) {
+	c := New(8)
+	c.StoreAt(SpaceName, "Adder", &Entry{Gen: 1}, c.Epoch())
+	c.BumpEpoch()
+	if e := c.Lookup(SpaceName, "Adder", 1, 0, testEpoch); e != nil {
+		t.Fatal("entry survived an epoch bump")
+	}
+	if c.Invalidations.Value() != 1 {
+		t.Fatalf("Invalidations = %d, want 1", c.Invalidations.Value())
+	}
+}
+
+func TestStaleEpochStampNeverValidates(t *testing.T) {
+	c := New(8)
+	epoch := c.Epoch()
+	// A write lands while the response is being rendered.
+	c.BumpEpoch()
+	c.StoreAt(SpaceName, "Adder", &Entry{Gen: 1}, epoch)
+	if e := c.Lookup(SpaceName, "Adder", 1, 0, testEpoch); e != nil {
+		t.Fatal("entry stamped with a pre-write epoch validated")
+	}
+}
+
+func TestGenAndTierKeying(t *testing.T) {
+	c := New(8)
+	c.StoreAt(SpaceName, "Adder", &Entry{Gen: 3, Tier: 1}, c.Epoch())
+	if e := c.Lookup(SpaceName, "Adder", 4, 1, testEpoch); e != nil {
+		t.Fatal("entry validated across a snapshot generation change")
+	}
+	if e := c.Lookup(SpaceName, "Adder", 3, 2, testEpoch); e != nil {
+		t.Fatal("entry validated across a brownout tier change")
+	}
+	if e := c.Lookup(SpaceName, "Adder", 3, 1, testEpoch); e == nil {
+		t.Fatal("entry did not validate at its own gen/tier")
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	c := New(8)
+	exp := testEpoch.Add(30 * time.Second)
+	c.StoreAt(SpaceName, "Adder", &Entry{Gen: 1, Expires: exp}, c.Epoch())
+	if e := c.Lookup(SpaceName, "Adder", 1, 0, exp.Add(-time.Second)); e == nil {
+		t.Fatal("entry expired early")
+	}
+	if e := c.Lookup(SpaceName, "Adder", 1, 0, exp); e != nil {
+		t.Fatal("entry validated at its expiry instant")
+	}
+	// Zero Expires means no time dependence at all.
+	c.StoreAt(SpaceName, "Timeless", &Entry{Gen: 1}, c.Epoch())
+	if e := c.Lookup(SpaceName, "Timeless", 1, 0, testEpoch.Add(1000*time.Hour)); e == nil {
+		t.Fatal("zero-expiry entry did not validate far in the future")
+	}
+}
+
+func TestFlushOnFull(t *testing.T) {
+	c := New(4)
+	for i := 0; i < 4; i++ {
+		c.StoreAt(SpaceName, fmt.Sprintf("svc-%d", i), &Entry{Gen: 1}, c.Epoch())
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	// Restoring an existing key does not trigger the flush.
+	c.StoreAt(SpaceName, "svc-0", &Entry{Gen: 2}, c.Epoch())
+	if c.Len() != 4 {
+		t.Fatalf("Len after re-store = %d, want 4", c.Len())
+	}
+	// A new key at capacity flushes everything, then inserts.
+	c.StoreAt(SpaceName, "svc-4", &Entry{Gen: 1}, c.Epoch())
+	if c.Len() != 1 {
+		t.Fatalf("Len after flush = %d, want 1", c.Len())
+	}
+	if e := c.Lookup(SpaceName, "svc-4", 1, 0, testEpoch); e == nil {
+		t.Fatal("entry inserted after flush not found")
+	}
+}
+
+func TestNilCacheIsSafe(t *testing.T) {
+	var c *Cache
+	if e := c.Lookup(SpaceName, "x", 1, 0, testEpoch); e != nil {
+		t.Fatal("nil cache returned an entry")
+	}
+	c.StoreAt(SpaceName, "x", &Entry{}, 0)
+	c.BumpEpoch()
+	if c.Epoch() != 0 {
+		t.Fatal("nil cache epoch != 0")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache Len != 0")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("svc-%d", g%4)
+			for i := 0; i < 500; i++ {
+				epoch := c.Epoch()
+				if c.Lookup(SpaceName, key, 1, 0, testEpoch) == nil {
+					c.StoreAt(SpaceName, key, &Entry{Gen: 1}, epoch)
+				}
+				if i%100 == 0 {
+					c.BumpEpoch()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestBufferPool(t *testing.T) {
+	b := GetBuffer()
+	b.WriteString("hello")
+	PutBuffer(b)
+	b2 := GetBuffer()
+	if b2.Len() != 0 {
+		t.Fatalf("pooled buffer not reset: len = %d", b2.Len())
+	}
+	PutBuffer(b2)
+	PutBuffer(nil) // must not panic
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(8)
+	c.StoreAt(SpaceName, "Adder", &Entry{Gen: 1, JSON: []byte("{}")}, c.Epoch())
+	now := testEpoch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Lookup(SpaceName, "Adder", 1, 0, now) == nil {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -151,6 +151,12 @@ func PostContext(ctx context.Context, client *http.Client, url string, req, resp
 	return nil
 }
 
+// Raw is a pre-marshalled SOAP envelope. A handler that returns Raw from
+// Endpoint/EndpointCtx skips the Marshal step entirely — the bytes are
+// written as-is under the SOAP content type. The registry's response
+// cache uses this to serve preserialized GetBindings envelopes.
+type Raw []byte
+
 // Endpoint adapts a typed handler to http.Handler. The handler receives
 // the decoded request and returns a response payload or an error; errors
 // that are not already *Fault become Server faults. Req must be a struct
@@ -192,6 +198,11 @@ func EndpointCtx[Req any](handle func(context.Context, *Req) (interface{}, error
 				status = http.StatusBadRequest
 			}
 			writeFault(w, status, f)
+			return
+		}
+		if raw, ok := resp.(Raw); ok {
+			w.Header().Set("Content-Type", ContentType)
+			w.Write(raw)
 			return
 		}
 		data, err := Marshal(resp)

@@ -1,7 +1,9 @@
 // Package deadline enforces the serving edge's admission invariant: every
-// route registered on the registry's ServeMux must pass its handler
-// through the admission controller (a call whose callee is named Wrap,
-// conventionally Admission.Wrap) or carry an explicit
+// route registered on the registry's mux — net/http.ServeMux or the
+// frozen router.Router, via Handle/HandleFunc/HandlePrefix/
+// HandlePrefixFunc — must pass its handler through the admission
+// controller (a call whose callee is named Wrap, conventionally
+// Admission.Wrap) or carry an explicit
 // `//repolint:admit-exempt <reason>` directive on the registration line
 // or the line above it.
 //
@@ -29,7 +31,7 @@ import (
 // Analyzer is the deadline pass.
 var Analyzer = &framework.Analyzer{
 	Name: "deadline",
-	Doc: "flags registry ServeMux registrations whose handler bypasses the admission middleware " +
+	Doc: "flags registry ServeMux/Router registrations whose handler bypasses the admission middleware " +
 		"(no Wrap call and no //repolint:admit-exempt reason)",
 	Run: run,
 }
@@ -53,10 +55,11 @@ func run(pass *framework.Pass) (interface{}, error) {
 				return true
 			}
 			method := sel.Sel.Name
-			if method != "Handle" && method != "HandleFunc" {
+			if method != "Handle" && method != "HandleFunc" &&
+				method != "HandlePrefix" && method != "HandlePrefixFunc" {
 				return true
 			}
-			if !isServeMux(pass, sel.X) || len(call.Args) != 2 {
+			if !isMux(pass, sel.X) || len(call.Args) != 2 {
 				return true
 			}
 			if isAdmissionWrapped(call.Args[1]) {
@@ -77,9 +80,13 @@ func run(pass *framework.Pass) (interface{}, error) {
 	return nil, nil
 }
 
-// isServeMux reports whether expr's type is net/http.ServeMux or a
-// pointer to it.
-func isServeMux(pass *framework.Pass, expr ast.Expr) bool {
+// isMux reports whether expr's type is one of the serving edge's route
+// tables — net/http.ServeMux or the repo's frozen router.Router — or a
+// pointer to either. The router is matched by package path suffix so the
+// analyzer's fixture packages (typechecked against the standard library
+// only, with a local "router" stand-in) exercise the same code path as
+// the real repro/internal/router.
+func isMux(pass *framework.Pass, expr ast.Expr) bool {
 	tv, ok := pass.TypesInfo.Types[expr]
 	if !ok || tv.Type == nil {
 		return false
@@ -93,8 +100,15 @@ func isServeMux(pass *framework.Pass, expr ast.Expr) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj != nil && obj.Pkg() != nil &&
-		obj.Pkg().Path() == "net/http" && obj.Name() == "ServeMux"
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if path == "net/http" && obj.Name() == "ServeMux" {
+		return true
+	}
+	return obj.Name() == "Router" &&
+		(path == "router" || strings.HasSuffix(path, "/router"))
 }
 
 // isAdmissionWrapped reports whether the handler argument is a call whose

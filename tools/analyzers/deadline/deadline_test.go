@@ -8,5 +8,5 @@ import (
 )
 
 func TestDeadline(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), deadline.Analyzer, "registry", "other")
+	analysistest.Run(t, analysistest.TestData(t), deadline.Analyzer, "registry", "other", "edge/router")
 }

@@ -1,0 +1,63 @@
+// This fixture exercises the frozen-router half of the deadline pass.
+// The analyzer matches the repo's router by package path suffix
+// ("/router"), while only analyzing packages *named* registry — so this
+// fixture is package registry under the path edge/router, letting one
+// stdlib-only package play both roles.
+package registry
+
+import "net/http"
+
+// Router stands in for repro/internal/router.Router: same method set,
+// declared in a package whose path ends in /router.
+type Router struct{}
+
+func (*Router) Handle(pattern string, h http.Handler)                                 {}
+func (*Router) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) {}
+func (*Router) HandlePrefix(prefix string, h http.Handler)                            {}
+func (*Router) HandlePrefixFunc(prefix string, h func(http.ResponseWriter, *http.Request)) {
+}
+
+type admitter struct{}
+
+func (admitter) Wrap(class int, next http.Handler) http.Handler { return next }
+
+func routes() *Router {
+	var adm admitter
+	mux := new(Router)
+
+	// Wrapped registrations pass, exactly as on a ServeMux.
+	mux.Handle("/soap/registry", adm.Wrap(1, http.NotFoundHandler()))
+
+	// Bypassing the middleware is flagged on every registration method.
+	mux.Handle("/registry/find", http.NotFoundHandler()) // want `route "/registry/find" registered without admission control`
+	mux.HandleFunc("/registry/query", serve)             // want `route "/registry/query" registered without admission control`
+	mux.HandlePrefix("/debug/", http.NotFoundHandler())  // want `route "/debug/" registered without admission control`
+	mux.HandlePrefixFunc("/static/", serve)              // want `route "/static/" registered without admission control`
+
+	// Reasoned exemptions pass on the prefix methods too.
+	//repolint:admit-exempt profiling must work while the edge sheds
+	mux.HandlePrefixFunc("/debug/pprof/", serve)
+	//repolint:admit-exempt health must answer while the edge sheds
+	mux.HandleFunc("/registry/health", serve)
+
+	// A bare exemption still needs a reason.
+	//repolint:admit-exempt
+	mux.HandlePrefix("/ui/", http.NotFoundHandler()) // want `admit-exempt needs a reason`
+
+	return mux
+}
+
+// notMux has the same method names but is not named Router, so the
+// analyzer must leave it alone even at this package path.
+type notMux struct{}
+
+func (notMux) Handle(pattern string, h http.Handler)      {}
+func (notMux) HandlePrefix(prefix string, h http.Handler) {}
+
+func otherRegistrations() {
+	var m notMux
+	m.Handle("/x", http.NotFoundHandler())
+	m.HandlePrefix("/y/", http.NotFoundHandler())
+}
+
+func serve(w http.ResponseWriter, r *http.Request) {}
