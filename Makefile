@@ -30,8 +30,8 @@ bin/repolint: $(shell find cmd/repolint tools/analyzers -name '*.go' -not -path 
 
 # lint runs the repo's own invariant analyzers (wallclock, lockcheck,
 # errwrap, norand, clienttimeout, structlog, atomicwrite, lockorder,
-# ctxprop, gorolife, hotalloc, deadline) over every package via the go
-# vet driver.
+# ctxprop, gorolife, hotalloc, deadline, metricnames) over every package
+# via the go vet driver.
 lint: bin/repolint
 	$(GO) vet -vettool=$(CURDIR)/bin/repolint ./...
 

@@ -35,6 +35,7 @@ import (
 	"repro/internal/cpa"
 	"repro/internal/ebms"
 	"repro/internal/federation"
+	"repro/internal/flight"
 	"repro/internal/hostsim"
 	"repro/internal/jaxr"
 	"repro/internal/lbexp"
@@ -908,6 +909,66 @@ func BenchmarkHTTPDiscovery(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			serve(b, h, w, req)
+		}
+	})
+}
+
+// --- flight recorder cost -------------------------------------------------
+//
+// BenchmarkFlightRecord isolates the wide-event recorder's per-request
+// cost: one seqlock Append into the ring, with the host already interned
+// (the steady state — interning is a one-time slow path per host) and,
+// in the traced variant, a trace id to box. Deliberately NOT under the
+// BenchmarkDiscovery prefix: the recorder's end-to-end cost is already
+// inside the gated BenchmarkHTTPDiscovery warm path (which must stay at
+// 0 allocs/op with the recorder always on); this entry just prices the
+// Append itself.
+func BenchmarkFlightRecord(b *testing.B) {
+	rec := flight.Record{
+		Route:       flight.RouteBindings,
+		Outcome:     flight.OutcomeAdmitted,
+		Verdict:     flight.VerdictFiltered,
+		Status:      200,
+		CacheHit:    true,
+		Tier:        0,
+		SnapshotGen: 7,
+		SnapshotAge: 3 * time.Second,
+		Eligible:    4,
+		Latency:     400 * time.Microsecond,
+		Host:        "h00.sdsu.edu",
+		Unix:        benchEpoch.UnixNano(),
+	}
+	b.Run("append", func(b *testing.B) {
+		ring := flight.NewRing(4096)
+		ring.Append(&rec) // interns the host before measurement
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ring.Append(&rec)
+		}
+	})
+	b.Run("append-traced", func(b *testing.B) {
+		ring := flight.NewRing(4096)
+		traced := rec
+		traced.Trace = "0123456789abcdef"
+		ring.Append(&traced)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ring.Append(&traced)
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		ring := flight.NewRing(4096)
+		for i := 0; i < 4096; i++ {
+			ring.Append(&rec)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := ring.Snapshot(flight.Filter{Limit: 100}); len(got) != 100 {
+				b.Fatalf("snapshot returned %d records", len(got))
+			}
 		}
 	})
 }

@@ -213,11 +213,12 @@ func main() {
 	run("flaky", func() error {
 		w.printf("H7: NodeStatus faults on %d of %d hosts — drop-rate sweep with\n", lbexp.FlakyHosts, len(lbexp.HostNames))
 		w.printf("per-host breakers, quarantine, and static-degraded discovery\n\n")
-		tbl, _, err := lbexp.Flaky(base, []float64{0, 0.1, 0.3, 0.6, 0.9})
+		tbl, results, err := lbexp.Flaky(base, []float64{0, 0.1, 0.3, 0.6, 0.9})
 		if err != nil {
 			return err
 		}
 		w.printf("%s\n", tbl)
+		w.printf("per-host completed tasks:\n%s\n", lbexp.FlakySharesTable(results))
 		same, err := lbexp.FlakyReplayIdentical(base, 0.3)
 		if err != nil {
 			return err
@@ -236,6 +237,7 @@ func main() {
 			return err
 		}
 		w.printf("%s\n", lbexp.FlashCrowdTable(baseline, surge))
+		w.printf("per-phase assignment balance:\n%s\n", lbexp.FlashCrowdBalanceTable(cfg.Hosts, baseline, surge))
 		same, err := lbexp.FlashCrowdReplayIdentical(cfg)
 		if err != nil {
 			return err

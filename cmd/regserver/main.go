@@ -59,7 +59,16 @@
 // /registry/traces the sampled discovery traces. -trace-sample N traces
 // every Nth discovery request (0 = off), -trace-ring bounds retained
 // traces, -log-level/-log-format configure structured logging, and -pprof
-// mounts net/http/pprof under /debug/pprof/.
+// mounts net/http/pprof under /debug/pprof/. The always-on flight
+// recorder keeps one fixed-size record per edge request in a lock-free
+// ring served with filtering at /registry/flight (-flight-ring bounds it;
+// negative disables), per-sweep balance-quality rollups and multi-window
+// SLO burn rates export as registry_balance_*/registry_slo_* series
+// (-slo-availability, -slo-latency, -slo-latency-quantile set the
+// objectives), /registry/health carries a per-component rollup, and
+// /registry/debug/bundle captures config, metrics, flight records,
+// traces, WAL position, and (with ?goroutines=1) a goroutine dump in one
+// request.
 package main
 
 import (
@@ -134,6 +143,10 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "log format: text|json")
 		traceSample = flag.Int("trace-sample", 0, "trace every Nth discovery request (0 = tracing off)")
 		traceRing   = flag.Int("trace-ring", 0, "finished traces retained for /registry/traces (0 = default 256)")
+		flightRing  = flag.Int("flight-ring", 0, "flight-recorder record ring for /registry/flight (0 = default 4096, negative = recorder off)")
+		sloAvail    = flag.Float64("slo-availability", 0, "availability objective for burn rates (0 = default 0.999)")
+		sloLatency  = flag.Duration("slo-latency", 0, "latency objective for burn rates (0 = default 250ms)")
+		sloQuantile = flag.Float64("slo-latency-quantile", 0, "fraction of requests that must meet -slo-latency (0 = default 0.99)")
 		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
@@ -176,6 +189,7 @@ func main() {
 		Logger:      logger,
 		TraceSample: *traceSample,
 		TraceRing:   *traceRing,
+		FlightRing:  *flightRing,
 		Pprof:       *pprofFlag,
 
 		DataDir:           *dataDir,
@@ -207,6 +221,19 @@ func main() {
 			BrownoutStaleness: *brownStale,
 			MaxBodyBytes:      *maxBodyBytes,
 		}
+	}
+	if *sloAvail != 0 || *sloLatency != 0 || *sloQuantile != 0 {
+		slo := obs.DefaultSLOConfig()
+		if *sloAvail > 0 {
+			slo.AvailabilityTarget = *sloAvail
+		}
+		if *sloLatency > 0 {
+			slo.LatencyObjectiveSeconds = sloLatency.Seconds()
+		}
+		if *sloQuantile > 0 {
+			slo.LatencyTargetQuantile = *sloQuantile
+		}
+		cfg.SLO = &slo
 	}
 	if *brkThreshold > 0 {
 		cfg.Breaker = &breaker.Config{

@@ -1,7 +1,7 @@
 // Command repolint is the repository's static-analysis vettool. It runs
-// the twelve invariant analyzers — wallclock, lockcheck, errwrap, norand,
-// clienttimeout, structlog, atomicwrite, lockorder, ctxprop, gorolife,
-// hotalloc, deadline — over Go packages, enforcing the
+// the thirteen invariant analyzers — wallclock, lockcheck, errwrap,
+// norand, clienttimeout, structlog, atomicwrite, lockorder, ctxprop,
+// gorolife, hotalloc, deadline, metricnames — over Go packages, enforcing the
 // conventions that keep the registry reproduction deterministic,
 // race-free, fault-tolerant, crash-safe, and observably logged (see
 // DESIGN.md, "Static analysis & invariants").
@@ -47,6 +47,7 @@ import (
 	"repro/tools/analyzers/hotalloc"
 	"repro/tools/analyzers/lockcheck"
 	"repro/tools/analyzers/lockorder"
+	"repro/tools/analyzers/metricnames"
 	"repro/tools/analyzers/norand"
 	"repro/tools/analyzers/structlog"
 	"repro/tools/analyzers/wallclock"
@@ -66,6 +67,7 @@ var analyzers = []*framework.Analyzer{
 	gorolife.Analyzer,
 	hotalloc.Analyzer,
 	deadline.Analyzer,
+	metricnames.Analyzer,
 }
 
 func main() {

@@ -6,7 +6,11 @@
 // the trace ring. A final phase turns sampling off and exercises the
 // response cache end to end: hit/miss/entry counts must scrape exactly,
 // the frozen router's 404 counter must tick, and an LCM write must
-// invalidate. It runs entirely in-process on a manual clock, so CI needs
+// invalidate. The balance phase then sweeps once and asserts the
+// registry_balance_* / registry_slo_* families scrape with the exact
+// values the driven traffic implies, and that every request left a
+// retrievable flight record and the diagnostic bundle carries all its
+// sections. It runs entirely in-process on a manual clock, so CI needs
 // no orchestration beyond `go run ./cmd/scrapesmoke`.
 package main
 
@@ -15,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -118,7 +123,189 @@ func run() error {
 	if err := checkTraces(client, base, traceID); err != nil {
 		return err
 	}
-	return checkRespCache(client, base, reg)
+	if err := checkRespCache(client, base, reg); err != nil {
+		return err
+	}
+	if err := checkBalance(client, base, reg); err != nil {
+		return err
+	}
+	return checkFlightBundle(client, base)
+}
+
+// smokeDiscoveries is every discovery request the phases above drive: the
+// five traced ones, the response-cache miss + two hits, and the
+// post-invalidation re-render. Each lands one balance assignment, one
+// staleness sample, and one flight record.
+const smokeDiscoveries = 9
+
+// checkBalance sweeps once (rollups ride collector sweeps) and asserts
+// the registry_balance_* / registry_slo_* families scrape with the exact
+// values the nine discoveries imply: assignment counts summing to nine,
+// the staleness histogram counting nine samples, two rollups (boot + this
+// one), a fairness index and capacity skew consistent with the scraped
+// per-host counts, and zero burn on both SLO windows (no errors, and on
+// the manual clock every request is instantaneous).
+func checkBalance(client *http.Client, base string, reg *registry.Registry) error {
+	reg.Collector.CollectOnce()
+	scrape, err := scrapeMetrics(client, base)
+	if err != nil {
+		return err
+	}
+	for _, want := range []struct{ name, typ string }{
+		{"registry_balance_assignments_total", "counter"},
+		{"registry_balance_fairness_index", "gauge"},
+		{"registry_balance_capacity_skew", "gauge"},
+		{"registry_balance_rollups_total", "counter"},
+		{"registry_balance_staleness_seconds", "histogram"},
+		{"registry_slo_availability_burn_rate", "gauge"},
+		{"registry_slo_latency_burn_rate", "gauge"},
+	} {
+		f, ok := scrape.Families[want.name]
+		if !ok {
+			return fmt.Errorf("metrics missing family %s", want.name)
+		}
+		if f.Type != want.typ {
+			return fmt.Errorf("family %s has type %s, want %s", want.name, f.Type, want.typ)
+		}
+	}
+
+	// Per-host assignment counts: hosts with zero assignments export no
+	// child, so absent samples count as zero; the sum is exact.
+	counts := make([]float64, hosts)
+	var total float64
+	for i := 0; i < hosts; i++ {
+		name := fmt.Sprintf("h%02d.sdsu.edu", i)
+		if v, ok := scrape.Value("registry_balance_assignments_total", map[string]string{"host": name}); ok {
+			counts[i] = v
+		}
+		total += counts[i]
+	}
+	if total != smokeDiscoveries {
+		return fmt.Errorf("balance assignments sum = %v, want %d (%v)", total, smokeDiscoveries, counts)
+	}
+	if v, ok := scrape.Value("registry_balance_staleness_seconds_count", nil); !ok || v != smokeDiscoveries {
+		return fmt.Errorf("staleness histogram count = %v (ok=%v), want %d", v, ok, smokeDiscoveries)
+	}
+	if v, ok := scrape.Value("registry_balance_rollups_total", nil); !ok || v != 2 {
+		return fmt.Errorf("balance rollups = %v (ok=%v), want 2 (boot sweep + this one)", v, ok)
+	}
+
+	// Fairness and skew must agree with the scraped counts: Jain's index
+	// over the per-host deltas (this rollup saw all nine), and the worst
+	// host's share against its capacity share (equal memory, so 1/hosts).
+	var sumsq float64
+	var max float64
+	for _, c := range counts {
+		sumsq += c * c
+		if c > max {
+			max = c
+		}
+	}
+	wantFairness := total * total / (float64(hosts) * sumsq)
+	if v, ok := scrape.Value("registry_balance_fairness_index", nil); !ok || math.Abs(v-wantFairness) > 1e-6 {
+		return fmt.Errorf("fairness index = %v (ok=%v), want %v from counts %v", v, ok, wantFairness, counts)
+	}
+	wantSkew := (max / total) * float64(hosts)
+	if v, ok := scrape.Value("registry_balance_capacity_skew", nil); !ok || math.Abs(v-wantSkew) > 1e-6 {
+		return fmt.Errorf("capacity skew = %v (ok=%v), want %v from counts %v", v, ok, wantSkew, counts)
+	}
+
+	for _, family := range []string{"registry_slo_availability_burn_rate", "registry_slo_latency_burn_rate"} {
+		for _, window := range []string{"5m", "1h"} {
+			v, ok := scrape.Value(family, map[string]string{"window": window})
+			if !ok || v != 0 {
+				return fmt.Errorf("%s{window=%s} = %v (ok=%v), want 0", family, window, v, ok)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFlightBundle retrieves the flight ring and the diagnostic bundle:
+// every discovery left exactly one record (the two response-cache hits
+// flagged as such), and the bundle carries all its sections.
+func checkFlightBundle(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/registry/flight?n=100")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("flight status %d", resp.StatusCode)
+	}
+	var page struct {
+		Written uint64 `json:"written"`
+		Records []struct {
+			Route    string `json:"route"`
+			Outcome  string `json:"outcome"`
+			CacheHit bool   `json:"cacheHit"`
+			Host     string `json:"host"`
+		} `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return fmt.Errorf("flight is not valid JSON: %w", err)
+	}
+	if page.Written != smokeDiscoveries {
+		return fmt.Errorf("flight written = %d, want %d", page.Written, smokeDiscoveries)
+	}
+	if len(page.Records) != smokeDiscoveries {
+		return fmt.Errorf("flight returned %d records, want %d", len(page.Records), smokeDiscoveries)
+	}
+	hitRecords := 0
+	for _, rec := range page.Records {
+		if rec.Route != "bindings" || rec.Outcome != "admitted" {
+			return fmt.Errorf("unexpected flight record %+v", rec)
+		}
+		if rec.Host == "" {
+			return fmt.Errorf("flight record lost its chosen host: %+v", rec)
+		}
+		if rec.CacheHit {
+			hitRecords++
+		}
+	}
+	if hitRecords != 2 {
+		return fmt.Errorf("flight has %d cache-hit records, want 2", hitRecords)
+	}
+
+	bresp, err := client.Get(base + "/registry/debug/bundle")
+	if err != nil {
+		return err
+	}
+	defer bresp.Body.Close()
+	var bundle struct {
+		At      string                     `json:"at"`
+		Config  map[string]interface{}     `json:"config"`
+		Health  map[string]json.RawMessage `json:"health"`
+		Metrics string                     `json:"metrics"`
+		Flight  []json.RawMessage          `json:"flight"`
+		SLO     map[string]json.RawMessage `json:"slo"`
+	}
+	if bresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("bundle status %d", bresp.StatusCode)
+	}
+	if err := json.NewDecoder(bresp.Body).Decode(&bundle); err != nil {
+		return fmt.Errorf("bundle is not valid JSON: %w", err)
+	}
+	if bundle.At == "" || bundle.Config["policy"] != "filter" {
+		return fmt.Errorf("bundle config wrong: at=%q policy=%v", bundle.At, bundle.Config["policy"])
+	}
+	for _, comp := range []string{"collector", "wal", "admission", "edgecache", "balance"} {
+		if _, ok := bundle.Health[comp]; !ok {
+			return fmt.Errorf("bundle health missing component %s", comp)
+		}
+	}
+	if !strings.Contains(bundle.Metrics, "registry_balance_fairness_index") {
+		return fmt.Errorf("bundle metrics snapshot missing the balance families")
+	}
+	if len(bundle.Flight) != smokeDiscoveries {
+		return fmt.Errorf("bundle has %d flight records, want %d", len(bundle.Flight), smokeDiscoveries)
+	}
+	for _, window := range []string{"5m", "1h"} {
+		if _, ok := bundle.SLO[window]; !ok {
+			return fmt.Errorf("bundle SLO missing window %s", window)
+		}
+	}
+	return nil
 }
 
 // checkRespCache turns sampling off (the response cache only engages

@@ -92,6 +92,14 @@ type FastHandler interface {
 	FastServe(w http.ResponseWriter, r *http.Request) bool
 }
 
+// AdmissionNoter is implemented by ResponseWriter wrappers that want to
+// know the request waited in the admission queue before being served
+// (the flight recorder's frame, for one). Wrap asserts for it on the
+// promoted path only, so admit stays independent of the observer.
+type AdmissionNoter interface {
+	NoteQueued()
+}
+
 // Wrap guards next with admission control and deadline enforcement for
 // class. A nil *Controller wraps nothing, so callers can build their mux
 // unconditionally and flip admission with one config field.
@@ -118,6 +126,9 @@ func (c *Controller) Wrap(class Class, format RejectFormat, next http.Handler) h
 			if !c.awaitTurn(t, r) {
 				c.Reject(w, format)
 				return
+			}
+			if n, ok := w.(AdmissionNoter); ok {
+				n.NoteQueued()
 			}
 		}
 		// The fast path runs before the defer below is registered, so a

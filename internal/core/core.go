@@ -339,6 +339,19 @@ func (b *Balancer) SnapshotGen(now time.Time) uint64 {
 	return b.Table.Snapshot(now, b.SnapshotMaxAge+b.Brownout.ExtraStaleness()).Gen()
 }
 
+// SnapshotMeta is SnapshotGen plus the instant the snapshot was taken, in
+// one table read, so the edge can stamp flight records with both the
+// generation it keyed the cache on and how stale that view was.
+//
+//repolint:hotpath runs on every discovery request before the cache lookup
+func (b *Balancer) SnapshotMeta(now time.Time) (gen uint64, taken time.Time) {
+	if b.Table == nil {
+		return 0, time.Time{}
+	}
+	snap := b.Table.Snapshot(now, b.SnapshotMaxAge+b.Brownout.ExtraStaleness())
+	return snap.Gen(), snap.Taken()
+}
+
 func (b *Balancer) arrange(serviceID, description string, uris []string, now time.Time, tr *obs.Trace) ([]string, Decision) {
 	dec := Decision{TimeWindowOK: true}
 	// The stored-order copy (stockOrder) is built only on the paths that

@@ -1,0 +1,59 @@
+// export.go renders flight records for /registry/flight and the debug
+// bundle: enums become their names, instants become RFC3339 UTC, and
+// durations become seconds, matching the trace export conventions.
+package flight
+
+import "time"
+
+// RecordExport is the JSON shape of one flight record.
+type RecordExport struct {
+	Seq                uint64  `json:"seq"`
+	At                 string  `json:"at"`
+	Route              string  `json:"route"`
+	Outcome            string  `json:"outcome"`
+	Status             int32   `json:"status"`
+	CacheHit           bool    `json:"cacheHit"`
+	Verdict            string  `json:"verdict"`
+	Tier               uint8   `json:"tier"`
+	SnapshotGen        uint64  `json:"snapshotGen"`
+	SnapshotAgeSeconds float64 `json:"snapshotAgeSeconds"`
+	Eligible           int     `json:"eligible"`
+	Unknown            int     `json:"unknown"`
+	Ineligible         int     `json:"ineligible"`
+	Quarantined        int     `json:"quarantined"`
+	LatencySeconds     float64 `json:"latencySeconds"`
+	Host               string  `json:"host,omitempty"`
+	Trace              string  `json:"trace,omitempty"`
+}
+
+// Export renders the record.
+func (r *Record) Export() RecordExport {
+	return RecordExport{
+		Seq:                r.Seq,
+		At:                 time.Unix(0, r.Unix).UTC().Format(time.RFC3339Nano),
+		Route:              r.Route.String(),
+		Outcome:            r.Outcome.String(),
+		Status:             r.Status,
+		CacheHit:           r.CacheHit,
+		Verdict:            r.Verdict.String(),
+		Tier:               r.Tier,
+		SnapshotGen:        r.SnapshotGen,
+		SnapshotAgeSeconds: r.SnapshotAge.Seconds(),
+		Eligible:           int(r.Eligible),
+		Unknown:            int(r.Unknown),
+		Ineligible:         int(r.Ineligible),
+		Quarantined:        int(r.Quarantined),
+		LatencySeconds:     r.Latency.Seconds(),
+		Host:               r.Host,
+		Trace:              r.Trace,
+	}
+}
+
+// ExportAll renders a Snapshot result.
+func ExportAll(recs []Record) []RecordExport {
+	out := make([]RecordExport, len(recs))
+	for i := range recs {
+		out[i] = recs[i].Export()
+	}
+	return out
+}

@@ -30,8 +30,21 @@ import (
 
 	"repro/internal/admit"
 	"repro/internal/core"
+	"repro/internal/hostsim"
 	"repro/internal/metrics"
+	"repro/internal/rim"
 )
+
+// Phases of an H8 run, indexing the per-phase assignment counts.
+const (
+	PhaseWarmup = iota
+	PhaseSurge
+	PhaseCooldown
+	phaseCount
+)
+
+// PhaseNames labels the H8 phases in index order.
+var PhaseNames = [phaseCount]string{"warmup", "surge", "cooldown"}
 
 // FlashCrowdConfig sizes experiment H8.
 type FlashCrowdConfig struct {
@@ -121,6 +134,12 @@ type FlashCrowdResult struct {
 	TierChanges int64
 	// Stats is the discovery class's final counter snapshot.
 	Stats admit.ClassStats
+	// PhaseAssignments counts which host each admitted discovery chose,
+	// split by run phase; PhaseFairness is Jain's index over each phase's
+	// per-host counts — how well the balancer held the paper's uniformity
+	// claim while the surge (and the brownout ladder) distorted the view.
+	PhaseAssignments [phaseCount]map[string]int
+	PhaseFairness    [phaseCount]float64
 }
 
 // Event kinds of the flash-crowd loop.
@@ -128,7 +147,15 @@ const (
 	fcArrive uint8 = iota
 	fcComplete
 	fcTimeout
+	fcSweep
 )
+
+// fcCollectionPeriod is H8's NodeStatus sweep cadence. The run's phases
+// are seconds long, so the thesis-default 25 s period would leave the
+// balancer deciding on a single stale snapshot for a whole phase; one
+// sweep per second keeps the load view fresh enough that placement
+// responds to the surge within a phase.
+const fcCollectionPeriod = time.Second
 
 // fcEvent is one scheduled simulation step.
 type fcEvent struct {
@@ -210,6 +237,10 @@ type fcSim struct {
 	trace    hash.Hash64
 	maxTier  admit.Tier
 	tierHist []admit.Tier
+
+	// hostCounts tallies each admitted discovery's chosen host, split by
+	// run phase (warmup / surge / cooldown).
+	hostCounts [phaseCount]map[string]int
 }
 
 // flashRun executes one flash-crowd configuration with the given surge
@@ -217,10 +248,11 @@ type fcSim struct {
 func flashRun(cfg FlashCrowdConfig, surgeClients int) (*fcSim, error) {
 	adm := cfg.Admission
 	setup, err := NewSetup(Config{
-		Hosts:          cfg.Hosts,
-		RegistryPolicy: core.PolicyLeastLoaded,
-		FallbackAll:    true,
-		Admission:      &adm,
+		Hosts:            cfg.Hosts,
+		RegistryPolicy:   core.PolicyLeastLoaded,
+		FallbackAll:      true,
+		CollectionPeriod: fcCollectionPeriod,
+		Admission:        &adm,
 	})
 	if err != nil {
 		return nil, err
@@ -240,6 +272,9 @@ func flashRun(cfg FlashCrowdConfig, surgeClients int) (*fcSim, error) {
 		trace:      fnv.New64a(),
 	}
 	f.surgeEnd = f.surgeStart.Add(cfg.Surge)
+	for i := range f.hostCounts {
+		f.hostCounts[i] = make(map[string]int)
+	}
 	f.ctrl.OnTierChange(func(t admit.Tier) {
 		f.tierHist = append(f.tierHist, t)
 		if t > f.maxTier {
@@ -262,6 +297,9 @@ func flashRun(cfg FlashCrowdConfig, surgeClients int) (*fcSim, error) {
 		cl := &fcClient{id: cfg.BaselineClients + i, surge: true}
 		f.push(f.surgeStart.Add(time.Duration(f.rng.Float64()*float64(ramp))), fcArrive, cl, time.Time{}, nil)
 	}
+	// NodeStatus sweeps ride the same event heap, so the balancer's view
+	// refreshes on the virtual clock exactly as the collector would.
+	f.push(start.Add(fcCollectionPeriod), fcSweep, nil, time.Time{}, nil)
 	if err := f.run(); err != nil {
 		return nil, err
 	}
@@ -288,6 +326,8 @@ func (f *fcSim) run() error {
 			err = f.complete(e.cl, e.arrived, e.at)
 		case fcTimeout:
 			err = f.timeout(e.cl, e.ticket, e.at)
+		case fcSweep:
+			f.sweep(e.at)
 		}
 		if err != nil {
 			return err
@@ -299,6 +339,29 @@ func (f *fcSim) run() error {
 // inWindow reports whether t falls in the measured surge window.
 func (f *fcSim) inWindow(t time.Time) bool {
 	return !t.Before(f.surgeStart) && t.Before(f.surgeEnd)
+}
+
+// sweep advances the simulated hosts (progressing the service work
+// startService submitted, so load averages track the traffic) and runs
+// one synchronous NodeStatus collection, then books the next sweep.
+func (f *fcSim) sweep(now time.Time) {
+	f.setup.Cluster.AdvanceTo(now)
+	f.setup.Collector.CollectOnce()
+	if next := now.Add(fcCollectionPeriod); !next.After(f.runEnd) {
+		f.push(next, fcSweep, nil, time.Time{}, nil)
+	}
+}
+
+// phase maps a virtual time to its run phase.
+func (f *fcSim) phase(t time.Time) int {
+	switch {
+	case t.Before(f.surgeStart):
+		return PhaseWarmup
+	case t.Before(f.surgeEnd):
+		return PhaseSurge
+	default:
+		return PhaseCooldown
+	}
 }
 
 // note folds one processed event into the replay fingerprint.
@@ -372,7 +435,21 @@ func (f *fcSim) startService(cl *fcClient, arrived, now time.Time) error {
 	if len(uris) == 0 {
 		return fmt.Errorf("lbexp: flash-crowd discovery returned no URIs")
 	}
-	f.push(now.Add(f.jitter(f.cfg.Service)), fcComplete, cl, arrived, nil)
+	host := rim.HostOfURI(uris[0])
+	f.hostCounts[f.phase(now)][host]++
+	svc := f.jitter(f.cfg.Service)
+	// The request's service time is real work on the chosen host: submit
+	// it to the simulated machine so its load average — what the next
+	// sweep reports and the balancer ranks by — tracks the traffic.
+	if h := f.setup.Cluster.Host(host); h != nil {
+		f.seq++
+		_ = h.Submit(hostsim.Task{
+			ID:         fmt.Sprintf("fc-%d", f.seq),
+			CPUSeconds: svc.Seconds(),
+			MemB:       1 << 20,
+		}, now)
+	}
+	f.push(now.Add(svc), fcComplete, cl, arrived, nil)
 	return nil
 }
 
@@ -441,6 +518,15 @@ func (f *fcSim) result(name string) FlashCrowdResult {
 			}
 		}
 	}
+	hosts := HostNames[:f.cfg.Hosts]
+	for p := range f.hostCounts {
+		res.PhaseAssignments[p] = f.hostCounts[p]
+		counts := make([]float64, len(hosts))
+		for i, h := range hosts {
+			counts[i] = float64(f.hostCounts[p][h])
+		}
+		res.PhaseFairness[p] = metrics.JainFairness(counts)
+	}
 	return res
 }
 
@@ -479,6 +565,27 @@ func FlashCrowdTable(rows ...FlashCrowdResult) *metrics.Table {
 			round4(r.LatP50*1000), round4(r.LatP99*1000),
 			round4(r.Deadline.Seconds()*1000),
 			r.MaxTier.String(), r.FinalTier.String(), r.TierChanges)
+	}
+	return tbl
+}
+
+// FlashCrowdBalanceTable tabulates a run's per-phase assignment balance:
+// Jain's fairness index over the per-host discovery assignments in each
+// of the warmup / surge / cooldown windows, with the raw counts alongside
+// in HostNames order. It is the H8 view of the paper's uniformity claim —
+// balance should dip while the crowd (and the brownout ladder's coarser
+// decisions) distort placement, then recover in the cooldown.
+func FlashCrowdBalanceTable(hosts int, rows ...FlashCrowdResult) *metrics.Table {
+	names := HostNames[:hosts]
+	tbl := metrics.NewTable(append([]string{"run", "phase", "fairness"}, names...)...)
+	for _, r := range rows {
+		for p := range r.PhaseAssignments {
+			cells := []interface{}{r.Name, PhaseNames[p], round4(r.PhaseFairness[p])}
+			for _, h := range names {
+				cells = append(cells, r.PhaseAssignments[p][h])
+			}
+			tbl.AddRow(cells...)
+		}
 	}
 	return tbl
 }

@@ -64,6 +64,37 @@ func TestFlashCrowdBrownoutLadder(t *testing.T) {
 	}
 }
 
+// TestFlashCrowdBalance is the P3 fairness story: with sweeps and load
+// feedback live, every phase of both runs spreads assignments across all
+// hosts, the surge window is the surge run's worst phase (between-sweeps
+// herding at 10x arrival rate), and the cooldown recovers from it.
+func TestFlashCrowdBalance(t *testing.T) {
+	cfg := fcTestConfig()
+	baseline, surge, err := FlashCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []FlashCrowdResult{baseline, surge} {
+		for p, counts := range r.PhaseAssignments {
+			if len(counts) != cfg.Hosts {
+				t.Errorf("%s/%s: assignments reached %d of %d hosts: %v",
+					r.Name, PhaseNames[p], len(counts), cfg.Hosts, counts)
+			}
+			if f := r.PhaseFairness[p]; f < 0.8 {
+				t.Errorf("%s/%s: fairness %.4f below 0.8", r.Name, PhaseNames[p], f)
+			}
+		}
+	}
+	if surge.PhaseFairness[PhaseSurge] >= baseline.PhaseFairness[PhaseSurge] {
+		t.Errorf("crowd did not dent surge-window fairness: surge run %.4f, baseline %.4f",
+			surge.PhaseFairness[PhaseSurge], baseline.PhaseFairness[PhaseSurge])
+	}
+	if surge.PhaseFairness[PhaseCooldown] <= surge.PhaseFairness[PhaseSurge] {
+		t.Errorf("fairness did not recover in cooldown: surge %.4f, cooldown %.4f",
+			surge.PhaseFairness[PhaseSurge], surge.PhaseFairness[PhaseCooldown])
+	}
+}
+
 // TestFlashCrowdReplayIdentical proves the determinism contract: two
 // same-seed surge runs produce byte-identical fingerprints (event-stream
 // hash, every counter, the tier history).

@@ -511,6 +511,11 @@ type FlakyResult struct {
 	// the fault-injected and clean hosts respectively.
 	FaultyTasks  float64
 	HealthyTasks float64
+	// Shares is each host's completed-task count in HostNames order, and
+	// TaskFairness is Jain's index over those counts — the assignment-side
+	// view of balance, as opposed to Fairness's load-sample view.
+	Shares       []float64
+	TaskFairness float64
 }
 
 // Flaky runs experiment H7: the same workload under increasing NodeStatus
@@ -519,7 +524,7 @@ type FlakyResult struct {
 // the flaky hosts while the healthy majority keeps a balanced share.
 func Flaky(base Config, dropRates []float64) (*metrics.Table, []FlakyResult, error) {
 	tbl := metrics.NewTable("dropRate", "completed", "dropped", "loadFairness",
-		"sweepErrs", "timeouts", "retries", "skips", "trips",
+		"taskFairness", "sweepErrs", "timeouts", "retries", "skips", "trips",
 		"faultyTasks", "healthyTasks")
 	var results []FlakyResult
 	for _, rate := range dropRates {
@@ -529,11 +534,28 @@ func Flaky(base Config, dropRates []float64) (*metrics.Table, []FlakyResult, err
 		}
 		results = append(results, res)
 		tbl.AddRow(rate, res.Completed, res.Dropped, round4(res.Fairness),
+			round4(res.TaskFairness),
 			res.Stats.Errs, res.Stats.Timeouts, res.Stats.Retries,
 			res.Stats.Skipped, res.Trips,
 			round4(res.FaultyTasks), round4(res.HealthyTasks))
 	}
 	return tbl, results, nil
+}
+
+// FlakySharesTable tabulates each H7 run's per-host completed-task
+// shares in HostNames order — the raw assignment distribution behind the
+// taskFairness column, showing load draining off the quarantined hosts
+// and staying even across the healthy majority.
+func FlakySharesTable(results []FlakyResult) *metrics.Table {
+	tbl := metrics.NewTable(append([]string{"dropRate"}, HostNames...)...)
+	for _, res := range results {
+		cells := []interface{}{res.DropRate}
+		for _, n := range res.Shares {
+			cells = append(cells, n)
+		}
+		tbl.AddRow(cells...)
+	}
+	return tbl
 }
 
 // flakyRun executes one H7 configuration. The returned fingerprint is a
@@ -558,6 +580,8 @@ func flakyRun(base Config, dropRate float64) (FlakyResult, string, error) {
 		Stats:     s.Collector.FaultStats(),
 	}
 	shares := rep.TaskShare(HostNames)
+	res.Shares = shares
+	res.TaskFairness = metrics.JainFairness(shares)
 	for i, n := range shares {
 		if i < FlakyHosts {
 			res.FaultyTasks += n / FlakyHosts

@@ -104,6 +104,7 @@ type Collector struct {
 	breakers     *breaker.Set  // nil = breakers disabled
 	telemetry    *Telemetry    // nil = no telemetry
 	log          *slog.Logger  // never nil; nop by default
+	afterSweep   func()        // nil = no hook; runs after each publish
 
 	mu    sync.Mutex
 	stats Stats // guarded by mu
@@ -163,6 +164,16 @@ func WithBreakers(b *breaker.Set) Option {
 // WithTelemetry attaches fault-tolerance counters and gauges.
 func WithTelemetry(t *Telemetry) Option {
 	return func(c *Collector) { c.telemetry = t }
+}
+
+// WithAfterSweep attaches a hook that runs at the end of every sweep,
+// after the refreshed table is published. The registry uses it to drive
+// periodic rollups (balance fairness, SLO burn rates) off the collector's
+// cadence so they tick identically on wall and simulated clocks. The hook
+// runs on the sweep goroutine; it must be fast and must not call back
+// into the collector.
+func WithAfterSweep(fn func()) Option {
+	return func(c *Collector) { c.afterSweep = fn }
 }
 
 // WithLogger attaches a structured logger; sweep failures, breaker
@@ -288,6 +299,9 @@ func (c *Collector) CollectOnceCtx(ctx context.Context) {
 	c.mu.Unlock()
 	if c.telemetry != nil && c.telemetry.SweepErrors != nil {
 		c.telemetry.SweepErrors.Add(int64(sweep.Errs))
+	}
+	if c.afterSweep != nil {
+		c.afterSweep()
 	}
 }
 

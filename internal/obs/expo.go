@@ -87,6 +87,26 @@ func (e *Exposition) Gauge(name, help string, fn func() float64) {
 	f.samples = append(f.samples, expoSample{fn: fn})
 }
 
+// CounterVec registers a counter family whose children are the entries of
+// the map fn returns at scrape time, labelled by label (e.g. per-host
+// discovery assignment counts, where the host set is only known at
+// runtime).
+func (e *Exposition) CounterVec(name, help, label string, fn func() map[string]int64) {
+	f := e.familyFor(name, help, "counter")
+	if f.vec != nil {
+		panic("obs: metric " + name + " already has a label set")
+	}
+	f.vecLabel = label
+	f.vec = func() map[string]float64 {
+		m := fn()
+		out := make(map[string]float64, len(m))
+		for k, v := range m {
+			out[k] = float64(v)
+		}
+		return out
+	}
+}
+
 // GaugeVec registers a gauge family whose children are the entries of the
 // map fn returns at scrape time, labelled by label (e.g. per-host breaker
 // states).
@@ -222,6 +242,21 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// CountAtOrBelow returns how many observations landed in buckets whose
+// upper bound is <= bound — the cumulative count Prometheus would report
+// for le="bound". The SLO engine uses it to derive the fraction of
+// requests beyond the latency objective without a second histogram.
+func (h *Histogram) CountAtOrBelow(bound float64) int64 {
+	var cum int64
+	for i, b := range h.bounds {
+		if b > bound {
+			break
+		}
+		cum += h.counts[i].Load()
+	}
+	return cum
+}
 
 // snapshot returns per-bucket (non-cumulative) counts, the sum, and the
 // total count. Concurrent observations may land between the loads; the

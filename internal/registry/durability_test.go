@@ -98,8 +98,8 @@ func TestDurabilityMetricsExposition(t *testing.T) {
 	if v, ok := scrape.Value("registry_wal_replay_records_total", nil); !ok || v <= 0 {
 		t.Fatalf("registry_wal_replay_records_total = %v, %v; want > 0 after a crash boot", v, ok)
 	}
-	if v, ok := scrape.Value("registry_wal_segment_count", nil); !ok || v < 1 {
-		t.Fatalf("registry_wal_segment_count = %v, %v", v, ok)
+	if v, ok := scrape.Value("registry_wal_segments", nil); !ok || v < 1 {
+		t.Fatalf("registry_wal_segments = %v, %v", v, ok)
 	}
 	if v, ok := scrape.Value("registry_checkpoints_total", nil); !ok || v < 1 {
 		t.Fatalf("registry_checkpoints_total = %v, %v; want the boot checkpoint counted", v, ok)

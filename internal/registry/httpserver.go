@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/admit"
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/lcm"
 	"repro/internal/nodestate"
 	"repro/internal/obs"
@@ -55,15 +56,15 @@ func (r *Registry) buildHandler() http.Handler {
 	if adm != nil {
 		maxBody = adm.Config().MaxBodyBytes
 	}
-	mux.Handle("/soap/registry", adm.Wrap(admit.ClassLCM, admit.RejectSOAP,
-		limitBody(maxBody, soap.EndpointCtx(r.handleRegistrySOAP))))
-	mux.Handle("/soap/auth", adm.Wrap(admit.ClassLCM, admit.RejectSOAP,
-		limitBody(maxBody, soap.Endpoint(r.handleAuthSOAP))))
-	mux.Handle("/registry/object", adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleGetObject)))
-	mux.Handle("/registry/find", adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleFind)))
-	mux.Handle("/registry/bindings", adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, &bindingsEdge{reg: r}))
-	mux.Handle("/registry/query", adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleQuery)))
-	mux.Handle("/registry/content", adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleContent)))
+	mux.Handle("/soap/registry", r.flightWrap(flight.RouteSOAPRegistry, true, adm.Wrap(admit.ClassLCM, admit.RejectSOAP,
+		limitBody(maxBody, soap.EndpointCtx(r.handleRegistrySOAP)))))
+	mux.Handle("/soap/auth", r.flightWrap(flight.RouteSOAPAuth, false, adm.Wrap(admit.ClassLCM, admit.RejectSOAP,
+		limitBody(maxBody, soap.Endpoint(r.handleAuthSOAP)))))
+	mux.Handle("/registry/object", r.flightWrap(flight.RouteObject, false, adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleGetObject))))
+	mux.Handle("/registry/find", r.flightWrap(flight.RouteFind, false, adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleFind))))
+	mux.Handle("/registry/bindings", r.flightWrap(flight.RouteBindings, false, adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, &bindingsEdge{reg: r})))
+	mux.Handle("/registry/query", r.flightWrap(flight.RouteQuery, false, adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleQuery))))
+	mux.Handle("/registry/content", r.flightWrap(flight.RouteContent, false, adm.Wrap(admit.ClassDiscovery, admit.RejectJSON, http.HandlerFunc(r.handleContent))))
 	//repolint:admit-exempt nodestate is the operator's view of collector state
 	mux.HandleFunc("/registry/nodestate", r.handleNodeState)
 	//repolint:admit-exempt health must answer while the edge sheds
@@ -72,6 +73,10 @@ func (r *Registry) buildHandler() http.Handler {
 	mux.HandleFunc("/registry/metrics", r.handleMetrics)
 	//repolint:admit-exempt trace retrieval is an operator diagnostic
 	mux.HandleFunc("/registry/traces", r.handleTraces)
+	//repolint:admit-exempt flight retrieval is an operator diagnostic
+	mux.HandleFunc("/registry/flight", r.handleFlight)
+	//repolint:admit-exempt the bundle is how operators debug a shedding node
+	mux.HandleFunc("/registry/debug/bundle", r.handleBundle)
 	//repolint:admit-exempt the operator UI stays reachable during incidents
 	mux.HandleFunc("/ui", r.handleUI)
 	if r.pprof {
@@ -372,14 +377,21 @@ func (r *Registry) doBindings(ctx context.Context, req *GetBindingsRequest) (int
 	// caching only engages while sampling is off (brownout TierNoTrace
 	// re-enables it under load, exactly when it matters most).
 	cacheable := r.RespCache != nil && r.Tracer.Sample() == 0
-	var epoch, gen uint64
+	gen, taken := r.Balancer.SnapshotMeta(start)
+	age := snapshotAge(start, taken)
+	var epoch uint64
 	var tier uint32
 	if cacheable {
 		epoch = r.RespCache.Epoch()
-		gen = r.Balancer.SnapshotGen(start)
 		tier = r.edgeTier()
 		if e := r.RespCache.Lookup(space, key, gen, tier, start); e != nil && len(e.SOAP) > 0 {
-			r.discovery.observe(e.Decision, r.Clock.Now().Sub(start).Seconds())
+			r.discovery.observe(e.Decision, e.FirstHost, age, r.Clock.Now().Sub(start).Seconds())
+			if fw := flight.FrameFrom(ctx); fw != nil {
+				fw.Rec.CacheHit = true
+				noteDecision(&fw.Rec, &e.Decision)
+				fw.Rec.SnapshotAge = age
+				fw.Rec.Host = e.FirstHost
+			}
 			return soap.Raw(e.SOAP), nil
 		}
 	}
@@ -401,7 +413,16 @@ func (r *Registry) doBindings(ctx context.Context, req *GetBindingsRequest) (int
 		}
 		return nil, soap.ClientFault("%v", err)
 	}
-	r.discovery.observe(dec, r.Clock.Now().Sub(start).Seconds())
+	host := chosenHost(uris, &dec)
+	r.discovery.observe(dec, host, age, r.Clock.Now().Sub(start).Seconds())
+	if fw := flight.FrameFrom(ctx); fw != nil {
+		noteDecision(&fw.Rec, &dec)
+		fw.Rec.SnapshotAge = age
+		fw.Rec.Host = host
+		if tr != nil {
+			fw.Rec.Trace = tr.ID
+		}
+	}
 	if cacheable && tr == nil {
 		if e := r.renderBindingsEntry(uris, dec, gen, tier, start); e != nil {
 			r.RespCache.StoreAt(space, key, e, epoch)
@@ -557,15 +578,37 @@ func (e *bindingsEdge) FastServe(w http.ResponseWriter, req *http.Request) bool 
 		return false
 	}
 	now := r.Clock.Now()
-	ent := r.RespCache.Lookup(respcache.SpaceName, name, r.Balancer.SnapshotGen(now), r.edgeTier(), now)
+	gen, taken := r.Balancer.SnapshotMeta(now)
+	ent := r.RespCache.Lookup(respcache.SpaceName, name, gen, r.edgeTier(), now)
 	if ent == nil {
 		return false
 	}
 	h := w.Header()
 	h["Content-Type"] = jsonCT
 	w.Write(ent.JSON)
-	r.discovery.observe(ent.Decision, r.Clock.Now().Sub(now).Seconds())
+	age := snapshotAge(now, taken)
+	r.discovery.observe(ent.Decision, ent.FirstHost, age, r.Clock.Now().Sub(now).Seconds())
+	if fw := flight.From(w); fw != nil {
+		fw.Rec.CacheHit = true
+		noteDecision(&fw.Rec, &ent.Decision)
+		fw.Rec.SnapshotAge = age
+		fw.Rec.Host = ent.FirstHost
+	}
 	return true
+}
+
+// snapshotAge converts a snapshot publish instant into the decision's
+// staleness, clamping at zero (a just-republished table reads as fresh).
+//
+//repolint:hotpath runs on every discovery request
+func snapshotAge(now, taken time.Time) time.Duration {
+	if taken.IsZero() {
+		return 0
+	}
+	if d := now.Sub(taken); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // ServeHTTP is the miss path: run the balancer, render once into the
@@ -583,14 +626,15 @@ func (e *bindingsEdge) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	}
 	start := r.Clock.Now()
 	cacheable := r.RespCache != nil && r.Tracer.Sample() == 0
-	var epoch, gen uint64
+	// Read the validity tuple before the decision is computed: a
+	// write or tier change landing mid-flight leaves the stored
+	// entry permanently invalid rather than ever stale.
+	gen, taken := r.Balancer.SnapshotMeta(start)
+	age := snapshotAge(start, taken)
+	var epoch uint64
 	var tier uint32
 	if cacheable {
-		// Read the validity tuple before the decision is computed: a
-		// write or tier change landing mid-flight leaves the stored
-		// entry permanently invalid rather than ever stale.
 		epoch = r.RespCache.Epoch()
-		gen = r.Balancer.SnapshotGen(start)
 		tier = r.edgeTier()
 	}
 	tr := r.Tracer.Start()
@@ -608,7 +652,16 @@ func (e *bindingsEdge) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	r.discovery.observe(dec, r.Clock.Now().Sub(start).Seconds())
+	host := chosenHost(uris, &dec)
+	r.discovery.observe(dec, host, age, r.Clock.Now().Sub(start).Seconds())
+	if fw := flight.From(w); fw != nil {
+		noteDecision(&fw.Rec, &dec)
+		fw.Rec.SnapshotAge = age
+		fw.Rec.Host = host
+		if tr != nil {
+			fw.Rec.Trace = tr.ID
+		}
+	}
 	if cacheable && tr == nil {
 		if ent := r.renderBindingsEntry(uris, dec, gen, tier, start); ent != nil {
 			r.RespCache.StoreAt(respcache.SpaceName, name, ent, epoch)
@@ -708,12 +761,13 @@ func (r *Registry) renderBindingsEntry(uris []string, dec core.Decision, gen uin
 		return nil
 	}
 	return &respcache.Entry{
-		Gen:      gen,
-		Tier:     tier,
-		Expires:  r.respExpiry(dec, now),
-		JSON:     jsonBytes,
-		SOAP:     env,
-		Decision: dec,
+		Gen:       gen,
+		Tier:      tier,
+		Expires:   r.respExpiry(dec, now),
+		JSON:      jsonBytes,
+		SOAP:      env,
+		Decision:  dec,
+		FirstHost: chosenHost(uris, &dec),
 	}
 }
 
@@ -768,14 +822,28 @@ func (r *Registry) handleNodeState(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, r.Store.NodeState().Rows())
 }
 
-// handleHealth reports the collector's per-host health and breaker state —
-// the machine-readable twin of the web UI's collector-health table.
+// handleHealth reports the collector's per-host health and breaker state
+// (the machine-readable twin of the web UI's collector-health table) plus
+// a per-component rollup: collector, WAL, admission, edge cache, and
+// balance each report ok/degraded/disabled, and Status carries the worst
+// of them.
 func (r *Registry) handleHealth(w http.ResponseWriter, req *http.Request) {
 	stats := r.Collector.FaultStats()
+	hosts := r.Collector.HealthSnapshot()
+	comps := r.componentHealth(stats, hosts)
+	status := "ok"
+	for _, c := range comps {
+		if c.Status == "degraded" {
+			status = "degraded"
+			break
+		}
+	}
 	writeJSON(w, struct {
-		Stats nodestate.Stats
-		Hosts []nodestate.HostHealthReport
-	}{Stats: stats, Hosts: r.Collector.HealthSnapshot()})
+		Status     string
+		Stats      nodestate.Stats
+		Hosts      []nodestate.HostHealthReport
+		Components map[string]componentHealth
+	}{Status: status, Stats: stats, Hosts: hosts, Components: comps})
 }
 
 // handleContent serves repository artifacts by ExtrinsicObject id — the

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"repro/internal/admit"
 	"repro/internal/core"
@@ -29,11 +30,17 @@ type discoveryMetrics struct {
 	quarantined metrics.Counter
 
 	latency *obs.Histogram
+	balance *obs.Balance
 }
 
-// observe folds one discovery decision into the counters. seconds is the
-// request's wall (or sim) duration.
-func (d *discoveryMetrics) observe(dec core.Decision, seconds float64) {
+// observe folds one discovery decision into the counters. host is the
+// host the client was directed to (empty when nothing was served), age
+// how stale the NodeState snapshot behind the decision was, and seconds
+// the request's wall (or sim) duration. Runs on the cache-hit path, so
+// it must not allocate.
+//
+//repolint:hotpath runs on every discovery response including cache hits
+func (d *discoveryMetrics) observe(dec core.Decision, host string, age time.Duration, seconds float64) {
 	d.total.Inc()
 	if dec.FellBack {
 		d.fallback.Inc()
@@ -46,6 +53,29 @@ func (d *discoveryMetrics) observe(dec core.Decision, seconds float64) {
 	d.ineligible.Add(int64(dec.Ineligible()))
 	d.quarantined.Add(int64(dec.Quarantined()))
 	d.latency.Observe(seconds)
+	d.balance.NoteAssignment(host)
+	d.balance.NoteStaleness(age.Seconds())
+}
+
+// rollup runs after every collector sweep (see nodestate.WithAfterSweep):
+// it folds the interval's assignments into the fairness/skew gauges,
+// weighting each host by its collected memory capacity, and cuts one SLO
+// burn-rate sample from the cumulative discovery counters.
+func (r *Registry) rollup() {
+	rows := r.Store.NodeState().Rows()
+	weights := make(map[string]float64, len(rows))
+	for i := range rows {
+		w := float64(rows[i].MemoryB)
+		if w <= 0 {
+			w = 1
+		}
+		weights[rows[i].Host] = w
+	}
+	r.Balance.Rollup(weights)
+	d := &r.discovery
+	cnt := d.latency.Count()
+	slow := cnt - d.latency.CountAtOrBelow(r.SLOEngine.Config().LatencyObjectiveSeconds)
+	r.SLOEngine.Record(r.Clock.Now(), d.total.Value(), d.errors.Value(), cnt, slow)
 }
 
 // buildExposition registers every exported metric family against the live
@@ -236,6 +266,50 @@ func (r *Registry) buildExposition() *obs.Exposition {
 	e.RegisterHistogram("registry_discovery_latency_seconds",
 		"HTTP discovery request latency on the registry clock.", d.latency)
 
+	// Balance quality: how evenly discovery is actually spreading clients,
+	// rolled up once per collector sweep (the paper's central claim, now
+	// measured rather than assumed).
+	bal := r.Balance
+	e.CounterVec("registry_balance_assignments_total",
+		"Discovery answers that directed a client to each host.",
+		"host", func() map[string]int64 { return bal.AssignmentsSnapshot() })
+	e.Gauge("registry_balance_fairness_index",
+		"Jain's fairness index of per-host assignments over the last non-idle collector sweep (1 = perfectly even).",
+		bal.FairnessIndex)
+	e.Gauge("registry_balance_capacity_skew",
+		"Worst host's assignment share relative to its memory-capacity share over the last non-idle sweep (1 = capacity-proportional).",
+		bal.CapacitySkew)
+	e.Counter("registry_balance_rollups_total",
+		"Balance fairness rollups performed (one per collector sweep).",
+		bal.Rollups)
+	e.RegisterHistogram("registry_balance_staleness_seconds",
+		"Age of the NodeState snapshot behind each served discovery answer.",
+		bal.StalenessHistogram())
+
+	// SLO burn rates over the discovery counters: 1 consumes the error
+	// budget exactly as fast as the objective allows.
+	slo := r.SLOEngine
+	e.GaugeVec("registry_slo_availability_burn_rate",
+		"Discovery availability error-budget burn rate per lookback window.",
+		"window", func() map[string]float64 {
+			rates := slo.BurnRates()
+			out := make(map[string]float64, len(rates))
+			for w, b := range rates {
+				out[w] = b.Availability
+			}
+			return out
+		})
+	e.GaugeVec("registry_slo_latency_burn_rate",
+		"Discovery latency error-budget burn rate per lookback window.",
+		"window", func() map[string]float64 {
+			rates := slo.BurnRates()
+			out := make(map[string]float64, len(rates))
+			for w, b := range rates {
+				out[w] = b.Latency
+			}
+			return out
+		})
+
 	// Durability (WAL + checkpoints). With no -data-dir the Durable is
 	// nil and every series reads zero.
 	durable := r.Durable
@@ -263,7 +337,7 @@ func (r *Registry) buildExposition() *obs.Exposition {
 			}
 			return durable.WAL().Bytes()
 		})
-	e.Gauge("registry_wal_segment_count",
+	e.Gauge("registry_wal_segments",
 		"Live write-ahead-log segment files on disk.",
 		func() float64 {
 			if durable == nil {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/events"
+	"repro/internal/flight"
 	"repro/internal/lcm"
 	"repro/internal/nodestate"
 	"repro/internal/nodestatus"
@@ -132,6 +133,14 @@ type Config struct {
 	// the router defaults.
 	EdgeMaxPathLength int
 	EdgeMaxDepth      int
+	// FlightRing bounds the always-on flight recorder's record ring
+	// (rounded up to a power of two): 0 means flight.DefaultRingSize,
+	// negative disables the recorder entirely.
+	FlightRing int
+	// SLO overrides the burn-rate objectives; nil means
+	// obs.DefaultSLOConfig (99.9% availability, 99% of requests under
+	// 250ms, 5m and 1h windows).
+	SLO *obs.SLOConfig
 }
 
 // Registry is an assembled registry server.
@@ -170,6 +179,15 @@ type Registry struct {
 	// RespCache is the preserialized discovery response cache (nil when
 	// Config.RespCacheSize was negative).
 	RespCache *respcache.Cache
+	// Flight is the always-on wide-event recorder behind /registry/flight
+	// (nil when Config.FlightRing was negative).
+	Flight *flight.Ring
+	// Balance tracks per-host assignment counts and their per-sweep
+	// fairness/skew rollups (always allocated).
+	Balance *obs.Balance
+	// SLOEngine derives multi-window availability and latency burn rates
+	// from the discovery counters (always allocated).
+	SLOEngine *obs.SLO
 
 	discovery discoveryMetrics
 	expo      *obs.Exposition
@@ -280,6 +298,23 @@ func New(cfg Config) (*Registry, error) {
 		breakers = breaker.NewSet(*cfg.Breaker)
 		opts = append(opts, nodestate.WithBreakers(breakers))
 	}
+
+	// Balance and SLO rollups ride the collector's sweep cadence: the
+	// same tick that republishes the NodeState snapshot cuts a fairness
+	// interval and an SLO sample, on the wall clock in production and the
+	// manual clock in tests — one deterministic heartbeat for both.
+	balance := obs.NewBalance()
+	sloCfg := obs.DefaultSLOConfig()
+	if cfg.SLO != nil {
+		sloCfg = *cfg.SLO
+	}
+	sloEngine := obs.NewSLO(sloCfg)
+	var afterSweep func()
+	opts = append(opts, nodestate.WithAfterSweep(func() {
+		if afterSweep != nil {
+			afterSweep()
+		}
+	}))
 	collector := nodestate.New(s.NodeState(), invoker, clk, query.CollectionTargets, opts...)
 
 	tracer := obs.NewTracer(clk, cfg.TraceRing)
@@ -335,13 +370,20 @@ func New(cfg Config) (*Registry, error) {
 		Durable:         durable,
 		Admission:       ctrl,
 		RespCache:       respCache,
+		Balance:         balance,
+		SLOEngine:       sloEngine,
 		pprof:           cfg.Pprof,
 		edgeCfg: router.Config{
 			MaxPathLength: cfg.EdgeMaxPathLength,
 			MaxDepth:      cfg.EdgeMaxDepth,
 		},
 	}
+	if cfg.FlightRing >= 0 {
+		r.Flight = flight.NewRing(cfg.FlightRing)
+	}
 	r.discovery.latency = obs.NewHistogramMetric(obs.DiscoveryLatencyBuckets()...)
+	r.discovery.balance = balance
+	afterSweep = r.rollup
 	r.expo = r.buildExposition()
 
 	// Seed the canonical classification schemes (Table 1.2 + the

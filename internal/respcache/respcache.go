@@ -55,6 +55,10 @@ type Entry struct {
 	JSON     []byte
 	SOAP     []byte
 	Decision core.Decision
+	// FirstHost is the host of the first (chosen) binding, precomputed at
+	// store time so the flight recorder can stamp cache hits without
+	// touching Decision.Bindings on the zero-allocation path.
+	FirstHost string
 
 	epoch uint64 // write epoch observed before the decision was computed
 }

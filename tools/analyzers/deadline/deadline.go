@@ -116,6 +116,11 @@ func isMux(pass *framework.Pass, expr ast.Expr) bool {
 // constructor. The check is by name, not by type: fixture packages are
 // typechecked against the standard library only, and any same-named
 // wrapper in the registry package is by convention the admission one.
+//
+// Observation middleware may legitimately sit outside admission — the
+// flight recorder wraps the whole stack so shed requests are recorded
+// too — so when the argument is some other call, its own arguments are
+// searched recursively: flightWrap(route, ctx, adm.Wrap(...)) passes.
 func isAdmissionWrapped(arg ast.Expr) bool {
 	call, ok := arg.(*ast.CallExpr)
 	if !ok {
@@ -123,9 +128,18 @@ func isAdmissionWrapped(arg ast.Expr) bool {
 	}
 	switch fun := call.Fun.(type) {
 	case *ast.SelectorExpr:
-		return fun.Sel.Name == "Wrap"
+		if fun.Sel.Name == "Wrap" {
+			return true
+		}
 	case *ast.Ident:
-		return fun.Name == "Wrap"
+		if fun.Name == "Wrap" {
+			return true
+		}
+	}
+	for _, inner := range call.Args {
+		if isAdmissionWrapped(inner) {
+			return true
+		}
 	}
 	return false
 }

@@ -23,6 +23,10 @@ func routes() *http.ServeMux {
 	mux.Handle("/soap/registry", adm.Wrap(1, http.NotFoundHandler()))
 	mux.Handle("/registry/bindings", Wrap(http.NotFoundHandler()))
 
+	// Observation middleware outside admission passes too: the Wrap call
+	// is found recursively inside the outer wrapper's arguments.
+	mux.Handle("/registry/find/flight", observe("find", adm.Wrap(1, http.NotFoundHandler())))
+
 	// Bypassing the middleware is the defect this analyzer exists for.
 	mux.Handle("/registry/find", http.NotFoundHandler()) // want `route "/registry/find" registered without admission control`
 	mux.HandleFunc("/registry/query", serve)             // want `route "/registry/query" registered without admission control`
@@ -54,3 +58,7 @@ func otherRegistrations() {
 }
 
 func serve(w http.ResponseWriter, r *http.Request) {}
+
+// observe stands in for the flight-recorder middleware that deliberately
+// sits outside admission so shed requests are recorded too.
+func observe(route string, next http.Handler) http.Handler { return next }

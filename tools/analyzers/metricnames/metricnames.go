@@ -1,0 +1,182 @@
+// Package metricnames enforces Prometheus naming conventions on the
+// metric families registered through the obs.Exposition surface. A scrape
+// namespace accretes one registration at a time, and a family that goes
+// out misnamed is effectively permanent — dashboards and alerts bind to
+// it, so renaming later breaks every consumer. The analyzer checks each
+// registration call statically, where the name is a string literal:
+//
+//   - counter families (Counter, LabelledCounter, CounterVec) must end in
+//     `_total`, the Prometheus counter convention;
+//   - gauge families (Gauge, GaugeVec) must NOT end in `_total` or
+//     `_count` — those suffixes claim counter and histogram-series
+//     semantics a gauge does not have (this caught the repo's own
+//     `registry_wal_segment_count` gauge, renamed to
+//     `registry_wal_segments`);
+//   - histogram families (RegisterHistogram) must carry a base-unit
+//     suffix (`_seconds`, `_bytes`, or `_ratio`) because the exposition
+//     derives `_bucket`/`_sum`/`_count` series whose sums are unit-bound;
+//   - every family name must be snake_case: lowercase ASCII segments
+//     joined by single underscores;
+//   - a family name may be registered only once per package —
+//     re-registration either silently shadows or conflicts on type at
+//     scrape time. LabelledCounter is the exception: it registers one
+//     child per call, so repeated calls with the same family name are the
+//     normal way to enumerate label values.
+//
+// The pass matches calls whose receiver is a (pointer to a) named type
+// called Exposition, in any package: the fixtures are typechecked against
+// the standard library only and declare a local stand-in, exercising the
+// same code path as the real repro/internal/obs.Exposition. Dynamic
+// (non-literal) names are skipped — none exist in the repo, and a string
+// built at runtime cannot be checked here. Test files are exempt as with
+// the other repolint analyzers.
+package metricnames
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/tools/analyzers/framework"
+)
+
+// Analyzer is the metricnames pass.
+var Analyzer = &framework.Analyzer{
+	Name: "metricnames",
+	Doc: "flags Exposition metric registrations that break Prometheus naming conventions " +
+		"(counters without _total, gauges ending _total/_count, histograms without a unit suffix, " +
+		"non-snake_case names, duplicate family registration)",
+	Run: run,
+}
+
+// registrars maps each Exposition registration method to the family kind
+// it creates.
+var registrars = map[string]string{
+	"Counter":           "counter",
+	"LabelledCounter":   "counter",
+	"CounterVec":        "counter",
+	"Gauge":             "gauge",
+	"GaugeVec":          "gauge",
+	"RegisterHistogram": "histogram",
+}
+
+// snakeCase is the permitted family-name shape: lowercase ASCII segments
+// joined by single underscores, no leading digit, no trailing underscore.
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// unitSuffixes are the base units a histogram family must declare; the
+// exposition emits _sum series whose totals are meaningless without one.
+var unitSuffixes = []string{"_seconds", "_bytes", "_ratio"}
+
+// registration remembers the first sighting of a family name for the
+// duplicate check.
+type registration struct {
+	method string
+	pos    token.Pos
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	seen := make(map[string]registration)
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registrars[sel.Sel.Name]
+			if !ok || len(call.Args) == 0 || !isExposition(pass, sel.X) {
+				return true
+			}
+			name, ok := literalName(call.Args[0])
+			if !ok {
+				return true // dynamic name: nothing to check statically
+			}
+			check(pass, call.Args[0].Pos(), name, sel.Sel.Name, kind, seen)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// check applies the naming rules to one registration.
+func check(pass *framework.Pass, pos token.Pos, name, method, kind string, seen map[string]registration) {
+	if !snakeCase.MatchString(name) {
+		pass.Reportf(pos, "metric family %q is not snake_case (lowercase segments joined by single underscores)", name)
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "counter family %q must end in _total", name)
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "gauge family %q must not end in _total (that suffix claims counter semantics)", name)
+		} else if strings.HasSuffix(name, "_count") {
+			pass.Reportf(pos, "gauge family %q must not end in _count (that suffix claims histogram-series semantics)", name)
+		}
+	case "histogram":
+		if !hasUnitSuffix(name) {
+			pass.Reportf(pos, "histogram family %q needs a base-unit suffix (%s)", name, strings.Join(unitSuffixes, ", "))
+		}
+	}
+	prev, dup := seen[name]
+	switch {
+	case !dup:
+		seen[name] = registration{method: method, pos: pos}
+	case method == "LabelledCounter" && prev.method == "LabelledCounter":
+		// One child per call is how labelled families enumerate values.
+	default:
+		pass.Reportf(pos, "metric family %q already registered via %s at %s",
+			name, prev.method, pass.Fset.Position(prev.pos))
+	}
+}
+
+func hasUnitSuffix(name string) bool {
+	for _, s := range unitSuffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// isExposition reports whether expr's type is a (pointer to a) named type
+// called Exposition. Matching by type name rather than package path keeps
+// the fixture packages — typechecked against the standard library only —
+// on the same code path as the real repro/internal/obs.Exposition.
+func isExposition(pass *framework.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj() != nil && named.Obj().Name() == "Exposition"
+}
+
+// literalName unquotes the registration's name argument when it is a
+// string literal.
+func literalName(arg ast.Expr) (string, bool) {
+	lit, ok := arg.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

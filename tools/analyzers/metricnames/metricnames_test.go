@@ -1,0 +1,12 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/analysistest"
+	"repro/tools/analyzers/metricnames"
+)
+
+func TestMetricnames(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), metricnames.Analyzer, "metricnames", "metricnamesclean")
+}

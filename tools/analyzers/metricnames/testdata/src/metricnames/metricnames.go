@@ -1,0 +1,38 @@
+// Package metricnames is the positive fixture: a local Exposition
+// stand-in (the analyzer matches the receiver type by name, so fixtures
+// typecheck against the standard library only) with one registration per
+// naming defect.
+package metricnames
+
+// Exposition mirrors the registration surface of repro/internal/obs.
+type Exposition struct{}
+
+func (e *Exposition) Counter(name, help string, fn func() int64)                       {}
+func (e *Exposition) LabelledCounter(name, help, label, value string, fn func() int64) {}
+func (e *Exposition) CounterVec(name, help, label string, fn func() map[string]int64)  {}
+func (e *Exposition) Gauge(name, help string, fn func() float64)                       {}
+func (e *Exposition) GaugeVec(name, help, label string, fn func() map[string]float64)  {}
+func (e *Exposition) RegisterHistogram(name, help string, h *struct{})                 {}
+
+func register(e *Exposition) {
+	// Counters must end in _total.
+	e.Counter("registry_requests", "", nil)               // want `counter family "registry_requests" must end in _total`
+	e.LabelledCounter("registry_hits", "", "k", "v", nil) // want `counter family "registry_hits" must end in _total`
+	e.CounterVec("registry_assignments", "", "host", nil) // want `counter family "registry_assignments" must end in _total`
+
+	// Gauges must not borrow counter or histogram-series suffixes.
+	e.Gauge("registry_open_total", "", nil)              // want `gauge family "registry_open_total" must not end in _total`
+	e.Gauge("registry_segment_count", "", nil)           // want `gauge family "registry_segment_count" must not end in _count`
+	e.GaugeVec("registry_depth_total", "", "class", nil) // want `gauge family "registry_depth_total" must not end in _total`
+
+	// Histograms need a base-unit suffix.
+	e.RegisterHistogram("registry_latency", "", nil) // want `histogram family "registry_latency" needs a base-unit suffix`
+
+	// Names must be snake_case.
+	e.Counter("RegistryRequests_total", "", nil) // want `metric family "RegistryRequests_total" is not snake_case`
+	e.Counter("registry__double_total", "", nil) // want `metric family "registry__double_total" is not snake_case`
+
+	// A family may be registered once; a second sighting is a conflict.
+	e.Gauge("registry_rows", "", nil)
+	e.Counter("registry_rows", "", nil) // want `counter family "registry_rows" must end in _total` `metric family "registry_rows" already registered via Gauge`
+}
