@@ -9,7 +9,7 @@ BENCH_PATTERN = BenchmarkDiscovery|BenchmarkHTTPDiscovery
 BENCH_TIME    = 2000x
 BENCH_NOTE    = discovery fast path baseline; allocs/op gated at +25%, serving edge at +5%
 
-.PHONY: all build test race vet lint check clean bench benchcheck smoke crashcheck escapecheck escapecheck-emit overloadcheck
+.PHONY: all build test race vet lint check clean bench benchcheck smoke crashcheck escapecheck escapecheck-emit overloadcheck replcheck
 
 all: check
 
@@ -53,6 +53,15 @@ crashcheck:
 overloadcheck:
 	$(GO) test -race -count=1 -run 'Admit|Queue|AIMD|Brownout|Deadline|Wrap|Budget|Overload|DegradedStatic|FlashCrowd' \
 		./internal/admit/ ./internal/registry/ ./internal/lbexp/
+
+# replcheck runs the leader/follower replication suite under the race
+# detector: the seeded WAL reader-vs-prune harness, cold-follower
+# byte-identical convergence, resume-from-durable-position, leader
+# restart mid-stream, 410 re-bootstrap, the seeded partition/lag
+# harness, write redirects, and federated discovery over the pair.
+replcheck:
+	$(GO) test -race -count=1 -run 'Repl' \
+		./internal/repl/ ./internal/wal/ ./internal/registry/ ./internal/federation/
 
 # escapecheck recompiles the //repolint:hotpath packages with
 # -gcflags=-m and fails on any heap escape inside an annotated function

@@ -14,6 +14,8 @@
 //	regctl wal inspect <data-dir>       (summarize WAL segments and
 //	                                     checkpoints, offline)
 //	regctl wal dump <data-dir>          (print every logged mutation)
+//	regctl repl status <url>...         (replication role, position, and
+//	                                     lag of each registry, online)
 package main
 
 import (
@@ -34,6 +36,13 @@ func main() {
 
 	if flag.NArg() > 0 && flag.Arg(0) == "wal" {
 		if err := runWAL(flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if flag.NArg() > 0 && flag.Arg(0) == "repl" {
+		if err := runRepl(flag.Args()[1:]); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// runRepl implements `regctl repl status <registry-url>...`: an online
+// replication health check that scrapes each registry's /registry/metrics
+// exposition (through the independent parser, so a malformed exposition is
+// an error, not a blank row) and /registry/health rollup, and prints the
+// node's replication role, position, lag, and counters. Works against
+// leaders, followers, and standalone registries alike.
+func runRepl(args []string) error {
+	if len(args) < 2 || args[0] != "status" {
+		return fmt.Errorf("usage: regctl repl status <registry-url>...")
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	ok := true
+	for _, base := range args[1:] {
+		if err := replStatus(client, strings.TrimRight(base, "/")); err != nil {
+			ok = false
+			fmt.Printf("%s\n  unreachable: %v\n", base, err)
+		}
+	}
+	if !ok {
+		return fmt.Errorf("regctl: one or more registries unreachable")
+	}
+	return nil
+}
+
+// replHealth is the slice of /registry/health this command reads.
+type replHealth struct {
+	Status     string
+	Components map[string]struct {
+		Status string             `json:"status"`
+		Note   string             `json:"note"`
+		Values map[string]float64 `json:"values"`
+	}
+}
+
+func replStatus(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/registry/health")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("health answered %s", resp.Status)
+	}
+	var health replHealth
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return fmt.Errorf("decode health: %w", err)
+	}
+
+	mresp, err := client.Get(base + "/registry/metrics")
+	if err != nil {
+		return err
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics answered %s", mresp.Status)
+	}
+	scrape, err := obs.ParseExposition(mresp.Body)
+	if err != nil {
+		return err
+	}
+
+	repl := health.Components["repl"]
+	role := repl.Note
+	if repl.Status == "disabled" {
+		role = "standalone"
+	}
+	fmt.Printf("%s\n", base)
+	fmt.Printf("  role:      %s (repl %s, registry %s)\n", role, orDash(repl.Status), orDash(health.Status))
+	seg, _ := scrape.Value("registry_repl_position", map[string]string{"part": "segment"})
+	off, _ := scrape.Value("registry_repl_position", map[string]string{"part": "offset"})
+	seq, _ := scrape.Value("registry_repl_position", map[string]string{"part": "seq"})
+	fmt.Printf("  position:  %d:%d (seq %d)\n", int64(seg), int64(off), int64(seq))
+	if lagR, ok := scrape.Value("registry_repl_lag_records", nil); ok {
+		lagS, _ := scrape.Value("registry_repl_lag_seconds", nil)
+		fmt.Printf("  lag:       %d records, %.3fs\n", int64(lagR), lagS)
+	}
+	if conn, ok := scrape.Value("registry_repl_connected", nil); ok {
+		switch role {
+		case "leader":
+			fmt.Printf("  streams:   %d active\n", int64(conn))
+		default:
+			fmt.Printf("  connected: %v\n", conn > 0)
+		}
+	}
+	if applied, ok := scrape.Value("registry_repl_applied_total", nil); ok {
+		fmt.Printf("  applied:   %d records\n", int64(applied))
+	}
+	if errs, ok := scrape.Value("registry_repl_errors_total", nil); ok {
+		fmt.Printf("  errors:    %d\n", int64(errs))
+	}
+	if repl.Note != "" && repl.Status == "degraded" {
+		fmt.Printf("  note:      %s\n", repl.Note)
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -55,6 +55,17 @@
 // metrics, traces, and the UI always answer. -admission=false restores
 // the unconditional pre-admission edge.
 //
+// Replication: -repl-leader (requires -data-dir) serves the WAL stream at
+// /registry/repl/wal and checkpoint bootstrap at /registry/repl/checkpoint
+// so followers can tail every committed write. -repl-follow <leader-url>
+// (requires -repl-dir for durable applied-position state) runs this
+// registry as a read-only follower: it bootstraps from the leader's
+// checkpoint, tails the WAL stream, applies records through the idempotent
+// replay path, and answers discovery from local state while redirecting
+// writes to the leader with 307 + a NotRegistryLeader fault.
+// -repl-poll-wait, -repl-max-batch, -repl-backoff, -repl-backoff-max, and
+// -repl-seed tune the tailer loop.
+//
 // Observability: /registry/metrics serves Prometheus text exposition and
 // /registry/traces the sampled discovery traces. -trace-sample N traces
 // every Nth discovery request (0 = off), -trace-ring bounds retained
@@ -87,6 +98,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/registry"
+	"repro/internal/repl"
 	"repro/internal/wal"
 )
 
@@ -138,6 +150,15 @@ func main() {
 		brownCalm     = flag.Duration("brownout-calm", 0, "sustained calm before the ladder steps down (0 = default 10s)")
 		brownStale    = flag.Duration("brownout-staleness", 0, "extra snapshot age tolerated at tier stale+ (0 = default 2m)")
 		maxBodyBytes  = flag.Int64("max-body-bytes", 0, "request body cap on admitted routes (0 = default 8MiB)")
+
+		replLeader     = flag.Bool("repl-leader", false, "serve the WAL replication stream for followers (requires -data-dir)")
+		replFollow     = flag.String("repl-follow", "", "run as a read-only follower of this leader base URL")
+		replDir        = flag.String("repl-dir", "", "follower state directory: local WAL + applied-position checkpoints")
+		replPollWait   = flag.Duration("repl-poll-wait", 0, "follower long-poll budget per WAL fetch (0 = default 10s)")
+		replMaxBatch   = flag.Int("repl-max-batch", 0, "max records per follower WAL fetch (0 = leader's cap)")
+		replBackoff    = flag.Duration("repl-backoff", 0, "base follower reconnect backoff (0 = default 250ms)")
+		replBackoffMax = flag.Duration("repl-backoff-max", 0, "cap on follower reconnect backoff (0 = default 15s)")
+		replSeed       = flag.Int64("repl-seed", 1, "seed for the follower's jittered backoff")
 
 		logLevel    = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		logFormat   = flag.String("log-format", "text", "log format: text|json")
@@ -197,6 +218,22 @@ func main() {
 		FsyncInterval:     *fsyncEvery,
 		CheckpointBytes:   *ckptBytes,
 		CheckpointRecords: *ckptRecords,
+
+		ReplLeader:    *replLeader,
+		ReplFollowURL: *replFollow,
+	}
+	if *replFollow != "" {
+		switch {
+		case *replDir == "":
+			logger.Error("-repl-follow requires -repl-dir: the follower needs a state directory for its durable applied position")
+			os.Exit(1)
+		case *dataDir != "":
+			logger.Error("-repl-follow and -data-dir are mutually exclusive: the follower's replication state directory (-repl-dir) is its durability")
+			os.Exit(1)
+		case *snapshot != "":
+			logger.Error("-repl-follow and -snapshot are mutually exclusive: follower state comes from the leader")
+			os.Exit(1)
+		}
 	}
 	if *admission {
 		cfg.Admission = &admit.Config{
@@ -277,6 +314,31 @@ func main() {
 	defer stop()
 	go reg.RunCollector(ctx)
 
+	var follower *repl.Follower
+	var followerDone chan struct{}
+	if *replFollow != "" {
+		follower, err = repl.OpenFollower(*replDir, reg.Store, repl.FollowerOptions{
+			LeaderURL:   *replFollow,
+			Logger:      logger.With("component", "repl"),
+			Seed:        *replSeed,
+			PollWait:    *replPollWait,
+			MaxBatch:    *replMaxBatch,
+			BackoffBase: *replBackoff,
+			BackoffMax:  *replBackoffMax,
+		})
+		if err != nil {
+			logger.Error("follower open failed", "dir", *replDir, "error", err)
+			os.Exit(1)
+		}
+		reg.AttachFollower(follower)
+		followerDone = make(chan struct{})
+		go func() {
+			follower.Run(ctx)
+			close(followerDone)
+		}()
+		logger.Info("replication follower tailing leader", "leader", *replFollow, "dir", *replDir)
+	}
+
 	srv := registry.HardenedServer(*addr, reg.Handler())
 	go func() {
 		<-ctx.Done()
@@ -293,6 +355,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	if follower != nil {
+		// The tailer loop stopped with ctx; seal follower state so the
+		// next boot resumes from the durable applied position.
+		<-followerDone
+		if err := follower.Close(); err != nil {
+			logger.Error("follower shutdown failed", "error", err)
+			os.Exit(1)
+		}
+		logger.Info("follower state closed", "dir", *replDir, "objects", reg.Store.Len())
+	}
 	if reg.Durable != nil {
 		// Graceful shutdown: checkpoint and seal the WAL so the next boot
 		// replays nothing.

@@ -10,11 +10,17 @@
 // registry_balance_* / registry_slo_* families scrape with the exact
 // values the driven traffic implies, and that every request left a
 // retrievable flight record and the diagnostic bundle carries all its
-// sections. It runs entirely in-process on a manual clock, so CI needs
-// no orchestration beyond `go run ./cmd/scrapesmoke`.
+// sections. A replication phase then boots a leader/follower pair over
+// real listeners, submits through the follower (the 307 redirect to the
+// leader must be followed transparently), drives the follower's tailer,
+// and asserts the follower serves the replicated binding locally and
+// both registries' registry_repl_* families scrape with the exact
+// values the pair implies. It runs entirely in-process on a manual
+// clock, so CI needs no orchestration beyond `go run ./cmd/scrapesmoke`.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -30,11 +36,14 @@ import (
 	"repro/internal/breaker"
 	"repro/internal/core"
 	"repro/internal/hostsim"
+	"repro/internal/jaxr"
 	"repro/internal/nodestatus"
 	"repro/internal/obs"
 	"repro/internal/registry"
+	"repro/internal/repl"
 	"repro/internal/rim"
 	"repro/internal/simclock"
+	"repro/internal/wal"
 )
 
 const hosts = 4
@@ -129,7 +138,184 @@ func run() error {
 	if err := checkBalance(client, base, reg); err != nil {
 		return err
 	}
-	return checkFlightBundle(client, base)
+	if err := checkFlightBundle(client, base); err != nil {
+		return err
+	}
+	return checkRepl(epoch)
+}
+
+// checkRepl boots a durable leader and a follower registry over real
+// listeners, submits a service THROUGH the follower (whose write edge
+// answers 307 + NotRegistryLeader; the stock HTTP client must follow it
+// to the leader transparently), then drives the follower's tailer to
+// convergence and asserts the follower serves the replicated binding
+// from local state and both sides' registry_repl_* families scrape with
+// the exact values the pair implies.
+func checkRepl(epoch time.Time) error {
+	clk := simclock.NewManual(epoch)
+	ldir, err := os.MkdirTemp("", "scrapesmoke-leader-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(ldir)
+	fdir, err := os.MkdirTemp("", "scrapesmoke-follower-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(fdir)
+
+	leader, err := registry.New(registry.Config{
+		Clock:      clk,
+		Policy:     core.PolicyStock,
+		DataDir:    ldir,
+		Fsync:      wal.FsyncNever,
+		ReplLeader: true,
+	})
+	if err != nil {
+		return err
+	}
+	if err := leader.Durable.Checkpoint(); err != nil {
+		return err
+	}
+	lln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer lln.Close()
+	lsrv := registry.HardenedServer("", leader.Handler())
+	go lsrv.Serve(lln)
+	defer lsrv.Close()
+	lbase := "http://" + lln.Addr().String()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	follower, err := registry.New(registry.Config{
+		Clock:         clk,
+		Policy:        core.PolicyStock,
+		ReplFollowURL: lbase,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := repl.OpenFollower(fdir, follower.Store, repl.FollowerOptions{
+		LeaderURL: lbase,
+		Clock:     clk,
+		Client:    client,
+		Seed:      42,
+		PollWait:  -1, // polls return immediately; the smoke drives them
+	})
+	if err != nil {
+		return err
+	}
+	follower.AttachFollower(f)
+	defer f.Close()
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer fln.Close()
+	fsrv := registry.HardenedServer("", follower.Handler())
+	go fsrv.Serve(fln)
+	defer fsrv.Close()
+	fbase := "http://" + fln.Addr().String()
+
+	// Publish via the FOLLOWER: registration, login, and submit are all
+	// writes, so every request bounces 307 to the leader and the client
+	// must follow it without any special handling.
+	conn := jaxr.Connect(fbase, client)
+	creds, _, err := conn.Register("smoke-repl", "pw", rim.PersonName{})
+	if err != nil {
+		return fmt.Errorf("register via follower: %w", err)
+	}
+	if err := conn.Login(creds); err != nil {
+		return fmt.Errorf("login via follower: %w", err)
+	}
+	svc := rim.NewService("ReplSmoke", "")
+	svc.AddBinding("http://thermo.sdsu.edu:8080/ReplSmoke/addService")
+	if _, err := conn.Submit(svc); err != nil {
+		return fmt.Errorf("submit via follower: %w", err)
+	}
+	if got := leader.QM.FindObjects(rim.TypeService, "ReplSmoke"); len(got) != 1 {
+		return fmt.Errorf("submitted service did not land on the leader (found %d)", len(got))
+	}
+
+	// Converge the follower, then it must serve the binding locally.
+	ctx := context.Background()
+	if err := f.Bootstrap(ctx); err != nil {
+		return err
+	}
+	leaderPos, leaderSeq := leader.Durable.WAL().Committed()
+	for i := 0; f.Stats().Applied != leaderPos; i++ {
+		if i >= 200 {
+			return fmt.Errorf("follower stuck at %s, leader at %s", f.Stats().Applied, leaderPos)
+		}
+		if _, err := f.Poll(ctx); err != nil {
+			return err
+		}
+	}
+	resp, err := client.Get(fbase + "/registry/bindings?service=ReplSmoke")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("follower bindings status %d", resp.StatusCode)
+	}
+	var bindings struct {
+		URIs []string `json:"uris"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&bindings); err != nil {
+		return fmt.Errorf("follower bindings not valid JSON: %w", err)
+	}
+	if len(bindings.URIs) != 1 || !strings.Contains(bindings.URIs[0], "thermo") {
+		return fmt.Errorf("follower served bindings %v, want the replicated thermo URI", bindings.URIs)
+	}
+
+	// Exact scrape values on both sides. The follower bootstrapped from
+	// the pre-write checkpoint (seq 0), so applied_total equals the
+	// leader's committed sequence exactly.
+	fscrape, err := scrapeMetrics(client, fbase)
+	if err != nil {
+		return err
+	}
+	for _, want := range []struct {
+		name   string
+		labels map[string]string
+		value  float64
+	}{
+		{"registry_repl_position", map[string]string{"part": "segment"}, float64(leaderPos.Segment)},
+		{"registry_repl_position", map[string]string{"part": "offset"}, float64(leaderPos.Offset)},
+		{"registry_repl_position", map[string]string{"part": "seq"}, float64(leaderSeq)},
+		{"registry_repl_lag_records", nil, 0},
+		{"registry_repl_lag_seconds", nil, 0},
+		{"registry_repl_connected", nil, 1},
+		{"registry_repl_applied_total", nil, float64(leaderSeq)},
+		{"registry_repl_errors_total", nil, 0},
+	} {
+		if v, ok := fscrape.Value(want.name, want.labels); !ok || v != want.value {
+			return fmt.Errorf("follower %s%v = %v (ok=%v), want %v", want.name, want.labels, v, ok, want.value)
+		}
+	}
+	lscrape, err := scrapeMetrics(client, lbase)
+	if err != nil {
+		return err
+	}
+	for _, want := range []struct {
+		name   string
+		labels map[string]string
+		value  float64
+	}{
+		{"registry_repl_position", map[string]string{"part": "segment"}, float64(leaderPos.Segment)},
+		{"registry_repl_position", map[string]string{"part": "offset"}, float64(leaderPos.Offset)},
+		{"registry_repl_position", map[string]string{"part": "seq"}, float64(leaderSeq)},
+		{"registry_repl_connected", nil, 0}, // no stream in flight between polls
+		{"registry_repl_applied_total", nil, 0},
+		{"registry_repl_errors_total", nil, 0},
+	} {
+		if v, ok := lscrape.Value(want.name, want.labels); !ok || v != want.value {
+			return fmt.Errorf("leader %s%v = %v (ok=%v), want %v", want.name, want.labels, v, ok, want.value)
+		}
+	}
+	return nil
 }
 
 // smokeDiscoveries is every discovery request the phases above drive: the

@@ -142,6 +142,72 @@ func (f *Federation) Find(kind, namePattern string) ([]Result, error) {
 	return out, nil
 }
 
+// MemberBindings is one registry's answer to a federated service-binding
+// discovery: its balancer-ordered URIs plus the registry's own health
+// rollup verdict ("ok", "degraded", or "unreachable" when the probe or
+// the lookup failed).
+type MemberBindings struct {
+	Member   string
+	URIs     []string
+	Decision jaxr.BindingsDecision
+	Health   string
+	Err      error
+}
+
+// Bindings fans a service-binding discovery out to every member in
+// parallel — each answering from its own local state, leader and
+// replication followers alike — and merges the URIs in federation order,
+// deduplicating while preserving each member's load ordering. The
+// per-member slice carries every registry's URIs, balancer decision, and
+// health verdict, so callers can weigh a degraded registry's answer. A
+// non-nil error is of type Errors and accompanies the partial merge.
+func (f *Federation) Bindings(serviceName string) ([]string, []MemberBindings, error) {
+	per := make([]MemberBindings, len(f.members))
+	var wg sync.WaitGroup
+	for i, m := range f.members {
+		wg.Add(1)
+		go func(i int, m Member) {
+			defer wg.Done()
+			mb := MemberBindings{Member: m.Name}
+			mb.URIs, mb.Decision, mb.Err = m.Conn.ServiceBindings(serviceName)
+			if health, err := m.Conn.Health(); err != nil {
+				mb.Health = "unreachable"
+				if mb.Err == nil {
+					mb.Err = err
+				}
+			} else {
+				mb.Health = health
+			}
+			if mb.Err != nil && mb.Health != "unreachable" {
+				mb.Health = "unreachable"
+			}
+			per[i] = mb
+		}(i, m)
+	}
+	wg.Wait()
+
+	var merged []string
+	var errs Errors
+	seen := make(map[string]bool)
+	for i := range per {
+		if per[i].Err != nil {
+			errs = append(errs, &MemberError{Member: per[i].Member, Err: per[i].Err})
+			continue
+		}
+		for _, uri := range per[i].URIs {
+			if seen[uri] {
+				continue
+			}
+			seen[uri] = true
+			merged = append(merged, uri)
+		}
+	}
+	if len(errs) > 0 {
+		return merged, per, errs
+	}
+	return merged, per, nil
+}
+
 // QueryRow is one federated ad-hoc query row, tagged with its member.
 type QueryRow struct {
 	Member string

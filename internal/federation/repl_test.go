@@ -1,0 +1,200 @@
+package federation
+
+// Federated discovery over a WAL-replication pair: the leader and its
+// read-fleet follower both answer Bindings from local state, the
+// federation merges and dedups their URIs, and per-member health makes a
+// dead registry visible without sinking the whole fan-out.
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jaxr"
+	"repro/internal/registry"
+	"repro/internal/repl"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+	"repro/internal/wal"
+)
+
+// newReplPair boots a durable leader registry and a follower tailing its
+// WAL, each behind a test server, and returns the follower handle so the
+// test can drive replication deterministically.
+func newReplPair(t *testing.T) (leader *registry.Registry, lsrv *httptest.Server, fsrv *httptest.Server, f *repl.Follower) {
+	t.Helper()
+	leader, err := registry.New(registry.Config{
+		Clock:      simclock.NewManual(t0),
+		Policy:     core.PolicyStock,
+		DataDir:    t.TempDir(),
+		Fsync:      wal.FsyncAlways,
+		ReplLeader: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Durable.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	lsrv = httptest.NewServer(leader.Handler())
+	t.Cleanup(lsrv.Close)
+
+	follower, err := registry.New(registry.Config{
+		Clock:         simclock.NewManual(t0),
+		Policy:        core.PolicyStock,
+		ReplFollowURL: lsrv.URL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err = repl.OpenFollower(t.TempDir(), follower.Store, repl.FollowerOptions{
+		LeaderURL: lsrv.URL,
+		Clock:     simclock.NewManual(t0),
+		Client:    lsrv.Client(),
+		Seed:      11,
+		PollWait:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower.AttachFollower(f)
+	t.Cleanup(func() { f.Close() })
+	fsrv = httptest.NewServer(follower.Handler())
+	t.Cleanup(fsrv.Close)
+	return leader, lsrv, fsrv, f
+}
+
+func replCatchUp(t *testing.T, f *repl.Follower, leader *registry.Registry) {
+	t.Helper()
+	ctx := context.Background()
+	if f.Cold() {
+		if err := f.Bootstrap(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		want, _ := leader.Durable.WAL().Committed()
+		if f.Stats().Applied == want {
+			return
+		}
+		if _, err := f.Poll(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Fatal("follower did not catch up to the leader")
+}
+
+func TestReplFederatedBindingsMergeWithHealth(t *testing.T) {
+	leader, _, fsrv, f := newReplPair(t)
+
+	// Publish a service with two bindings on the leader.
+	lconn := jaxr.ConnectLocal(leader)
+	creds, _, err := lconn.Register("fed-repl", "pw", rim.PersonName{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lconn.Login(creds); err != nil {
+		t.Fatal(err)
+	}
+	svc := rim.NewService("FedReplSvc", "replicated discovery target")
+	svc.AddBinding("http://thermo.sdsu.edu:8080/FedReplSvc/a")
+	svc.AddBinding("http://exergy.sdsu.edu:8080/FedReplSvc/b")
+	if _, err := lconn.Submit(svc); err != nil {
+		t.Fatal(err)
+	}
+	replCatchUp(t, f, leader)
+
+	fconn := jaxr.Connect(fsrv.URL, fsrv.Client())
+	fed, err := New(
+		Member{Name: "leader", Conn: lconn},
+		Member{Name: "follower", Conn: fconn},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged, per, err := fed.Bindings("FedReplSvc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both members answered the same replicated bindings; the merge
+	// dedups, so each URI appears exactly once.
+	if len(merged) != 2 {
+		t.Fatalf("merged = %v", merged)
+	}
+	seen := map[string]bool{}
+	for _, uri := range merged {
+		seen[uri] = true
+	}
+	if !seen["http://thermo.sdsu.edu:8080/FedReplSvc/a"] || !seen["http://exergy.sdsu.edu:8080/FedReplSvc/b"] {
+		t.Fatalf("merged = %v", merged)
+	}
+	if len(per) != 2 {
+		t.Fatalf("per-member answers = %d", len(per))
+	}
+	for _, mb := range per {
+		if mb.Health != "ok" {
+			t.Fatalf("member %s health = %q", mb.Member, mb.Health)
+		}
+		if len(mb.URIs) != 2 {
+			t.Fatalf("member %s URIs = %v", mb.Member, mb.URIs)
+		}
+	}
+}
+
+func TestReplFederatedBindingsDownMemberPartial(t *testing.T) {
+	leader, _, fsrv, f := newReplPair(t)
+
+	lconn := jaxr.ConnectLocal(leader)
+	creds, _, err := lconn.Register("fed-repl-down", "pw", rim.PersonName{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lconn.Login(creds); err != nil {
+		t.Fatal(err)
+	}
+	svc := rim.NewService("FedReplDownSvc", "")
+	svc.AddBinding("http://thermo.sdsu.edu:8080/FedReplDownSvc/a")
+	if _, err := lconn.Submit(svc); err != nil {
+		t.Fatal(err)
+	}
+	replCatchUp(t, f, leader)
+
+	// A member whose server is already gone.
+	regDown, err := registry.New(registry.Config{Clock: simclock.NewManual(t0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsrv := httptest.NewServer(regDown.Handler())
+	downConn := jaxr.Connect(dsrv.URL, dsrv.Client())
+	dsrv.Close()
+
+	fed, err := New(
+		Member{Name: "leader", Conn: lconn},
+		Member{Name: "follower", Conn: jaxr.Connect(fsrv.URL, fsrv.Client())},
+		Member{Name: "down", Conn: downConn},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, per, err := fed.Bindings("FedReplDownSvc")
+	if err == nil {
+		t.Fatal("dead member produced no error")
+	}
+	var errs Errors
+	if !asErrors(err, &errs) || len(errs) != 1 || errs[0].Member != "down" {
+		t.Fatalf("errors = %v", err)
+	}
+	// The healthy pair's merged answer survives the partial failure.
+	if len(merged) != 1 || merged[0] != "http://thermo.sdsu.edu:8080/FedReplDownSvc/a" {
+		t.Fatalf("merged = %v", merged)
+	}
+	health := map[string]string{}
+	for _, mb := range per {
+		health[mb.Member] = mb.Health
+	}
+	if health["leader"] != "ok" || health["follower"] != "ok" || health["down"] != "unreachable" {
+		t.Fatalf("per-member health = %v", health)
+	}
+}

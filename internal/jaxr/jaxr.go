@@ -13,6 +13,7 @@ package jaxr
 
 import (
 	"encoding/base64"
+	"encoding/json"
 	"fmt"
 	"net/http"
 
@@ -56,6 +57,31 @@ func ConnectLocal(reg *registry.Registry) *Connection {
 
 // IsLocal reports whether the connection bypasses SOAP.
 func (c *Connection) IsLocal() bool { return c.local != nil }
+
+// Health probes the registry's /registry/health rollup and returns its
+// status verdict ("ok" or "degraded"); a transport failure is an error
+// (the registry is unreachable, which is worse than degraded). Local
+// connections compute the rollup in-process.
+func (c *Connection) Health() (string, error) {
+	if c.local != nil {
+		return c.local.HealthStatus(), nil
+	}
+	resp, err := c.client.Get(c.baseURL + "/registry/health")
+	if err != nil {
+		return "", fmt.Errorf("jaxr: health probe: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("jaxr: health probe: registry answered %s", resp.Status)
+	}
+	var doc struct {
+		Status string
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return "", fmt.Errorf("jaxr: health probe: decode: %w", err)
+	}
+	return doc.Status, nil
+}
 
 // UserID returns the authenticated user id ("" before Login).
 func (c *Connection) UserID() string { return c.userID }

@@ -98,6 +98,39 @@ func (r *Registry) componentHealth(stats nodestate.Stats, hosts []nodestate.Host
 		}}
 	}
 
+	// Replication: a follower that cannot reach its leader is serving
+	// increasingly stale reads; a leader is healthy whenever its stream
+	// endpoints are up (lag is the followers' number to report).
+	switch {
+	case r.ReplLeader != nil:
+		st := r.ReplLeader.Stats()
+		comps["repl"] = componentHealth{Status: "ok", Note: "leader", Values: map[string]float64{
+			"positionSegment": float64(st.Position.Segment),
+			"positionOffset":  float64(st.Position.Offset),
+			"seq":             float64(st.Seq),
+			"activeStreams":   float64(st.ActiveStreams),
+			"recordsStreamed": float64(st.RecordsStreamed),
+		}}
+	case r.follower.Load() != nil:
+		st := r.follower.Load().Stats()
+		rc := componentHealth{Status: "ok", Note: "follower", Values: map[string]float64{
+			"appliedSegment": float64(st.Applied.Segment),
+			"appliedOffset":  float64(st.Applied.Offset),
+			"appliedSeq":     float64(st.AppliedSeq),
+			"lagRecords":     float64(st.LagRecords),
+			"lagSeconds":     st.LagSeconds,
+			"applied":        float64(st.AppliedTotal),
+			"rebootstraps":   float64(st.Rebootstraps),
+		}}
+		if !st.Connected {
+			rc.Status = "degraded"
+			rc.Note = "follower disconnected from leader; reads are going stale"
+		}
+		comps["repl"] = rc
+	default:
+		comps["repl"] = componentHealth{Status: "disabled", Note: "standalone registry; no replication role"}
+	}
+
 	// Balance: the paper's own success metric, judged per sweep.
 	fair := r.Balance.FairnessIndex()
 	balc := componentHealth{Status: "ok", Values: map[string]float64{
@@ -138,6 +171,22 @@ type walPosition struct {
 	Degraded    bool  `json:"degraded"`
 }
 
+// replSection is the replication view in the bundle: role, positions as
+// seg:off strings, and the follower's lag and connection state.
+type replSection struct {
+	Role         string  `json:"role"`
+	Position     string  `json:"position"`
+	Seq          uint64  `json:"seq"`
+	Leader       string  `json:"leader,omitempty"`
+	LeaderSeq    uint64  `json:"leaderSeq,omitempty"`
+	LagRecords   int64   `json:"lagRecords"`
+	LagSeconds   float64 `json:"lagSeconds"`
+	Connected    bool    `json:"connected"`
+	Applied      int64   `json:"applied"`
+	Errors       int64   `json:"errors"`
+	Rebootstraps int64   `json:"rebootstraps"`
+}
+
 // bundleDoc is the /registry/debug/bundle response shape.
 type bundleDoc struct {
 	At           string                     `json:"at"`
@@ -147,6 +196,7 @@ type bundleDoc struct {
 	Flight       []flight.RecordExport      `json:"flight"`
 	Traces       []obs.TraceExport          `json:"traces"`
 	WAL          *walPosition               `json:"wal"`
+	Repl         *replSection               `json:"repl,omitempty"`
 	BrownoutTier int                        `json:"brownoutTier"`
 	SLO          map[string]obs.SLOBurn     `json:"slo"`
 	Balance      map[string]int64           `json:"balanceAssignments"`
@@ -192,6 +242,33 @@ func (r *Registry) handleBundle(w http.ResponseWriter, req *http.Request) {
 	if r.Admission != nil {
 		tier = int(r.Admission.Tier())
 	}
+	var repl *replSection
+	switch {
+	case r.ReplLeader != nil:
+		st := r.ReplLeader.Stats()
+		repl = &replSection{
+			Role:      "leader",
+			Position:  st.Position.String(),
+			Seq:       st.Seq,
+			Connected: st.ActiveStreams > 0,
+			Errors:    st.ErrorsTotal,
+		}
+	case r.follower.Load() != nil:
+		st := r.follower.Load().Stats()
+		repl = &replSection{
+			Role:         "follower",
+			Position:     st.Applied.String(),
+			Seq:          st.AppliedSeq,
+			Leader:       st.Leader,
+			LeaderSeq:    st.LeaderSeq,
+			LagRecords:   st.LagRecords,
+			LagSeconds:   st.LagSeconds,
+			Connected:    st.Connected,
+			Applied:      st.AppliedTotal,
+			Errors:       st.ErrorsTotal,
+			Rebootstraps: st.Rebootstraps,
+		}
+	}
 	doc := bundleDoc{
 		At:           r.Clock.Now().UTC().Format(time.RFC3339Nano),
 		Config:       r.bundleConfig(),
@@ -200,6 +277,7 @@ func (r *Registry) handleBundle(w http.ResponseWriter, req *http.Request) {
 		Flight:       flight.ExportAll(r.Flight.Snapshot(flight.Filter{Limit: n})),
 		Traces:       traces,
 		WAL:          wal,
+		Repl:         repl,
 		BrownoutTier: tier,
 		SLO:          r.SLOEngine.BurnRates(),
 		Balance:      r.Balance.AssignmentsSnapshot(),

@@ -18,6 +18,7 @@ import (
 	"repro/internal/nodestate"
 	"repro/internal/obs"
 	"repro/internal/qm"
+	"repro/internal/repl"
 	"repro/internal/respcache"
 	"repro/internal/rim"
 	"repro/internal/router"
@@ -79,6 +80,12 @@ func (r *Registry) buildHandler() http.Handler {
 	mux.HandleFunc("/registry/debug/bundle", r.handleBundle)
 	//repolint:admit-exempt the operator UI stays reachable during incidents
 	mux.HandleFunc("/ui", r.handleUI)
+	if r.ReplLeader != nil {
+		//repolint:admit-exempt the replication stream must keep followers fed while the edge sheds
+		mux.HandleFunc(repl.PathWAL, r.ReplLeader.ServeWAL)
+		//repolint:admit-exempt follower bootstrap must proceed while the edge sheds
+		mux.HandleFunc(repl.PathCheckpoint, r.ReplLeader.ServeCheckpoint)
+	}
 	if r.pprof {
 		mountPprof(mux)
 	}
@@ -144,6 +151,12 @@ func (r *Registry) handleRegistrySOAP(ctx context.Context, req *soapRequest) (in
 	if err := ctx.Err(); err != nil {
 		return nil, &soap.Fault{Code: "Server.Timeout", String: "request deadline exceeded before dispatch", Detail: err.Error()}
 	}
+	// A follower never applies writes locally — replication is the only
+	// mutation path — so every write protocol redirects to the leader.
+	// Reads (GetObject/Find/Query/Bindings) keep serving from local state.
+	if r.replFollow != "" && isWriteRequest(req) {
+		return nil, r.notLeader("/soap/registry")
+	}
 	switch {
 	case req.Submit != nil:
 		return r.doSubmit(ctx, req.Submit)
@@ -194,6 +207,15 @@ func (r *Registry) handleRegistrySOAP(ctx context.Context, req *soapRequest) (in
 	default:
 		return nil, soap.ClientFault("empty RegistryRequest")
 	}
+}
+
+// isWriteRequest reports whether a union envelope carries a mutating
+// protocol element (subscriptions included: their state is node-local
+// in-memory and must live where the event bus fires — the leader).
+func isWriteRequest(req *soapRequest) bool {
+	return req.Submit != nil || req.Update != nil || req.Approve != nil ||
+		req.Deprecate != nil || req.Undeprecate != nil || req.Remove != nil ||
+		req.Relocate != nil || req.Subscribe != nil || req.Unsubscribe != nil
 }
 
 // sessionOrFault requires an authenticated session for LCM operations
@@ -452,6 +474,12 @@ type authRequest struct {
 }
 
 func (r *Registry) handleAuthSOAP(req *authRequest) (interface{}, error) {
+	// Registrar state (keystore, sessions) is node-local and the Register
+	// path writes a User row; on a follower the whole auth protocol lives
+	// at the leader, whose tokens the leader then honours for writes.
+	if r.replFollow != "" {
+		return nil, r.notLeader("/soap/auth")
+	}
 	switch {
 	case req.Register != nil:
 		creds, user, err := r.Registrar.Register(req.Register.Alias, req.Register.Password,
@@ -844,6 +872,18 @@ func (r *Registry) handleHealth(w http.ResponseWriter, req *http.Request) {
 		Hosts      []nodestate.HostHealthReport
 		Components map[string]componentHealth
 	}{Status: status, Stats: stats, Hosts: hosts, Components: comps})
+}
+
+// HealthStatus computes the same rollup verdict /registry/health reports
+// — "ok" or "degraded" — for in-process callers (federated discovery's
+// per-registry health column).
+func (r *Registry) HealthStatus() string {
+	for _, c := range r.componentHealth(r.Collector.FaultStats(), r.Collector.HealthSnapshot()) {
+		if c.Status == "degraded" {
+			return "degraded"
+		}
+	}
+	return "ok"
 }
 
 // handleContent serves repository artifacts by ExtrinsicObject id — the

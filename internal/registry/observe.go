@@ -378,6 +378,83 @@ func (r *Registry) buildExposition() *obs.Exposition {
 			return 0
 		})
 
+	// Replication. On a leader the families read the stream-serving side
+	// (position = committed WAL cursor, connected = active follower
+	// streams); on a follower they read the tailer (position = applied
+	// leader position, lag = leader seq minus applied seq). A standalone
+	// registry reads every series as zero.
+	e.GaugeVec("registry_repl_position",
+		"Replication position: the leader's committed WAL cursor, or the follower's applied leader position.",
+		"part",
+		func() map[string]float64 {
+			if f := r.follower.Load(); f != nil {
+				st := f.Stats()
+				return map[string]float64{
+					"segment": float64(st.Applied.Segment),
+					"offset":  float64(st.Applied.Offset),
+					"seq":     float64(st.AppliedSeq),
+				}
+			}
+			if r.ReplLeader != nil {
+				st := r.ReplLeader.Stats()
+				return map[string]float64{
+					"segment": float64(st.Position.Segment),
+					"offset":  float64(st.Position.Offset),
+					"seq":     float64(st.Seq),
+				}
+			}
+			return map[string]float64{}
+		})
+	e.Gauge("registry_repl_lag_records",
+		"Records the follower is behind the leader's committed sequence (0 on a leader).",
+		func() float64 {
+			if f := r.follower.Load(); f != nil {
+				return float64(f.Stats().LagRecords)
+			}
+			return 0
+		})
+	e.Gauge("registry_repl_lag_seconds",
+		"Seconds since the follower last applied a record or confirmed it was caught up (0 while connected and caught up).",
+		func() float64 {
+			if f := r.follower.Load(); f != nil {
+				return f.Stats().LagSeconds
+			}
+			return 0
+		})
+	e.Gauge("registry_repl_connected",
+		"Follower: 1 while the last poll succeeded. Leader: follower streams being served right now.",
+		func() float64 {
+			if f := r.follower.Load(); f != nil {
+				if f.Stats().Connected {
+					return 1
+				}
+				return 0
+			}
+			if r.ReplLeader != nil {
+				return float64(r.ReplLeader.Stats().ActiveStreams)
+			}
+			return 0
+		})
+	e.Counter("registry_repl_applied_total",
+		"Replicated records applied by this follower (0 on a leader).",
+		func() int64 {
+			if f := r.follower.Load(); f != nil {
+				return f.Stats().AppliedTotal
+			}
+			return 0
+		})
+	e.Counter("registry_repl_errors_total",
+		"Replication errors: failed polls or applies on a follower, failed stream serves on a leader.",
+		func() int64 {
+			if f := r.follower.Load(); f != nil {
+				return f.Stats().ErrorsTotal
+			}
+			if r.ReplLeader != nil {
+				return r.ReplLeader.Stats().ErrorsTotal
+			}
+			return 0
+		})
+
 	// Tracing.
 	e.Counter("registry_traces_sampled_total",
 		"Discovery traces finished into the trace ring.",

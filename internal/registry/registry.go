@@ -8,8 +8,10 @@ package registry
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,10 +30,12 @@ import (
 	"repro/internal/nodestatus"
 	"repro/internal/obs"
 	"repro/internal/qm"
+	"repro/internal/repl"
 	"repro/internal/respcache"
 	"repro/internal/rim"
 	"repro/internal/router"
 	"repro/internal/simclock"
+	"repro/internal/soap"
 	"repro/internal/store"
 	"repro/internal/taxonomy"
 	"repro/internal/wal"
@@ -141,6 +145,17 @@ type Config struct {
 	// obs.DefaultSLOConfig (99.9% availability, 99% of requests under
 	// 250ms, 5m and 1h windows).
 	SLO *obs.SLOConfig
+	// ReplLeader serves the WAL-shipping endpoints (/registry/repl/wal
+	// and /registry/repl/checkpoint) so followers can tail this
+	// registry. Requires DataDir: the stream is fed by the durability
+	// manager's segmented log.
+	ReplLeader bool
+	// ReplFollowURL marks this registry a read-only replication follower
+	// of the leader at the given base URL: life-cycle and auth writes
+	// answer 307 + a typed NotRegistryLeader fault pointing there, while
+	// discovery and query reads keep serving locally. Mutually exclusive
+	// with ReplLeader.
+	ReplFollowURL string
 }
 
 // Registry is an assembled registry server.
@@ -188,6 +203,14 @@ type Registry struct {
 	// SLOEngine derives multi-window availability and latency burn rates
 	// from the discovery counters (always allocated).
 	SLOEngine *obs.SLO
+	// ReplLeader serves the replication stream (nil unless
+	// Config.ReplLeader was set).
+	ReplLeader *repl.Leader
+
+	// follower is the attached replication follower on a follower node
+	// (set after construction via AttachFollower; scrapes read it).
+	follower   atomic.Pointer[repl.Follower]
+	replFollow string // leader base URL when this node is a follower
 
 	discovery discoveryMetrics
 	expo      *obs.Exposition
@@ -381,6 +404,16 @@ func New(cfg Config) (*Registry, error) {
 	if cfg.FlightRing >= 0 {
 		r.Flight = flight.NewRing(cfg.FlightRing)
 	}
+	if cfg.ReplLeader {
+		if durable == nil {
+			return nil, fmt.Errorf("registry: ReplLeader requires DataDir")
+		}
+		if cfg.ReplFollowURL != "" {
+			return nil, fmt.Errorf("registry: ReplLeader and ReplFollowURL are mutually exclusive")
+		}
+		r.ReplLeader = repl.NewLeader(durable, clk, logger.With("component", "repl"))
+	}
+	r.replFollow = strings.TrimRight(cfg.ReplFollowURL, "/")
 	r.discovery.latency = obs.NewHistogramMetric(obs.DiscoveryLatencyBuckets()...)
 	r.discovery.balance = balance
 	afterSweep = r.rollup
@@ -457,4 +490,37 @@ func (r *Registry) SessionContext(token string) (lcm.Context, error) {
 // the TimeHits timer the thesis starts inside the registry server.
 func (r *Registry) RunCollector(ctx context.Context) {
 	r.Collector.Run(ctx)
+}
+
+// AttachFollower wires a replication follower into the registry's
+// observability surface (metrics, health, bundle) and its post-apply
+// cache invalidation. Call it once, before serving traffic.
+func (r *Registry) AttachFollower(f *repl.Follower) {
+	f.OnApply = r.LCM.OnWrite
+	r.follower.Store(f)
+}
+
+// Follower returns the attached replication follower, or nil.
+func (r *Registry) Follower() *repl.Follower { return r.follower.Load() }
+
+// IsFollower reports whether this registry redirects writes to a leader.
+func (r *Registry) IsFollower() bool { return r.replFollow != "" }
+
+// LeaderURL returns the leader base URL a follower redirects writes to
+// (empty on a leader or standalone registry).
+func (r *Registry) LeaderURL() string { return r.replFollow }
+
+// notLeader builds the typed redirect a follower answers writes with:
+// 307 + Location at the leader's matching endpoint, plus a
+// NotRegistryLeader SOAP fault body for clients that do not follow
+// redirects.
+func (r *Registry) notLeader(endpoint string) *soap.Redirect {
+	return &soap.Redirect{
+		Location: r.replFollow + endpoint,
+		Fault: &soap.Fault{
+			Code:   "Server.NotRegistryLeader",
+			String: "this registry is a read-only replication follower; retry the write at the leader",
+			Detail: r.replFollow,
+		},
+	}
 }

@@ -1,0 +1,620 @@
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simclock"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// Follower defaults.
+const (
+	DefaultPollWait      = 10 * time.Second
+	DefaultBackoffBase   = 250 * time.Millisecond
+	DefaultBackoffMax    = 15 * time.Second
+	DefaultClientTimeout = 45 * time.Second
+)
+
+// FollowerOptions tunes a Follower.
+type FollowerOptions struct {
+	// LeaderURL is the leader registry's base URL (scheme://host:port).
+	LeaderURL string
+	// Clock drives backoff and lag accounting; nil means the real clock.
+	Clock simclock.Clock
+	// Logger receives tailer-loop notices; nil discards.
+	Logger *slog.Logger
+	// Client performs the HTTP polls; its Timeout must exceed PollWait.
+	// Nil constructs a client with DefaultClientTimeout.
+	Client *http.Client
+	// Seed drives the jittered reconnect backoff deterministically.
+	Seed int64
+	// PollWait is the long-poll budget sent as ?wait; 0 means the
+	// default, negative makes polls return immediately (the
+	// deterministic-test mode).
+	PollWait time.Duration
+	// MaxBatch caps records requested per poll; 0 means the leader's cap.
+	MaxBatch int
+	// BackoffBase and BackoffMax bound the jittered exponential
+	// reconnect backoff; 0 means the defaults.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// CheckpointBytes / CheckpointRecords trigger a local checkpoint, as
+	// in wal.DurableOptions; 0 means those defaults, negative disables.
+	CheckpointBytes   int64
+	CheckpointRecords int
+	// Log tunes the follower's local segmented log.
+	Log wal.Options
+}
+
+// localRecord wraps one applied leader record in the follower's own WAL:
+// the leader payload plus the leader position and sequence it carries, so
+// restart recovery resumes from a durable applied position.
+type localRecord struct {
+	Segment uint64          `json:"segment"`
+	Offset  int64           `json:"offset"`
+	Seq     uint64          `json:"seq"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// followerCheckpointFormat versions the local checkpoint layout.
+const followerCheckpointFormat = 1
+
+// followerCheckpoint is the JSON layout of a replckpt-<seq>.json file: a
+// store snapshot stamped with both the leader position it covers and the
+// local log position, so recovery replays only newer local records.
+type followerCheckpoint struct {
+	Format        int             `json:"format"`
+	LeaderSegment uint64          `json:"leaderSegment"`
+	LeaderOffset  int64           `json:"leaderOffset"`
+	Seq           uint64          `json:"seq"`
+	LocalSegment  uint64          `json:"localSegment"`
+	LocalOffset   int64           `json:"localOffset"`
+	Snapshot      json.RawMessage `json:"snapshot"`
+}
+
+func followerCheckpointName(seq uint64) string { return fmt.Sprintf("replckpt-%010d.json", seq) }
+
+// listFollowerCheckpoints returns ascending local checkpoint sequences.
+func listFollowerCheckpoints(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("repl: list %s: %w", dir, err)
+	}
+	var out []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "replckpt-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "replckpt-%010d.json", &seq); err != nil || seq == 0 {
+			continue
+		}
+		out = append(out, seq)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Follower tails the leader's WAL stream, applies records through the
+// idempotent replay path, and persists applied state durably. Run (or
+// Poll) must be driven from a single goroutine; Stats is safe to call
+// from any.
+type Follower struct {
+	dir    string
+	store  *store.Store
+	log    *wal.Log
+	opts   FollowerOptions
+	clock  simclock.Clock
+	slog   *slog.Logger
+	client *http.Client
+	leader string // base URL, trailing slash trimmed
+
+	// OnApply is invoked after every applied record with the touched
+	// object ids, and with no ids after a snapshot bootstrap — wire it to
+	// the registry's post-write cache invalidation hook before Run.
+	OnApply func(ids ...string)
+
+	mu           sync.Mutex
+	hasState     bool         // guarded by mu — a checkpoint or record survived recovery
+	applied      wal.Position // guarded by mu — leader position just past the last applied record
+	ckptSeq      uint64       // guarded by mu — newest local checkpoint sequence
+	ckptLocal    wal.Position // guarded by mu — local log position the newest checkpoint covers
+	recordsSince int          // guarded by mu — local records since last checkpoint
+	bytesSince   int64        // guarded by mu — local bytes since last checkpoint
+
+	appliedSeg   atomic.Uint64
+	appliedOff   atomic.Int64
+	appliedSeq   atomic.Uint64
+	leaderSeq    atomic.Uint64
+	connected    atomic.Bool
+	caughtUp     atomic.Bool
+	appliedTotal atomic.Int64
+	errsTotal    atomic.Int64
+	rebootstraps atomic.Int64
+	checkpoints  atomic.Int64
+	progressNano atomic.Int64 // clock time of the last applied record or caught-up poll
+}
+
+// OpenFollower opens (creating if needed) the follower's local state
+// directory, recovers the store from the newest local checkpoint plus the
+// local WAL tail, and returns a follower positioned at its durable
+// applied position. The store should be freshly populated by registry
+// construction; recovered state replaces it.
+func OpenFollower(dir string, s *store.Store, opts FollowerOptions) (*Follower, error) {
+	if opts.LeaderURL == "" {
+		return nil, fmt.Errorf("repl: follower needs a leader URL")
+	}
+	if opts.Clock == nil {
+		opts.Clock = simclock.Real{}
+	}
+	if opts.PollWait == 0 {
+		opts.PollWait = DefaultPollWait
+	} else if opts.PollWait < 0 {
+		opts.PollWait = 0 // deterministic-test mode: polls return immediately
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = DefaultBackoffBase
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = DefaultBackoffMax
+	}
+	if opts.CheckpointBytes == 0 {
+		opts.CheckpointBytes = wal.DefaultCheckpointBytes
+	}
+	if opts.CheckpointRecords == 0 {
+		opts.CheckpointRecords = wal.DefaultCheckpointRecords
+	}
+	if opts.Log.Clock == nil {
+		opts.Log.Clock = opts.Clock
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: DefaultClientTimeout}
+	}
+	l, err := wal.Open(dir, opts.Log)
+	if err != nil {
+		return nil, err
+	}
+	f := &Follower{
+		dir:    dir,
+		store:  s,
+		log:    l,
+		opts:   opts,
+		clock:  opts.Clock,
+		slog:   obs.OrNop(opts.Logger),
+		client: client,
+		leader: strings.TrimRight(opts.LeaderURL, "/"),
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	seqs, err := listFollowerCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	var localStart wal.Position
+	for i := len(seqs) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(filepath.Join(dir, followerCheckpointName(seqs[i])))
+		if err != nil {
+			f.slog.Warn("skipping unreadable follower checkpoint", "seq", seqs[i], "err", err)
+			continue
+		}
+		var cf followerCheckpoint
+		if err := json.Unmarshal(data, &cf); err != nil || cf.Format != followerCheckpointFormat {
+			f.slog.Warn("skipping undecodable follower checkpoint", "seq", seqs[i], "err", err)
+			continue
+		}
+		if err := s.Load(bytes.NewReader(cf.Snapshot)); err != nil {
+			f.slog.Warn("skipping unloadable follower checkpoint", "seq", seqs[i], "err", err)
+			continue
+		}
+		f.applied = wal.Position{Segment: cf.LeaderSegment, Offset: cf.LeaderOffset}
+		f.appliedSeq.Store(cf.Seq)
+		localStart = wal.Position{Segment: cf.LocalSegment, Offset: cf.LocalOffset}
+		f.ckptLocal = localStart
+		f.hasState = true
+		break
+	}
+	if len(seqs) > 0 {
+		f.ckptSeq = seqs[len(seqs)-1] // never reuse a sequence number
+	}
+
+	var replayed int64
+	err = l.Replay(localStart, func(pos wal.Position, payload []byte) error {
+		var rec localRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("repl: decode local record: %w", err)
+		}
+		if _, err := wal.ApplyRecord(s, rec.Payload); err != nil {
+			return err
+		}
+		f.applied = wal.Position{Segment: rec.Segment, Offset: rec.Offset}
+		f.appliedSeq.Store(rec.Seq)
+		replayed++
+		f.recordsSince++
+		f.bytesSince += int64(len(payload))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if replayed > 0 {
+		f.hasState = true
+	}
+	f.appliedSeg.Store(f.applied.Segment)
+	f.appliedOff.Store(f.applied.Offset)
+	f.leaderSeq.Store(f.appliedSeq.Load())
+	f.progressNano.Store(f.clock.Now().UnixNano())
+	f.slog.Info("follower recovery complete",
+		"dir", dir, "applied", f.applied.String(), "replayedRecords", replayed, "objects", s.Len())
+	return f, nil
+}
+
+// Cold reports whether no replicated state survived recovery — the
+// follower must Bootstrap before serving.
+func (f *Follower) Cold() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.hasState
+}
+
+// Bootstrap fetches the leader's newest checkpoint, loads its snapshot
+// wholesale, and persists a local checkpoint at the covered position.
+func (f *Follower) Bootstrap(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.leader+PathCheckpoint, nil)
+	if err != nil {
+		return fmt.Errorf("repl: bootstrap request: %w", err)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		f.errsTotal.Add(1)
+		return fmt.Errorf("repl: bootstrap fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		f.errsTotal.Add(1)
+		return fmt.Errorf("repl: bootstrap fetch: leader answered %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		f.errsTotal.Add(1)
+		return fmt.Errorf("repl: bootstrap read: %w", err)
+	}
+	pos, snapshot, err := wal.ParseCheckpoint(data)
+	if err != nil {
+		f.errsTotal.Add(1)
+		return err
+	}
+	seq, _ := strconv.ParseUint(resp.Header.Get(HeaderCheckpointSeq), 10, 64)
+	if err := f.store.Load(bytes.NewReader(snapshot)); err != nil {
+		f.errsTotal.Add(1)
+		return fmt.Errorf("repl: bootstrap load: %w", err)
+	}
+	f.mu.Lock()
+	f.applied = pos
+	f.appliedSeq.Store(seq)
+	f.hasState = true
+	err = f.checkpointLocked(snapshot)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	f.appliedSeg.Store(pos.Segment)
+	f.appliedOff.Store(pos.Offset)
+	f.rebootstraps.Add(1)
+	f.progressNano.Store(f.clock.Now().UnixNano())
+	if f.OnApply != nil {
+		f.OnApply()
+	}
+	f.slog.InfoContext(ctx, "follower bootstrapped from leader checkpoint", "pos", pos.String(), "seq", seq)
+	return nil
+}
+
+// Poll performs one WAL fetch against the leader, applying every streamed
+// record. A 410 answer triggers an in-place re-bootstrap. It returns the
+// number of records applied.
+func (f *Follower) Poll(ctx context.Context) (int, error) {
+	f.mu.Lock()
+	from := f.applied
+	f.mu.Unlock()
+	u := f.leader + PathWAL + "?from=" + from.String()
+	if f.opts.PollWait > 0 {
+		u += "&wait=" + f.opts.PollWait.String()
+	}
+	if f.opts.MaxBatch > 0 {
+		u += "&max=" + strconv.Itoa(f.opts.MaxBatch)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, fmt.Errorf("repl: poll request: %w", err)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		f.disconnect(err)
+		return 0, fmt.Errorf("repl: poll: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		io.Copy(io.Discard, resp.Body)
+		f.slog.WarnContext(ctx, "resume position pruned by leader; re-bootstrapping", "from", from.String())
+		if err := f.Bootstrap(ctx); err != nil {
+			f.connected.Store(false)
+			return 0, err
+		}
+		f.connected.Store(true)
+		return 0, nil
+	default:
+		f.disconnect(fmt.Errorf("repl: leader answered %s", resp.Status))
+		return 0, fmt.Errorf("repl: poll: leader answered %s", resp.Status)
+	}
+	if seq, err := strconv.ParseUint(resp.Header.Get(HeaderLeaderSeq), 10, 64); err == nil {
+		f.leaderSeq.Store(seq)
+	}
+	br := bufio.NewReader(resp.Body)
+	applied := 0
+	for {
+		rec, err := readFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.disconnect(err)
+			return applied, err
+		}
+		if err := f.apply(rec); err != nil {
+			f.disconnect(err)
+			return applied, err
+		}
+		applied++
+	}
+	f.connected.Store(true)
+	now := f.clock.Now().UnixNano()
+	if applied > 0 {
+		f.progressNano.Store(now)
+	}
+	if f.appliedSeq.Load() >= f.leaderSeq.Load() {
+		f.caughtUp.Store(true)
+		f.progressNano.Store(now)
+	} else {
+		f.caughtUp.Store(false)
+	}
+	return applied, nil
+}
+
+// apply replays one streamed record into the store, persists it locally,
+// and fires the cache-invalidation hook.
+func (f *Follower) apply(rec wal.StreamRecord) error {
+	ids, err := wal.ApplyRecord(f.store, rec.Payload)
+	if err != nil {
+		return err
+	}
+	wrapper, err := json.Marshal(&localRecord{
+		Segment: rec.Pos.Segment, Offset: rec.Pos.Offset, Seq: rec.Seq, Payload: rec.Payload,
+	})
+	if err != nil {
+		return fmt.Errorf("repl: encode local record: %w", err)
+	}
+	f.mu.Lock()
+	if _, err := f.log.Append(wrapper); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	f.applied = rec.Pos
+	f.appliedSeq.Store(rec.Seq)
+	f.recordsSince++
+	f.bytesSince += int64(len(wrapper))
+	var ckptErr error
+	if (f.opts.CheckpointRecords > 0 && f.recordsSince >= f.opts.CheckpointRecords) ||
+		(f.opts.CheckpointBytes > 0 && f.bytesSince >= f.opts.CheckpointBytes) {
+		ckptErr = f.checkpointLocked(nil)
+	}
+	f.mu.Unlock()
+	if ckptErr != nil {
+		f.slog.Error("follower checkpoint failed", "err", ckptErr)
+	}
+	f.appliedSeg.Store(rec.Pos.Segment)
+	f.appliedOff.Store(rec.Pos.Offset)
+	f.appliedTotal.Add(1)
+	if f.OnApply != nil {
+		f.OnApply(ids...)
+	}
+	return nil
+}
+
+// checkpointLocked writes a local checkpoint. A nil snapshot snapshots
+// the store; a non-nil one (the bootstrap path) is used verbatim.
+func (f *Follower) checkpointLocked(snapshot json.RawMessage) error {
+	if snapshot == nil {
+		var buf bytes.Buffer
+		if err := f.store.Save(&buf); err != nil {
+			return fmt.Errorf("repl: checkpoint snapshot: %w", err)
+		}
+		snapshot = buf.Bytes()
+	}
+	local := f.log.Pos()
+	data, err := json.Marshal(&followerCheckpoint{
+		Format:        followerCheckpointFormat,
+		LeaderSegment: f.applied.Segment,
+		LeaderOffset:  f.applied.Offset,
+		Seq:           f.appliedSeq.Load(),
+		LocalSegment:  local.Segment,
+		LocalOffset:   local.Offset,
+		Snapshot:      snapshot,
+	})
+	if err != nil {
+		return fmt.Errorf("repl: encode checkpoint: %w", err)
+	}
+	seq := f.ckptSeq + 1
+	if err := wal.WriteFileAtomic(filepath.Join(f.dir, followerCheckpointName(seq)), func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	}); err != nil {
+		return err
+	}
+	prevSeq, pruneLocal := f.ckptSeq, f.ckptLocal
+	f.ckptSeq, f.ckptLocal = seq, local
+	f.recordsSince, f.bytesSince = 0, 0
+	f.checkpoints.Add(1)
+	// Retention mirrors the leader: keep the previous checkpoint as the
+	// recovery fallback and prune local segments it covers; best-effort.
+	seqs, err := listFollowerCheckpoints(f.dir)
+	if err == nil {
+		for _, old := range seqs {
+			if old >= prevSeq {
+				break
+			}
+			if err := os.Remove(filepath.Join(f.dir, followerCheckpointName(old))); err != nil {
+				f.slog.Warn("stale follower checkpoint removal failed", "err", err)
+			}
+		}
+	}
+	if _, err := f.log.Prune(pruneLocal); err != nil {
+		f.slog.Warn("follower local prune failed", "err", err)
+	}
+	return nil
+}
+
+// Run drives the tailer loop until ctx is cancelled: bootstrap if cold,
+// then poll forever with seeded jittered exponential backoff on failure
+// and an idle pause when a poll returns no records.
+func (f *Follower) Run(ctx context.Context) {
+	rng := rand.New(rand.NewSource(f.opts.Seed))
+	fails := 0
+	for ctx.Err() == nil {
+		if f.Cold() {
+			if err := f.Bootstrap(ctx); err != nil {
+				f.slog.WarnContext(ctx, "follower bootstrap failed; backing off", "err", err)
+				fails++
+				if !f.pause(ctx, f.backoff(rng, fails)) {
+					return
+				}
+				continue
+			}
+		}
+		applied, err := f.Poll(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			fails++
+			f.slog.WarnContext(ctx, "follower poll failed; backing off", "err", err, "fails", fails)
+			if !f.pause(ctx, f.backoff(rng, fails)) {
+				return
+			}
+			continue
+		}
+		fails = 0
+		if applied == 0 && f.opts.PollWait <= 0 {
+			// Without a long-poll budget an idle leader would make this a
+			// busy loop; pace with the base backoff.
+			if !f.pause(ctx, f.backoff(rng, 1)) {
+				return
+			}
+		}
+	}
+}
+
+// backoff computes the jittered exponential delay for the n-th
+// consecutive failure (n >= 1).
+func (f *Follower) backoff(rng *rand.Rand, n int) time.Duration {
+	d := f.opts.BackoffBase << uint(n-1)
+	if d > f.opts.BackoffMax || d <= 0 {
+		d = f.opts.BackoffMax
+	}
+	// Full jitter in [d/2, d): thundering-herd protection that still
+	// guarantees forward progress.
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+}
+
+// pause sleeps on the injected clock, returning false when ctx ends.
+func (f *Follower) pause(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-f.clock.After(d):
+		return true
+	}
+}
+
+// disconnect records a stream failure.
+func (f *Follower) disconnect(err error) {
+	f.connected.Store(false)
+	f.caughtUp.Store(false)
+	f.errsTotal.Add(1)
+}
+
+// Close writes a final local checkpoint and closes the local log. Stop
+// Run (cancel its context) before calling Close.
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.hasState {
+		if err := f.checkpointLocked(nil); err != nil {
+			return err
+		}
+	}
+	return f.log.Close()
+}
+
+// FollowerStats is the scrape snapshot for metrics, health, and regctl.
+type FollowerStats struct {
+	Leader       string
+	Applied      wal.Position
+	AppliedSeq   uint64
+	LeaderSeq    uint64
+	Connected    bool
+	CaughtUp     bool
+	AppliedTotal int64
+	ErrorsTotal  int64
+	Rebootstraps int64
+	Checkpoints  int64
+	LagRecords   int64
+	LagSeconds   float64
+}
+
+// Stats snapshots the follower's replication state.
+func (f *Follower) Stats() FollowerStats {
+	st := FollowerStats{
+		Leader:       f.leader,
+		Applied:      wal.Position{Segment: f.appliedSeg.Load(), Offset: f.appliedOff.Load()},
+		AppliedSeq:   f.appliedSeq.Load(),
+		LeaderSeq:    f.leaderSeq.Load(),
+		Connected:    f.connected.Load(),
+		CaughtUp:     f.caughtUp.Load(),
+		AppliedTotal: f.appliedTotal.Load(),
+		ErrorsTotal:  f.errsTotal.Load(),
+		Rebootstraps: f.rebootstraps.Load(),
+		Checkpoints:  f.checkpoints.Load(),
+	}
+	if st.LeaderSeq > st.AppliedSeq {
+		st.LagRecords = int64(st.LeaderSeq - st.AppliedSeq)
+	}
+	if !(st.Connected && st.CaughtUp) {
+		st.LagSeconds = time.Duration(f.clock.Now().UnixNano() - f.progressNano.Load()).Seconds()
+		if st.LagSeconds < 0 {
+			st.LagSeconds = 0
+		}
+	}
+	return st
+}

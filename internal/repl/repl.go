@@ -1,0 +1,121 @@
+// Package repl is the registry's replication layer: WAL shipping from a
+// single writable leader to any number of read-only followers, so
+// discovery and query reads scale horizontally while the paper's
+// load-balancing scheme keeps working unchanged on every node.
+//
+// The leader serves two HTTP endpoints out of its durability state:
+//
+//	GET /registry/repl/wal?from=<seg:off>&wait=<dur>&max=<n>
+//	GET /registry/repl/checkpoint
+//
+// The WAL endpoint streams committed records strictly after `from` as
+// length-prefixed binary frames (see frame layout below), long-polling up
+// to `wait` when the log is idle. `from` below the oldest live segment
+// answers 410 Gone — the records were pruned after a checkpoint — and the
+// follower re-bootstraps from /registry/repl/checkpoint, which serves the
+// newest checkpoint file verbatim (store snapshot + covered position).
+//
+// Followers apply each record through the same idempotent replay path
+// boot recovery uses (wal.ApplyRecord), persist every applied record in a
+// local WAL with its leader position, and checkpoint locally, so a
+// follower restart resumes from its durable applied position without
+// refetching history. Life-cycle writes are never applied locally; the
+// registry answers them with a typed leader redirect instead.
+//
+// Each stream frame is a 32-byte header plus payload:
+//
+//	[u32 payload len][u32 crc32c(payload)][u64 seq][u64 segment][u64 offset]
+//
+// all little-endian; (segment, offset) is the wal.Position just past the
+// record — the resume token — and seq is the leader's record sequence
+// number, which makes follower lag countable in records.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/wal"
+)
+
+// frameHeaderLen is the fixed prefix of every stream frame.
+const frameHeaderLen = 32
+
+// maxFramePayload is the sanity bound on a received frame's length.
+const maxFramePayload = 64 << 20
+
+// castagnoli matches the WAL's record checksum table.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Wire constants shared by leader and follower.
+const (
+	// PathWAL is the leader's streaming endpoint.
+	PathWAL = "/registry/repl/wal"
+	// PathCheckpoint is the leader's snapshot bootstrap endpoint.
+	PathCheckpoint = "/registry/repl/checkpoint"
+	// HeaderLeaderPos carries the leader's committed position (seg:off)
+	// on every stream and checkpoint response.
+	HeaderLeaderPos = "X-Repl-Leader-Pos"
+	// HeaderLeaderSeq carries the leader's committed record sequence.
+	HeaderLeaderSeq = "X-Repl-Leader-Seq"
+	// HeaderCheckpointPos carries the WAL position a served checkpoint
+	// covers — the follower's first resume token.
+	HeaderCheckpointPos = "X-Repl-Checkpoint-Pos"
+	// HeaderCheckpointSeq carries the record sequence number at the
+	// served checkpoint's position, seeding the follower's lag counter.
+	HeaderCheckpointSeq = "X-Repl-Checkpoint-Seq"
+	// ContentTypeFrames is the stream body content type.
+	ContentTypeFrames = "application/x-repl-frames"
+)
+
+// writeFrame encodes one record onto the stream.
+func writeFrame(w io.Writer, rec wal.StreamRecord) error {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(rec.Payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(rec.Payload, castagnoli))
+	binary.LittleEndian.PutUint64(hdr[8:16], rec.Seq)
+	binary.LittleEndian.PutUint64(hdr[16:24], rec.Pos.Segment)
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(rec.Pos.Offset))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("repl: write frame header: %w", err)
+	}
+	if _, err := w.Write(rec.Payload); err != nil {
+		return fmt.Errorf("repl: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// readFrame decodes the next frame; io.EOF cleanly ends a stream only on
+// a frame boundary.
+func readFrame(r *bufio.Reader) (wal.StreamRecord, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return wal.StreamRecord{}, io.EOF
+		}
+		return wal.StreamRecord{}, fmt.Errorf("repl: read frame header: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	if length > maxFramePayload {
+		return wal.StreamRecord{}, fmt.Errorf("repl: frame of %d bytes exceeds bound", length)
+	}
+	rec := wal.StreamRecord{
+		Seq: binary.LittleEndian.Uint64(hdr[8:16]),
+		Pos: wal.Position{
+			Segment: binary.LittleEndian.Uint64(hdr[16:24]),
+			Offset:  int64(binary.LittleEndian.Uint64(hdr[24:32])),
+		},
+		Payload: make([]byte, length),
+	}
+	if _, err := io.ReadFull(r, rec.Payload); err != nil {
+		return wal.StreamRecord{}, fmt.Errorf("repl: read frame payload: %w", err)
+	}
+	if crc32.Checksum(rec.Payload, castagnoli) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return wal.StreamRecord{}, fmt.Errorf("repl: frame checksum mismatch at %s", rec.Pos)
+	}
+	return rec, nil
+}

@@ -1,0 +1,484 @@
+package repl
+
+// The leader/follower convergence suite: the acceptance tests for the
+// replication subsystem. A leader is a real lcm.Manager wired to a real
+// wal.Durable behind the Leader HTTP endpoints; followers bootstrap and
+// tail over real HTTP. Convergence is judged the same way the crash
+// harness judges recovery: store.Save output must match the leader
+// byte-for-byte.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/lcm"
+	"repro/internal/rim"
+	"repro/internal/simclock"
+	"repro/internal/store"
+	"repro/internal/wal"
+	"repro/internal/xacml"
+)
+
+var t0 = time.Unix(1_700_000_000, 0)
+
+// leaderNode is one leader under test: store, durability, LCM write path,
+// and the replication endpoints.
+type leaderNode struct {
+	t     *testing.T
+	dir   string
+	clk   *simclock.Manual
+	store *store.Store
+	d     *wal.Durable
+	mgr   *lcm.Manager
+	lctx  lcm.Context
+	ld    *Leader
+}
+
+func newLeaderNode(t *testing.T, dir string, opts wal.DurableOptions) *leaderNode {
+	t.Helper()
+	clk := simclock.NewManual(t0)
+	if opts.Log.Clock == nil {
+		opts.Log.Clock = clk
+	}
+	s := store.New()
+	d, err := wal.OpenDurable(dir, s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := lcm.New(s, nil, audit.New(s, clk), nil)
+	mgr.Durability = d
+	return &leaderNode{
+		t: t, dir: dir, clk: clk, store: s, d: d, mgr: mgr,
+		lctx: lcm.Context{UserID: "repl-tester", Roles: []string{xacml.RoleAdministrator}},
+		ld:   NewLeader(d, clk, nil),
+	}
+}
+
+func (n *leaderNode) submit(name string) string {
+	n.t.Helper()
+	svc := rim.NewService(name, "replicated service")
+	if err := n.mgr.SubmitObjects(n.lctx, svc); err != nil {
+		n.t.Fatal(err)
+	}
+	return svc.ID
+}
+
+func (n *leaderNode) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathWAL, n.ld.ServeWAL)
+	mux.HandleFunc(PathCheckpoint, n.ld.ServeCheckpoint)
+	return mux
+}
+
+func saveBytes(t *testing.T, s *store.Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newFollower(t *testing.T, dir, leaderURL string, client *http.Client, tweak func(*FollowerOptions)) *Follower {
+	t.Helper()
+	opts := FollowerOptions{
+		LeaderURL: leaderURL,
+		Clock:     simclock.NewManual(t0),
+		Client:    client,
+		Seed:      7,
+		PollWait:  -1, // deterministic mode: polls return immediately
+	}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	f, err := OpenFollower(dir, store.New(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// catchUp polls until the follower's applied position reaches the
+// leader's committed position.
+func catchUp(t *testing.T, f *Follower, n *leaderNode) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < 1000; i++ {
+		want, _ := n.d.WAL().Committed()
+		if f.Stats().Applied == want {
+			return
+		}
+		if _, err := f.Poll(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Fatalf("follower stuck at %s, leader at %s", f.Stats().Applied, n.d.CheckpointPos())
+}
+
+func assertConverged(t *testing.T, n *leaderNode, f *Follower) {
+	t.Helper()
+	leaderBytes := saveBytes(t, n.store)
+	followerBytes := saveBytes(t, f.store)
+	if !bytes.Equal(leaderBytes, followerBytes) {
+		t.Fatalf("follower store diverged:\nleader   %d bytes\nfollower %d bytes", len(leaderBytes), len(followerBytes))
+	}
+}
+
+func TestReplColdFollowerConvergesByteIdentical(t *testing.T) {
+	n := newLeaderNode(t, t.TempDir(), wal.DurableOptions{})
+	defer n.d.Close()
+	var ids []string
+	for i := 0; i < 5; i++ {
+		ids = append(ids, n.submit(fmt.Sprintf("pre-ckpt-%d", i)))
+	}
+	if err := n.d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Writes after the checkpoint arrive via the stream, not the snapshot.
+	for i := 0; i < 8; i++ {
+		n.submit(fmt.Sprintf("streamed-%d", i))
+	}
+	if err := n.mgr.DeprecateObjects(n.lctx, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.mgr.RemoveObjects(n.lctx, ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(n.handler())
+	defer srv.Close()
+
+	f := newFollower(t, t.TempDir(), srv.URL, srv.Client(), nil)
+	defer f.Close()
+	var applies atomic.Int64
+	f.OnApply = func(ids ...string) { applies.Add(1) }
+	if !f.Cold() {
+		t.Fatal("fresh follower should be cold")
+	}
+	if err := f.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	catchUp(t, f, n)
+	assertConverged(t, n, f)
+
+	st := f.Stats()
+	if st.AppliedTotal == 0 || applies.Load() == 0 {
+		t.Fatalf("no streamed records applied: stats %+v, hook fired %d times", st, applies.Load())
+	}
+	if st.LagRecords != 0 || !st.CaughtUp {
+		t.Fatalf("caught-up follower reports lag: %+v", st)
+	}
+	if _, err := f.store.Get(ids[1]); err == nil {
+		t.Fatal("removed object still present on follower")
+	}
+}
+
+func TestReplFollowerRestartResumesFromDurablePosition(t *testing.T) {
+	n := newLeaderNode(t, t.TempDir(), wal.DurableOptions{})
+	defer n.d.Close()
+	n.submit("gen-1")
+	if err := n.d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	n.submit("gen-2")
+	srv := httptest.NewServer(n.handler())
+	defer srv.Close()
+
+	fdir := t.TempDir()
+	f := newFollower(t, fdir, srv.URL, srv.Client(), nil)
+	if err := f.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	catchUp(t, f, n)
+	resumeAt := f.Stats().Applied
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The leader keeps writing while the follower is down.
+	for i := 0; i < 6; i++ {
+		n.submit(fmt.Sprintf("while-down-%d", i))
+	}
+
+	f2 := newFollower(t, fdir, srv.URL, srv.Client(), nil)
+	defer f2.Close()
+	if f2.Cold() {
+		t.Fatal("restarted follower lost its durable state")
+	}
+	if got := f2.Stats().Applied; got != resumeAt {
+		t.Fatalf("restarted follower resumes at %s, want %s", got, resumeAt)
+	}
+	catchUp(t, f2, n)
+	assertConverged(t, n, f2)
+	if st := f2.Stats(); st.Rebootstraps != 0 {
+		t.Fatalf("restart should resume by position, not re-bootstrap: %+v", st)
+	}
+}
+
+// handlerProxy lets a test "restart" the leader behind one stable URL.
+type handlerProxy struct {
+	h atomic.Pointer[http.Handler]
+}
+
+func (p *handlerProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*p.h.Load()).ServeHTTP(w, r)
+}
+
+func (p *handlerProxy) set(h http.Handler) { p.h.Store(&h) }
+
+func TestReplLeaderRestartMidStream(t *testing.T) {
+	ldir := t.TempDir()
+	n := newLeaderNode(t, ldir, wal.DurableOptions{})
+	n.submit("before-restart")
+	if err := n.d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	proxy := &handlerProxy{}
+	proxy.set(n.handler())
+	srv := httptest.NewServer(proxy)
+	defer srv.Close()
+
+	f := newFollower(t, t.TempDir(), srv.URL, srv.Client(), nil)
+	defer f.Close()
+	if err := f.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	catchUp(t, f, n)
+
+	// Leader "restarts": graceful close, then a fresh Durable over the
+	// same directory behind the same URL.
+	if err := n.d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n2 := newLeaderNode(t, ldir, wal.DurableOptions{})
+	defer n2.d.Close()
+	proxy.set(n2.handler())
+	for i := 0; i < 5; i++ {
+		n2.submit(fmt.Sprintf("after-restart-%d", i))
+	}
+	catchUp(t, f, n2)
+	assertConverged(t, n2, f)
+}
+
+func TestReplPrunedPositionRebootstraps(t *testing.T) {
+	// Tiny segments and aggressive checkpointing make the leader prune
+	// history out from under an idle follower.
+	n := newLeaderNode(t, t.TempDir(), wal.DurableOptions{
+		Log:               wal.Options{SegmentBytes: 256},
+		CheckpointRecords: 3,
+	})
+	defer n.d.Close()
+	n.submit("early")
+	if err := n.d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(n.handler())
+	defer srv.Close()
+
+	f := newFollower(t, t.TempDir(), srv.URL, srv.Client(), nil)
+	defer f.Close()
+	if err := f.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	catchUp(t, f, n)
+	before := f.Stats().Rebootstraps
+
+	for i := 0; i < 30; i++ {
+		n.submit(fmt.Sprintf("pruner-%02d", i))
+	}
+	oldest := f.Stats().Applied
+	if _, err := n.d.WAL().OpenReaderAt(oldest); err == nil {
+		t.Fatalf("precondition: follower position %s should be pruned on the leader", oldest)
+	}
+
+	catchUp(t, f, n)
+	assertConverged(t, n, f)
+	if got := f.Stats().Rebootstraps; got <= before {
+		t.Fatalf("rebootstraps = %d, want > %d after pruned resume", got, before)
+	}
+}
+
+// droppingTransport injects seeded connection failures in front of a real
+// transport — the partition half of the partition/lag harness.
+type droppingTransport struct {
+	base     http.RoundTripper
+	rng      *rand.Rand // guarded by the follower's single-goroutine use
+	dropPct  int
+	injected atomic.Int64
+}
+
+func (d *droppingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if d.rng.Intn(100) < d.dropPct {
+		d.injected.Add(1)
+		return nil, fmt.Errorf("injected partition: %s", req.URL.Path)
+	}
+	return d.base.RoundTrip(req)
+}
+
+func TestReplPartitionLagHarnessEverySeed(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			n := newLeaderNode(t, t.TempDir(), wal.DurableOptions{})
+			defer n.d.Close()
+			for i := 0; i < 20; i++ {
+				n.submit(fmt.Sprintf("seed%d-%02d", seed, i))
+			}
+			if err := n.d.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				n.submit(fmt.Sprintf("seed%d-tail-%02d", seed, i))
+			}
+			srv := httptest.NewServer(n.handler())
+			defer srv.Close()
+
+			dt := &droppingTransport{
+				base:    srv.Client().Transport,
+				rng:     rand.New(rand.NewSource(seed)),
+				dropPct: 40,
+			}
+			f := newFollower(t, t.TempDir(), srv.URL,
+				&http.Client{Timeout: 5 * time.Second, Transport: dt},
+				func(o *FollowerOptions) {
+					o.Clock = simclock.Real{}
+					o.Seed = seed
+					o.BackoffBase = time.Millisecond
+					o.BackoffMax = 4 * time.Millisecond
+				})
+
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			go func() {
+				f.Run(ctx)
+				close(done)
+			}()
+			want, _ := n.d.WAL().Committed()
+			deadline := time.Now().Add(30 * time.Second)
+			for f.Stats().Applied != want {
+				if time.Now().After(deadline) {
+					cancel()
+					<-done
+					t.Fatalf("follower never converged through the partition: %+v (injected %d)",
+						f.Stats(), dt.injected.Load())
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			cancel()
+			<-done
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			assertConverged(t, n, f)
+			st := f.Stats()
+			if dt.injected.Load() > 0 && st.ErrorsTotal == 0 {
+				t.Fatalf("injected %d failures but follower counted none", dt.injected.Load())
+			}
+			if st.LagRecords != 0 {
+				t.Fatalf("converged follower reports lag: %+v", st)
+			}
+		})
+	}
+}
+
+func newBufReader(b []byte) *bufio.Reader { return bufio.NewReader(bytes.NewReader(b)) }
+
+func TestReplFrameRoundtripAndCorruption(t *testing.T) {
+	rec := wal.StreamRecord{
+		Pos:     wal.Position{Segment: 3, Offset: 1234},
+		Seq:     42,
+		Payload: []byte(`{"op":"Submit"}`),
+	}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(newBufReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pos != rec.Pos || got.Seq != rec.Seq || !bytes.Equal(got.Payload, rec.Payload) {
+		t.Fatalf("frame roundtrip mismatch: %+v", got)
+	}
+
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if _, err := readFrame(newBufReader(corrupt)); err == nil {
+		t.Fatal("corrupted frame passed CRC")
+	}
+	truncated := buf.Bytes()[:buf.Len()-3]
+	if _, err := readFrame(newBufReader(truncated)); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestReplLeaderHTTPContract(t *testing.T) {
+	n := newLeaderNode(t, t.TempDir(), wal.DurableOptions{Log: wal.Options{SegmentBytes: 128}})
+	defer n.d.Close()
+	for i := 0; i < 10; i++ {
+		n.submit(fmt.Sprintf("contract-%d", i))
+	}
+	if err := n.d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// A second checkpoint prunes the segments the first one covered, so
+	// position 1:0 is genuinely gone.
+	n.submit("contract-tail")
+	if err := n.d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(n.handler())
+	defer srv.Close()
+
+	// Bad from parameter → 400.
+	resp, err := srv.Client().Get(srv.URL + PathWAL + "?from=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad from → %d, want 400", resp.StatusCode)
+	}
+
+	// Pruned from → 410 with a checkpoint pointer in the JSON body.
+	resp, err = srv.Client().Get(srv.URL + PathWAL + "?from=1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("pruned from → %d, want 410", resp.StatusCode)
+	}
+	var pa prunedAnswer
+	if err := json.NewDecoder(resp.Body).Decode(&pa); err != nil {
+		t.Fatal(err)
+	}
+	if pa.Checkpoint == "" {
+		t.Fatalf("410 body carries no checkpoint pointer: %+v", pa)
+	}
+
+	// Checkpoint endpoint carries position and sequence headers.
+	cresp, err := srv.Client().Get(srv.URL + PathCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint → %d", cresp.StatusCode)
+	}
+	for _, h := range []string{HeaderCheckpointPos, HeaderCheckpointSeq, HeaderLeaderPos, HeaderLeaderSeq} {
+		if cresp.Header.Get(h) == "" {
+			t.Fatalf("checkpoint response missing %s header", h)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -48,6 +49,20 @@ func ClientFault(format string, args ...interface{}) *Fault {
 func ServerFault(format string, args ...interface{}) *Fault {
 	return &Fault{Code: "Server", String: fmt.Sprintf(format, args...)}
 }
+
+// Redirect is returned by a handler whose operation must be performed by
+// a different node — a replication follower refusing a write. The
+// endpoint answers 307 Temporary Redirect with a Location header, plus
+// the typed fault as the body for clients that do not follow redirects;
+// Go's http.Client re-POSTs the identical envelope at Location
+// automatically, so callers land on the right node transparently.
+type Redirect struct {
+	Location string
+	Fault    *Fault
+}
+
+// Error implements error.
+func (r *Redirect) Error() string { return r.Fault.Error() }
 
 // envelope is the wire form.
 type envelope struct {
@@ -189,6 +204,12 @@ func EndpointCtx[Req any](handle func(context.Context, *Req) (interface{}, error
 		}
 		resp, err := handle(r.Context(), &req)
 		if err != nil {
+			var rd *Redirect
+			if errors.As(err, &rd) {
+				w.Header().Set("Location", rd.Location)
+				writeFault(w, http.StatusTemporaryRedirect, rd.Fault)
+				return
+			}
 			f, ok := err.(*Fault)
 			if !ok {
 				f = ServerFault("%v", err)

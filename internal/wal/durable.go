@@ -341,6 +341,37 @@ func (d *Durable) CheckpointPos() Position {
 	return d.ckptPos
 }
 
+// NewestCheckpoint returns the raw bytes of the newest checkpoint file
+// and the WAL position it covers — the follower bootstrap payload. It
+// fails if no checkpoint has been written yet.
+func (d *Durable) NewestCheckpoint() (Position, []byte, error) {
+	d.mu.Lock()
+	seq, pos := d.ckptSeq, d.ckptPos
+	d.mu.Unlock()
+	if seq == 0 {
+		return Position{}, nil, fmt.Errorf("wal: no checkpoint written yet")
+	}
+	data, err := os.ReadFile(filepath.Join(d.dir, checkpointName(seq)))
+	if err != nil {
+		return Position{}, nil, fmt.Errorf("wal: read checkpoint: %w", err)
+	}
+	return pos, data, nil
+}
+
+// ParseCheckpoint decodes checkpoint-file bytes (as served by the leader
+// bootstrap endpoint) into the WAL position it covers and the embedded
+// store snapshot.
+func ParseCheckpoint(data []byte) (Position, json.RawMessage, error) {
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return Position{}, nil, fmt.Errorf("wal: decode checkpoint: %w", err)
+	}
+	if cf.Format != checkpointFormat {
+		return Position{}, nil, fmt.Errorf("wal: checkpoint format %d unsupported", cf.Format)
+	}
+	return Position{Segment: cf.Segment, Offset: cf.Offset}, cf.Snapshot, nil
+}
+
 // Close checkpoints (unless degraded) and closes the log.
 func (d *Durable) Close() error {
 	d.mu.Lock()

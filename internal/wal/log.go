@@ -103,6 +103,23 @@ func (p Position) IsZero() bool { return p.Segment == 0 && p.Offset == 0 }
 // String renders seg:off for logs and regctl.
 func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Segment, p.Offset) }
 
+// ParsePosition parses the seg:off rendering produced by String. The
+// empty string parses to the zero (start-of-log) position, so a follower
+// resume token can be passed straight through from a query parameter.
+func ParsePosition(s string) (Position, error) {
+	if s == "" {
+		return Position{}, nil
+	}
+	var p Position
+	if _, err := fmt.Sscanf(s, "%d:%d", &p.Segment, &p.Offset); err != nil {
+		return Position{}, fmt.Errorf("wal: parse position %q: %w", s, err)
+	}
+	if p.Offset < 0 {
+		return Position{}, fmt.Errorf("wal: parse position %q: negative offset", s)
+	}
+	return p, nil
+}
+
 // Options tunes a Log.
 type Options struct {
 	// SegmentBytes rotates to a new segment once the current one would
@@ -145,16 +162,19 @@ type Log struct {
 	slog  *slog.Logger
 
 	mu       sync.Mutex
-	f        *os.File  // guarded by mu — the open tail segment
-	seg      uint64    // guarded by mu — tail segment index
-	off      int64     // guarded by mu — append cursor in the tail segment
-	segments []uint64  // guarded by mu — live segment indexes, ascending
-	lastSync time.Time // guarded by mu
+	f        *os.File          // guarded by mu — the open tail segment
+	seg      uint64            // guarded by mu — tail segment index
+	off      int64             // guarded by mu — append cursor in the tail segment
+	segments []uint64          // guarded by mu — live segment indexes, ascending
+	segStart map[uint64]uint64 // guarded by mu — sequence number of each live segment's first record
+	notify   chan struct{}     // guarded by mu — closed on append, then replaced lazily
+	lastSync time.Time         // guarded by mu
 
 	appends  atomic.Int64
 	fsyncs   atomic.Int64
 	bytes    atomic.Int64
 	segCount atomic.Int64
+	seq      atomic.Uint64 // records committed since the oldest live segment at Open
 }
 
 func segmentName(index uint64) string { return fmt.Sprintf("wal-%016d.seg", index) }
@@ -205,6 +225,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	l := &Log{dir: dir, opts: opts, clock: opts.Clock, slog: obs.OrNop(opts.Logger)}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.segStart = make(map[uint64]uint64)
 	if len(segs) == 0 {
 		segs = []uint64{1}
 		f, err := os.OpenFile(filepath.Join(dir, segmentName(1)), os.O_CREATE|os.O_WRONLY, 0o666)
@@ -212,13 +233,27 @@ func Open(dir string, opts Options) (*Log, error) {
 			return nil, fmt.Errorf("wal: create segment: %w", err)
 		}
 		l.f, l.seg, l.off = f, 1, 0
+		l.segStart[1] = 0
 	} else {
+		// Sealed segments are counted so streaming readers can report
+		// record sequence numbers relative to the oldest live segment.
+		var total uint64
+		for _, seg := range segs[:len(segs)-1] {
+			l.segStart[seg] = total
+			_, _, records, err := scanSegment(filepath.Join(dir, segmentName(seg)), nil)
+			if err != nil {
+				return nil, err
+			}
+			total += uint64(records)
+		}
 		tail := segs[len(segs)-1]
 		path := filepath.Join(dir, segmentName(tail))
-		valid, clean, _, err := scanSegment(path, nil)
+		valid, clean, records, err := scanSegment(path, nil)
 		if err != nil {
 			return nil, err
 		}
+		l.segStart[tail] = total
+		total += uint64(records)
 		f, err := os.OpenFile(path, os.O_WRONLY, 0o666)
 		if err != nil {
 			return nil, fmt.Errorf("wal: open segment: %w", err)
@@ -235,6 +270,7 @@ func Open(dir string, opts Options) (*Log, error) {
 			return nil, fmt.Errorf("wal: seek segment tail: %w", err)
 		}
 		l.f, l.seg, l.off = f, tail, valid
+		l.seq.Store(total)
 	}
 	l.segments = segs
 	l.segCount.Store(int64(len(segs)))
@@ -316,6 +352,11 @@ func (l *Log) Append(payload []byte) (Position, error) {
 	l.off += need
 	l.appends.Add(1)
 	l.bytes.Add(need)
+	l.seq.Add(1)
+	if l.notify != nil {
+		close(l.notify)
+		l.notify = nil
+	}
 	if err := l.syncPolicyLocked(); err != nil {
 		return Position{}, err
 	}
@@ -336,6 +377,7 @@ func (l *Log) rotateLocked() error {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
 	l.f, l.seg, l.off = f, next, 0
+	l.segStart[next] = l.seq.Load()
 	l.segments = append(l.segments, next)
 	l.segCount.Store(int64(len(l.segments)))
 	l.slog.Debug("rotated WAL segment", "segment", next)
@@ -377,6 +419,31 @@ func (l *Log) Pos() Position {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return Position{Segment: l.seg, Offset: l.off}
+}
+
+// Committed returns the append cursor and the sequence number of the last
+// committed record as one consistent pair — the bound a streaming reader
+// may read up to.
+func (l *Log) Committed() (Position, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Position{Segment: l.seg, Offset: l.off}, l.seq.Load()
+}
+
+// Seq returns the sequence number of the last committed record, counted
+// from the oldest segment that was live at Open.
+func (l *Log) Seq() uint64 { return l.seq.Load() }
+
+// AppendSignal returns a channel closed by the next Append — the
+// long-poll primitive for the replication stream. Each returned channel
+// fires once; callers re-arm by calling AppendSignal again.
+func (l *Log) AppendSignal() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.notify == nil {
+		l.notify = make(chan struct{})
+	}
+	return l.notify
 }
 
 // Replay calls fn for every record strictly after from, in log order. The
@@ -423,6 +490,7 @@ func (l *Log) Prune(keep Position) (removed int, err error) {
 			if err := os.Remove(filepath.Join(l.dir, segmentName(seg))); err != nil {
 				return removed, fmt.Errorf("wal: prune segment %d: %w", seg, err)
 			}
+			delete(l.segStart, seg)
 			removed++
 			continue
 		}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/lcm"
+	"repro/internal/rim"
 	"repro/internal/store"
 )
 
@@ -47,23 +48,34 @@ func encodeMutation(m lcm.Mutation) ([]byte, error) {
 
 // applyRecord replays one record's payload into the store.
 func applyRecord(s *store.Store, payload []byte) error {
+	_, err := ApplyRecord(s, payload)
+	return err
+}
+
+// ApplyRecord replays one record's payload into the store and returns the
+// object ids it touched, so a replication follower can invalidate derived
+// caches exactly as the leader's post-write hook does.
+func ApplyRecord(s *store.Store, payload []byte) ([]string, error) {
 	var rec walRecord
 	if err := json.Unmarshal(payload, &rec); err != nil {
-		return fmt.Errorf("wal: decode record: %w", err)
+		return nil, fmt.Errorf("wal: decode record: %w", err)
 	}
+	ids := make([]string, 0, len(rec.Puts)+len(rec.Deletes))
 	for _, env := range rec.Puts {
 		o, err := env.Decode()
 		if err != nil {
-			return fmt.Errorf("wal: replay %s: %w", rec.Op, err)
+			return nil, fmt.Errorf("wal: replay %s: %w", rec.Op, err)
 		}
 		if err := s.Put(o); err != nil {
-			return fmt.Errorf("wal: replay %s: %w", rec.Op, err)
+			return nil, fmt.Errorf("wal: replay %s: %w", rec.Op, err)
 		}
+		ids = append(ids, rim.ID(o))
 	}
 	for _, id := range rec.Deletes {
 		if err := s.Delete(id); err != nil && !errors.Is(err, store.ErrNotFound) {
-			return fmt.Errorf("wal: replay %s: %w", rec.Op, err)
+			return nil, fmt.Errorf("wal: replay %s: %w", rec.Op, err)
 		}
+		ids = append(ids, id)
 	}
 	if rec.ContentPut != "" {
 		s.PutContent(rec.ContentPut, rec.Content)
@@ -71,5 +83,5 @@ func applyRecord(s *store.Store, payload []byte) error {
 	if rec.ContentDelete != "" {
 		s.DeleteContent(rec.ContentDelete)
 	}
-	return nil
+	return ids, nil
 }

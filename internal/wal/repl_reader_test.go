@@ -1,0 +1,289 @@
+package wal
+
+// Streaming-reader tests for the replication subsystem: boundary
+// validation, sequence accounting, rotation handling, and the seeded
+// prune-race harness that runs readers concurrently with appends,
+// rotation, and pruning under -race.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func mustOpenReader(t *testing.T, l *Log, pos Position) *Reader {
+	t.Helper()
+	rd, err := l.OpenReaderAt(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rd
+}
+
+func TestReplReaderStreamsInOrder(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 20
+	for i := 0; i < n; i++ {
+		mustAppend(t, l, []byte(fmt.Sprintf("rec-%02d", i)))
+	}
+
+	rd := mustOpenReader(t, l, Position{})
+	defer rd.Close()
+	for i := 0; i < n; i++ {
+		rec, err := rd.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got := string(rec.Payload); got != fmt.Sprintf("rec-%02d", i) {
+			t.Fatalf("record %d payload = %q", i, got)
+		}
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d seq = %d, want %d", i, rec.Seq, i+1)
+		}
+	}
+	if _, err := rd.Next(); !errors.Is(err, ErrEndOfLog) {
+		t.Fatalf("Next at tail = %v, want ErrEndOfLog", err)
+	}
+
+	// New appends become visible to the same reader without reopening.
+	mustAppend(t, l, []byte("late"))
+	rec, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Payload) != "late" || rec.Seq != n+1 {
+		t.Fatalf("late record = %q seq %d", rec.Payload, rec.Seq)
+	}
+}
+
+func TestReplReaderResumesAtBoundary(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	mustAppend(t, l, []byte("one"))
+	mid := mustAppend(t, l, []byte("two"))
+	mustAppend(t, l, []byte("three"))
+
+	rd := mustOpenReader(t, l, mid)
+	defer rd.Close()
+	if rd.Seq() != 2 {
+		t.Fatalf("resume seq = %d, want 2", rd.Seq())
+	}
+	rec, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Payload) != "three" || rec.Seq != 3 {
+		t.Fatalf("resumed record = %q seq %d", rec.Payload, rec.Seq)
+	}
+
+	if _, err := l.OpenReaderAt(Position{Segment: mid.Segment, Offset: mid.Offset - 1}); err == nil {
+		t.Fatal("non-boundary position accepted")
+	}
+	if _, err := l.OpenReaderAt(Position{Segment: mid.Segment, Offset: 1 << 30}); err == nil {
+		t.Fatal("past-tail position accepted")
+	}
+}
+
+func TestReplReaderAdvancesAcrossSealedSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 12
+	for i := 0; i < n; i++ {
+		mustAppend(t, l, []byte(fmt.Sprintf("seg-walk-%02d", i)))
+	}
+	if l.SegmentCount() < 3 {
+		t.Fatalf("want >= 3 segments, have %d", l.SegmentCount())
+	}
+	rd := mustOpenReader(t, l, Position{})
+	defer rd.Close()
+	for i := 0; i < n; i++ {
+		rec, err := rd.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d seq = %d", i, rec.Seq)
+		}
+	}
+}
+
+func TestReplReaderPrunedPositions(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 12; i++ {
+		mustAppend(t, l, []byte(fmt.Sprintf("prunable-%02d", i)))
+	}
+	tail := l.Pos()
+	if _, err := l.Prune(tail); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.OpenReaderAt(Position{}); !errors.Is(err, ErrPositionPruned) {
+		t.Fatalf("OpenReaderAt(zero) after prune = %v, want ErrPositionPruned", err)
+	}
+	if _, err := l.OpenReaderAt(Position{Segment: 1, Offset: 0}); !errors.Is(err, ErrPositionPruned) {
+		t.Fatalf("OpenReaderAt(pruned seg) = %v, want ErrPositionPruned", err)
+	}
+	rd := mustOpenReader(t, l, tail)
+	defer rd.Close()
+	mustAppend(t, l, []byte("after-prune"))
+	rec, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Payload) != "after-prune" {
+		t.Fatalf("post-prune record = %q", rec.Payload)
+	}
+}
+
+// TestReplWALReaderPruneRace is the seeded concurrency harness: a writer
+// appends (rotating often) while a pruner aggressively removes sealed
+// segments and readers tail the log. Every reader must observe records in
+// order with correct global sequence numbers, or fail cleanly with
+// ErrPositionPruned and re-attach at the committed tail — never a torn
+// read, a skipped record within a stretch, or a crash.
+func TestReplWALReaderPruneRace(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			l, err := Open(dir, Options{SegmentBytes: 128, Fsync: FsyncNever})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+
+			const total = 400
+			writerDone := make(chan struct{})
+			go func() {
+				defer close(writerDone)
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < total; i++ {
+					pad := make([]byte, rng.Intn(24))
+					payload := []byte(strconv.Itoa(i) + ":" + string(pad))
+					if _, err := l.Append(payload); err != nil {
+						t.Errorf("append %d: %v", i, err)
+						return
+					}
+					if rng.Intn(8) == 0 {
+						// Aggressive retention: drop everything below the
+						// tail segment, racing the readers.
+						if _, err := l.Prune(l.Pos()); err != nil {
+							t.Errorf("prune: %v", err)
+							return
+						}
+					}
+				}
+			}()
+
+			var wg sync.WaitGroup
+			for r := 0; r < 3; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					var rd *Reader
+					for rd == nil {
+						// The initial attach races the pruner too.
+						pos, _ := l.Committed()
+						var err error
+						rd, err = l.OpenReaderAt(pos)
+						if err != nil && !errors.Is(err, ErrPositionPruned) {
+							t.Errorf("reader %d open: %v", r, err)
+							return
+						}
+					}
+					defer func() {
+						if rd != nil {
+							rd.Close()
+						}
+					}()
+					last := -1 // payload index of the previous record in this stretch
+					for {
+						rec, err := rd.Next()
+						switch {
+						case err == nil:
+							idx, perr := strconv.Atoi(string(rec.Payload[:indexByte(rec.Payload, ':')]))
+							if perr != nil {
+								t.Errorf("reader %d: unparseable payload %q", r, rec.Payload)
+								return
+							}
+							// Global invariant: record i (0-based) is the
+							// (i+1)-th append, whatever position we
+							// attached at.
+							if rec.Seq != uint64(idx+1) {
+								t.Errorf("reader %d: record %d has seq %d", r, idx, rec.Seq)
+								return
+							}
+							if last >= 0 && idx != last+1 {
+								t.Errorf("reader %d: gap within stretch: %d after %d", r, idx, last)
+								return
+							}
+							last = idx
+							if idx == total-1 {
+								return
+							}
+						case errors.Is(err, ErrPositionPruned):
+							// Re-attach at the committed tail, as the
+							// replication leader's follower would after a
+							// 410: a new stretch begins. Another prune can
+							// win the race again, so retry.
+							rd.Close()
+							rd = nil
+							for rd == nil {
+								pos, _ := l.Committed()
+								rd, err = l.OpenReaderAt(pos)
+								if err != nil && !errors.Is(err, ErrPositionPruned) {
+									t.Errorf("reader %d reattach: %v", r, err)
+									return
+								}
+							}
+							last = -1
+						case errors.Is(err, ErrEndOfLog):
+							select {
+							case <-writerDone:
+								if p, _ := l.Committed(); !rd.Pos().Less(p) {
+									return
+								}
+							default:
+							}
+						default:
+							t.Errorf("reader %d: %v", r, err)
+							return
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			<-writerDone
+		})
+	}
+}
+
+func indexByte(b []byte, c byte) int {
+	for i := range b {
+		if b[i] == c {
+			return i
+		}
+	}
+	return len(b)
+}

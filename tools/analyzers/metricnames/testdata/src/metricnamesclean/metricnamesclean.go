@@ -22,6 +22,15 @@ func register(e *Exposition) {
 	e.RegisterHistogram("registry_wal_segment_bytes", "", nil)
 	e.RegisterHistogram("registry_hit_ratio", "", nil)
 
+	// The replication families: gauges stay bare (position, lag,
+	// connected), counters end in _total.
+	e.GaugeVec("registry_repl_position", "", "part", nil)
+	e.Gauge("registry_repl_lag_records", "", nil)
+	e.Gauge("registry_repl_lag_seconds", "", nil)
+	e.Gauge("registry_repl_connected", "", nil)
+	e.Counter("registry_repl_applied_total", "", nil)
+	e.Counter("registry_repl_errors_total", "", nil)
+
 	// One child per label value: repeated LabelledCounter registrations of
 	// the same family are the enumeration idiom, not a conflict.
 	e.LabelledCounter("registry_verdicts_total", "", "verdict", "stock", nil)
